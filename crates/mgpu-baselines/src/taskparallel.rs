@@ -1,0 +1,192 @@
+//! Task-parallel betweenness centrality (McLaughlin & Bader, SC '14).
+//!
+//! Their system "distributed BFS work for different source vertices to
+//! different nodes. Its performance scales well in large part due to its
+//! novel use of task parallelism, but a task-parallel strategy is not
+//! applicable to most graph algorithms. Their framework also duplicates
+//! the graph across GPUs, limiting its scalability to graphs that can fit
+//! on 1 GPU" (§II-A). Both properties are mechanical here:
+//!
+//! * each device holds a **full replica** of the graph (a real reservation
+//!   against its memory pool — too big a graph and the run fails with
+//!   `OutOfMemory`, unlike the partitioned framework);
+//! * sources are distributed round-robin; devices never communicate, so
+//!   scaling over sources is embarrassingly parallel.
+
+use mgpu_graph::{Csr, Id};
+use vgpu::{Device, HardwareProfile, KernelKind, Result, SimSystem, COMPUTE_STREAM};
+
+/// Task-parallel multi-source BC over full graph replicas.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TaskParallelBc;
+
+/// Outcome of a task-parallel BC run.
+#[derive(Debug, Clone)]
+pub struct TaskParallelReport {
+    /// Number of devices used.
+    pub n_devices: usize,
+    /// Sources processed.
+    pub n_sources: usize,
+    /// Simulated makespan (max over devices).
+    pub sim_time_us: f64,
+    /// Peak memory per device — ~the whole graph, the scalability limiter.
+    pub peak_memory_per_device: u64,
+}
+
+impl TaskParallelBc {
+    /// Accumulate single-source BC over `sources`, distributing sources
+    /// round-robin over `n_devices` devices that each replicate `graph`.
+    pub fn run<V: Id, O: Id>(
+        &self,
+        graph: &Csr<V, O>,
+        sources: &[V],
+        n_devices: usize,
+        profile: HardwareProfile,
+    ) -> Result<(TaskParallelReport, Vec<f64>)> {
+        let mut system = SimSystem::homogeneous(n_devices, profile);
+        let n = graph.n_vertices();
+        // Full replica on every device — the memory wall of §II-A.
+        let mut replicas = Vec::with_capacity(n_devices);
+        for dev in &mut system.devices {
+            replicas.push(dev.pool().reserve_external(graph.bytes() + (n * 16) as u64)?);
+        }
+
+        let mut centrality = vec![0.0f64; n];
+        for (i, &src) in sources.iter().enumerate() {
+            let dev = &mut system.devices[i % n_devices];
+            let contribution = run_one_source(dev, graph, src)?;
+            for (c, x) in centrality.iter_mut().zip(contribution) {
+                *c += x;
+            }
+        }
+        let report = TaskParallelReport {
+            n_devices,
+            n_sources: sources.len(),
+            sim_time_us: system.makespan_us(),
+            peak_memory_per_device: system.peak_memory_per_device(),
+        };
+        Ok((report, centrality))
+    }
+}
+
+/// One Brandes source pass on one device (forward BFS with σ counting, then
+/// dependency accumulation), metered like any other kernel sequence.
+fn run_one_source<V: Id, O: Id>(dev: &mut Device, g: &Csr<V, O>, src: V) -> Result<Vec<f64>> {
+    let n = g.n_vertices();
+    const INF: u32 = u32::MAX;
+    let mut depth = vec![INF; n];
+    let mut sigma = vec![0.0f64; n];
+    let mut frontier = vec![src];
+    depth[src.idx()] = 0;
+    sigma[src.idx()] = 1.0;
+    let mut levels: Vec<Vec<V>> = vec![frontier.clone()];
+    let mut d = 0u32;
+    while !frontier.is_empty() {
+        let next = dev.kernel(COMPUTE_STREAM, KernelKind::Advance, || {
+            let mut next = Vec::new();
+            let mut edges = 0u64;
+            for &v in &frontier {
+                for &u in g.neighbors(v) {
+                    edges += 1;
+                    if depth[u.idx()] == INF {
+                        depth[u.idx()] = d + 1;
+                        next.push(u);
+                    }
+                    if depth[u.idx()] == d + 1 {
+                        sigma[u.idx()] += sigma[v.idx()];
+                    }
+                }
+            }
+            (next, edges)
+        })?;
+        if next.is_empty() {
+            break;
+        }
+        levels.push(next.clone());
+        frontier = next;
+        d += 1;
+    }
+    let mut delta = vec![0.0f64; n];
+    let mut centrality = vec![0.0f64; n];
+    for level in levels.iter().rev() {
+        let level = level.clone();
+        dev.kernel(COMPUTE_STREAM, KernelKind::Advance, || {
+            let mut edges = 0u64;
+            for &v in &level {
+                for &u in g.neighbors(v) {
+                    edges += 1;
+                    if depth[u.idx()] == depth[v.idx()] + 1 && sigma[u.idx()] > 0.0 {
+                        delta[v.idx()] += sigma[v.idx()] / sigma[u.idx()] * (1.0 + delta[u.idx()]);
+                    }
+                }
+                if v != src {
+                    centrality[v.idx()] += delta[v.idx()];
+                }
+            }
+            ((), edges)
+        })?;
+    }
+    Ok(centrality)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgpu_gen::gnm;
+    use mgpu_graph::GraphBuilder;
+    use mgpu_primitives::reference;
+    use vgpu::VgpuError;
+
+    fn graph() -> Csr<u32, u64> {
+        GraphBuilder::undirected(&gnm(80, 320, 55))
+    }
+
+    #[test]
+    fn accumulates_brandes_over_sources() {
+        let g = graph();
+        let sources = [0u32, 3, 17];
+        let (report, bc) =
+            TaskParallelBc.run(&g, &sources, 2, HardwareProfile::k40()).unwrap();
+        assert_eq!(report.n_sources, 3);
+        let mut expect = vec![0.0f64; 80];
+        for &s in &sources {
+            for (e, x) in expect.iter_mut().zip(reference::bc(&g, s)) {
+                *e += x;
+            }
+        }
+        for (v, (&a, &b)) in bc.iter().zip(&expect).enumerate() {
+            assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()), "vertex {v}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn scales_over_sources_with_more_devices() {
+        let g = graph();
+        let sources: Vec<u32> = (0..16).collect();
+        let (r1, _) = TaskParallelBc.run(&g, &sources, 1, HardwareProfile::k40()).unwrap();
+        let (r4, _) = TaskParallelBc.run(&g, &sources, 4, HardwareProfile::k40()).unwrap();
+        assert!(
+            r4.sim_time_us < r1.sim_time_us / 2.0,
+            "task parallelism: {} vs {}",
+            r4.sim_time_us,
+            r1.sim_time_us
+        );
+    }
+
+    #[test]
+    fn replication_hits_the_memory_wall() {
+        let g = graph();
+        let small = HardwareProfile::k40().with_capacity(g.bytes() / 2);
+        match TaskParallelBc.run(&g, &[0u32], 2, small) {
+            Err(VgpuError::OutOfMemory { .. }) => {}
+            other => panic!("expected the replication memory wall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_device_pays_full_graph_memory() {
+        let g = graph();
+        let (report, _) = TaskParallelBc.run(&g, &[0u32, 1], 2, HardwareProfile::k40()).unwrap();
+        assert!(report.peak_memory_per_device >= g.bytes());
+    }
+}

@@ -1,0 +1,29 @@
+//! Criterion benchmark of the workload generators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mgpu_gen::{gnm, grid2d, preferential_attachment, rmat, web_crawl, RmatParams};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    let edges = 16 * (1 << 14) as u64;
+    group.throughput(Throughput::Elements(edges));
+    group.bench_function(BenchmarkId::new("rmat", "2^14x16"), |b| {
+        b.iter(|| rmat(14, 16, RmatParams::paper(), 3))
+    });
+    group.bench_function(BenchmarkId::new("gnm", "2^14x16"), |b| {
+        b.iter(|| gnm(1 << 14, 16 << 14, 3))
+    });
+    group.bench_function(BenchmarkId::new("pref-attach", "2^14x8"), |b| {
+        b.iter(|| preferential_attachment(1 << 14, 8, 3))
+    });
+    group.bench_function(BenchmarkId::new("web-crawl", "2^14x8"), |b| {
+        b.iter(|| web_crawl(1 << 14, 8, 3))
+    });
+    group.bench_function(BenchmarkId::new("grid", "128x128"), |b| {
+        b.iter(|| grid2d(128, 128, 0.95, 3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

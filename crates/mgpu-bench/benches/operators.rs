@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks of the Gunrock operators (wall-clock of the
+//! real execution, not the simulated clock): advance vs fused
+//! advance+filter — the §VI-C fusion win — plus filter and pull-advance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mgpu_core::alloc::{AllocScheme, FrontierBufs};
+use mgpu_core::ops;
+use mgpu_gen::{rmat, RmatParams};
+use mgpu_graph::{Csr, GraphBuilder};
+use mgpu_partition::{DistGraph, Duplication};
+use vgpu::{Device, HardwareProfile};
+
+fn setup(scale: u32) -> (DistGraph<u32, u64>, Vec<u32>) {
+    let g: Csr<u32, u64> =
+        GraphBuilder::undirected(&rmat(scale, 16, RmatParams::paper(), 7));
+    let n = g.n_vertices();
+    let dist = DistGraph::build(&g, vec![0; n], 1, Duplication::All);
+    let frontier: Vec<u32> = (0..n as u32).step_by(4).collect();
+    (dist, frontier)
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let (dist, frontier) = setup(13);
+    let sub = &dist.parts[0];
+    let mut group = c.benchmark_group("operators");
+
+    group.bench_function(BenchmarkId::new("advance+filter", "rmat13"), |b| {
+        b.iter(|| {
+            let mut dev = Device::new(0, HardwareProfile::k40());
+            let mut bufs =
+                FrontierBufs::new(&mut dev, AllocScheme::Max, sub.n_vertices(), sub.n_edges())
+                    .unwrap();
+            let mut seen = vec![false; sub.n_vertices()];
+            let cand = ops::advance(&mut dev, sub, &mut bufs, &frontier, |_, _, d| Some(d))
+                .unwrap();
+            ops::filter(&mut dev, &cand, |v| {
+                let fresh = !seen[v as usize];
+                seen[v as usize] = true;
+                fresh
+            })
+            .unwrap()
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("fused", "rmat13"), |b| {
+        b.iter(|| {
+            let mut dev = Device::new(0, HardwareProfile::k40());
+            let mut seen = vec![false; sub.n_vertices()];
+            ops::advance_filter_fused(&mut dev, sub, &frontier, |_, _, d| {
+                if seen[d as usize] {
+                    None
+                } else {
+                    seen[d as usize] = true;
+                    Some(d)
+                }
+            })
+            .unwrap()
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("filter", "rmat13"), |b| {
+        b.iter(|| {
+            let mut dev = Device::new(0, HardwareProfile::k40());
+            ops::filter(&mut dev, &frontier, |v| v % 3 == 0).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_pull(c: &mut Criterion) {
+    let (mut dist, frontier) = setup(13);
+    dist.build_cscs();
+    let sub = &dist.parts[0];
+    let csc = sub.csc.as_ref().unwrap();
+    let visited: Vec<bool> = (0..sub.n_vertices()).map(|v| v % 4 == 0).collect();
+    c.bench_function("operators/advance_pull", |b| {
+        b.iter(|| {
+            let mut dev = Device::new(0, HardwareProfile::k40());
+            ops::advance_pull(&mut dev, csc, &frontier, |_, p| visited[p as usize]).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_operators, bench_pull);
+criterion_main!(benches);

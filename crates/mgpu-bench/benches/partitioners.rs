@@ -1,0 +1,32 @@
+//! Criterion benchmark of partitioner runtime — the §V-C observation that
+//! Metis-style partitioning "takes a much longer time to partition" than
+//! random/biased-random.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mgpu_gen::{rmat, RmatParams};
+use mgpu_graph::{Csr, GraphBuilder};
+use mgpu_partition::{
+    BiasedRandomPartitioner, MultilevelPartitioner, Partitioner, RandomPartitioner,
+};
+
+fn bench_partitioners(c: &mut Criterion) {
+    let g: Csr<u32, u64> =
+        GraphBuilder::undirected(&rmat(13, 16, RmatParams::paper(), 11));
+    let mut group = c.benchmark_group("partitioners");
+    group.bench_function(BenchmarkId::new("random", "rmat13x4"), |b| {
+        let p = RandomPartitioner::default();
+        b.iter(|| p.assign(&g, 4))
+    });
+    group.bench_function(BenchmarkId::new("biased-random", "rmat13x4"), |b| {
+        let p = BiasedRandomPartitioner::default();
+        b.iter(|| p.assign(&g, 4))
+    });
+    group.bench_function(BenchmarkId::new("metis-like", "rmat13x4"), |b| {
+        let p = MultilevelPartitioner::default();
+        b.iter(|| p.assign(&g, 4))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

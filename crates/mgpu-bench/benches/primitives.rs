@@ -1,0 +1,30 @@
+//! Criterion benchmark of full primitive enacts (wall-clock of the real
+//! execution through the multi-GPU framework, 1 vs 4 virtual GPUs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mgpu_bench::{run_on_k, Primitive};
+use mgpu_gen::weights::add_paper_weights;
+use mgpu_gen::{rmat, RmatParams};
+use mgpu_graph::{Csr, GraphBuilder};
+use mgpu_partition::RandomPartitioner;
+use vgpu::HardwareProfile;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut coo = rmat(13, 16, RmatParams::paper(), 5);
+    add_paper_weights(&mut coo, 6);
+    let g: Csr<u32, u64> = GraphBuilder::undirected(&coo);
+    let part = RandomPartitioner::default();
+    let mut group = c.benchmark_group("primitives");
+    group.sample_size(10);
+    for prim in Primitive::all() {
+        for gpus in [1usize, 4] {
+            group.bench_function(BenchmarkId::new(prim.name(), format!("{gpus}gpu")), |b| {
+                b.iter(|| run_on_k(prim, &g, gpus, HardwareProfile::k40(), &part).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

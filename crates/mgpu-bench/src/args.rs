@@ -1,0 +1,73 @@
+//! Minimal flag parsing shared by the experiment binaries.
+
+/// Common experiment knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchArgs {
+    /// Scale-down shift: datasets shrink by `2^shift` vertices relative to
+    /// the paper (0 = paper scale).
+    pub shift: u32,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs { shift: 8, seed: 42 }
+    }
+}
+
+impl BenchArgs {
+    /// Parse `--shift N` / `--seed S` from `std::env::args`.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn parse_from(args: impl Iterator<Item = String>) -> Self {
+        let mut out = BenchArgs::default();
+        let mut args = args.peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--shift" => {
+                    out.shift = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--shift needs an integer");
+                }
+                "--seed" => {
+                    out.seed =
+                        args.next().and_then(|v| v.parse().ok()).expect("--seed needs an integer");
+                }
+                other => panic!("unknown flag {other}; supported: --shift N, --seed S"),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let a = BenchArgs::parse_from(std::iter::empty());
+        assert_eq!(a.shift, 8);
+        assert_eq!(a.seed, 42);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = BenchArgs::parse_from(
+            ["--shift", "5", "--seed", "7"].iter().map(|s| s.to_string()),
+        );
+        assert_eq!(a.shift, 5);
+        assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn rejects_unknown() {
+        BenchArgs::parse_from(["--bogus"].iter().map(|s| s.to_string()));
+    }
+}

@@ -1,0 +1,142 @@
+//! Ablation study — isolating the design choices DESIGN.md calls out.
+//!
+//! 1. **Kernel fusion (§VI-C)**: fused vs unfused BFS pipeline — launch
+//!    count, memory and time.
+//! 2. **Load-balanced advance (§II-B)**: Gunrock-style load balancing vs
+//!    naive thread-mapped advance on power-law vs uniform frontiers.
+//! 3. **Communication strategy (§III-C)**: BFS with selective vs broadcast
+//!    communication — volume and time.
+//! 4. **Prioritized SSSP**: delta-stepping vs frontier Bellman–Ford on a
+//!    road-network analog (the Groute effect, §II-A).
+
+use mgpu_bench::fmt::fmt_bytes;
+use mgpu_bench::runners::scaled_system;
+use mgpu_bench::{BenchArgs, Table};
+use mgpu_core::alloc::AllocScheme;
+use mgpu_core::comm::CommStrategy;
+use mgpu_core::ops::{self, AdvanceMode};
+use mgpu_core::{EnactConfig, FrontierBufs, Runner};
+use mgpu_gen::weights::add_paper_weights;
+use mgpu_gen::{grid2d, rmat, RmatParams};
+use mgpu_graph::{Csr, GraphBuilder};
+use mgpu_partition::{DistGraph, Duplication, RandomPartitioner};
+use mgpu_primitives::{Bfs, Sssp, SsspDelta};
+use vgpu::{Device, HardwareProfile};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let scale = 18u32.saturating_sub(args.shift).max(12);
+    let g: Csr<u32, u64> =
+        GraphBuilder::undirected(&rmat(scale, 16, RmatParams::paper(), args.seed));
+    let part = RandomPartitioner { seed: args.seed };
+
+    // ---------- 1. kernel fusion ----------
+    println!("1. Kernel fusion (BFS, 4 GPUs, rmat 2^{scale}/16)\n");
+    let mut t = Table::new(&["pipeline", "kernel launches", "peak mem/GPU", "sim time (ms)"]);
+    for (label, scheme) in [
+        ("advance→filter (unfused, max alloc)", AllocScheme::Max),
+        ("fused advance+filter", AllocScheme::PreallocFusion { sizing_factor: 1.0 }),
+    ] {
+        let dist = DistGraph::partition(&g, &part, 4, Duplication::All);
+        let sys = scaled_system(4, HardwareProfile::k40(), args.shift);
+        let config = EnactConfig { alloc_scheme: Some(scheme), ..Default::default() };
+        let mut runner = Runner::new(sys, &dist, Bfs::default(), config).unwrap();
+        let r = runner.enact(Some(mgpu_bench::pick_source(&g))).unwrap();
+        t.row(&[
+            label.into(),
+            format!("{}", r.totals.kernel_launches),
+            fmt_bytes(r.peak_memory_per_device),
+            format!("{:.3}", r.sim_time_us / 1e3),
+        ]);
+    }
+    t.print();
+
+    // ---------- 2. load-balanced vs thread-mapped advance ----------
+    println!("\n2. Advance work mapping (single full-frontier advance, 1 GPU)\n");
+    let mut t = Table::new(&["frontier", "load-balanced (µs)", "thread-mapped (µs)", "penalty"]);
+    let uniform: Csr<u32, u64> = GraphBuilder::undirected(&grid2d(128, 128, 1.0, args.seed));
+    for (label, graph) in [("rmat (power-law)", &g), ("grid (uniform)", &uniform)] {
+        let dist = DistGraph::build(graph, vec![0; graph.n_vertices()], 1, Duplication::All);
+        let sub = &dist.parts[0];
+        let frontier: Vec<u32> = (0..graph.n_vertices() as u32).collect();
+        let time = |mode| {
+            let mut dev = Device::new(0, HardwareProfile::k40());
+            let mut bufs = FrontierBufs::new(
+                &mut dev,
+                AllocScheme::Max,
+                sub.n_vertices(),
+                sub.n_edges(),
+            )
+            .unwrap();
+            ops::advance_with_mode(&mut dev, sub, &mut bufs, &frontier, mode, |_, _, d| Some(d))
+                .unwrap();
+            dev.now()
+        };
+        let lb = time(AdvanceMode::LoadBalanced);
+        let tm = time(AdvanceMode::ThreadMapped);
+        t.row(&[
+            label.into(),
+            format!("{lb:.1}"),
+            format!("{tm:.1}"),
+            format!("{:.1}x", tm / lb),
+        ]);
+    }
+    t.print();
+
+    // ---------- 3. selective vs broadcast communication ----------
+    println!("\n3. Communication strategy (BFS, 4 GPUs)\n");
+    let mut t = Table::new(&["strategy", "H (vertices)", "H (bytes)", "sim time (ms)"]);
+    for (label, comm) in [
+        ("selective (BFS's choice)", CommStrategy::Selective),
+        ("broadcast", CommStrategy::Broadcast),
+    ] {
+        let dist = DistGraph::partition(&g, &part, 4, Duplication::All);
+        let sys = scaled_system(4, HardwareProfile::k40(), args.shift);
+        let config = EnactConfig { comm: Some(comm), ..Default::default() };
+        let mut runner = Runner::new(sys, &dist, Bfs::default(), config).unwrap();
+        let r = runner.enact(Some(mgpu_bench::pick_source(&g))).unwrap();
+        t.row(&[
+            label.into(),
+            format!("{}", r.totals.h_vertices),
+            fmt_bytes(r.totals.h_bytes_sent),
+            format!("{:.3}", r.sim_time_us / 1e3),
+        ]);
+    }
+    t.print();
+
+    // ---------- 4. prioritized SSSP ----------
+    println!("\n4. Prioritized SSSP on a road analog (2 GPUs, weights [0,64])\n");
+    let side = (1usize << (10u32.saturating_sub(args.shift / 2).max(6))).min(512);
+    let mut coo = grid2d(side, side, 1.0, args.seed);
+    add_paper_weights(&mut coo, args.seed + 1);
+    let road: Csr<u32, u64> = GraphBuilder::undirected(&coo);
+    let mut t = Table::new(&["algorithm", "supersteps", "W items", "sim time (ms)"]);
+
+    let dist = DistGraph::partition(&road, &part, 2, Duplication::All);
+    let sys = scaled_system(2, HardwareProfile::k40(), args.shift);
+    let mut bf = Runner::new(sys, &dist, Sssp, EnactConfig::default()).unwrap();
+    let r_bf = bf.enact(Some(0u32)).unwrap();
+    t.row(&[
+        "Bellman-Ford frontier".into(),
+        format!("{}", r_bf.iterations),
+        format!("{}", r_bf.totals.w_items),
+        format!("{:.3}", r_bf.sim_time_us / 1e3),
+    ]);
+    let sys = scaled_system(2, HardwareProfile::k40(), args.shift);
+    let mut ds = Runner::new(sys, &dist, SsspDelta { delta: 16 }, EnactConfig::default()).unwrap();
+    let r_ds = ds.enact(Some(0u32)).unwrap();
+    t.row(&[
+        "delta-stepping (Δ=16)".into(),
+        format!("{}", r_ds.iterations),
+        format!("{}", r_ds.totals.w_items),
+        format!("{:.3}", r_ds.sim_time_us / 1e3),
+    ]);
+    t.print();
+    println!(
+        "\nShapes: fusion cuts launches and the intermediate buffer; thread mapping only hurts\n\
+         on skewed frontiers; broadcast touches ~2.5x more vertices than selective (though\n\
+         uniform-payload broadcasts compress to bitmaps, so BYTES can be lower — combine\n\
+         work is what broadcast really costs); delta-stepping wastes fewer relaxations (W)\n\
+         at the cost of more supersteps."
+    );
+}

@@ -1,0 +1,61 @@
+//! Fig. 3 — memory consumption of the four allocation schemes.
+//!
+//! BFS on the kron / soc-orkut / uk-2002 analogs under just-enough, fixed,
+//! max and prealloc+fusion allocation; reports the peak per-GPU device
+//! memory. The paper's shape: max ≫ fixed > just-enough ≥ prealloc+fusion,
+//! with near-identical computation times across schemes.
+
+use mgpu_bench::{BenchArgs, Primitive, Table};
+use mgpu_bench::fmt::fmt_bytes;
+use mgpu_core::{AllocScheme, EnactConfig};
+use mgpu_gen::Dataset;
+use mgpu_partition::RandomPartitioner;
+use vgpu::{HardwareProfile, SimSystem};
+
+fn main() {
+    let args = BenchArgs::parse();
+    println!("Fig. 3 reproduction — BFS peak memory per GPU under 4 allocation schemes (4 GPUs)\n");
+    let schemes = [
+        AllocScheme::JustEnough,
+        AllocScheme::Fixed { sizing_factor: 3.0 },
+        AllocScheme::Max,
+        AllocScheme::PreallocFusion { sizing_factor: 3.0 },
+    ];
+    let mut t = Table::new(&[
+        "dataset", "scheme", "peak mem/GPU", "reallocs", "sim time", "relative mem",
+    ]);
+    for ds in Dataset::figure_trio() {
+        let g = ds.build_undirected(args.shift, args.seed);
+        let mut base_mem = 0u64;
+        for scheme in schemes {
+            let sys = SimSystem::homogeneous(4, HardwareProfile::k40());
+            let config = EnactConfig { alloc_scheme: Some(scheme), ..Default::default() };
+            let out = mgpu_bench::run_primitive(
+                Primitive::Bfs,
+                &g,
+                sys,
+                &RandomPartitioner { seed: args.seed },
+                config,
+            )
+            .expect("run");
+            let mem = out.report.peak_memory_per_device;
+            if scheme == AllocScheme::JustEnough {
+                base_mem = mem;
+            }
+            t.row(&[
+                ds.name.to_string(),
+                scheme.label().to_string(),
+                fmt_bytes(mem),
+                format!("{}", out.report.pool_reallocs),
+                format!("{:.2} ms", out.report.sim_time_us / 1e3),
+                format!("{:.2}x", mem as f64 / base_mem as f64),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nPaper shape (Fig. 3, K40 12 GB): just-enough uses the least memory, enabling larger\n\
+         subgraphs per GPU; max allocation can exceed device capacity; computation times are\n\
+         near-identical across schemes."
+    );
+}

@@ -1,0 +1,37 @@
+//! Table II — the evaluation datasets.
+//!
+//! Prints the scaled synthetic analog of every Table II graph next to the
+//! paper's reported |V|, |E| and diameter. The analogs preserve the edge
+//! factor and the structural class (power-law skew, diameter regime); the
+//! absolute sizes shrink by `2^shift`.
+
+use mgpu_bench::{BenchArgs, Table};
+use mgpu_gen::catalog::TABLE2;
+use mgpu_graph::{degree_stats, estimate_diameter};
+
+fn main() {
+    let args = BenchArgs::parse();
+    println!("Table II reproduction — dataset analogs at shift {}\n", args.shift);
+    let mut t = Table::new(&[
+        "group", "name", "paper |V|", "paper |E|", "paper D", "analog |V|", "analog |E|",
+        "analog D*", "edge factor",
+    ]);
+    for ds in TABLE2 {
+        let g = ds.build_undirected(args.shift, args.seed);
+        let s = degree_stats(&g);
+        let d = estimate_diameter(&g, 6, args.seed);
+        t.row(&[
+            ds.group.label().to_string(),
+            ds.name.to_string(),
+            format!("{:.2}M", ds.paper_vertices / 1e6),
+            format!("{:.0}M", ds.paper_edges / 1e6),
+            ds.paper_diameter.map_or("-".into(), |x| format!("{x}")),
+            format!("{}", s.n_vertices),
+            format!("{}", s.n_edges),
+            format!("{d}"),
+            format!("{:.1}", s.avg_degree),
+        ]);
+    }
+    t.print();
+    println!("\n* diameter approximated by multiple runs of random-sourced BFS (as in the paper)");
+}

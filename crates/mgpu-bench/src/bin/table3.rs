@@ -1,0 +1,121 @@
+//! Table III — comparison with previous in-core GPU BFS work.
+//!
+//! Each row pairs a paper-reported reference result with (a) our framework
+//! primitive on the same dataset analog and (b) where the reference
+//! system's *mechanism* is re-implemented in `mgpu-baselines`, that
+//! baseline measured on the same substrate — so the ratio compares
+//! mechanisms under one cost model. Cluster-based references run their
+//! baseline on the slower inter-node fabric.
+
+use mgpu_bench::fmt::fmt_us;
+use mgpu_bench::runners::{run_scaled, scaled_system};
+use mgpu_bench::{pick_source, BenchArgs, Primitive, Table};
+use mgpu_baselines::{Bfs2d, HardwiredDobfs};
+use mgpu_gen::Dataset;
+use mgpu_graph::{Csr, GraphBuilder};
+use mgpu_partition::{DistGraph, Duplication, RandomPartitioner};
+use vgpu::{HardwareProfile, Interconnect, SimSystem};
+
+fn graph(name: &str, shift: u32, seed: u64) -> Csr<u32, u64> {
+    GraphBuilder::undirected(&Dataset::by_name(name).expect(name).generate(shift, seed))
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let part = RandomPartitioner { seed: args.seed };
+    println!("Table III reproduction — vs previous in-core GPU BFS (analogs at shift {})\n", args.shift);
+    let mut t = Table::new(&[
+        "graph", "reference", "ref hw", "ref perf (paper)", "baseline here", "ours", "ours vs baseline",
+    ]);
+
+    // --- Enterprise (Liu & Huang): hardwired DOBFS, {2,4} GPUs ---
+    let kron = graph("kron_n24_32", args.shift, args.seed);
+    for n in [2usize, 4] {
+        let owner: Vec<u32> = (0..kron.n_vertices()).map(|v| (v % n) as u32).collect();
+        let mut dist = DistGraph::build(&kron, owner, n, Duplication::All);
+        dist.build_cscs();
+        let mut sys = scaled_system(n, HardwareProfile::k40(), args.shift);
+        let (hw, _) =
+            HardwiredDobfs::default().run(&mut sys, &dist, pick_source(&kron)).expect("hardwired");
+        let ours =
+            run_scaled(Primitive::Dobfs, &kron, n, HardwareProfile::k40(), &part, args.shift)
+                .unwrap();
+        let ref_perf = if n == 2 { "15 GTEPS" } else { "18 GTEPS" };
+        t.row(&[
+            "kron_n24_32".into(),
+            "Enterprise".into(),
+            format!("{n}xK40"),
+            ref_perf.into(),
+            format!("{:.2} GTEPS", hw.gteps(kron.n_edges())),
+            format!("{:.2} GTEPS", ours.gteps()),
+            format!("{:.2}x (paper: {})", ours.gteps() / hw.gteps(kron.n_edges()), if n == 2 { "5.18x" } else { "3.76x" }),
+        ]);
+    }
+
+    // --- B40C (Merrill): expand-contract BFS without DO, 4 GPUs ---
+    let rm = graph("rmat_2Mv_128Me", args.shift, args.seed);
+    let ours_do =
+        run_scaled(Primitive::Dobfs, &rm, 4, HardwareProfile::k40(), &part, args.shift).unwrap();
+    let ours_bfs =
+        run_scaled(Primitive::Bfs, &rm, 4, HardwareProfile::k40(), &part, args.shift).unwrap();
+    t.row(&[
+        "rmat_2Mv_128Me".into(),
+        "B40C (Merrill)".into(),
+        "4xK40".into(),
+        "11.2 GTEPS".into(),
+        format!("{:.2} GTEPS (our plain BFS)", ours_bfs.gteps()),
+        format!("{:.2} GTEPS (DOBFS)", ours_do.gteps()),
+        format!("{:.2}x (paper: 2.67x)", ours_do.gteps() / ours_bfs.gteps()),
+    ]);
+
+    // --- 2D-partitioned cluster BFS (Fu; Bisson; Bernaschi analogs) ---
+    for (name, reference, refhw, refperf, paper_ratio) in [
+        ("kron_n23_32", "Fu et al. (2D)", "2xK20 x2 nodes", "6.3 GTEPS", "4.43x"),
+        ("kron_n25_32", "Fu et al. (2D)", "2xK20 x32 nodes", "22.7 GTEPS", "1.41x"),
+        ("kron_n23_16", "Bernaschi (2D)", "1xK20X x4 nodes", "~1.3 GTEPS", "23.7x"),
+        ("kron_n25_16", "Bernaschi (2D)", "1xK20X x16 nodes", "~3.2 GTEPS", "9.69x"),
+    ] {
+        let g = graph(name, args.shift, args.seed);
+        // the 2D mechanism on a cluster fabric
+        let engine = Bfs2d::for_gpus(4);
+        let scale = (1u64 << args.shift) as f64;
+        let mut sys = SimSystem::new(
+            vec![HardwareProfile::k40().with_overhead_scale(scale); 4],
+            Interconnect::cluster(4).with_latency_scale(scale),
+        )
+        .unwrap();
+        let (b2d, _) = engine.run(&mut sys, &g, pick_source(&g)).expect("2d bfs");
+        let ours =
+            run_scaled(Primitive::Dobfs, &g, 4, HardwareProfile::k40(), &part, args.shift)
+                .unwrap();
+        t.row(&[
+            name.into(),
+            reference.into(),
+            refhw.into(),
+            refperf.into(),
+            format!("{:.2} GTEPS", b2d.gteps(g.n_edges())),
+            format!("{:.2} GTEPS", ours.gteps()),
+            format!("{:.2}x (paper: {paper_ratio})", ours.gteps() / b2d.gteps(g.n_edges())),
+        ]);
+    }
+
+    // --- Bisson twitter-scale, time-based row (Bebee) ---
+    let tw = graph("twitter-mpi", args.shift, args.seed);
+    let ours =
+        run_scaled(Primitive::Dobfs, &tw, 3, HardwareProfile::k40(), &part, args.shift).unwrap();
+    t.row(&[
+        "twitter-mpi".into(),
+        "Bebee (Blazegraph)".into(),
+        "1xK40 x16 nodes".into(),
+        "224.2 ms".into(),
+        "-".into(),
+        fmt_us(ours.report.sim_time_us),
+        "(paper: 2.38x)".into(),
+    ]);
+
+    t.print();
+    println!(
+        "\nAbsolute GTEPS shrink with the analog scale (smaller graphs are overhead-bound);\n\
+         the mechanism ratios in the last column are the comparable quantity."
+    );
+}

@@ -1,0 +1,107 @@
+//! Table V — large graphs and the cost of 64-bit vertex/edge ids.
+//!
+//! Runs BFS and PR on the friendster / sk-2005 analogs (4 GPUs), then BFS
+//! on rmat_n24_32 with the three id-width configurations of the paper:
+//! 32-bit edge ids, 64-bit edge ids, 64-bit vertex ids. The paper measures
+//! {67.6, 52.6, 33.9} GTEPS — i.e. ~0.78× for 64-bit eIDs and ~0.5× for
+//! 64-bit vIDs, which is the bandwidth ratio; the same ratios should
+//! appear here.
+
+use mgpu_bench::fmt::fmt_us;
+use mgpu_bench::runners::{run_scaled, scaled_system};
+use mgpu_bench::{pick_source, BenchArgs, Primitive, Table};
+use mgpu_core::{EnactConfig, Runner};
+use mgpu_gen::Dataset;
+use mgpu_graph::{Csr, GraphBuilder, Id};
+use mgpu_partition::{DistGraph, Duplication, RandomPartitioner};
+use mgpu_primitives::{Bfs, Pagerank};
+use vgpu::{HardwareProfile, SimSystem};
+
+fn bfs_gteps<V: Id, O: Id>(g: &Csr<V, O>, n: usize, shift: u32) -> f64 {
+    let owner: Vec<u32> = (0..g.n_vertices()).map(|v| (v % n) as u32).collect();
+    let dist = DistGraph::build(g, owner, n, Duplication::All);
+    let scale = (1u64 << shift) as f64;
+    let system = SimSystem::new(
+        vec![HardwareProfile::k40().with_overhead_scale(scale); n],
+        vgpu::Interconnect::pcie3(n, 4).with_latency_scale(scale),
+    )
+    .unwrap();
+    let mut runner = Runner::new(system, &dist, Bfs::default(), EnactConfig::default()).unwrap();
+    let src = pick_source(g);
+    let report = runner.enact(Some(src)).unwrap();
+    report.gteps(g.n_edges())
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let part = RandomPartitioner { seed: args.seed };
+    println!("Table V reproduction — large graphs on 4 GPUs (analogs at shift {})\n", args.shift);
+
+    let mut t = Table::new(&["graph", "algo", "ours (analog)", "x2^shift est.", "paper"]);
+    for (name, algo, paper) in [
+        ("friendster", "BFS", "339 ms"),
+        ("friendster", "PR (per iter)", "1024 ms/iter"),
+        ("sk-2005", "BFS", "2717 ms"),
+        ("sk-2005", "PR (per iter)", "154 ms/iter"),
+    ] {
+        let g = GraphBuilder::undirected(
+            &Dataset::by_name(name).unwrap().generate(args.shift, args.seed),
+        );
+        let (us, suffix) = if algo == "BFS" {
+            let out =
+                run_scaled(Primitive::Bfs, &g, 4, HardwareProfile::k40(), &part, args.shift)
+                    .unwrap();
+            (out.report.sim_time_us, "")
+        } else {
+            let owner: Vec<u32> = (0..g.n_vertices()).map(|v| (v % 4) as u32).collect();
+            let dist = DistGraph::build(&g, owner, 4, Duplication::All);
+            let system = scaled_system(4, HardwareProfile::k40(), args.shift);
+            let pr = Pagerank { damping: 0.85, threshold: 0.0, max_iters: 10 };
+            let mut runner = Runner::new(system, &dist, pr, EnactConfig::default()).unwrap();
+            let report = runner.enact(None).unwrap();
+            (report.sim_time_us / report.iterations.max(1) as f64, "/iter")
+        };
+        let scaled_up = us * (1u64 << args.shift) as f64;
+        t.row(&[
+            name.into(),
+            algo.into(),
+            format!("{}{suffix}", fmt_us(us)),
+            format!("{}{suffix}", fmt_us(scaled_up)),
+            paper.into(),
+        ]);
+    }
+    t.print();
+
+    println!("\nId-width cost on rmat_n24_32 (BFS, 4 GPUs):\n");
+    let coo = Dataset::by_name("rmat_n24_32").unwrap().generate(args.shift, args.seed);
+    let g32e: Csr<u32, u32> = GraphBuilder::undirected(&coo);
+    let g64e: Csr<u32, u64> = GraphBuilder::undirected(&coo);
+    let coo64 = mgpu_graph::Coo::<u64>::from_edges(
+        coo.n_vertices,
+        coo.edges.iter().map(|&(s, d)| (s as u64, d as u64)).collect(),
+        None,
+    );
+    let g64v: Csr<u64, u64> = GraphBuilder::undirected(&coo64);
+
+    let r32e = bfs_gteps(&g32e, 4, args.shift);
+    let r64e = bfs_gteps(&g64e, 4, args.shift);
+    let r64v = bfs_gteps(&g64v, 4, args.shift);
+    let mut t2 = Table::new(&["id widths", "ours GTEPS", "relative", "paper GTEPS", "paper relative"]);
+    t2.row(&["32-bit eID".into(), format!("{r32e:.2}"), "1.00x".into(), "67.6".into(), "1.00x".into()]);
+    t2.row(&[
+        "64-bit eID".into(),
+        format!("{r64e:.2}"),
+        format!("{:.2}x", r64e / r32e),
+        "52.6".into(),
+        "0.78x".into(),
+    ]);
+    t2.row(&[
+        "64-bit vID".into(),
+        format!("{r64v:.2}"),
+        format!("{:.2}x", r64v / r32e),
+        "33.9".into(),
+        "0.50x".into(),
+    ]);
+    t2.print();
+    println!("\nShape: 64-bit vertex ids double per-edge bandwidth and halve GTEPS.");
+}

@@ -1,0 +1,201 @@
+//! Uniform primitive dispatch for the experiment binaries.
+
+use mgpu_core::{EnactConfig, EnactReport, Runner};
+use mgpu_graph::{Csr, Id};
+use mgpu_partition::{DistGraph, Duplication, Partitioner};
+use mgpu_primitives::{Bc, Bfs, Cc, Dobfs, Pagerank, Sssp};
+use mgpu_core::problem::MgpuProblem;
+use vgpu::{Result, SimSystem};
+
+/// The six evaluated primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Primitive {
+    /// Breadth-first search.
+    Bfs,
+    /// Direction-optimizing BFS.
+    Dobfs,
+    /// Single-source shortest paths.
+    Sssp,
+    /// Betweenness centrality (single source).
+    Bc,
+    /// Connected components.
+    Cc,
+    /// PageRank (fixed 20 iterations for comparability).
+    Pr,
+}
+
+impl Primitive {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Primitive::Bfs => "BFS",
+            Primitive::Dobfs => "DOBFS",
+            Primitive::Sssp => "SSSP",
+            Primitive::Bc => "BC",
+            Primitive::Cc => "CC",
+            Primitive::Pr => "PR",
+        }
+    }
+
+    /// All six, in the paper's Fig. 4 order.
+    pub fn all() -> [Primitive; 6] {
+        [Primitive::Bc, Primitive::Bfs, Primitive::Cc, Primitive::Dobfs, Primitive::Pr, Primitive::Sssp]
+    }
+
+    /// Does this primitive take a source vertex?
+    pub fn needs_source(self) -> bool {
+        !matches!(self, Primitive::Cc | Primitive::Pr)
+    }
+
+    /// The vertex-duplication strategy the primitive requests (Table I).
+    pub fn duplication(self) -> Duplication {
+        Duplication::All
+    }
+}
+
+/// The outcome of one measured run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The enact report (sim time, counters, memory, iterations).
+    pub report: EnactReport,
+    /// Edge count the run is credited with (the graph's |E|).
+    pub edges: usize,
+}
+
+impl RunOutcome {
+    /// GTEPS under the paper's crediting convention.
+    pub fn gteps(&self) -> f64 {
+        self.report.gteps(self.edges)
+    }
+
+    /// Simulated milliseconds.
+    pub fn ms(&self) -> f64 {
+        self.report.sim_ms()
+    }
+}
+
+/// The highest-degree vertex — the conventional BFS source for power-law
+/// graphs (guarantees the traversal covers the giant component).
+pub fn pick_source<V: Id, O: Id>(g: &Csr<V, O>) -> V {
+    let mut best = 0usize;
+    let mut best_deg = 0usize;
+    for v in 0..g.n_vertices() {
+        let d = g.degree(V::from_usize(v));
+        if d > best_deg {
+            best_deg = d;
+            best = v;
+        }
+    }
+    V::from_usize(best)
+}
+
+/// Partition `g` for `prim` and run it once on `system`.
+pub fn run_primitive(
+    prim: Primitive,
+    g: &Csr<u32, u64>,
+    system: SimSystem,
+    partitioner: &impl Partitioner,
+    config: EnactConfig,
+) -> Result<RunOutcome> {
+    let n = system.n_devices();
+    let mut dist = DistGraph::partition(g, partitioner, n, prim.duplication());
+    if prim == Primitive::Dobfs {
+        dist.build_cscs();
+    }
+    let src = prim.needs_source().then(|| pick_source(g));
+    let report = match prim {
+        Primitive::Bfs => Runner::new(system, &dist, Bfs::default(), config)?.enact(src)?,
+        Primitive::Dobfs => Runner::new(system, &dist, Dobfs::default(), config)?.enact(src)?,
+        Primitive::Sssp => Runner::new(system, &dist, Sssp, config)?.enact(src)?,
+        Primitive::Bc => Runner::new(system, &dist, Bc, config)?.enact(src)?,
+        Primitive::Cc => Runner::new(system, &dist, Cc, config)?.enact(src)?,
+        Primitive::Pr => {
+            let pr = Pagerank { damping: 0.85, threshold: 0.0, max_iters: 20 };
+            Runner::new(system, &dist, pr, config)?.enact(None)?
+        }
+    };
+    Ok(RunOutcome { report, edges: g.n_edges() })
+}
+
+/// Convenience: run on `n` homogeneous devices of `profile`.
+pub fn run_on_k(
+    prim: Primitive,
+    g: &Csr<u32, u64>,
+    n: usize,
+    profile: vgpu::HardwareProfile,
+    partitioner: &impl Partitioner,
+) -> Result<RunOutcome> {
+    run_primitive(prim, g, SimSystem::homogeneous(n, profile), partitioner, EnactConfig::default())
+}
+
+/// Build an `n`-device system whose fixed overheads are shrunk by
+/// `2^shift`, matching a dataset that was shrunk by `2^shift` — the
+/// dimensional scaling that preserves the paper's work-to-overhead ratios
+/// (see `HardwareProfile::with_overhead_scale`).
+pub fn scaled_system(n: usize, profile: vgpu::HardwareProfile, shift: u32) -> SimSystem {
+    let s = (1u64 << shift.min(40)) as f64;
+    let profile = profile.with_overhead_scale(s);
+    let ic = vgpu::Interconnect::pcie3(n, 4).with_latency_scale(s);
+    SimSystem::new(vec![profile; n], ic).expect("sizes match")
+}
+
+/// Run on `n` overhead-scaled devices (the standard figure configuration).
+pub fn run_scaled(
+    prim: Primitive,
+    g: &Csr<u32, u64>,
+    n: usize,
+    profile: vgpu::HardwareProfile,
+    partitioner: &impl Partitioner,
+    shift: u32,
+) -> Result<RunOutcome> {
+    run_primitive(prim, g, scaled_system(n, profile, shift), partitioner, EnactConfig::default())
+}
+
+/// Expose each primitive's requested duplication/communication description
+/// for the Table I printout.
+pub fn primitive_comm_label(prim: Primitive) -> &'static str {
+    match prim {
+        Primitive::Bfs => {
+            let p = Bfs::default();
+            match <Bfs as MgpuProblem<u32, u64>>::comm(&p) {
+                mgpu_core::CommStrategy::Selective => "selective",
+                mgpu_core::CommStrategy::Broadcast => "broadcast",
+            }
+        }
+        Primitive::Dobfs | Primitive::Cc => "broadcast",
+        Primitive::Bc => "selective fwd / broadcast bwd",
+        _ => "selective",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgpu_gen::weights::add_paper_weights;
+    use mgpu_gen::preferential_attachment;
+    use mgpu_graph::GraphBuilder;
+    use mgpu_partition::RandomPartitioner;
+    use vgpu::HardwareProfile;
+
+    #[test]
+    fn every_primitive_runs_through_the_dispatcher() {
+        let mut coo = preferential_attachment(200, 6, 1);
+        add_paper_weights(&mut coo, 2);
+        let g = GraphBuilder::undirected(&coo);
+        for prim in Primitive::all() {
+            let out = run_on_k(prim, &g, 2, HardwareProfile::k40(), &RandomPartitioner::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", prim.name()));
+            assert!(out.report.sim_time_us > 0.0, "{}", prim.name());
+            assert!(out.gteps() > 0.0, "{}", prim.name());
+        }
+    }
+
+    #[test]
+    fn pick_source_finds_the_hub() {
+        let g: Csr<u32, u64> =
+            GraphBuilder::undirected(&preferential_attachment(100, 4, 5));
+        let s = pick_source(&g);
+        let smax = (0..100u32).map(|v| g.degree(v)).max().unwrap();
+        assert_eq!(g.degree(s), smax);
+    }
+}

@@ -1,0 +1,244 @@
+//! Memory allocation schemes for frontier buffers (§VI-B, Fig. 3).
+//!
+//! "Iterative graph primitives usually produce frontiers with a size that is
+//! unknown until the finish of an advance or filter kernel." The paper
+//! compares four ways to size the buffers that hold them:
+//!
+//! * **Just-enough** — estimate before each operation, reallocate when the
+//!   estimate proves insufficient (rare in practice). Smallest footprint.
+//! * **Fixed** — preallocate `sizing_factor × |V_i|` from previous runs of
+//!   similar graphs; just-enough stays armed as a backstop "to prevent
+//!   illegal memory access".
+//! * **Max** — worst-case `|E_i|`-sized buffers; never reallocates but
+//!   "artificially limits the size of the subgraph we can place onto one
+//!   GPU".
+//! * **Prealloc + fusion** — fixed preallocation, and the fused
+//!   advance+filter kernel (§VI-C) eliminates the intermediate frontier
+//!   buffer entirely.
+
+use mgpu_graph::Id;
+use vgpu::{Device, DeviceArray, Result};
+
+/// Frontier-buffer allocation scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AllocScheme {
+    /// Estimate then reallocate on demand (§VI-B's contribution).
+    JustEnough,
+    /// Preallocate `sizing_factor × |V_i|` elements per buffer.
+    Fixed {
+        /// Multiplier on `|V_i|` derived "from previous runs of similar
+        /// graphs".
+        sizing_factor: f64,
+    },
+    /// Preallocate `|E_i|` elements per buffer (the worst case an advance
+    /// can produce).
+    Max,
+    /// [`AllocScheme::Fixed`] sizing plus kernel fusion: the intermediate
+    /// advance output buffer is never allocated.
+    PreallocFusion {
+        /// See [`AllocScheme::Fixed::sizing_factor`].
+        sizing_factor: f64,
+    },
+}
+
+impl AllocScheme {
+    /// Does this scheme use the fused advance+filter path?
+    pub fn fused(&self) -> bool {
+        matches!(self, AllocScheme::PreallocFusion { .. })
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AllocScheme::JustEnough => "just-enough",
+            AllocScheme::Fixed { .. } => "fixed",
+            AllocScheme::Max => "max",
+            AllocScheme::PreallocFusion { .. } => "prealloc+fusion",
+        }
+    }
+
+    fn prealloc_elems(&self, n_vertices: usize, n_edges: usize) -> usize {
+        match *self {
+            AllocScheme::JustEnough => 0,
+            AllocScheme::Fixed { sizing_factor } | AllocScheme::PreallocFusion { sizing_factor } => {
+                (n_vertices as f64 * sizing_factor).ceil() as usize
+            }
+            AllocScheme::Max => n_edges,
+        }
+    }
+}
+
+/// The scheme-managed frontier buffers of one GPU: input/output vertex
+/// frontiers plus (for unfused pipelines) the intermediate advance output.
+#[derive(Debug)]
+pub struct FrontierBufs<V: Id> {
+    scheme: AllocScheme,
+    /// Current input frontier contents.
+    pub input: DeviceArray<V>,
+    /// Output frontier under construction.
+    pub output: DeviceArray<V>,
+    /// Advance's pre-filter output; `None` under prealloc+fusion.
+    pub intermediate: Option<DeviceArray<V>>,
+}
+
+impl<V: Id> FrontierBufs<V> {
+    /// Allocate buffers for a subgraph with `n_vertices` local vertices and
+    /// `n_edges` local edges under `scheme`. Fails with OutOfMemory if the
+    /// preallocation does not fit — the very failure mode just-enough
+    /// allocation exists to avoid.
+    pub fn new(
+        dev: &mut Device,
+        scheme: AllocScheme,
+        n_vertices: usize,
+        n_edges: usize,
+    ) -> Result<Self> {
+        let pre = scheme.prealloc_elems(n_vertices, n_edges);
+        // Under Max, *every* frontier buffer is worst-case sized — "allocate
+        // memory that is large enough to handle any case, e.g. a size |E|
+        // array for advance" — which is exactly what makes the scheme
+        // memory-hungry in Fig. 3. The fixed schemes size vertex frontiers
+        // by the sizing factor (capped estimates from previous runs).
+        let frontier_pre = match scheme {
+            AllocScheme::JustEnough => 0,
+            AllocScheme::Max => n_edges,
+            AllocScheme::Fixed { sizing_factor }
+            | AllocScheme::PreallocFusion { sizing_factor } => {
+                (n_vertices as f64 * sizing_factor).ceil() as usize
+            }
+        };
+        let input = dev.alloc_with_capacity::<V>(frontier_pre.max(1))?;
+        let output = dev.alloc_with_capacity::<V>(frontier_pre.max(1))?;
+        let intermediate = if scheme.fused() {
+            None
+        } else {
+            Some(dev.alloc_with_capacity::<V>(pre.max(1))?)
+        };
+        Ok(FrontierBufs { scheme, input, output, intermediate })
+    }
+
+    /// The scheme in force.
+    pub fn scheme(&self) -> AllocScheme {
+        self.scheme
+    }
+
+    /// Make sure the intermediate buffer can hold `need` elements before an
+    /// unfused advance. Under just-enough this grows the buffer exactly to
+    /// `need` (charging the reallocation copy); under the preallocating
+    /// schemes it is the "backstop" reallocation that §VI-B keeps armed.
+    pub fn prepare_intermediate(&mut self, dev: &mut Device, need: usize) -> Result<()> {
+        match &mut self.intermediate {
+            Some(buf) => dev.ensure_capacity(buf, need),
+            None => Ok(()), // fused pipeline: nothing to size
+        }
+    }
+
+    /// Store the post-filter output frontier, growing the output buffer per
+    /// the scheme, and swap it to become the next input.
+    pub fn commit_output(&mut self, dev: &mut Device, frontier: &[V]) -> Result<()> {
+        dev.ensure_capacity(&mut self.output, frontier.len())?;
+        self.output.clear();
+        self.output.extend_from_slice(frontier);
+        std::mem::swap(&mut self.input, &mut self.output);
+        Ok(())
+    }
+
+    /// Record that an unfused advance produced `len` intermediate elements.
+    pub fn record_intermediate(&mut self, len: usize) {
+        if let Some(buf) = &mut self.intermediate {
+            debug_assert!(len <= buf.capacity(), "prepare_intermediate was not called");
+            buf.clear();
+            buf.resize_within_capacity(len.min(buf.capacity()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgpu::HardwareProfile;
+
+    fn dev() -> Device {
+        Device::new(0, HardwareProfile::k40())
+    }
+
+    #[test]
+    fn max_scheme_preallocates_edge_sized_buffers() {
+        let mut d = dev();
+        let bufs = FrontierBufs::<u32>::new(&mut d, AllocScheme::Max, 100, 5000).unwrap();
+        assert_eq!(bufs.intermediate.as_ref().unwrap().capacity(), 5000);
+        // "a size |E| array for advance" — worst-case sizing applies to the
+        // frontier buffers too, which is what makes Max memory-hungry
+        assert_eq!(bufs.input.capacity(), 5000);
+    }
+
+    #[test]
+    fn fixed_scheme_scales_with_vertices() {
+        let mut d = dev();
+        let bufs =
+            FrontierBufs::<u32>::new(&mut d, AllocScheme::Fixed { sizing_factor: 2.5 }, 100, 5000)
+                .unwrap();
+        assert_eq!(bufs.intermediate.as_ref().unwrap().capacity(), 250);
+    }
+
+    #[test]
+    fn fusion_has_no_intermediate() {
+        let mut d = dev();
+        let bufs = FrontierBufs::<u32>::new(
+            &mut d,
+            AllocScheme::PreallocFusion { sizing_factor: 2.0 },
+            100,
+            5000,
+        )
+        .unwrap();
+        assert!(bufs.intermediate.is_none());
+        assert!(AllocScheme::PreallocFusion { sizing_factor: 2.0 }.fused());
+    }
+
+    #[test]
+    fn just_enough_grows_on_demand_only() {
+        let mut d = dev();
+        let mut bufs = FrontierBufs::<u32>::new(&mut d, AllocScheme::JustEnough, 100, 5000).unwrap();
+        let base = d.pool().live();
+        bufs.prepare_intermediate(&mut d, 640).unwrap();
+        assert_eq!(d.pool().live() - base, (640 - 1) * 4);
+        assert!(d.pool().reallocs() >= 1);
+    }
+
+    #[test]
+    fn peak_ordering_just_enough_below_fixed_below_max() {
+        let peak = |scheme| {
+            let mut d = dev();
+            let mut bufs = FrontierBufs::<u32>::new(&mut d, scheme, 1000, 50_000).unwrap();
+            bufs.prepare_intermediate(&mut d, 300).unwrap();
+            bufs.commit_output(&mut d, &[1, 2, 3]).unwrap();
+            d.pool().peak()
+        };
+        let je = peak(AllocScheme::JustEnough);
+        let fx = peak(AllocScheme::Fixed { sizing_factor: 3.0 });
+        let mx = peak(AllocScheme::Max);
+        let pf = peak(AllocScheme::PreallocFusion { sizing_factor: 3.0 });
+        assert!(je < fx, "just-enough {je} < fixed {fx}");
+        assert!(fx < mx, "fixed {fx} < max {mx}");
+        assert!(pf < fx, "fusion {pf} saves the intermediate vs fixed {fx}");
+    }
+
+    #[test]
+    fn commit_swaps_output_into_input() {
+        let mut d = dev();
+        let mut bufs = FrontierBufs::<u32>::new(&mut d, AllocScheme::JustEnough, 10, 100).unwrap();
+        bufs.commit_output(&mut d, &[7, 8]).unwrap();
+        assert_eq!(bufs.input.as_slice(), &[7, 8]);
+        bufs.commit_output(&mut d, &[9]).unwrap();
+        assert_eq!(bufs.input.as_slice(), &[9]);
+    }
+
+    #[test]
+    fn max_scheme_can_oom_where_just_enough_fits() {
+        let small = HardwareProfile::k40().with_capacity(10_000);
+        let mut d = Device::new(0, small);
+        // 3000 edges × 4 B = 12 KB intermediate alone exceeds the 10 KB pool
+        assert!(FrontierBufs::<u32>::new(&mut d, AllocScheme::Max, 100, 3000).is_err());
+        let mut d = Device::new(0, HardwareProfile::k40().with_capacity(10_000));
+        assert!(FrontierBufs::<u32>::new(&mut d, AllocScheme::JustEnough, 100, 3000).is_ok());
+    }
+}

@@ -1,0 +1,359 @@
+//! An asynchronous (Groute-style) enactor — the §II-A contemporary.
+//!
+//! Groute [18] "leveraged asynchronous computation to demonstrate
+//! impressive multi-GPU performance particularly on high-diameter,
+//! road-network-like graphs, and primitives that can benefit from
+//! prioritized data communication, such as SSSP and CC". The mechanism:
+//! devices do **not** synchronize at iteration boundaries. Each device
+//! loops — drain inbox, combine, relax its pending frontier, push updates —
+//! and the whole computation ends with distributed termination detection
+//! (all devices idle and no messages in flight).
+//!
+//! Trade-offs faithfully reproduced:
+//!
+//! * no `S·l` term: deep, narrow traversals stop paying a global barrier
+//!   per level — the road-network win;
+//! * stale reads: relaxations may use values a peer has already improved,
+//!   so *label-correcting* primitives are required (monotonic `combine`,
+//!   iteration logic independent of the superstep index — SSSP, CC, and
+//!   label-correcting BFS qualify; DOBFS and BC do not), and total work
+//!   `W` can exceed the BSP schedule's;
+//! * simulated time is scheduling-dependent (asynchrony is inherently
+//!   non-deterministic), unlike the BSP enactor's exactly reproducible
+//!   clocks. Results still converge to the same fixpoint.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering::SeqCst};
+use std::time::Instant;
+
+use mgpu_graph::Id;
+use mgpu_partition::{DistGraph, SubGraph};
+use parking_lot::Mutex;
+use vgpu::memory::Reservation;
+use vgpu::{
+    Device, Event, Interconnect, KernelKind, Mailbox, Result, SimSystem, VgpuError, COMM_STREAM,
+    COMPUTE_STREAM,
+};
+
+use crate::alloc::FrontierBufs;
+use crate::comm::{split_and_package, Package};
+use crate::problem::MgpuProblem;
+use crate::report::EnactReport;
+
+/// An asynchronous runner for label-correcting primitives.
+///
+/// The primitive contract beyond [`MgpuProblem`]: `iteration` must be a
+/// pure relaxation of its input frontier (no dependence on the iteration
+/// index), `combine` must be monotonic (repeated application converges),
+/// and communication must be selective. SSSP and CC satisfy this;
+/// [`crate::enactor::Runner`] remains the home of BSP-only primitives.
+pub struct AsyncRunner<'g, V: Id, O: Id, P: MgpuProblem<V, O>> {
+    system: SimSystem,
+    dist: &'g DistGraph<V, O>,
+    problem: P,
+    per_gpu: Vec<AsyncPerGpu<V, P::State>>,
+}
+
+struct AsyncPerGpu<V: Id, S> {
+    state: S,
+    bufs: FrontierBufs<V>,
+    _topology: Reservation,
+}
+
+impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> AsyncRunner<'g, V, O, P> {
+    /// Bind `problem` to `dist` on `system` (see [`crate::Runner::new`]).
+    pub fn new(mut system: SimSystem, dist: &'g DistGraph<V, O>, problem: P) -> Result<Self> {
+        assert_eq!(system.n_devices(), dist.n_parts);
+        let scheme = problem.alloc_scheme();
+        let mut per_gpu = Vec::with_capacity(dist.n_parts);
+        for (dev, sub) in system.devices.iter_mut().zip(dist.parts.iter()) {
+            let topology = dev.pool().reserve_external(sub.topology_bytes())?;
+            let cost = dev.profile().local_copy_us(sub.topology_bytes());
+            dev.charge(COMPUTE_STREAM, cost, 0.0)?;
+            let state = problem.init(dev, sub)?;
+            let bufs = FrontierBufs::new(dev, scheme, sub.n_vertices(), sub.n_edges())?;
+            per_gpu.push(AsyncPerGpu { state, bufs, _topology: topology });
+        }
+        Ok(AsyncRunner { system, dist, problem, per_gpu })
+    }
+
+    /// Run one traversal asynchronously from `src` (global id).
+    pub fn enact(&mut self, src: Option<V>) -> Result<EnactReport> {
+        self.system.reset_clocks();
+        let n = self.dist.n_parts;
+        let located = src.map(|g| self.dist.locate(g));
+        let mailbox: Mailbox<Package<V, P::Msg>> = Mailbox::new(n);
+        // Distributed termination: messages in flight + busy device count.
+        let in_flight = AtomicI64::new(0);
+        let busy = AtomicUsize::new(n);
+        let abort = AtomicBool::new(false);
+        let first_error: Mutex<Option<VgpuError>> = Mutex::new(None);
+        let problem = &self.problem;
+        let interconnect = std::sync::Arc::clone(&self.system.interconnect);
+
+        let t0 = Instant::now();
+        let rounds: Vec<Result<usize>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for ((dev, per), sub) in self
+                .system
+                .devices
+                .iter_mut()
+                .zip(self.per_gpu.iter_mut())
+                .zip(self.dist.parts.iter())
+            {
+                let src_local = match located {
+                    Some((gpu, local)) if gpu == dev.id() => Some(local),
+                    _ => None,
+                };
+                let mailbox = &mailbox;
+                let in_flight = &in_flight;
+                let busy = &busy;
+                let abort = &abort;
+                let first_error = &first_error;
+                let interconnect = std::sync::Arc::clone(&interconnect);
+                handles.push(scope.spawn(move || {
+                    run_async_gpu(
+                        problem,
+                        dev,
+                        per,
+                        sub,
+                        &interconnect,
+                        mailbox,
+                        in_flight,
+                        busy,
+                        abort,
+                        first_error,
+                        src_local,
+                    )
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("device thread panicked")).collect()
+        });
+        let wall_time_us = t0.elapsed().as_secs_f64() * 1e6;
+
+        if abort.load(SeqCst) {
+            return Err(first_error.lock().take().unwrap_or(VgpuError::Aborted));
+        }
+        let mut max_rounds = 0usize;
+        for r in rounds {
+            max_rounds = max_rounds.max(r?);
+        }
+        Ok(EnactReport {
+            primitive: self.problem.name(),
+            n_devices: n,
+            iterations: max_rounds,
+            sim_time_us: self.system.makespan_us(),
+            wall_time_us,
+            totals: self.system.total_counters(),
+            per_device: self.system.devices.iter().map(|d| d.counters).collect(),
+            peak_memory_per_device: self.system.peak_memory_per_device(),
+            total_peak_memory: self.system.total_peak_memory(),
+            pool_reallocs: self.system.devices.iter().map(|d| d.pool().reallocs()).sum(),
+            history: Vec::new(), // async mode has no superstep structure
+        })
+    }
+
+    /// Access a device's primitive state after an enact.
+    pub fn state(&self, gpu: usize) -> &P::State {
+        &self.per_gpu[gpu].state
+    }
+
+    /// The underlying system.
+    pub fn system(&self) -> &SimSystem {
+        &self.system
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_async_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
+    problem: &P,
+    dev: &mut Device,
+    per: &mut AsyncPerGpu<V, P::State>,
+    sub: &SubGraph<V, O>,
+    interconnect: &Interconnect,
+    mailbox: &Mailbox<Package<V, P::Msg>>,
+    in_flight: &AtomicI64,
+    busy: &AtomicUsize,
+    abort: &AtomicBool,
+    first_error: &Mutex<Option<VgpuError>>,
+    src_local: Option<V>,
+) -> Result<usize> {
+    let gpu = dev.id();
+    let fail = |e: VgpuError| {
+        first_error.lock().get_or_insert(e);
+        abort.store(true, SeqCst);
+    };
+
+    let mut pending: Vec<V> = match problem.reset(dev, sub, &mut per.state, src_local) {
+        Ok(f) => f,
+        Err(e) => {
+            fail(e);
+            Vec::new()
+        }
+    };
+    let mut rounds = 0usize;
+    let mut idle = false;
+    if pending.is_empty() {
+        busy.fetch_sub(1, SeqCst);
+        idle = true;
+    }
+
+    loop {
+        if abort.load(SeqCst) {
+            if !idle {
+                busy.fetch_sub(1, SeqCst);
+            }
+            return Err(first_error.lock().clone().unwrap_or(VgpuError::Aborted));
+        }
+
+        // --- drain & combine whatever has arrived ---
+        let deliveries = mailbox.drain(gpu);
+        if !deliveries.is_empty() && idle {
+            busy.fetch_add(1, SeqCst);
+            idle = false;
+        }
+        for delivery in deliveries {
+            dev.stream_wait(COMM_STREAM, delivery.arrival)
+                .expect("streams exist by construction");
+            let pkg = delivery.payload;
+            dev.counters.h_bytes_recv += pkg.wire_bytes();
+            let state = &mut per.state;
+            let added = dev
+                .kernel(COMM_STREAM, KernelKind::Combine, || {
+                    let mut added = Vec::new();
+                    for (i, &wire) in pkg.vertices.iter().enumerate() {
+                        if problem.combine(state, wire, &pkg.msgs[i]) {
+                            added.push(wire);
+                        }
+                    }
+                    (added, pkg.len() as u64)
+                })
+                .expect("combine kernel");
+            pending.extend(added);
+            in_flight.fetch_sub(1, SeqCst);
+        }
+        // combine output feeds the next relaxation
+        if !pending.is_empty() {
+            let ev = dev.record_event(COMM_STREAM);
+            dev.stream_wait(COMPUTE_STREAM, ev).expect("streams exist");
+        }
+
+        if pending.is_empty() {
+            if !idle {
+                busy.fetch_sub(1, SeqCst);
+                idle = true;
+            }
+            // termination: nobody busy, nothing in flight, inbox empty
+            if busy.load(SeqCst) == 0
+                && in_flight.load(SeqCst) == 0
+                && mailbox.is_empty(gpu)
+            {
+                return Ok(rounds);
+            }
+            std::thread::yield_now();
+            continue;
+        }
+
+        // --- relax the pending frontier ---
+        let input = std::mem::take(&mut pending);
+        let outcome = (|| -> Result<Vec<V>> {
+            let output =
+                problem.iteration(dev, sub, &mut per.state, &mut per.bufs, &input, rounds)?;
+            let state = &per.state;
+            let (local, pkgs) =
+                split_and_package(dev, sub, &output, |v| problem.package(state, v))?;
+            if pkgs.iter().any(Option::is_some) {
+                let ready = dev.record_event(COMPUTE_STREAM);
+                dev.stream_wait(COMM_STREAM, ready)?;
+            }
+            for (peer, pkg) in pkgs.into_iter().enumerate() {
+                let Some(pkg) = pkg else { continue };
+                let bytes = pkg.wire_bytes();
+                let occupancy = interconnect.occupancy_us(gpu, peer, bytes);
+                let sent_at = dev.charge(COMM_STREAM, occupancy, 0.0)?;
+                let arrival = sent_at + interconnect.latency_us(gpu, peer);
+                dev.counters.h_bytes_sent += interconnect.charged_bytes(bytes);
+                dev.counters.h_vertices += pkg.len() as u64;
+                dev.counters.h_messages += 1;
+                dev.counters.h_time_us += occupancy;
+                in_flight.fetch_add(1, SeqCst);
+                mailbox.send(gpu, peer, Event::at(arrival), pkg);
+            }
+            Ok(local)
+        })();
+        match outcome {
+            Ok(local) => pending = local,
+            Err(e) => fail(e),
+        }
+        rounds += 1;
+        if rounds > 10_000_000 {
+            fail(VgpuError::Aborted); // runaway safety net
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EnactConfig;
+    use mgpu_partition::{Duplication, RandomPartitioner};
+    use vgpu::HardwareProfile;
+
+    // The async enactor is validated end-to-end in the primitives/bench
+    // crates (it needs a label-correcting primitive); here we only check
+    // construction-time invariants.
+    #[test]
+    #[should_panic(expected = "assertion")]
+    fn mismatched_device_count_is_rejected() {
+        use mgpu_graph::{Coo, Csr, GraphBuilder};
+        let g: Csr<u32, u64> =
+            GraphBuilder::undirected(&Coo::from_edges(4, vec![(0, 1)], None));
+        let dist =
+            DistGraph::partition(&g, &RandomPartitioner::default(), 2, Duplication::All);
+        let system = SimSystem::homogeneous(3, HardwareProfile::k40());
+        let _ = AsyncRunner::new(system, &dist, DummyNever);
+        let _ = EnactConfig::default();
+    }
+
+    /// Minimal problem used only to exercise the constructor assertion.
+    struct DummyNever;
+    impl MgpuProblem<u32, u64> for DummyNever {
+        type State = ();
+        type Msg = ();
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+        fn duplication(&self) -> Duplication {
+            Duplication::All
+        }
+        fn comm(&self) -> crate::CommStrategy {
+            crate::CommStrategy::Selective
+        }
+        fn init(&self, _: &mut Device, _: &SubGraph<u32, u64>) -> Result<()> {
+            Ok(())
+        }
+        fn reset(
+            &self,
+            _: &mut Device,
+            _: &SubGraph<u32, u64>,
+            _: &mut (),
+            _: Option<u32>,
+        ) -> Result<Vec<u32>> {
+            Ok(vec![])
+        }
+        fn iteration(
+            &self,
+            _: &mut Device,
+            _: &SubGraph<u32, u64>,
+            _: &mut (),
+            _: &mut FrontierBufs<u32>,
+            _: &[u32],
+            _: usize,
+        ) -> Result<Vec<u32>> {
+            Ok(vec![])
+        }
+        fn package(&self, _: &(), _: u32) {}
+        fn combine(&self, _: &mut (), _: u32, _: &()) -> bool {
+            false
+        }
+    }
+}

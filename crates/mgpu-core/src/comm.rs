@@ -1,0 +1,237 @@
+//! Communication strategies: frontier splitting, packaging, and the wire
+//! format (§III-C).
+//!
+//! * **Selective-communicate** — send frontier vertices only to their
+//!   hosting GPUs; requires a split pass over the output frontier but moves
+//!   the minimum volume. Vertex ids on the wire are *owner-local* ids (the
+//!   sender resolves each proxy through the conversion table, so the
+//!   receiver indexes its arrays directly).
+//! * **Broadcast** — send the whole frontier to every peer; no split needed,
+//!   but more volume and more combine work (`C ∈ O((n−1)·|V|)` for DOBFS,
+//!   Table I). Vertex ids on the wire are *global* ids.
+//!
+//! Splitting and packaging are "communication computation" — the `C` term
+//! of the paper's cost model — and are metered as [`KernelKind::Split`]
+//! launches.
+
+use mgpu_graph::Id;
+use mgpu_partition::SubGraph;
+use vgpu::{Device, KernelKind, Result, COMPUTE_STREAM};
+
+use crate::problem::Wire;
+
+/// Which communication strategy a primitive uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommStrategy {
+    /// Whole frontier to all peers; wire ids are global.
+    Broadcast,
+    /// Split per hosting GPU; wire ids are owner-local.
+    Selective,
+}
+
+/// A packaged remote sub-frontier: vertices plus their programmer-specified
+/// associated data, parallel arrays.
+#[derive(Debug, Clone)]
+pub struct Package<V, M> {
+    /// Wire vertex ids (owner-local for selective, global for broadcast).
+    pub vertices: Vec<V>,
+    /// Associated data, one per vertex.
+    pub msgs: Vec<M>,
+    /// Wire size in bytes, fixed at packaging time. Selective packages use
+    /// list encoding (`len × (id + payload)`); broadcast packages with a
+    /// *uniform* payload (every (DO)BFS message of an iteration carries the
+    /// same label) use the dense bitmap encoding over the duplicate-all
+    /// space (`|V|/8 + payload`) when that is smaller — the frontier-bitmask
+    /// representation GPU BFS implementations broadcast in practice.
+    wire_bytes: u64,
+}
+
+impl<V: Id, M: Wire> Package<V, M> {
+    /// A list-encoded package.
+    pub fn list(vertices: Vec<V>, msgs: Vec<M>) -> Self {
+        let wire_bytes = (vertices.len() * (V::BYTES + M::BYTES)) as u64;
+        Package { vertices, msgs, wire_bytes }
+    }
+
+    /// A package with the cheaper of list and bitmap encoding, given the
+    /// broadcast vertex-space size.
+    pub fn best_encoding(vertices: Vec<V>, msgs: Vec<M>, space: usize) -> Self {
+        let list = (vertices.len() * (V::BYTES + M::BYTES)) as u64;
+        let uniform = msgs.windows(2).all(|w| w[0] == w[1]);
+        let bitmap = (space as u64).div_ceil(8) + M::BYTES as u64;
+        let wire_bytes = if uniform { list.min(bitmap) } else { list };
+        Package { vertices, msgs, wire_bytes }
+    }
+
+    /// Size on the wire in bytes.
+    pub fn wire_bytes(&self) -> u64 {
+        self.wire_bytes
+    }
+
+    /// Number of vertices in the package.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// True if the package carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+}
+
+/// Selective split: divide `frontier` (local ids) into the local
+/// sub-frontier (owned vertices) and one package per peer holding that
+/// peer's vertices as owner-local ids. Metered as one Split kernel over the
+/// frontier ("data packaging can be done together with frontier splitting").
+pub fn split_and_package<V: Id, O: Id, M: Wire>(
+    dev: &mut Device,
+    sub: &SubGraph<V, O>,
+    frontier: &[V],
+    mut packager: impl FnMut(V) -> M,
+) -> Result<(Vec<V>, Vec<Option<Package<V, M>>>)> {
+    let n_parts = sub.n_parts;
+    dev.kernel(COMPUTE_STREAM, KernelKind::Split, || {
+        let mut local = Vec::new();
+        let mut pkgs: Vec<Option<Package<V, M>>> = (0..n_parts).map(|_| None).collect();
+        let mut parts: Vec<(Vec<V>, Vec<M>)> = (0..n_parts).map(|_| (Vec::new(), Vec::new())).collect();
+        for &v in frontier {
+            if sub.is_owned(v) {
+                local.push(v);
+            } else {
+                let peer = sub.owner(v) as usize;
+                parts[peer].0.push(sub.to_owner_local(v));
+                parts[peer].1.push(packager(v));
+            }
+        }
+        for (peer, (vs, ms)) in parts.into_iter().enumerate() {
+            if !vs.is_empty() {
+                pkgs[peer] = Some(Package::list(vs, ms));
+            }
+        }
+        ((local, pkgs), frontier.len() as u64)
+    })
+}
+
+/// Broadcast packaging: the whole frontier (as global ids) goes to every
+/// peer; the local sub-frontier is the whole frontier. No split pass is
+/// needed, only id conversion and data packaging — still one Split-class
+/// kernel, but the per-peer loop disappears.
+pub fn broadcast_package<V: Id, O: Id, M: Wire>(
+    dev: &mut Device,
+    sub: &SubGraph<V, O>,
+    frontier: &[V],
+    mut packager: impl FnMut(V) -> M,
+) -> Result<(Vec<V>, Package<V, M>)> {
+    dev.kernel(COMPUTE_STREAM, KernelKind::Split, || {
+        let vertices: Vec<V> = frontier.iter().map(|&v| sub.to_global(v)).collect();
+        let msgs: Vec<M> = frontier.iter().map(|&v| packager(v)).collect();
+        // broadcast ids live in the global space; the bitmap alternative
+        // spans that space
+        let pkg = Package::best_encoding(vertices, msgs, sub.n_vertices());
+        ((frontier.to_vec(), pkg), frontier.len() as u64)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgpu_graph::{Coo, Csr, GraphBuilder};
+    use mgpu_partition::{DistGraph, Duplication};
+    use vgpu::HardwareProfile;
+
+    fn cycle6(dup: Duplication) -> DistGraph<u32, u64> {
+        let edges: Vec<(u32, u32)> = (0..6).map(|i| (i, (i + 1) % 6)).collect();
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&Coo::from_edges(6, edges, None));
+        DistGraph::build(&g, vec![0, 0, 0, 1, 1, 1], 2, dup)
+    }
+
+    #[test]
+    fn selective_split_separates_owned_and_remote_dup_all() {
+        let dg = cycle6(Duplication::All);
+        let mut dev = Device::new(0, HardwareProfile::k40());
+        // GPU0's frontier holds owned {1,2} and remote {3,5}
+        let (local, pkgs) =
+            split_and_package(&mut dev, &dg.parts[0], &[1, 2, 3, 5], |v| v * 10).unwrap();
+        assert_eq!(local, vec![1, 2]);
+        assert!(pkgs[0].is_none(), "nothing to self");
+        let p1 = pkgs[1].as_ref().unwrap();
+        assert_eq!(p1.vertices, vec![3, 5], "dup-all wire ids are global ids");
+        assert_eq!(p1.msgs, vec![30, 50]);
+        assert_eq!(p1.wire_bytes(), 2 * 8);
+        assert_eq!(dev.counters.c_items, 4, "split is communication computation");
+    }
+
+    #[test]
+    fn selective_split_converts_proxies_to_owner_local_ids_one_hop() {
+        let dg = cycle6(Duplication::OneHop);
+        let mut dev = Device::new(0, HardwareProfile::k40());
+        // On GPU0: locals 0..3 owned; proxy 3 = global 3 (owner-local 0),
+        // proxy 4 = global 5 (owner-local 2)
+        let (local, pkgs) =
+            split_and_package(&mut dev, &dg.parts[0], &[2, 3, 4], |v| v).unwrap();
+        assert_eq!(local, vec![2]);
+        let p1 = pkgs[1].as_ref().unwrap();
+        assert_eq!(p1.vertices, vec![0, 2], "owner-local ids on the wire");
+        assert_eq!(p1.msgs, vec![3, 4], "packager saw sender-local ids");
+    }
+
+    #[test]
+    fn broadcast_keeps_whole_frontier_local_and_packages_global_ids() {
+        let dg = cycle6(Duplication::OneHop);
+        let mut dev = Device::new(0, HardwareProfile::k40());
+        let (local, pkg) = broadcast_package(&mut dev, &dg.parts[0], &[2, 4], |_| ()).unwrap();
+        assert_eq!(local, vec![2, 4]);
+        assert_eq!(pkg.vertices, vec![2, 5], "local 4 is global 5");
+        assert_eq!(
+            pkg.wire_bytes(),
+            1,
+            "unit messages are uniform: the 6-vertex bitmap (1 byte) beats the 8-byte list"
+        );
+    }
+
+    #[test]
+    fn empty_frontier_produces_no_packages() {
+        let dg = cycle6(Duplication::All);
+        let mut dev = Device::new(0, HardwareProfile::k40());
+        let (local, pkgs) =
+            split_and_package::<u32, u64, ()>(&mut dev, &dg.parts[0], &[], |_| ()).unwrap();
+        assert!(local.is_empty());
+        assert!(pkgs.iter().all(Option::is_none));
+    }
+}
+
+#[cfg(test)]
+mod encoding_tests {
+    use super::*;
+
+    #[test]
+    fn uniform_broadcast_payload_uses_bitmap_when_dense() {
+        // 1000 vertices of a 4096-vertex space, all carrying label 7:
+        // list = 1000×8 = 8000 B; bitmap = 4096/8 + 4 = 516 B
+        let vs: Vec<u32> = (0..1000).collect();
+        let ms = vec![7u32; 1000];
+        let pkg = Package::best_encoding(vs, ms, 4096);
+        assert_eq!(pkg.wire_bytes(), 516);
+    }
+
+    #[test]
+    fn sparse_uniform_broadcast_keeps_list_encoding() {
+        // 3 vertices of a huge space: list wins
+        let pkg = Package::best_encoding(vec![1u32, 2, 3], vec![7u32; 3], 1 << 20);
+        assert_eq!(pkg.wire_bytes(), 3 * 8);
+    }
+
+    #[test]
+    fn non_uniform_payload_cannot_use_bitmap() {
+        let vs: Vec<u32> = (0..1000).collect();
+        let ms: Vec<u32> = (0..1000).collect(); // distinct values
+        let pkg = Package::best_encoding(vs, ms, 4096);
+        assert_eq!(pkg.wire_bytes(), 1000 * 8);
+    }
+
+    #[test]
+    fn empty_uniform_package_is_free_under_list_encoding() {
+        let pkg = Package::<u32, u32>::best_encoding(vec![], vec![], 4096);
+        assert_eq!(pkg.wire_bytes(), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Direction-optimizing traversal machinery (§VI-A).
+//!
+//! Beamer-style DOBFS switches between forward ("push") and backward
+//! ("pull") traversal. The traditional switch condition needs the exact
+//! number of edges in the next frontier — "additional computation
+//! (potentially of the same scale of the actual traversal)". The paper's
+//! contribution is a switch that needs only already-available inputs:
+//!
+//! * estimated forward edges  `FV = |Q| · |E_i| / |V_i|`
+//! * estimated backward edges `BV = |U| · |V_i| / |P|`
+//!
+//! Start forward; switch forward→backward when `FV > BV · do_a`, and
+//! backward→forward when `FV < BV · do_b`. Because a forward→backward
+//! switch must scan all vertices to build the unvisited frontier, it is
+//! allowed **once**. `do_a = 0.01`, `do_b = 0.1` work well for social
+//! graphs and are mostly independent of the GPU count.
+
+/// Traversal direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Push: expand the current frontier's out-edges.
+    Forward,
+    /// Pull: unvisited vertices scan in-edges for a visited parent.
+    Backward,
+}
+
+/// Switch thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DirectionConfig {
+    /// Forward→backward threshold (`do_a`).
+    pub do_a: f64,
+    /// Backward→forward threshold (`do_b`).
+    pub do_b: f64,
+    /// Allow direction optimization at all (false = plain BFS).
+    pub enabled: bool,
+}
+
+impl Default for DirectionConfig {
+    /// The paper's social-graph parameters: do_a = 0.01, do_b = 0.1.
+    fn default() -> Self {
+        DirectionConfig { do_a: 0.01, do_b: 0.1, enabled: true }
+    }
+}
+
+/// Per-GPU direction state across iterations.
+#[derive(Debug, Clone, Copy)]
+pub struct DirectionState {
+    /// Current direction.
+    pub current: Direction,
+    /// Whether the one allowed forward→backward switch has been spent.
+    pub switched_to_backward: bool,
+    config: DirectionConfig,
+}
+
+impl DirectionState {
+    /// Fresh state: traversal begins forward.
+    pub fn new(config: DirectionConfig) -> Self {
+        DirectionState { current: Direction::Forward, switched_to_backward: false, config }
+    }
+
+    /// Estimated forward edge visits `FV = |Q|·|E_i|/|V_i|`.
+    pub fn forward_estimate(frontier: usize, local_edges: usize, local_vertices: usize) -> f64 {
+        if local_vertices == 0 {
+            return 0.0;
+        }
+        frontier as f64 * local_edges as f64 / local_vertices as f64
+    }
+
+    /// Estimated backward edge visits `BV = |U|·|V_i|/|P|`.
+    pub fn backward_estimate(unvisited: usize, local_vertices: usize, visited: usize) -> f64 {
+        if visited == 0 {
+            return f64::INFINITY;
+        }
+        unvisited as f64 * local_vertices as f64 / visited as f64
+    }
+
+    /// Decide the direction for the upcoming iteration from quantities that
+    /// are already available: `|Q|` (current frontier), `|U|` (unvisited),
+    /// `|P|` (visited), `|E_i|`, `|V_i|`. Returns the direction to use and
+    /// updates internal state.
+    pub fn decide(
+        &mut self,
+        frontier: usize,
+        unvisited: usize,
+        visited: usize,
+        local_edges: usize,
+        local_vertices: usize,
+    ) -> Direction {
+        if !self.config.enabled {
+            return Direction::Forward;
+        }
+        let fv = Self::forward_estimate(frontier, local_edges, local_vertices);
+        let bv = Self::backward_estimate(unvisited, local_vertices, visited);
+        match self.current {
+            Direction::Forward => {
+                if !self.switched_to_backward && fv > bv * self.config.do_a {
+                    self.current = Direction::Backward;
+                    self.switched_to_backward = true; // one-shot: the switch
+                                                      // requires a full vertex scan
+                }
+            }
+            Direction::Backward => {
+                if fv < bv * self.config.do_b {
+                    self.current = Direction::Forward;
+                }
+            }
+        }
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_forward() {
+        let s = DirectionState::new(DirectionConfig::default());
+        assert_eq!(s.current, Direction::Forward);
+    }
+
+    #[test]
+    fn switches_backward_when_frontier_explodes() {
+        let mut s = DirectionState::new(DirectionConfig::default());
+        // |Q|=10k of |V|=100k, |E|=3.2M: FV = 320k; |U|=90k, |P|=10k: BV=900k
+        // FV > BV·0.01 = 9k → switch
+        let d = s.decide(10_000, 90_000, 10_000, 3_200_000, 100_000);
+        assert_eq!(d, Direction::Backward);
+        assert!(s.switched_to_backward);
+    }
+
+    #[test]
+    fn stays_forward_for_tiny_frontiers() {
+        let mut s = DirectionState::new(DirectionConfig::default());
+        // FV = 3.2 (one-vertex frontier), BV huge at start (P=1)
+        let d = s.decide(1, 99_999, 1, 3_200_000, 100_000);
+        assert_eq!(d, Direction::Forward);
+    }
+
+    #[test]
+    fn returns_forward_for_the_tail_and_never_switches_back_again() {
+        let mut s = DirectionState::new(DirectionConfig::default());
+        s.decide(10_000, 90_000, 10_000, 3_200_000, 100_000); // → backward
+        // tail: one-vertex frontier, sizeable unvisited remainder:
+        // FV = 1·32 = 32; BV = 1000·100k/99k ≈ 1010; FV < BV·0.1 = 101 → forward
+        let d = s.decide(1, 1_000, 99_000, 3_200_000, 100_000);
+        assert_eq!(d, Direction::Forward, "FV=32 < BV·0.1≈101");
+        // another explosion cannot trigger a second backward switch
+        let d = s.decide(50_000, 50_000, 50_000, 3_200_000, 100_000);
+        assert_eq!(d, Direction::Forward);
+    }
+
+    #[test]
+    fn disabled_config_is_always_forward() {
+        let mut s = DirectionState::new(DirectionConfig { enabled: false, ..Default::default() });
+        let d = s.decide(50_000, 50_000, 50_000, 3_200_000, 100_000);
+        assert_eq!(d, Direction::Forward);
+    }
+
+    #[test]
+    fn estimates_handle_degenerate_inputs() {
+        assert_eq!(DirectionState::forward_estimate(5, 100, 0), 0.0);
+        assert!(DirectionState::backward_estimate(5, 100, 0).is_infinite());
+    }
+}

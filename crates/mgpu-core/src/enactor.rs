@@ -1,0 +1,454 @@
+//! The multi-GPU enactor: one dedicated CPU thread per device, BSP
+//! supersteps with framework-managed communication (§III-B, Fig. 1).
+//!
+//! Per iteration, each device thread:
+//!
+//! 1. runs the unmodified single-GPU `iteration` on its local input
+//!    frontier (compute stream);
+//! 2. splits the output frontier into local and remote sub-frontiers,
+//!    packages the remote ones with the programmer's associated data, and
+//!    pushes each package to its peer (communication stream — the transfer
+//!    waits on a compute-stream event, so computation and communication
+//!    overlap exactly as with `cudaStreamWaitEvent`);
+//! 3. rendezvous; drains its inbox, waits for each package's simulated
+//!    arrival, and runs the combine kernel (`Expand_Incoming`), assembling
+//!    the next input frontier from the local sub-frontier plus combined
+//!    received vertices;
+//! 4. ends the superstep: clocks are max-reduced across devices (BSP global
+//!    sync), the per-iteration overhead `l` is charged, and convergence is
+//!    evaluated (all devices locally done, a primitive-specific global
+//!    predicate, or the iteration cap).
+//!
+//! A device thread that fails (e.g. out of memory) keeps participating in
+//! rendezvous with an abort flag raised so no peer deadlocks; the enact call
+//! returns the root-cause error.
+
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::time::Instant;
+
+use mgpu_graph::Id;
+use mgpu_partition::{DistGraph, SubGraph};
+use parking_lot::Mutex;
+use vgpu::memory::Reservation;
+use vgpu::{
+    Device, Event, Interconnect, KernelKind, Mailbox, Result, SimSystem, SyncPoint, VgpuError,
+    COMM_STREAM, COMPUTE_STREAM,
+};
+
+use crate::alloc::{AllocScheme, FrontierBufs};
+use crate::comm::{broadcast_package, split_and_package, CommStrategy, Package};
+use crate::problem::MgpuProblem;
+use crate::report::{EnactReport, SuperstepTrace};
+
+/// Per-enact configuration overrides.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnactConfig {
+    /// Override the primitive's allocation scheme (Fig. 3 sweeps this).
+    pub alloc_scheme: Option<AllocScheme>,
+    /// Override the primitive's communication strategy.
+    pub comm: Option<CommStrategy>,
+    /// Override the primitive's iteration cap.
+    pub max_iterations: Option<usize>,
+}
+
+struct PerGpu<V: Id, S> {
+    state: S,
+    bufs: FrontierBufs<V>,
+    /// Keeps the subgraph topology charged against the device pool for the
+    /// runner's lifetime.
+    _topology: Reservation,
+}
+
+/// A primitive bound to a partitioned graph on a system: initialize once,
+/// enact many times (the paper's `Init` / `Reset`+`Enact` split).
+pub struct Runner<'g, V: Id, O: Id, P: MgpuProblem<V, O>> {
+    system: SimSystem,
+    dist: &'g DistGraph<V, O>,
+    problem: P,
+    config: EnactConfig,
+    per_gpu: Vec<PerGpu<V, P::State>>,
+}
+
+impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> Runner<'g, V, O, P> {
+    /// Bind `problem` to `dist` on `system`: reserves each subgraph's
+    /// topology in device memory, initializes per-GPU state and allocates
+    /// the scheme-managed frontier buffers.
+    pub fn new(
+        mut system: SimSystem,
+        dist: &'g DistGraph<V, O>,
+        problem: P,
+        config: EnactConfig,
+    ) -> Result<Self> {
+        assert_eq!(
+            system.n_devices(),
+            dist.n_parts,
+            "system device count must match partition count"
+        );
+        let scheme = config.alloc_scheme.unwrap_or_else(|| problem.alloc_scheme());
+        // Id-width bandwidth factor (Table V): baseline is 32-bit vertices
+        // with 32-bit offsets; wider ids read proportionally more per edge.
+        let width_factor = (V::BYTES as f64 + O::BYTES as f64 / 4.0) / 5.0;
+        let mut per_gpu = Vec::with_capacity(dist.n_parts);
+        for (dev, sub) in system.devices.iter_mut().zip(dist.parts.iter()) {
+            dev.set_width_factor(width_factor);
+            let bytes = sub.topology_bytes();
+            let topology = dev.pool().reserve_external(bytes)?;
+            // charge the H2D copy of the graph at memory bandwidth
+            let cost = dev.profile().local_copy_us(bytes);
+            dev.charge(COMPUTE_STREAM, cost, 0.0)?;
+            let state = problem.init(dev, sub)?;
+            let bufs = FrontierBufs::new(dev, scheme, sub.n_vertices(), sub.n_edges())?;
+            per_gpu.push(PerGpu { state, bufs, _topology: topology });
+        }
+        Ok(Runner { system, dist, problem, config, per_gpu })
+    }
+
+    /// The allocation scheme in force.
+    pub fn scheme(&self) -> AllocScheme {
+        self.per_gpu[0].bufs.scheme()
+    }
+
+    /// Access the underlying system (for memory / counter inspection).
+    pub fn system(&self) -> &SimSystem {
+        &self.system
+    }
+
+    /// Dissolve the runner, returning the system (per-GPU state and buffer
+    /// reservations are dropped — device memory is released).
+    pub fn into_system(self) -> SimSystem {
+        self.system
+    }
+
+    /// Run one traversal from `src` (a *global* vertex id; `None` for
+    /// primitives without a source, e.g. PR and CC). Device clocks and
+    /// counters are reset so each enact reports an independent measurement.
+    pub fn enact(&mut self, src: Option<V>) -> Result<EnactReport> {
+        self.system.reset_clocks();
+        let n = self.dist.n_parts;
+        let located = src.map(|g| self.dist.locate(g));
+        let sync = SyncPoint::new(n);
+        let mailbox: Mailbox<Package<V, P::Msg>> = Mailbox::new(n);
+        let abort = AtomicBool::new(false);
+        let first_error: Mutex<Option<VgpuError>> = Mutex::new(None);
+        let comm = self.config.comm;
+        let max_iterations =
+            self.config.max_iterations.unwrap_or_else(|| self.problem.max_iterations());
+
+        let problem = &self.problem;
+        let interconnect = std::sync::Arc::clone(&self.system.interconnect);
+        let t0 = Instant::now();
+        let iterations: Vec<Result<(usize, Vec<SuperstepTrace>)>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for ((dev, per), sub) in self
+                .system
+                .devices
+                .iter_mut()
+                .zip(self.per_gpu.iter_mut())
+                .zip(self.dist.parts.iter())
+            {
+                let src_local = match located {
+                    Some((gpu, local)) if gpu == dev.id() => Some(local),
+                    _ => None,
+                };
+                let sync = &sync;
+                let mailbox = &mailbox;
+                let abort = &abort;
+                let first_error = &first_error;
+                let interconnect = std::sync::Arc::clone(&interconnect);
+                handles.push(scope.spawn(move || {
+                    run_gpu(
+                        problem,
+                        dev,
+                        per,
+                        sub,
+                        &interconnect,
+                        sync,
+                        mailbox,
+                        comm,
+                        max_iterations,
+                        abort,
+                        first_error,
+                        src_local,
+                    )
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("device thread panicked")).collect()
+        });
+        let wall_time_us = t0.elapsed().as_secs_f64() * 1e6;
+
+        let mut iters = 0usize;
+        let mut history: Vec<SuperstepTrace> = Vec::new();
+        for r in iterations {
+            match r {
+                Ok((i, local_hist)) => {
+                    iters = iters.max(i);
+                    if history.len() < local_hist.len() {
+                        history.resize(local_hist.len(), SuperstepTrace::default());
+                    }
+                    for (acc, t) in history.iter_mut().zip(&local_hist) {
+                        acc.input += t.input;
+                        acc.output += t.output;
+                        acc.sent += t.sent;
+                        acc.combined += t.combined;
+                    }
+                }
+                Err(VgpuError::Aborted) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if abort.load(Relaxed) {
+            return Err(first_error.lock().take().unwrap_or(VgpuError::Aborted));
+        }
+
+        Ok(EnactReport {
+            primitive: self.problem.name(),
+            n_devices: n,
+            iterations: iters,
+            sim_time_us: self.system.makespan_us(),
+            wall_time_us,
+            totals: self.system.total_counters(),
+            per_device: self.system.devices.iter().map(|d| d.counters).collect(),
+            peak_memory_per_device: self.system.peak_memory_per_device(),
+            total_peak_memory: self.system.total_peak_memory(),
+            pool_reallocs: self.system.devices.iter().map(|d| d.pool().reallocs()).sum(),
+            history,
+        })
+    }
+
+    /// Access a device's per-GPU primitive state (e.g. to read labels or
+    /// ranks after an enact).
+    pub fn state(&self, gpu: usize) -> &P::State {
+        &self.per_gpu[gpu].state
+    }
+}
+
+/// The per-device control loop (the `BFSThread` + `Iteration_Loop` of
+/// Appendix A).
+#[allow(clippy::too_many_arguments)]
+fn run_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
+    problem: &P,
+    dev: &mut Device,
+    per: &mut PerGpu<V, P::State>,
+    sub: &SubGraph<V, O>,
+    interconnect: &Interconnect,
+    sync: &SyncPoint,
+    mailbox: &Mailbox<Package<V, P::Msg>>,
+    comm: Option<CommStrategy>,
+    max_iterations: usize,
+    abort: &AtomicBool,
+    first_error: &Mutex<Option<VgpuError>>,
+    src_local: Option<V>,
+) -> Result<(usize, Vec<SuperstepTrace>)> {
+    let n = sync.n();
+    let gpu = dev.id();
+    let mut failed = false;
+    let fail = |e: VgpuError, failed: &mut bool| {
+        abort.store(true, Relaxed);
+        first_error.lock().get_or_insert(e);
+        *failed = true;
+    };
+
+    // Reset: primitive state + initial frontier ("Put tsrc into initial
+    // frontier on GPU src_gpu").
+    let mut input: Vec<V> = match problem.reset(dev, sub, &mut per.state, src_local) {
+        Ok(f) => f,
+        Err(e) => {
+            fail(e, &mut failed);
+            Vec::new()
+        }
+    };
+    if !failed {
+        if let Err(e) = per.bufs.commit_output(dev, &input) {
+            fail(e, &mut failed);
+        } else {
+            input = per.bufs.input.as_slice().to_vec();
+        }
+    }
+
+    let mut iter = 0usize;
+    let mut history: Vec<SuperstepTrace> = Vec::new();
+    loop {
+        let mut trace = SuperstepTrace { input: input.len() as u64, ..Default::default() };
+        let sent_before = dev.counters.h_vertices;
+        // Strategy for this superstep: identical on every GPU because state
+        // phases evolve from the shared reduction.
+        let comm_k = comm.unwrap_or_else(|| problem.comm_now(&per.state));
+        // ---- compute + split/package/push (Fig. 1's top half) ----
+        let local_part: Vec<V> = if !failed && !abort.load(Relaxed) {
+            match compute_and_send(
+                problem,
+                dev,
+                per,
+                sub,
+                interconnect,
+                mailbox,
+                comm_k,
+                &input,
+                iter,
+                n,
+            ) {
+                Ok((local, output_len)) => {
+                    trace.output = output_len;
+                    local
+                }
+                Err(e) => {
+                    fail(e, &mut failed);
+                    Vec::new()
+                }
+            }
+        } else {
+            Vec::new()
+        };
+
+        // ---- rendezvous: every peer's pushes are posted ----
+        sync.barrier(dev.now(), false);
+
+        // ---- combine received sub-frontiers (Fig. 1's bottom half) ----
+        let next_input: Vec<V> = if !failed && !abort.load(Relaxed) {
+            match combine_received(problem, dev, per, sub, mailbox, comm_k, local_part) {
+                Ok(v) => v,
+                Err(e) => {
+                    fail(e, &mut failed);
+                    Vec::new()
+                }
+            }
+        } else {
+            let _ = mailbox.drain(gpu); // keep inboxes clean for peers
+            Vec::new()
+        };
+
+        trace.sent = dev.counters.h_vertices - sent_before;
+        trace.combined = next_input.len() as u64; // local part + combined adds
+        history.push(trace);
+
+        // ---- superstep boundary: global sync + convergence ----
+        let locally_done = failed || problem.locally_done(&per.state, &next_input);
+        let contribution = problem.contribution(&per.state, &next_input);
+        let reduce = sync.superstep(dev.now(), locally_done, contribution);
+        dev.end_superstep(n, reduce.max_time_us);
+        iter += 1;
+        problem.after_superstep(&mut per.state, &reduce, iter);
+
+        if abort.load(Relaxed) {
+            return Err(if failed {
+                first_error.lock().clone().unwrap_or(VgpuError::Aborted)
+            } else {
+                VgpuError::Aborted
+            });
+        }
+        if reduce.done_count == n || problem.globally_done(&reduce, iter) || iter >= max_iterations
+        {
+            return Ok((iter, history));
+        }
+        input = next_input;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compute_and_send<V: Id, O: Id, P: MgpuProblem<V, O>>(
+    problem: &P,
+    dev: &mut Device,
+    per: &mut PerGpu<V, P::State>,
+    sub: &SubGraph<V, O>,
+    interconnect: &Interconnect,
+    mailbox: &Mailbox<Package<V, P::Msg>>,
+    comm: CommStrategy,
+    input: &[V],
+    iter: usize,
+    n: usize,
+) -> Result<(Vec<V>, u64)> {
+    let gpu = dev.id();
+    let output = problem.iteration(dev, sub, &mut per.state, &mut per.bufs, input, iter)?;
+    let output_len = output.len() as u64;
+
+    let (local, sends): (Vec<V>, Vec<(usize, Package<V, P::Msg>)>) = if n == 1 {
+        (output, Vec::new())
+    } else {
+        match comm {
+            CommStrategy::Selective => {
+                let state = &per.state;
+                let (local, pkgs) =
+                    split_and_package(dev, sub, &output, |v| problem.package(state, v))?;
+                let sends = pkgs
+                    .into_iter()
+                    .enumerate()
+                    .filter_map(|(j, p)| p.map(|p| (j, p)))
+                    .collect();
+                (local, sends)
+            }
+            CommStrategy::Broadcast => {
+                let state = &per.state;
+                let (local, pkg) =
+                    broadcast_package(dev, sub, &output, |v| problem.package(state, v))?;
+                let sends = if pkg.is_empty() {
+                    Vec::new()
+                } else {
+                    (0..n).filter(|&j| j != gpu).map(|j| (j, pkg.clone())).collect()
+                };
+                (local, sends)
+            }
+        }
+    };
+
+    // Push packages on the communication stream, which waits for the
+    // packaging work on the compute stream (cudaStreamWaitEvent analog).
+    if !sends.is_empty() {
+        let ready = dev.record_event(COMPUTE_STREAM);
+        dev.stream_wait(COMM_STREAM, ready)?;
+        for (j, pkg) in sends {
+            let bytes = pkg.wire_bytes();
+            // The sender's copy engine is occupied for the bandwidth
+            // component; the wire latency only delays arrival at the peer.
+            let occupancy = interconnect.occupancy_us(gpu, j, bytes);
+            let sent_at = dev.charge(COMM_STREAM, occupancy, 0.0)?;
+            let arrived_at = sent_at + interconnect.latency_us(gpu, j);
+            dev.counters.h_bytes_sent += interconnect.charged_bytes(bytes);
+            dev.counters.h_vertices += pkg.len() as u64;
+            dev.counters.h_messages += 1;
+            dev.counters.h_time_us += occupancy;
+            mailbox.send(gpu, j, Event::at(arrived_at), pkg);
+        }
+    }
+    Ok((local, output_len))
+}
+
+fn combine_received<V: Id, O: Id, P: MgpuProblem<V, O>>(
+    problem: &P,
+    dev: &mut Device,
+    per: &mut PerGpu<V, P::State>,
+    sub: &SubGraph<V, O>,
+    mailbox: &Mailbox<Package<V, P::Msg>>,
+    comm: CommStrategy,
+    local_part: Vec<V>,
+) -> Result<Vec<V>> {
+    let gpu = dev.id();
+    let mut next = local_part;
+    for delivery in mailbox.drain(gpu) {
+        dev.stream_wait(COMM_STREAM, delivery.arrival)?;
+        let pkg = delivery.payload;
+        dev.counters.h_bytes_recv += pkg.wire_bytes();
+        let state = &mut per.state;
+        let added = dev.kernel(COMM_STREAM, KernelKind::Combine, || {
+            let mut added = Vec::new();
+            for (i, &wire) in pkg.vertices.iter().enumerate() {
+                let v = match comm {
+                    CommStrategy::Selective => Some(wire),
+                    CommStrategy::Broadcast => sub.from_global(wire),
+                };
+                if let Some(v) = v {
+                    if problem.combine(state, v, &pkg.msgs[i]) {
+                        added.push(v);
+                    }
+                }
+            }
+            (added, pkg.len() as u64)
+        })?;
+        next.extend(added);
+    }
+    // Make the merged frontier resident under the allocation scheme and let
+    // the next iteration's compute wait for combine completion.
+    per.bufs.commit_output(dev, &next)?;
+    let done = dev.record_event(COMM_STREAM);
+    dev.stream_wait(COMPUTE_STREAM, done)?;
+    Ok(next)
+}

@@ -1,0 +1,359 @@
+//! The Gunrock operators (§II-B): advance, filter, compute — plus the
+//! fused (§VI-C) and pull-mode (§VI-A) variants this paper adds.
+//!
+//! Every operator executes its work for real on the calling device thread
+//! and is metered as one kernel launch: `launch_overhead + work/throughput`.
+//! Work units follow the paper's cost model: edges visited for advance,
+//! input vertices for filter, elements for compute. A launch with an empty
+//! frontier still pays the launch overhead — the §V-B effect.
+
+use mgpu_graph::{Csr, Id};
+use mgpu_partition::SubGraph;
+use vgpu::{Device, KernelKind, Result, COMPUTE_STREAM};
+
+use crate::alloc::FrontierBufs;
+
+/// How an advance kernel maps frontier work onto (virtual) hardware
+/// threads. Gunrock's key single-GPU optimization — inherited by the
+/// multi-GPU framework "using high-performance, extensible single-GPU
+/// primitives as our building blocks" (§VII-C) — is load-balanced
+/// partitioning of the edge workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdvanceMode {
+    /// Gunrock-style: a prefix-sum over frontier degrees partitions the
+    /// *edges* evenly over threads. Costs an extra scan but is immune to
+    /// degree skew.
+    #[default]
+    LoadBalanced,
+    /// Naive: one thread per frontier *vertex*. On power-law frontiers a
+    /// single hub serializes its whole adjacency list while other threads
+    /// idle — modeled as every vertex-slot costing the frontier's maximum
+    /// degree.
+    ThreadMapped,
+}
+
+/// [`advance`] with an explicit work-mapping mode. Results are identical;
+/// only the metered cost differs (the `ablation` experiment compares them).
+pub fn advance_with_mode<V: Id, O: Id>(
+    dev: &mut Device,
+    sub: &SubGraph<V, O>,
+    bufs: &mut FrontierBufs<V>,
+    input: &[V],
+    mode: AdvanceMode,
+    mut f: impl FnMut(V, usize, V) -> Option<V>,
+) -> Result<Vec<V>> {
+    let (need, charged_items) = match mode {
+        AdvanceMode::LoadBalanced => {
+            // the load-balancing scan itself
+            let need = dev.kernel(COMPUTE_STREAM, KernelKind::Bulk, || {
+                (sub.csr.frontier_out_degree(input), input.len() as u64)
+            })?;
+            (need, need as u64)
+        }
+        AdvanceMode::ThreadMapped => {
+            let (need, max_deg) = dev.kernel(COMPUTE_STREAM, KernelKind::Bulk, || {
+                let need = sub.csr.frontier_out_degree(input);
+                let max_deg = input.iter().map(|&v| sub.csr.degree(v)).max().unwrap_or(0);
+                ((need, max_deg), 0)
+            })?;
+            // every thread-slot takes as long as the slowest (hub) vertex
+            (need, (input.len() * max_deg) as u64)
+        }
+    };
+    bufs.prepare_intermediate(dev, need)?;
+    let out = dev.kernel(COMPUTE_STREAM, KernelKind::Advance, || {
+        let mut out = Vec::new();
+        for &v in input {
+            for e in sub.csr.edge_range(v) {
+                let d = sub.csr.col_indices()[e];
+                if let Some(emit) = f(v, e, d) {
+                    out.push(emit);
+                }
+            }
+        }
+        (out, charged_items)
+    })?;
+    bufs.record_intermediate(out.len());
+    Ok(out)
+}
+
+/// **Advance** (push mode): visit the out-edges of every vertex in `input`;
+/// the functor `f(src, edge_id, dst)` returns `Some(v)` to emit `v` into the
+/// intermediate frontier. Unfused: the intermediate is materialized in the
+/// scheme-managed buffer and a separate [`filter`] pass follows.
+pub fn advance<V: Id, O: Id>(
+    dev: &mut Device,
+    sub: &SubGraph<V, O>,
+    bufs: &mut FrontierBufs<V>,
+    input: &[V],
+    mut f: impl FnMut(V, usize, V) -> Option<V>,
+) -> Result<Vec<V>> {
+    // Load-balancing scan: compute the advance output bound (Gunrock's
+    // load-balanced partitioning computes exactly this prefix sum).
+    let need = dev.kernel(COMPUTE_STREAM, KernelKind::Bulk, || {
+        (sub.csr.frontier_out_degree(input), input.len() as u64)
+    })?;
+    bufs.prepare_intermediate(dev, need)?;
+    let out = dev.kernel(COMPUTE_STREAM, KernelKind::Advance, || {
+        let mut out = Vec::new();
+        for &v in input {
+            for e in sub.csr.edge_range(v) {
+                let d = sub.csr.col_indices()[e];
+                if let Some(emit) = f(v, e, d) {
+                    out.push(emit);
+                }
+            }
+        }
+        (out, need as u64)
+    })?;
+    bufs.record_intermediate(out.len());
+    Ok(out)
+}
+
+/// **Filter**: select the subset of `input` satisfying `pred`. Output size
+/// is at most the input size (and for vertex frontiers capped by `|V_i|`,
+/// which is why fixed preallocation sizes frontiers at `|V_i|`, §VI-B).
+pub fn filter<V: Id>(
+    dev: &mut Device,
+    input: &[V],
+    mut pred: impl FnMut(V) -> bool,
+) -> Result<Vec<V>> {
+    dev.kernel(COMPUTE_STREAM, KernelKind::Filter, || {
+        let out: Vec<V> = input.iter().copied().filter(|&v| pred(v)).collect();
+        (out, input.len() as u64)
+    })
+}
+
+/// **Fused advance+filter** (§VI-C): one kernel, no intermediate frontier in
+/// memory. `f` plays both roles: it is the advance functor and its `None`
+/// results are the filtered-out elements.
+pub fn advance_filter_fused<V: Id, O: Id>(
+    dev: &mut Device,
+    sub: &SubGraph<V, O>,
+    input: &[V],
+    mut f: impl FnMut(V, usize, V) -> Option<V>,
+) -> Result<Vec<V>> {
+    dev.kernel(COMPUTE_STREAM, KernelKind::FusedAdvanceFilter, || {
+        let mut out = Vec::new();
+        let mut edges = 0u64;
+        for &v in input {
+            for e in sub.csr.edge_range(v) {
+                edges += 1;
+                let d = sub.csr.col_indices()[e];
+                if let Some(emit) = f(v, e, d) {
+                    out.push(emit);
+                }
+            }
+        }
+        (out, edges)
+    })
+}
+
+/// **Compute**: run `f` as one per-element kernel over `items` elements
+/// (the paper's "computation" step, fused with advance or filter on the
+/// GPU; here metered as one filter-throughput launch).
+pub fn compute<R>(dev: &mut Device, items: u64, f: impl FnOnce() -> R) -> Result<R> {
+    dev.kernel(COMPUTE_STREAM, KernelKind::Compute, || (f(), items))
+}
+
+/// **Pull-mode advance** (§VI-A): parallelize across the *unvisited*
+/// vertices; for each, scan incoming edges (CSC) and stop at the first
+/// parent accepted by `find_parent` — the "edge skipping" that makes
+/// direction-optimizing BFS fast. Returns the newly discovered vertices and
+/// the number of edges actually scanned (the `a·|E_i|` of Table I).
+pub fn advance_pull<V: Id, O: Id>(
+    dev: &mut Device,
+    csc: &Csr<V, O>,
+    unvisited: &[V],
+    mut find_parent: impl FnMut(V, V) -> bool,
+) -> Result<(Vec<V>, u64)> {
+    let (found, scanned) = dev.kernel(COMPUTE_STREAM, KernelKind::Advance, || {
+        let mut found = Vec::new();
+        let mut scanned = 0u64;
+        for &v in unvisited {
+            for &p in csc.neighbors(v) {
+                scanned += 1;
+                if find_parent(v, p) {
+                    found.push(v);
+                    break; // edge skipping: remaining parents are not visited
+                }
+            }
+        }
+        ((found, scanned), scanned)
+    })?;
+    Ok((found, scanned))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::AllocScheme;
+    use mgpu_graph::{Coo, Csr, GraphBuilder};
+    use mgpu_partition::{DistGraph, Duplication};
+    use vgpu::HardwareProfile;
+
+    fn single_part() -> (Device, DistGraph<u32, u64>) {
+        // 0—1—2—3 path plus 0—2 chord, undirected
+        let coo = Coo::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (0, 2)], None);
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&coo);
+        let dg = DistGraph::build(&g, vec![0; 4], 1, Duplication::All);
+        (Device::new(0, HardwareProfile::k40()), dg)
+    }
+
+    #[test]
+    fn advance_visits_all_frontier_edges() {
+        let (mut dev, dg) = single_part();
+        let sub = &dg.parts[0];
+        let mut bufs = FrontierBufs::new(&mut dev, AllocScheme::JustEnough, 4, 8).unwrap();
+        let out = advance(&mut dev, sub, &mut bufs, &[0], |_, _, d| Some(d)).unwrap();
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2]);
+        assert_eq!(dev.counters.w_items, 2 + 1, "2 edges + 1 scan item");
+    }
+
+    #[test]
+    fn filter_applies_predicate_and_counts_input() {
+        let (mut dev, _) = single_part();
+        let out = filter(&mut dev, &[1u32, 2, 3, 4], |v| v % 2 == 0).unwrap();
+        assert_eq!(out, vec![2, 4]);
+        assert_eq!(dev.counters.w_items, 4);
+    }
+
+    #[test]
+    fn fused_equals_advance_then_filter() {
+        let (mut dev, dg) = single_part();
+        let sub = &dg.parts[0];
+        let mut bufs = FrontierBufs::new(&mut dev, AllocScheme::Max, 4, 8).unwrap();
+        let mut seen = vec![false; 4];
+        seen[0] = true;
+        let a = advance(&mut dev, sub, &mut bufs, &[0], |_, _, d| Some(d)).unwrap();
+        let f = filter(&mut dev, &a, |v| {
+            let fresh = !seen[v as usize];
+            seen[v as usize] = true;
+            fresh
+        })
+        .unwrap();
+
+        let mut dev2 = Device::new(0, HardwareProfile::k40());
+        let mut seen2 = vec![false; 4];
+        seen2[0] = true;
+        let fused = advance_filter_fused(&mut dev2, sub, &[0], |_, _, d| {
+            if seen2[d as usize] {
+                None
+            } else {
+                seen2[d as usize] = true;
+                Some(d)
+            }
+        })
+        .unwrap();
+        let (mut x, mut y) = (f.clone(), fused.clone());
+        x.sort_unstable();
+        y.sort_unstable();
+        assert_eq!(x, y);
+        assert!(dev2.counters.kernel_launches < dev.counters.kernel_launches);
+    }
+
+    #[test]
+    fn empty_frontier_still_pays_launch_overhead() {
+        let (mut dev, dg) = single_part();
+        let sub = &dg.parts[0];
+        let mut bufs = FrontierBufs::new(&mut dev, AllocScheme::JustEnough, 4, 8).unwrap();
+        let t0 = dev.now();
+        let out = advance(&mut dev, sub, &mut bufs, &[], |_, _, d| Some(d)).unwrap();
+        assert!(out.is_empty());
+        assert!(dev.now() > t0, "launch overheads accrue even with no work");
+    }
+
+    #[test]
+    fn pull_advance_skips_edges_after_first_parent() {
+        let (mut dev, mut dg) = single_part();
+        dg.parts[0].build_csc();
+        let sub = &dg.parts[0];
+        let csc = sub.csc.as_ref().unwrap();
+        // visited = {0}; unvisited 1,2,3 look for a visited parent
+        let visited = [true, false, false, false];
+        let (found, scanned) =
+            advance_pull(&mut dev, csc, &[1, 2, 3], |_, p| visited[p as usize]).unwrap();
+        assert_eq!(found, vec![1, 2], "vertex 3 has no visited parent");
+        // vertex 1's parents: 0 (hit, 1 scan); vertex 2's: 0,1,3 order by
+        // csc — first is 0 (hit, 1 scan); vertex 3's: 2 (miss, 1 scan)
+        assert_eq!(scanned, 3);
+    }
+
+    #[test]
+    fn compute_charges_item_count() {
+        let (mut dev, _) = single_part();
+        let sum = compute(&mut dev, 100, || (0..100u64).sum::<u64>()).unwrap();
+        assert_eq!(sum, 4950);
+        assert_eq!(dev.counters.w_items, 100);
+    }
+}
+
+#[cfg(test)]
+mod advance_mode_tests {
+    use super::*;
+    use crate::alloc::AllocScheme;
+    use mgpu_graph::{Coo, Csr, GraphBuilder};
+    use mgpu_partition::{DistGraph, Duplication};
+    use vgpu::HardwareProfile;
+
+    /// star: hub 0 with 2048 leaves, plus a large matching — enough work
+    /// that kernel time dominates launch overhead
+    fn skewed() -> DistGraph<u32, u64> {
+        const N: usize = 8192;
+        let mut coo = Coo::<u32>::new(N);
+        for leaf in 1..2049u32 {
+            coo.push(0, leaf);
+        }
+        for i in 0..((N as u32 - 2050) / 2) {
+            coo.push(2049 + 2 * i, 2050 + 2 * i);
+        }
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&coo);
+        DistGraph::build(&g, vec![0; N], 1, Duplication::All)
+    }
+
+    #[test]
+    fn modes_produce_identical_results() {
+        let dg = skewed();
+        let sub = &dg.parts[0];
+        let frontier: Vec<u32> = (0..8192).collect();
+        let run = |mode| {
+            let mut dev = Device::new(0, HardwareProfile::k40());
+            let mut bufs =
+                FrontierBufs::new(&mut dev, AllocScheme::Max, 8192, 16384).unwrap();
+            let mut out =
+                advance_with_mode(&mut dev, sub, &mut bufs, &frontier, mode, |_, _, d| Some(d))
+                    .unwrap();
+            out.sort_unstable();
+            (out, dev.now())
+        };
+        let (lb, t_lb) = run(AdvanceMode::LoadBalanced);
+        let (tm, t_tm) = run(AdvanceMode::ThreadMapped);
+        assert_eq!(lb, tm, "identical emitted frontiers");
+        assert!(
+            t_tm > 2.0 * t_lb,
+            "hub skew must penalize thread-mapped: {t_tm} vs {t_lb}"
+        );
+    }
+
+    #[test]
+    fn thread_mapped_is_fine_on_uniform_degree() {
+        // cycle: all degrees equal — thread mapping loses nothing but the scan
+        let edges: Vec<(u32, u32)> = (0..64u32).map(|i| (i, (i + 1) % 64)).collect();
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&Coo::from_edges(64, edges, None));
+        let dg = DistGraph::build(&g, vec![0; 64], 1, Duplication::All);
+        let sub = &dg.parts[0];
+        let frontier: Vec<u32> = (0..64).collect();
+        let time = |mode| {
+            let mut dev = Device::new(0, HardwareProfile::k40());
+            let mut bufs = FrontierBufs::new(&mut dev, AllocScheme::Max, 64, 128).unwrap();
+            advance_with_mode(&mut dev, sub, &mut bufs, &frontier, mode, |_, _, d| Some(d))
+                .unwrap();
+            dev.now()
+        };
+        let t_lb = time(AdvanceMode::LoadBalanced);
+        let t_tm = time(AdvanceMode::ThreadMapped);
+        assert!((t_tm - t_lb).abs() < t_lb * 0.5, "near parity on uniform degree");
+    }
+}

@@ -1,0 +1,177 @@
+//! The programmer-facing primitive interface (§III-B).
+//!
+//! A multi-GPU primitive in this framework is a type implementing
+//! [`MgpuProblem`]. Exactly the four concerns the paper asks the programmer
+//! to specify are abstract; everything else has defaults:
+//!
+//! 1. **Core single-GPU primitive** — [`MgpuProblem::iteration`], written
+//!    against the [`crate::ops`] operators exactly as a single-GPU Gunrock
+//!    primitive would be; it sees only local vertex ids and never knows
+//!    whether a vertex is hosted locally or remotely.
+//! 2. **Data to communicate** — the [`MgpuProblem::Msg`] associated type
+//!    (per-vertex associated values; the paper supports only per-vertex
+//!    communication and argues per-edge communication cannot scale) and the
+//!    [`MgpuProblem::package`] hook.
+//! 3. **Combining remote and local data** — [`MgpuProblem::combine`], the
+//!    `Expand_Incoming` kernel body of Appendix A.
+//! 4. **Stop condition** — [`MgpuProblem::locally_done`] (default: empty
+//!    frontier) and [`MgpuProblem::globally_done`] (default: never) on top
+//!    of the built-in all-frontiers-empty rule.
+
+use mgpu_graph::Id;
+use mgpu_partition::{Duplication, SubGraph};
+use vgpu::sync::{Contribution, GlobalReduce};
+use vgpu::{Device, Result};
+
+use crate::alloc::{AllocScheme, FrontierBufs};
+use crate::comm::CommStrategy;
+
+/// A value that can be packaged with a vertex and pushed over the
+/// interconnect. `BYTES` is what the cost model charges per vertex on the
+/// wire (in addition to the vertex id itself). `PartialEq` lets the
+/// broadcast path detect uniform payloads (e.g. every (DO)BFS message in an
+/// iteration carries the same label) and switch to the bitmap wire format.
+pub trait Wire: Clone + PartialEq + Send + Sync + 'static {
+    /// Serialized size in bytes.
+    const BYTES: usize;
+}
+
+impl Wire for () {
+    const BYTES: usize = 0;
+}
+impl Wire for u32 {
+    const BYTES: usize = 4;
+}
+impl Wire for u64 {
+    const BYTES: usize = 8;
+}
+impl Wire for f32 {
+    const BYTES: usize = 4;
+}
+impl Wire for f64 {
+    const BYTES: usize = 8;
+}
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    const BYTES: usize = A::BYTES + B::BYTES;
+}
+
+/// A multi-GPU graph primitive. See the module docs for the contract.
+///
+/// `V`/`O` are the vertex-id and edge-offset widths (Gunrock's `VertexT` /
+/// `SizeT` template parameters).
+pub trait MgpuProblem<V: Id, O: Id>: Sync {
+    /// Per-GPU problem state (the `DataSlice` of Appendix A): label arrays,
+    /// rank arrays, visited bitmaps, … allocated on the device.
+    type State: Send + 'static;
+
+    /// Per-vertex associated data pushed to remote GPUs (e.g. the BFS label,
+    /// or `(label, pred)` when predecessor marking is on).
+    type Msg: Wire;
+
+    /// Primitive name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Vertex-duplication strategy this primitive wants (§III-C / Table I).
+    fn duplication(&self) -> Duplication;
+
+    /// Communication strategy this primitive wants (§III-C / Table I).
+    fn comm(&self) -> CommStrategy;
+
+    /// Frontier-buffer allocation scheme (§VI-B). The paper: (DO)BFS, SSSP,
+    /// BC use prealloc+fusion; CC and PR use fixed preallocation.
+    fn alloc_scheme(&self) -> AllocScheme {
+        AllocScheme::JustEnough
+    }
+
+    /// Allocate per-GPU state for `sub` (called once, before any traversal).
+    fn init(&self, dev: &mut Device, sub: &SubGraph<V, O>) -> Result<Self::State>;
+
+    /// Reset state for a fresh traversal and return the initial local input
+    /// frontier. `src` is `Some(owner-local id)` on the GPU hosting the
+    /// source vertex (if the primitive has one), `None` elsewhere.
+    fn reset(
+        &self,
+        dev: &mut Device,
+        sub: &SubGraph<V, O>,
+        state: &mut Self::State,
+        src: Option<V>,
+    ) -> Result<Vec<V>>;
+
+    /// One iteration of the unmodified single-GPU primitive
+    /// (`FullQueue_Core`): consume the input frontier, produce the output
+    /// frontier, all in local vertex ids.
+    fn iteration(
+        &self,
+        dev: &mut Device,
+        sub: &SubGraph<V, O>,
+        state: &mut Self::State,
+        bufs: &mut FrontierBufs<V>,
+        input: &[V],
+        iter: usize,
+    ) -> Result<Vec<V>>;
+
+    /// Package the associated data for one outgoing frontier vertex
+    /// (local id).
+    fn package(&self, state: &Self::State, v: V) -> Self::Msg;
+
+    /// Combine one received `(vertex, msg)` into local state; return `true`
+    /// if the vertex should join the next input frontier. `v` is a local id
+    /// (the framework has already resolved wire ids).
+    fn combine(&self, state: &mut Self::State, v: V, msg: &Self::Msg) -> bool;
+
+    /// Is this GPU locally converged, given the next input frontier the
+    /// framework assembled? Default: the frontier is empty. Primitives with
+    /// phases (BC) or fixpoint semantics (PR, CC) override this.
+    fn locally_done(&self, _state: &Self::State, next_input: &[V]) -> bool {
+        next_input.is_empty()
+    }
+
+    /// Communication strategy for the *upcoming* superstep. Defaults to the
+    /// static [`MgpuProblem::comm`]; phase-based primitives (BC: selective
+    /// forward sweep, broadcast backward sweep) override this. Must be a
+    /// pure function of state that evolves identically on every GPU (state
+    /// transitions driven by [`MgpuProblem::after_superstep`] on the shared
+    /// reduction satisfy this), since sender and receiver must agree on the
+    /// wire id convention.
+    fn comm_now(&self, _state: &Self::State) -> CommStrategy {
+        self.comm()
+    }
+
+    /// Numeric contribution to the per-superstep global reduction (e.g.
+    /// PageRank's total rank change). The default contributes the next
+    /// input frontier's size to `u64_sum`, giving every GPU the global
+    /// frontier population for free.
+    fn contribution(&self, _state: &Self::State, next_input: &[V]) -> Contribution {
+        Contribution { u64_add: next_input.len() as u64, ..Contribution::default() }
+    }
+
+    /// Observe the superstep's global reduction and update local state —
+    /// the hook by which phase-based primitives make globally consistent
+    /// phase transitions (every GPU sees the identical reduction).
+    fn after_superstep(&self, _state: &mut Self::State, _reduce: &GlobalReduce, _iter: usize) {}
+
+    /// Extra global stop condition evaluated by every GPU after each
+    /// superstep's reduction (e.g. PR's residual threshold). The built-in
+    /// rule — stop when every GPU is locally done — always applies too.
+    fn globally_done(&self, _reduce: &GlobalReduce, _iter: usize) -> bool {
+        false
+    }
+
+    /// Hard iteration cap (safety net; PR uses its configured max).
+    fn max_iterations(&self) -> usize {
+        usize::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_compose() {
+        assert_eq!(<() as Wire>::BYTES, 0);
+        assert_eq!(<u32 as Wire>::BYTES, 4);
+        assert_eq!(<(u32, f32) as Wire>::BYTES, 8);
+        assert_eq!(<(u32, (u32, f64)) as Wire>::BYTES, 16);
+    }
+}

@@ -1,0 +1,162 @@
+//! Traversal reports: the measurements every experiment consumes.
+
+use vgpu::BspCounters;
+
+/// Aggregated per-superstep statistics (summed over devices) — the frontier
+/// evolution that drives direction switching and communication volume.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SuperstepTrace {
+    /// Input frontier vertices consumed this superstep.
+    pub input: u64,
+    /// Output frontier vertices produced by the primitive iterations.
+    pub output: u64,
+    /// Vertices pushed to peers.
+    pub sent: u64,
+    /// Vertices accepted by combiners into the next input frontier.
+    pub combined: u64,
+}
+
+/// The outcome of one enacted traversal.
+#[derive(Debug, Clone)]
+pub struct EnactReport {
+    /// Primitive name.
+    pub primitive: &'static str,
+    /// Number of devices used.
+    pub n_devices: usize,
+    /// BSP supersteps executed (S).
+    pub iterations: usize,
+    /// Simulated makespan in microseconds (the number every figure reports,
+    /// produced by the calibrated cost model).
+    pub sim_time_us: f64,
+    /// Host wall-clock of the enact call in microseconds (real execution on
+    /// CPU threads; useful for sanity checks, not for paper comparisons).
+    pub wall_time_us: f64,
+    /// Aggregated BSP counters over all devices.
+    pub totals: BspCounters,
+    /// Per-device counters.
+    pub per_device: Vec<BspCounters>,
+    /// Peak device-memory footprint over devices, in bytes.
+    pub peak_memory_per_device: u64,
+    /// Sum of peak memory over devices, in bytes.
+    pub total_peak_memory: u64,
+    /// Total reallocation events across device pools since system creation
+    /// (the expensive event just-enough allocation works to keep rare,
+    /// §VI-B; cumulative across enacts on the same runner).
+    pub pool_reallocs: u64,
+    /// Per-superstep frontier statistics, summed over devices.
+    pub history: Vec<SuperstepTrace>,
+}
+
+impl EnactReport {
+    /// Traversed-edges-per-second metric in GTEPS, given the number of edges
+    /// the traversal is credited with (the paper credits DOBFS with the full
+    /// |E| of the traversed component even though edge skipping visits far
+    /// fewer — that convention is what makes 900-GTEPS DOBFS numbers
+    /// possible, §VII-B).
+    pub fn gteps(&self, credited_edges: usize) -> f64 {
+        if self.sim_time_us <= 0.0 {
+            return 0.0;
+        }
+        credited_edges as f64 / self.sim_time_us / 1e3
+    }
+
+    /// Simulated milliseconds (the unit of Tables IV and V).
+    pub fn sim_ms(&self) -> f64 {
+        self.sim_time_us / 1e3
+    }
+
+    /// Speedup of this run over a baseline run (baseline_time / this_time).
+    pub fn speedup_over(&self, baseline: &EnactReport) -> f64 {
+        baseline.sim_time_us / self.sim_time_us
+    }
+
+    /// Serialize the report as a JSON object (flat, self-describing) for
+    /// external plotting/analysis pipelines. Hand-rolled to keep the
+    /// dependency set small; every field is either numeric or a quoted
+    /// ASCII identifier, so no escaping is needed.
+    pub fn to_json(&self) -> String {
+        let c = &self.totals;
+        format!(
+            concat!(
+                "{{\"primitive\":\"{}\",\"n_devices\":{},\"iterations\":{},",
+                "\"sim_time_us\":{},\"wall_time_us\":{},",
+                "\"w_items\":{},\"c_items\":{},\"h_vertices\":{},",
+                "\"h_bytes_sent\":{},\"h_bytes_recv\":{},\"h_messages\":{},",
+                "\"kernel_launches\":{},\"w_time_us\":{},\"c_time_us\":{},",
+                "\"h_time_us\":{},\"sync_time_us\":{},",
+                "\"peak_memory_per_device\":{},\"total_peak_memory\":{},",
+                "\"pool_reallocs\":{}}}"
+            ),
+            self.primitive,
+            self.n_devices,
+            self.iterations,
+            self.sim_time_us,
+            self.wall_time_us,
+            c.w_items,
+            c.c_items,
+            c.h_vertices,
+            c.h_bytes_sent,
+            c.h_bytes_recv,
+            c.h_messages,
+            c.kernel_launches,
+            c.w_time_us,
+            c.c_time_us,
+            c.h_time_us,
+            c.sync_time_us,
+            self.peak_memory_per_device,
+            self.total_peak_memory,
+            self.pool_reallocs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(us: f64) -> EnactReport {
+        EnactReport {
+            primitive: "test",
+            n_devices: 1,
+            iterations: 3,
+            sim_time_us: us,
+            wall_time_us: 1.0,
+            totals: BspCounters::default(),
+            per_device: vec![],
+            peak_memory_per_device: 0,
+            total_peak_memory: 0,
+            pool_reallocs: 0,
+            history: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn gteps_is_edges_over_time() {
+        let r = report(1000.0); // 1 ms
+        assert!((r.gteps(2_000_000) - 2.0).abs() < 1e-9, "2M edges / 1 ms = 2 GTEPS");
+    }
+
+    #[test]
+    fn speedup_is_ratio() {
+        let fast = report(500.0);
+        let slow = report(2000.0);
+        assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_time_gives_zero_gteps() {
+        assert_eq!(report(0.0).gteps(100), 0.0);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let j = report(123.5).to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"primitive\":\"test\""));
+        assert!(j.contains("\"sim_time_us\":123.5"));
+        assert!(j.contains("\"iterations\":3"));
+        // balanced braces and quotes
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('"').count() % 2, 0);
+    }
+}

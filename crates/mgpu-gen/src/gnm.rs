@@ -1,0 +1,35 @@
+//! Uniform random G(n, m) graphs (Erdős–Rényi): the neutral test workload.
+
+use mgpu_graph::Coo;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Generate `m` directed edges with endpoints uniform over `n` vertices.
+pub fn gnm(n: usize, m: usize, seed: u64) -> Coo<u32> {
+    assert!(n > 0, "need at least one vertex");
+    assert!(n <= u32::MAX as usize);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let edges = (0..m)
+        .map(|_| (rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32))
+        .collect();
+    Coo::from_edges(n, edges, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_range() {
+        let coo = gnm(100, 500, 1);
+        assert_eq!(coo.n_vertices, 100);
+        assert_eq!(coo.n_edges(), 500);
+        assert!(coo.edges.iter().all(|&(s, d)| (s as usize) < 100 && (d as usize) < 100));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(gnm(50, 100, 9).edges, gnm(50, 100, 9).edges);
+        assert_ne!(gnm(50, 100, 9).edges, gnm(50, 100, 10).edges);
+    }
+}

@@ -1,0 +1,74 @@
+//! 2D lattice graphs: the road-network analog.
+//!
+//! Road networks are the paper's pathological case: "high-diameter,
+//! low-degree graphs … have insufficient parallelism to saturate even 1 GPU,
+//! much less mGPUs; as a result, iteration overhead occupies a significant
+//! portion of the runtime, and we observed performance *decreases* on mGPU"
+//! (§VII-A). A `rows × cols` 4-neighbor lattice has diameter
+//! `rows + cols - 2` and degree ≤ 4 — exactly that regime.
+
+use mgpu_graph::Coo;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Generate a `rows × cols` 4-neighbor lattice (directed edges in both
+/// orientations). `perturb` removes each edge independently with probability
+/// `1 - keep` to emulate irregular road topology; `keep = 1.0` gives the
+/// full lattice.
+pub fn grid2d(rows: usize, cols: usize, keep: f64, seed: u64) -> Coo<u32> {
+    assert!(rows * cols <= u32::MAX as usize);
+    assert!((0.0..=1.0).contains(&keep), "keep probability in [0,1]");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let at = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut coo = Coo::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols && rng.gen::<f64>() < keep {
+                coo.push(at(r, c), at(r, c + 1));
+                coo.push(at(r, c + 1), at(r, c));
+            }
+            if r + 1 < rows && rng.gen::<f64>() < keep {
+                coo.push(at(r, c), at(r + 1, c));
+                coo.push(at(r + 1, c), at(r, c));
+            }
+        }
+    }
+    coo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgpu_graph::{stats::bfs_depths, Csr, GraphBuilder};
+
+    #[test]
+    fn full_grid_edge_count() {
+        let coo = grid2d(4, 5, 1.0, 0);
+        // horizontal: 4 rows × 4, vertical: 3 × 5, each both ways
+        assert_eq!(coo.n_edges(), 2 * (4 * 4 + 3 * 5));
+    }
+
+    #[test]
+    fn grid_diameter_is_manhattan() {
+        let coo = grid2d(8, 8, 1.0, 0);
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&coo);
+        let (_, ecc) = bfs_depths(&g, 0u32);
+        assert_eq!(ecc, 14, "corner-to-corner distance on an 8x8 grid");
+    }
+
+    #[test]
+    fn degree_bounded_by_four() {
+        let coo = grid2d(6, 6, 1.0, 1);
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&coo);
+        for v in 0..36u32 {
+            assert!(g.degree(v) <= 4);
+        }
+    }
+
+    #[test]
+    fn perturbed_grid_has_fewer_edges() {
+        let full = grid2d(10, 10, 1.0, 2).n_edges();
+        let cut = grid2d(10, 10, 0.7, 2).n_edges();
+        assert!(cut < full);
+    }
+}

@@ -1,0 +1,67 @@
+//! Watts–Strogatz small-world rings: diameter-controllable test graphs.
+//!
+//! Useful for synchronization-cost experiments: with rewiring probability 0
+//! the graph is a ring lattice with diameter ~n/(2k); small rewiring
+//! probabilities collapse the diameter while keeping degree near-constant.
+
+use mgpu_graph::Coo;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Generate a Watts–Strogatz ring: `n` vertices, each connected to `k`
+/// clockwise neighbors, each edge rewired with probability `p`.
+pub fn watts_strogatz(n: usize, k: usize, p: f64, seed: u64) -> Coo<u32> {
+    assert!(n > 2 * k, "ring needs n > 2k");
+    assert!((0.0..=1.0).contains(&p));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut coo = Coo::new(n);
+    for v in 0..n {
+        for j in 1..=k {
+            let mut d = (v + j) % n;
+            if rng.gen::<f64>() < p {
+                // rewire, avoiding self loops
+                loop {
+                    d = rng.gen_range(0..n);
+                    if d != v {
+                        break;
+                    }
+                }
+            }
+            coo.push(v as u32, d as u32);
+        }
+    }
+    coo
+}
+
+/// A simple chain of `n` vertices — the degenerate workload of the §V-B
+/// synchronization-latency experiment ("each GPU visits only 1 vertex and
+/// 1 edge in each iteration").
+pub fn chain(n: usize) -> Coo<u32> {
+    let edges = (0..n.saturating_sub(1)).map(|i| (i as u32, i as u32 + 1)).collect();
+    Coo::from_edges(n, edges, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgpu_graph::{estimate_diameter, Csr, GraphBuilder};
+
+    #[test]
+    fn ring_edge_count() {
+        let coo = watts_strogatz(100, 3, 0.0, 0);
+        assert_eq!(coo.n_edges(), 300);
+    }
+
+    #[test]
+    fn rewiring_shrinks_diameter() {
+        let ring: Csr<u32, u64> = GraphBuilder::undirected(&watts_strogatz(512, 2, 0.0, 1));
+        let sw: Csr<u32, u64> = GraphBuilder::undirected(&watts_strogatz(512, 2, 0.1, 1));
+        assert!(estimate_diameter(&sw, 6, 3) < estimate_diameter(&ring, 6, 3));
+    }
+
+    #[test]
+    fn chain_is_a_path() {
+        let coo = chain(5);
+        assert_eq!(coo.edges, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Edge weights: "for SSSP, edge values are randomly generated integers
+//! from [0, 64]" (§VII-A).
+
+use mgpu_graph::{Coo, Id};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The paper's SSSP weight range (inclusive lower, exclusive upper bound 65
+/// so that 64 is attainable).
+pub const PAPER_WEIGHT_RANGE: std::ops::Range<u32> = 0..65;
+
+/// Attach uniform integer weights from `range` to every edge of `coo`.
+pub fn add_uniform_weights<V: Id>(coo: &mut Coo<V>, range: std::ops::Range<u32>, seed: u64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    coo.weights = Some((0..coo.n_edges()).map(|_| rng.gen_range(range.clone())).collect());
+}
+
+/// Attach the paper's [0, 64] weights.
+pub fn add_paper_weights<V: Id>(coo: &mut Coo<V>, seed: u64) {
+    add_uniform_weights(coo, PAPER_WEIGHT_RANGE, seed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_cover_paper_range() {
+        let mut coo = crate::gnm::gnm(100, 5000, 1);
+        add_paper_weights(&mut coo, 2);
+        let w = coo.weights.as_ref().unwrap();
+        assert_eq!(w.len(), 5000);
+        assert!(w.iter().all(|&x| x <= 64));
+        assert!(w.iter().any(|&x| x == 0), "range is inclusive of 0");
+        assert!(w.iter().any(|&x| x == 64), "range is inclusive of 64");
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = crate::gnm::gnm(50, 200, 3);
+        let mut b = crate::gnm::gnm(50, 200, 3);
+        add_paper_weights(&mut a, 4);
+        add_paper_weights(&mut b, 4);
+        assert_eq!(a.weights, b.weights);
+    }
+}

@@ -1,0 +1,142 @@
+//! The preprocessing builder: COO → canonical CSR.
+//!
+//! The paper's experimental setup (§VII-A): "all graphs we use are converted
+//! to undirected graphs. Self-loops and duplicated edges are removed." The
+//! builder implements exactly that pipeline, with a parallel sort (rayon) for
+//! large edge lists.
+
+use rayon::prelude::*;
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::ids::Id;
+
+/// Preprocessing switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildOptions {
+    /// Add the reverse of every edge (undirected conversion).
+    pub symmetrize: bool,
+    /// Drop `v → v` edges.
+    pub remove_self_loops: bool,
+    /// Drop duplicate `(src, dst)` pairs (keeping the first weight).
+    pub dedup: bool,
+    /// Sort each adjacency row by destination id (canonical order).
+    pub sort_rows: bool,
+}
+
+impl Default for BuildOptions {
+    /// The paper's preprocessing: undirected, no self-loops, no duplicates.
+    fn default() -> Self {
+        BuildOptions { symmetrize: true, remove_self_loops: true, dedup: true, sort_rows: true }
+    }
+}
+
+impl BuildOptions {
+    /// Keep the graph directed but still clean it.
+    pub fn directed() -> Self {
+        BuildOptions { symmetrize: false, ..Default::default() }
+    }
+
+    /// No preprocessing at all (trust the input).
+    pub fn raw() -> Self {
+        BuildOptions { symmetrize: false, remove_self_loops: false, dedup: false, sort_rows: false }
+    }
+}
+
+/// Stateless builder entry points.
+pub struct GraphBuilder;
+
+impl GraphBuilder {
+    /// Apply `options` to `coo` and produce a CSR graph.
+    pub fn build<V: Id, O: Id>(coo: &Coo<V>, options: BuildOptions) -> Csr<V, O> {
+        let mut triples: Vec<(V, V, u32)> = coo.iter_weighted().collect();
+
+        if options.symmetrize {
+            let rev: Vec<(V, V, u32)> =
+                triples.iter().map(|&(s, d, w)| (d, s, w)).collect();
+            triples.extend(rev);
+        }
+        if options.remove_self_loops {
+            triples.retain(|&(s, d, _)| s != d);
+        }
+        if options.dedup || options.sort_rows {
+            // Stable parallel sort: for duplicates, the first-listed weight
+            // survives the dedup below.
+            triples.par_sort_by_key(|&(s, d, _)| (s, d));
+        }
+        if options.dedup {
+            triples.dedup_by_key(|&mut (s, d, _)| (s, d));
+        }
+
+        let weighted = coo.weights.is_some();
+        let edges: Vec<(V, V)> = triples.iter().map(|&(s, d, _)| (s, d)).collect();
+        let weights = weighted.then(|| triples.iter().map(|&(_, _, w)| w).collect());
+        Csr::from_coo(&Coo::from_edges(coo.n_vertices, edges, weights))
+    }
+
+    /// The paper's default preprocessing.
+    pub fn undirected<V: Id, O: Id>(coo: &Coo<V>) -> Csr<V, O> {
+        Self::build(coo, BuildOptions::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn messy() -> Coo<u32> {
+        // duplicates, a self loop, directed edges
+        Coo::from_edges(4, vec![(0, 1), (0, 1), (1, 1), (2, 3), (3, 2)], None)
+    }
+
+    #[test]
+    fn default_build_symmetrizes_dedups_and_removes_loops() {
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&messy());
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.neighbors(2), &[3]);
+        assert_eq!(g.neighbors(3), &[2]);
+        assert_eq!(g.n_edges(), 4);
+    }
+
+    #[test]
+    fn directed_build_keeps_direction() {
+        let g: Csr<u32, u64> = GraphBuilder::build(&messy(), BuildOptions::directed());
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[] as &[u32], "self-loop removed, no reverse edge added");
+        assert_eq!(g.n_edges(), 3);
+    }
+
+    #[test]
+    fn raw_build_preserves_everything() {
+        let g: Csr<u32, u64> = GraphBuilder::build(&messy(), BuildOptions::raw());
+        assert_eq!(g.n_edges(), 5);
+        assert_eq!(g.neighbors(1), &[1]);
+    }
+
+    #[test]
+    fn dedup_keeps_first_weight() {
+        let coo = Coo::from_edges(2, vec![(0, 1), (0, 1)], Some(vec![7, 9]));
+        let g: Csr<u32, u64> = GraphBuilder::build(
+            &coo,
+            BuildOptions { symmetrize: false, ..Default::default() },
+        );
+        let w: Vec<_> = g.neighbors_weighted(0).collect();
+        assert_eq!(w, vec![(1, 7)]);
+    }
+
+    #[test]
+    fn symmetrized_weights_mirror() {
+        let coo = Coo::from_edges(3, vec![(0, 1), (1, 2)], Some(vec![5, 6]));
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&coo);
+        assert_eq!(g.neighbors_weighted(1).collect::<Vec<_>>(), vec![(0, 5), (2, 6)]);
+    }
+
+    #[test]
+    fn rows_are_sorted() {
+        let coo = Coo::from_edges(5, vec![(0, 4), (0, 2), (0, 3), (0, 1)], None);
+        let g: Csr<u32, u64> =
+            GraphBuilder::build(&coo, BuildOptions { symmetrize: false, ..Default::default() });
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+    }
+}

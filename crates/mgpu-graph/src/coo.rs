@@ -1,0 +1,99 @@
+//! Coordinate-format edge lists: the interchange format between generators,
+//! partitioners and the CSR builder.
+
+use crate::ids::Id;
+
+/// An edge list with an explicit vertex-count bound and optional integer
+/// edge weights (the paper's SSSP uses "randomly generated integers from
+/// [0, 64]").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coo<V: Id = u32> {
+    /// Number of vertices; all endpoints are `< n_vertices`.
+    pub n_vertices: usize,
+    /// Directed edges `(src, dst)`.
+    pub edges: Vec<(V, V)>,
+    /// Optional per-edge weights, parallel to `edges`.
+    pub weights: Option<Vec<u32>>,
+}
+
+impl<V: Id> Coo<V> {
+    /// An empty edge list over `n_vertices` vertices.
+    pub fn new(n_vertices: usize) -> Self {
+        Coo { n_vertices, edges: Vec::new(), weights: None }
+    }
+
+    /// Build from raw parts, validating endpoints and weight arity.
+    pub fn from_edges(n_vertices: usize, edges: Vec<(V, V)>, weights: Option<Vec<u32>>) -> Self {
+        if let Some(w) = &weights {
+            assert_eq!(w.len(), edges.len(), "one weight per edge");
+        }
+        debug_assert!(
+            edges.iter().all(|&(s, d)| s.idx() < n_vertices && d.idx() < n_vertices),
+            "edge endpoint out of range"
+        );
+        Coo { n_vertices, edges, weights }
+    }
+
+    /// Number of directed edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Append an unweighted edge.
+    pub fn push(&mut self, src: V, dst: V) {
+        debug_assert!(src.idx() < self.n_vertices && dst.idx() < self.n_vertices);
+        debug_assert!(self.weights.is_none(), "mixing weighted and unweighted edges");
+        self.edges.push((src, dst));
+    }
+
+    /// Append a weighted edge.
+    pub fn push_weighted(&mut self, src: V, dst: V, w: u32) {
+        debug_assert!(src.idx() < self.n_vertices && dst.idx() < self.n_vertices);
+        self.edges.push((src, dst));
+        self.weights.get_or_insert_with(Vec::new).push(w);
+    }
+
+    /// Iterate `(src, dst, weight)` with weight defaulting to 1.
+    pub fn iter_weighted(&self) -> impl Iterator<Item = (V, V, u32)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(move |(i, &(s, d))| (s, d, self.weights.as_ref().map_or(1, |w| w[i])))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_count() {
+        let mut coo = Coo::<u32>::new(4);
+        coo.push(0, 1);
+        coo.push(1, 2);
+        assert_eq!(coo.n_edges(), 2);
+        assert_eq!(coo.n_vertices, 4);
+    }
+
+    #[test]
+    fn weighted_iteration_defaults_to_one() {
+        let coo = Coo::<u32>::from_edges(3, vec![(0, 1), (1, 2)], None);
+        let ws: Vec<u32> = coo.iter_weighted().map(|(_, _, w)| w).collect();
+        assert_eq!(ws, vec![1, 1]);
+    }
+
+    #[test]
+    fn weighted_edges_keep_weights() {
+        let mut coo = Coo::<u32>::new(3);
+        coo.push_weighted(0, 1, 7);
+        coo.push_weighted(1, 2, 9);
+        let all: Vec<_> = coo.iter_weighted().collect();
+        assert_eq!(all, vec![(0, 1, 7), (1, 2, 9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per edge")]
+    fn weight_arity_is_checked() {
+        let _ = Coo::<u32>::from_edges(3, vec![(0, 1)], Some(vec![1, 2]));
+    }
+}

@@ -1,0 +1,245 @@
+//! Compressed sparse row adjacency — the device-resident graph format.
+
+use crate::coo::Coo;
+use crate::ids::Id;
+
+/// A CSR graph with vertex ids of type `V` and edge offsets of type `O`.
+///
+/// `O` must be wide enough for `n_edges`; the builder checks this. The
+/// paper's "32bit eID / 64bit eID / 64bit vID" variants of Table V are
+/// `Csr<u32, u32>`, `Csr<u32, u64>` and `Csr<u64, u64>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr<V: Id = u32, O: Id = u64> {
+    row_offsets: Vec<O>,
+    col_indices: Vec<V>,
+    weights: Option<Vec<u32>>,
+}
+
+impl<V: Id, O: Id> Csr<V, O> {
+    /// Build directly from parts (offsets must be monotonically
+    /// non-decreasing, starting at 0 and ending at `col_indices.len()`).
+    pub fn from_parts(row_offsets: Vec<O>, col_indices: Vec<V>, weights: Option<Vec<u32>>) -> Self {
+        assert!(!row_offsets.is_empty(), "row offsets need at least the terminating entry");
+        assert_eq!(row_offsets[0].idx(), 0, "offsets start at 0");
+        assert_eq!(
+            row_offsets.last().unwrap().idx(),
+            col_indices.len(),
+            "offsets must end at the edge count"
+        );
+        debug_assert!(row_offsets.windows(2).all(|w| w[0] <= w[1]), "offsets non-decreasing");
+        if let Some(w) = &weights {
+            assert_eq!(w.len(), col_indices.len(), "one weight per edge");
+        }
+        Csr { row_offsets, col_indices, weights }
+    }
+
+    /// An edgeless graph over `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Csr { row_offsets: vec![O::zero(); n + 1], col_indices: Vec::new(), weights: None }
+    }
+
+    /// Build from an edge list by counting sort (stable: preserves the input
+    /// order of parallel edges within a row). `O(|V| + |E|)`.
+    pub fn from_coo(coo: &Coo<V>) -> Self {
+        let n = coo.n_vertices;
+        assert!(
+            coo.n_edges() <= O::MAX_AS_USIZE,
+            "edge count {} does not fit in the offset type",
+            coo.n_edges()
+        );
+        let mut degree = vec![0usize; n];
+        for &(s, _) in &coo.edges {
+            degree[s.idx()] += 1;
+        }
+        let mut offsets = vec![O::zero(); n + 1];
+        let mut acc = 0usize;
+        for v in 0..n {
+            offsets[v] = O::from_usize(acc);
+            acc += degree[v];
+        }
+        offsets[n] = O::from_usize(acc);
+        let mut cols = vec![V::default(); coo.n_edges()];
+        let mut wout = coo.weights.as_ref().map(|_| vec![0u32; coo.n_edges()]);
+        let mut cursor: Vec<usize> = (0..n).map(|v| offsets[v].idx()).collect();
+        for (i, &(s, d)) in coo.edges.iter().enumerate() {
+            let at = cursor[s.idx()];
+            cols[at] = d;
+            if let (Some(wo), Some(wi)) = (&mut wout, &coo.weights) {
+                wo[at] = wi[i];
+            }
+            cursor[s.idx()] += 1;
+        }
+        Csr { row_offsets: offsets, col_indices: cols, weights: wout }
+    }
+
+    /// Number of vertices.
+    pub fn n_vertices(&self) -> usize {
+        self.row_offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn n_edges(&self) -> usize {
+        self.col_indices.len()
+    }
+
+    /// Out-degree of `v`.
+    pub fn degree(&self, v: V) -> usize {
+        self.row_offsets[v.idx() + 1].idx() - self.row_offsets[v.idx()].idx()
+    }
+
+    /// The edge-id range of `v`'s out-edges.
+    pub fn edge_range(&self, v: V) -> std::ops::Range<usize> {
+        self.row_offsets[v.idx()].idx()..self.row_offsets[v.idx() + 1].idx()
+    }
+
+    /// Out-neighbors of `v`.
+    pub fn neighbors(&self, v: V) -> &[V] {
+        &self.col_indices[self.edge_range(v)]
+    }
+
+    /// Out-neighbors of `v` with weights (1 if unweighted).
+    pub fn neighbors_weighted(&self, v: V) -> impl Iterator<Item = (V, u32)> + '_ {
+        let r = self.edge_range(v);
+        let cols = &self.col_indices[r.clone()];
+        let ws = self.weights.as_deref();
+        let start = r.start;
+        cols.iter().enumerate().map(move |(i, &d)| (d, ws.map_or(1, |w| w[start + i])))
+    }
+
+    /// The weight of edge id `e` (1 if unweighted).
+    pub fn edge_weight(&self, e: usize) -> u32 {
+        self.weights.as_ref().map_or(1, |w| w[e])
+    }
+
+    /// Whether the graph carries edge weights.
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Raw row offsets (length `n_vertices + 1`).
+    pub fn row_offsets(&self) -> &[O] {
+        &self.row_offsets
+    }
+
+    /// Raw column indices (length `n_edges`).
+    pub fn col_indices(&self) -> &[V] {
+        &self.col_indices
+    }
+
+    /// The transpose (reverse graph): the CSC view used by pull-mode
+    /// traversal. Weights follow their edges.
+    pub fn transpose(&self) -> Csr<V, O> {
+        let n = self.n_vertices();
+        let mut coo = Coo::<V>::new(n);
+        coo.edges.reserve(self.n_edges());
+        if self.weights.is_some() {
+            coo.weights = Some(Vec::with_capacity(self.n_edges()));
+        }
+        for v in 0..n {
+            let v = V::from_usize(v);
+            for e in self.edge_range(v) {
+                let d = self.col_indices[e];
+                coo.edges.push((d, v));
+                if let Some(w) = &mut coo.weights {
+                    w.push(self.weights.as_ref().unwrap()[e]);
+                }
+            }
+        }
+        Csr::from_coo(&coo)
+    }
+
+    /// In-memory footprint in bytes: what storing this graph costs a device
+    /// (offsets + columns + weights). This is what partition subgraphs charge
+    /// against device memory pools.
+    pub fn bytes(&self) -> u64 {
+        (self.row_offsets.len() * O::BYTES
+            + self.col_indices.len() * V::BYTES
+            + self.weights.as_ref().map_or(0, |w| w.len() * 4)) as u64
+    }
+
+    /// Sum of out-degrees of the given frontier — the advance workload size.
+    pub fn frontier_out_degree(&self, frontier: &[V]) -> usize {
+        frontier.iter().map(|&v| self.degree(v)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Csr<u32, u64> {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let coo = Coo::from_edges(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)], None);
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn from_coo_builds_correct_adjacency() {
+        let g = diamond();
+        assert_eq!(g.n_vertices(), 4);
+        assert_eq!(g.n_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[3]);
+        assert_eq!(g.neighbors(3), &[] as &[u32]);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn counting_sort_is_stable_for_parallel_edges() {
+        let coo = Coo::from_edges(2, vec![(0, 1), (0, 0), (0, 1)], Some(vec![10, 20, 30]));
+        let g: Csr<u32, u64> = Csr::from_coo(&coo);
+        assert_eq!(g.neighbors(0), &[1, 0, 1]);
+        let ws: Vec<u32> = g.neighbors_weighted(0).map(|(_, w)| w).collect();
+        assert_eq!(ws, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.neighbors(3), &[1, 2]);
+        assert_eq!(t.neighbors(0), &[] as &[u32]);
+        assert_eq!(t.transpose(), g, "transpose is an involution on canonical order");
+    }
+
+    #[test]
+    fn transpose_carries_weights() {
+        let coo = Coo::from_edges(3, vec![(0, 1), (1, 2)], Some(vec![5, 6]));
+        let g: Csr<u32, u64> = Csr::from_coo(&coo);
+        let t = g.transpose();
+        let w: Vec<_> = t.neighbors_weighted(2).collect();
+        assert_eq!(w, vec![(1, 6)]);
+    }
+
+    #[test]
+    fn bytes_accounts_offsets_columns_weights() {
+        let g = diamond();
+        assert_eq!(g.bytes(), (5 * 8 + 4 * 4) as u64);
+        let coo = Coo::from_edges(2, vec![(0, 1)], Some(vec![1]));
+        let gw: Csr<u32, u32> = Csr::from_coo(&coo);
+        assert_eq!(gw.bytes(), (3 * 4 + 4 + 4) as u64);
+    }
+
+    #[test]
+    fn frontier_out_degree_sums() {
+        let g = diamond();
+        assert_eq!(g.frontier_out_degree(&[0, 1]), 3);
+        assert_eq!(g.frontier_out_degree(&[]), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::<u32, u64>::empty(3);
+        assert_eq!(g.n_vertices(), 3);
+        assert_eq!(g.n_edges(), 0);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn u64_ids_work() {
+        let coo = Coo::<u64>::from_edges(3, vec![(0, 2), (2, 1)], None);
+        let g: Csr<u64, u64> = Csr::from_coo(&coo);
+        assert_eq!(g.neighbors(0), &[2]);
+        assert_eq!(g.bytes(), (4 * 8 + 2 * 8) as u64);
+    }
+}

@@ -1,0 +1,272 @@
+//! MatrixMarket I/O — the format of the UF Sparse Matrix Collection the
+//! paper's real datasets come from (§VII-A).
+//!
+//! Supports the coordinate format variants graph work encounters:
+//! `matrix coordinate {pattern|integer|real} {general|symmetric}`. Symmetric
+//! matrices store one triangle; the reader mirrors it (the builder's
+//! undirected conversion would otherwise do the same). Indices are
+//! 1-based on disk, 0-based in memory.
+
+use std::io::{BufRead, Write};
+
+use crate::coo::Coo;
+use crate::ids::Id;
+
+/// Errors from MatrixMarket parsing.
+#[derive(Debug)]
+pub enum MtxError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structurally invalid content, with a line number and message.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for MtxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MtxError::Io(e) => write!(f, "i/o error: {e}"),
+            MtxError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for MtxError {}
+
+impl From<std::io::Error> for MtxError {
+    fn from(e: std::io::Error) -> Self {
+        MtxError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> MtxError {
+    MtxError::Parse { line, message: message.into() }
+}
+
+/// Read a MatrixMarket coordinate file into an edge list. Weights are kept
+/// for `integer` files (clamped to `u32`), synthesized as 1 for `real`
+/// (graph frameworks treat UF `real` values as topology), and absent for
+/// `pattern`.
+pub fn read_mtx<V: Id, R: BufRead>(reader: R) -> Result<Coo<V>, MtxError> {
+    let mut lines = reader.lines().enumerate();
+
+    // header
+    let (i, header) = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "empty file"))
+        .and_then(|(i, l)| Ok((i, l?)))?;
+    let header = header.to_ascii_lowercase();
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+        return Err(parse_err(i + 1, "expected '%%MatrixMarket matrix …' header"));
+    }
+    if fields[2] != "coordinate" {
+        return Err(parse_err(i + 1, format!("unsupported storage '{}'", fields[2])));
+    }
+    let value_kind = fields[3];
+    if !matches!(value_kind, "pattern" | "integer" | "real") {
+        return Err(parse_err(i + 1, format!("unsupported value type '{value_kind}'")));
+    }
+    let symmetric = match fields[4] {
+        "general" => false,
+        "symmetric" => true,
+        other => return Err(parse_err(i + 1, format!("unsupported symmetry '{other}'"))),
+    };
+
+    // size line (after comments)
+    let mut size: Option<(usize, usize, usize)> = None;
+    let mut rest = Vec::new();
+    for (i, line) in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        if size.is_none() {
+            let parts: Vec<&str> = trimmed.split_whitespace().collect();
+            if parts.len() != 3 {
+                return Err(parse_err(i + 1, "size line must be 'rows cols nnz'"));
+            }
+            let rows: usize =
+                parts[0].parse().map_err(|e| parse_err(i + 1, format!("bad rows: {e}")))?;
+            let cols: usize =
+                parts[1].parse().map_err(|e| parse_err(i + 1, format!("bad cols: {e}")))?;
+            let nnz: usize =
+                parts[2].parse().map_err(|e| parse_err(i + 1, format!("bad nnz: {e}")))?;
+            size = Some((rows.max(cols), rows.max(cols), nnz));
+        } else {
+            rest.push((i + 1, trimmed.to_string()));
+        }
+    }
+    let (n, _, nnz) = size.ok_or_else(|| parse_err(0, "missing size line"))?;
+    if rest.len() != nnz {
+        return Err(parse_err(
+            rest.last().map_or(0, |(i, _)| *i),
+            format!("expected {nnz} entries, found {}", rest.len()),
+        ));
+    }
+
+    let weighted = value_kind == "integer";
+    let mut coo = Coo::<V>::new(n);
+    if weighted {
+        coo.weights = Some(Vec::with_capacity(nnz * if symmetric { 2 } else { 1 }));
+    }
+    for (lineno, entry) in rest {
+        let parts: Vec<&str> = entry.split_whitespace().collect();
+        let want = match value_kind {
+            "pattern" => 2,
+            _ => 3,
+        };
+        if parts.len() < want {
+            return Err(parse_err(lineno, format!("expected {want} fields")));
+        }
+        let r: usize =
+            parts[0].parse().map_err(|e| parse_err(lineno, format!("bad row: {e}")))?;
+        let c: usize =
+            parts[1].parse().map_err(|e| parse_err(lineno, format!("bad col: {e}")))?;
+        if r == 0 || c == 0 || r > n || c > n {
+            return Err(parse_err(lineno, format!("index out of range: {r} {c} (n={n})")));
+        }
+        let w = if weighted {
+            let raw: i64 =
+                parts[2].parse().map_err(|e| parse_err(lineno, format!("bad value: {e}")))?;
+            Some(raw.unsigned_abs().min(u32::MAX as u64) as u32)
+        } else {
+            None
+        };
+        let (src, dst) = (V::from_usize(r - 1), V::from_usize(c - 1));
+        coo.edges.push((src, dst));
+        if let (Some(ws), Some(w)) = (&mut coo.weights, w) {
+            ws.push(w);
+        }
+        if symmetric && r != c {
+            coo.edges.push((dst, src));
+            if let (Some(ws), Some(w)) = (&mut coo.weights, w) {
+                ws.push(w);
+            }
+        }
+    }
+    Ok(coo)
+}
+
+/// Write an edge list as `matrix coordinate {pattern|integer} general`.
+pub fn write_mtx<V: Id, W: Write>(coo: &Coo<V>, mut out: W) -> std::io::Result<()> {
+    let kind = if coo.weights.is_some() { "integer" } else { "pattern" };
+    writeln!(out, "%%MatrixMarket matrix coordinate {kind} general")?;
+    writeln!(out, "% written by mgpu-graph")?;
+    writeln!(out, "{} {} {}", coo.n_vertices, coo.n_vertices, coo.n_edges())?;
+    for (s, d, w) in coo.iter_weighted() {
+        if coo.weights.is_some() {
+            writeln!(out, "{} {} {}", s.idx() + 1, d.idx() + 1, w)?;
+        } else {
+            writeln!(out, "{} {}", s.idx() + 1, d.idx() + 1)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(s: &str) -> Result<Coo<u32>, MtxError> {
+        read_mtx(BufReader::new(s.as_bytes()))
+    }
+
+    #[test]
+    fn reads_pattern_general() {
+        let coo = parse(
+            "%%MatrixMarket matrix coordinate pattern general\n\
+             % a comment\n\
+             3 3 2\n\
+             1 2\n\
+             3 1\n",
+        )
+        .unwrap();
+        assert_eq!(coo.n_vertices, 3);
+        assert_eq!(coo.edges, vec![(0, 1), (2, 0)]);
+        assert!(coo.weights.is_none());
+    }
+
+    #[test]
+    fn symmetric_mirrors_off_diagonal_only() {
+        let coo = parse(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n\
+             3 3 2\n\
+             2 1\n\
+             3 3\n",
+        )
+        .unwrap();
+        assert_eq!(coo.edges, vec![(1, 0), (0, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn integer_values_become_weights() {
+        let coo = parse(
+            "%%MatrixMarket matrix coordinate integer general\n\
+             2 2 2\n\
+             1 2 7\n\
+             2 1 -3\n",
+        )
+        .unwrap();
+        assert_eq!(coo.weights, Some(vec![7, 3]));
+    }
+
+    #[test]
+    fn real_values_are_treated_as_topology() {
+        let coo = parse(
+            "%%MatrixMarket matrix coordinate real general\n\
+             2 2 1\n\
+             1 2 0.5\n",
+        )
+        .unwrap();
+        assert_eq!(coo.edges, vec![(0, 1)]);
+        assert!(coo.weights.is_none());
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        assert!(parse("%%NotMM matrix coordinate pattern general\n1 1 0\n").is_err());
+        assert!(parse("%%MatrixMarket matrix array real general\n1 1 0\n").is_err());
+    }
+
+    #[test]
+    fn out_of_range_and_count_mismatch_are_rejected() {
+        let err = parse(
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, MtxError::Parse { .. }), "{err}");
+        let err = parse(
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("expected 2 entries"));
+    }
+
+    #[test]
+    fn round_trip_weighted() {
+        let mut coo = Coo::<u32>::new(4);
+        coo.push_weighted(0, 1, 5);
+        coo.push_weighted(3, 2, 9);
+        let mut buf = Vec::new();
+        write_mtx(&coo, &mut buf).unwrap();
+        let back = read_mtx::<u32, _>(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(back.edges, coo.edges);
+        assert_eq!(back.weights, coo.weights);
+    }
+
+    #[test]
+    fn round_trip_pattern() {
+        let coo = Coo::<u32>::from_edges(3, vec![(0, 2), (1, 0)], None);
+        let mut buf = Vec::new();
+        write_mtx(&coo, &mut buf).unwrap();
+        let back = read_mtx::<u32, _>(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(back.edges, coo.edges);
+    }
+}

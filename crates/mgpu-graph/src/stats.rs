@@ -1,0 +1,139 @@
+//! Graph statistics: degrees and the sampled pseudo-diameter of Table II.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::csr::Csr;
+use crate::ids::Id;
+
+/// Degree distribution summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Number of vertices.
+    pub n_vertices: usize,
+    /// Number of directed edges.
+    pub n_edges: usize,
+    /// Average out-degree (the "edge factor" for undirected graphs is half
+    /// this for generator parlance, but Table II counts directed edges).
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_degree: usize,
+    /// Number of isolated (zero out-degree) vertices.
+    pub isolated: usize,
+}
+
+/// Compute degree statistics.
+pub fn degree_stats<V: Id, O: Id>(g: &Csr<V, O>) -> DegreeStats {
+    let n = g.n_vertices();
+    let mut max_degree = 0;
+    let mut isolated = 0;
+    for v in 0..n {
+        let d = g.degree(V::from_usize(v));
+        max_degree = max_degree.max(d);
+        if d == 0 {
+            isolated += 1;
+        }
+    }
+    DegreeStats {
+        n_vertices: n,
+        n_edges: g.n_edges(),
+        avg_degree: if n == 0 { 0.0 } else { g.n_edges() as f64 / n as f64 },
+        max_degree,
+        isolated,
+    }
+}
+
+/// Sequential BFS returning per-vertex depth (`usize::MAX` = unreached) and
+/// the eccentricity of the source. This is the reference traversal that the
+/// framework's BFS output is validated against.
+pub fn bfs_depths<V: Id, O: Id>(g: &Csr<V, O>, src: V) -> (Vec<usize>, usize) {
+    let n = g.n_vertices();
+    let mut depth = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    depth[src.idx()] = 0;
+    queue.push_back(src);
+    let mut ecc = 0;
+    while let Some(v) = queue.pop_front() {
+        let dv = depth[v.idx()];
+        for &u in g.neighbors(v) {
+            if depth[u.idx()] == usize::MAX {
+                depth[u.idx()] = dv + 1;
+                ecc = ecc.max(dv + 1);
+                queue.push_back(u);
+            }
+        }
+    }
+    (depth, ecc)
+}
+
+/// Estimate the diameter by running BFS from `samples` random sources and
+/// taking the maximum observed eccentricity — the paper's "approximated
+/// diameter computed by multiple runs of random-sourced BFS" (Table II,
+/// entries marked ∗). A lower bound on the true diameter.
+pub fn estimate_diameter<V: Id, O: Id>(g: &Csr<V, O>, samples: usize, seed: u64) -> usize {
+    let n = g.n_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut best = 0;
+    for _ in 0..samples {
+        let src = V::from_usize(rng.gen_range(0..n));
+        let (_, ecc) = bfs_depths(g, src);
+        best = best.max(ecc);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BuildOptions, GraphBuilder};
+    use crate::coo::Coo;
+
+    fn path(n: usize) -> Csr<u32, u64> {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        GraphBuilder::build(&Coo::from_edges(n, edges, None), BuildOptions::default())
+    }
+
+    #[test]
+    fn degree_stats_on_a_path() {
+        let g = path(5);
+        let s = degree_stats(&g);
+        assert_eq!(s.n_vertices, 5);
+        assert_eq!(s.n_edges, 8, "undirected path has 2(n-1) directed edges");
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.isolated, 0);
+    }
+
+    #[test]
+    fn bfs_depths_on_a_path() {
+        let g = path(6);
+        let (d, ecc) = bfs_depths(&g, 0u32);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(ecc, 5);
+    }
+
+    #[test]
+    fn bfs_leaves_unreachable_at_max() {
+        let coo = Coo::from_edges(4, vec![(0, 1)], None);
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&coo);
+        let (d, _) = bfs_depths(&g, 0u32);
+        assert_eq!(d[2], usize::MAX);
+        assert_eq!(d[3], usize::MAX);
+    }
+
+    #[test]
+    fn diameter_estimate_is_a_lower_bound_and_finds_path_diameter() {
+        let g = path(16);
+        let est = estimate_diameter(&g, 16, 42);
+        assert!(est <= 15);
+        assert!(est >= 8, "with 16 samples on 16 vertices some source is near an end");
+    }
+
+    #[test]
+    fn diameter_of_empty_graph_is_zero() {
+        let g = Csr::<u32, u64>::empty(0);
+        assert_eq!(estimate_diameter(&g, 4, 1), 0);
+    }
+}

@@ -1,0 +1,422 @@
+//! Multi-GPU betweenness centrality (Brandes, single source per enact).
+//!
+//! BC is the one primitive whose phases want *different* communication
+//! strategies, which is what Table I's `H ∈ O(5|B_i| + 2(n−1)|L_i|)`
+//! encodes:
+//!
+//! * **Forward sweep** — a BFS that also counts shortest paths: selective
+//!   communication of `(label, σ)` pairs (the `5|B_i|` term — label +
+//!   path-count values over the border).
+//! * **σ-synchronization** — one superstep in which every GPU broadcasts the
+//!   authoritative `(label, σ)` of its owned vertices so every proxy is
+//!   correct before the backward sweep (part of the `2(n−1)|L_i|` term).
+//! * **Backward sweep** — dependency accumulation by descending depth;
+//!   each depth's `δ` values are broadcast so remote parents can read the
+//!   successors they need (the rest of the `2(n−1)|L_i|` term).
+//!
+//! Phase transitions are driven by the shared superstep reduction
+//! ([`MgpuProblem::after_superstep`]), so every GPU switches phase — and
+//! therefore communication strategy — in the same superstep.
+
+use mgpu_core::alloc::{AllocScheme, FrontierBufs};
+use mgpu_core::comm::CommStrategy;
+use mgpu_core::ops;
+use mgpu_core::problem::MgpuProblem;
+use mgpu_core::Runner;
+use mgpu_graph::Id;
+use mgpu_partition::{DistGraph, Duplication, SubGraph};
+use vgpu::sync::{Contribution, GlobalReduce};
+use vgpu::{Device, DeviceArray, KernelKind, Result, COMPUTE_STREAM};
+
+use crate::INF;
+
+/// Multi-GPU single-source betweenness centrality.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bc;
+
+/// Phase of the BC state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BcPhase {
+    /// BFS + path counting (selective comm).
+    Forward,
+    /// One-superstep broadcast of authoritative (label, σ).
+    SyncSigma,
+    /// Dependency accumulation by descending depth (broadcast comm).
+    Backward,
+    /// Finished.
+    Done,
+}
+
+/// Per-GPU BC state.
+#[derive(Debug)]
+pub struct BcState<V: Id> {
+    /// BFS depth labels over the duplicate-all space.
+    pub labels: DeviceArray<u32>,
+    /// Shortest-path counts σ.
+    pub sigma: DeviceArray<f32>,
+    /// Dependency values δ.
+    pub delta: DeviceArray<f32>,
+    /// Accumulated centrality for owned vertices.
+    pub bc: DeviceArray<f32>,
+    /// Owned vertices discovered at each depth (the backward sweep's
+    /// frontiers).
+    depth_frontiers: Vec<Vec<V>>,
+    /// Current phase.
+    pub phase: BcPhase,
+    /// Depth being processed by the backward sweep.
+    cur_depth: usize,
+    /// Deepest label assigned locally (contributed to the reduction so the
+    /// backward sweep starts from the *global* max depth).
+    max_depth: usize,
+    /// The source's local id if hosted here (its δ is not accumulated).
+    src: Option<V>,
+}
+
+impl<V: Id> BcState<V> {
+    fn note_discovery(&mut self, v: V, depth: u32, owned: bool) {
+        let d = depth as usize;
+        if d >= self.depth_frontiers.len() {
+            self.depth_frontiers.resize_with(d + 1, Vec::new);
+        }
+        if owned {
+            self.depth_frontiers[d].push(v);
+        }
+        self.max_depth = self.max_depth.max(d);
+    }
+}
+
+impl<V: Id, O: Id> MgpuProblem<V, O> for Bc {
+    type State = BcState<V>;
+    /// Forward / sync: `(label, σ)`. Backward: `(label, δ)`.
+    type Msg = (u32, f32);
+
+    fn name(&self) -> &'static str {
+        "BC"
+    }
+
+    fn duplication(&self) -> Duplication {
+        Duplication::All
+    }
+
+    fn comm(&self) -> CommStrategy {
+        CommStrategy::Selective
+    }
+
+    fn comm_now(&self, state: &Self::State) -> CommStrategy {
+        match state.phase {
+            BcPhase::Forward => CommStrategy::Selective,
+            _ => CommStrategy::Broadcast,
+        }
+    }
+
+    fn alloc_scheme(&self) -> AllocScheme {
+        AllocScheme::PreallocFusion { sizing_factor: 1.0 }
+    }
+
+    fn init(&self, dev: &mut Device, sub: &SubGraph<V, O>) -> Result<Self::State> {
+        assert_eq!(
+            sub.duplication,
+            Duplication::All,
+            "this primitive's local ids must equal global ids (duplicate-all)"
+        );
+        let n = sub.n_vertices();
+        Ok(BcState {
+            labels: dev.alloc(n)?,
+            sigma: dev.alloc(n)?,
+            delta: dev.alloc(n)?,
+            bc: dev.alloc(n)?,
+            depth_frontiers: Vec::new(),
+            phase: BcPhase::Forward,
+            cur_depth: 0,
+            max_depth: 0,
+            src: None,
+        })
+    }
+
+    fn reset(
+        &self,
+        dev: &mut Device,
+        _sub: &SubGraph<V, O>,
+        state: &mut Self::State,
+        src: Option<V>,
+    ) -> Result<Vec<V>> {
+        {
+            let BcState { labels, sigma, delta, bc, .. } = state;
+            dev.kernel(COMPUTE_STREAM, KernelKind::Bulk, || {
+                labels.as_mut_slice().fill(INF);
+                sigma.as_mut_slice().fill(0.0);
+                delta.as_mut_slice().fill(0.0);
+                bc.as_mut_slice().fill(0.0);
+                let n = labels.len();
+                ((), 4 * n as u64)
+            })?;
+        }
+        state.depth_frontiers = vec![Vec::new()];
+        state.phase = BcPhase::Forward;
+        state.cur_depth = 0;
+        state.max_depth = 0;
+        state.src = src;
+        Ok(match src {
+            Some(s) => {
+                state.labels[s.idx()] = 0;
+                state.sigma[s.idx()] = 1.0;
+                state.depth_frontiers[0].push(s);
+                vec![s]
+            }
+            None => Vec::new(),
+        })
+    }
+
+    fn iteration(
+        &self,
+        dev: &mut Device,
+        sub: &SubGraph<V, O>,
+        state: &mut Self::State,
+        _bufs: &mut FrontierBufs<V>,
+        input: &[V],
+        iter: usize,
+    ) -> Result<Vec<V>> {
+        match state.phase {
+            BcPhase::Forward => {
+                let next = iter as u32 + 1;
+                // Fused advance: discover + accumulate σ along tree edges.
+                let BcState { labels, sigma, .. } = state;
+                let discovered = ops::advance_filter_fused(dev, sub, input, |s, _, d| {
+                    if labels[d.idx()] == INF {
+                        labels[d.idx()] = next;
+                        sigma[d.idx()] += sigma[s.idx()];
+                        Some(d)
+                    } else if labels[d.idx()] == next {
+                        sigma[d.idx()] += sigma[s.idx()];
+                        None
+                    } else {
+                        None
+                    }
+                })?;
+                for &v in &discovered {
+                    let owned = sub.is_owned(v);
+                    state.note_discovery(v, next, owned);
+                }
+                Ok(discovered)
+            }
+            BcPhase::SyncSigma => {
+                // Broadcast authoritative (label, σ) for every owned vertex.
+                let owned: Vec<V> = (0..sub.n_vertices())
+                    .map(V::from_usize)
+                    .filter(|&v| sub.is_owned(v))
+                    .collect();
+                let count = owned.len() as u64;
+                dev.kernel(COMPUTE_STREAM, KernelKind::Compute, || ((), count))?;
+                Ok(owned)
+            }
+            BcPhase::Backward => {
+                let d = state.cur_depth;
+                let frontier: Vec<V> = state
+                    .depth_frontiers
+                    .get(d)
+                    .cloned()
+                    .unwrap_or_default();
+                let next_depth = d as u32 + 1;
+                {
+                    let BcState { labels, sigma, delta, .. } = state;
+                    // advance over the frontier's out-edges: accumulate δ
+                    // from successors one depth deeper.
+                    ops::advance_filter_fused(dev, sub, &frontier, |s, _, w| {
+                        if labels[w.idx()] == next_depth && sigma[w.idx()] > 0.0 {
+                            delta[s.idx()] +=
+                                sigma[s.idx()] / sigma[w.idx()] * (1.0 + delta[w.idx()]);
+                        }
+                        None::<V>
+                    })?;
+                }
+                // accumulate centrality (the source contributes nothing)
+                let src = state.src;
+                let BcState { delta, bc, .. } = state;
+                let count = frontier.len() as u64;
+                dev.kernel(COMPUTE_STREAM, KernelKind::Compute, || {
+                    for &v in &frontier {
+                        if Some(v) != src {
+                            bc[v.idx()] += delta[v.idx()];
+                        }
+                    }
+                    ((), count)
+                })?;
+                // Broadcast this depth's δ so remote parents can read it.
+                Ok(frontier)
+            }
+            BcPhase::Done => Ok(Vec::new()),
+        }
+    }
+
+    fn package(&self, state: &Self::State, v: V) -> (u32, f32) {
+        match state.phase {
+            BcPhase::Forward | BcPhase::SyncSigma => {
+                (state.labels[v.idx()], state.sigma[v.idx()])
+            }
+            _ => (state.labels[v.idx()], state.delta[v.idx()]),
+        }
+    }
+
+    fn combine(&self, state: &mut Self::State, v: V, msg: &(u32, f32)) -> bool {
+        match state.phase {
+            BcPhase::Forward => {
+                let (label, sig) = *msg;
+                if label < state.labels[v.idx()] {
+                    state.labels[v.idx()] = label;
+                    state.sigma[v.idx()] = sig;
+                    state.note_discovery(v, label, true); // selective ⇒ owned
+                    true
+                } else if label == state.labels[v.idx()] {
+                    state.sigma[v.idx()] += sig;
+                    false
+                } else {
+                    false
+                }
+            }
+            BcPhase::SyncSigma => {
+                // Authoritative override of proxy values (each vertex is
+                // owned by exactly one sender, so no double counting).
+                let (label, sig) = *msg;
+                state.labels[v.idx()] = label;
+                state.sigma[v.idx()] = sig;
+                false
+            }
+            BcPhase::Backward => {
+                state.delta[v.idx()] = msg.1;
+                false
+            }
+            BcPhase::Done => false,
+        }
+    }
+
+    fn locally_done(&self, state: &Self::State, _next_input: &[V]) -> bool {
+        state.phase == BcPhase::Done
+    }
+
+    fn contribution(&self, state: &Self::State, next_input: &[V]) -> Contribution {
+        Contribution {
+            u64_add: next_input.len() as u64,
+            f64_max: state.max_depth as f64,
+            ..Contribution::default()
+        }
+    }
+
+    fn after_superstep(&self, state: &mut Self::State, reduce: &GlobalReduce, _iter: usize) {
+        match state.phase {
+            BcPhase::Forward => {
+                if reduce.u64_sum == 0 {
+                    // BFS exhausted everywhere; the global deepest level is
+                    // the reduction's max.
+                    state.phase = BcPhase::SyncSigma;
+                    state.cur_depth = reduce.f64_max.max(0.0) as usize;
+                }
+            }
+            BcPhase::SyncSigma => {
+                state.phase = if state.cur_depth == 0 {
+                    BcPhase::Done // single-vertex traversal
+                } else {
+                    BcPhase::Backward
+                };
+            }
+            BcPhase::Backward => {
+                if state.cur_depth <= 1 {
+                    state.phase = BcPhase::Done;
+                } else {
+                    state.cur_depth -= 1;
+                }
+            }
+            BcPhase::Done => {}
+        }
+    }
+}
+
+/// Gather centrality scores into global vertex order.
+pub fn gather_bc<V: Id, O: Id>(runner: &Runner<'_, V, O, Bc>, dist: &DistGraph<V, O>) -> Vec<f32> {
+    crate::bfs::gather(dist, |gpu, local| runner.state(gpu).bc[local.idx()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgpu_core::EnactConfig;
+    use mgpu_gen::gnm;
+    use mgpu_graph::{Coo, Csr, GraphBuilder};
+    use vgpu::{HardwareProfile, SimSystem};
+
+    fn run_bc(g: &Csr<u32, u64>, n_gpus: usize, src: u32) -> Vec<f32> {
+        let owner: Vec<u32> = (0..g.n_vertices()).map(|v| (v % n_gpus) as u32).collect();
+        let dist = DistGraph::build(g, owner, n_gpus, Duplication::All);
+        let system = SimSystem::homogeneous(n_gpus, HardwareProfile::k40());
+        let mut runner = Runner::new(system, &dist, Bc, EnactConfig::default()).unwrap();
+        runner.enact(Some(src)).unwrap();
+        gather_bc(&runner, &dist)
+    }
+
+    fn assert_close(ours: &[f32], reference: &[f64], tol: f64) {
+        for (i, (&a, &b)) in ours.iter().zip(reference).enumerate() {
+            assert!((a as f64 - b).abs() <= tol * (1.0 + b.abs()), "vertex {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn path_graph_dependencies() {
+        let coo = Coo::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)], None);
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&coo);
+        for n in [1, 2, 3] {
+            let bc = run_bc(&g, n, 0);
+            assert_close(&bc, &crate::reference::bc(&g, 0u32), 1e-5);
+        }
+    }
+
+    #[test]
+    fn diamond_splits_dependency() {
+        // two shortest paths 0→3: σ(3)=2, each middle vertex carries 0.5
+        let coo = Coo::from_edges(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)], None);
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&coo);
+        let bc = run_bc(&g, 2, 0);
+        assert_close(&bc, &crate::reference::bc(&g, 0u32), 1e-5);
+        assert!((bc[1] - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn random_graph_matches_brandes_across_gpu_counts() {
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&gnm(80, 320, 33));
+        let expect = crate::reference::bc(&g, 7u32);
+        for n in [1, 2, 4] {
+            assert_close(&run_bc(&g, n, 7), &expect, 1e-3);
+        }
+    }
+
+    #[test]
+    fn isolated_source_scores_zero_everywhere() {
+        let coo = Coo::from_edges(4, vec![(1, 2)], None);
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&coo);
+        let bc = run_bc(&g, 2, 0);
+        assert!(bc.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn multi_source_accumulation_via_repeated_enacts() {
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&gnm(40, 160, 5));
+        let owner: Vec<u32> = (0..40).map(|v| (v % 2) as u32).collect();
+        let dist = DistGraph::build(&g, owner, 2, Duplication::All);
+        let system = SimSystem::homogeneous(2, HardwareProfile::k40());
+        let mut runner = Runner::new(system, &dist, Bc, EnactConfig::default()).unwrap();
+        let mut total = vec![0.0f64; 40];
+        for src in [0u32, 5, 11] {
+            runner.enact(Some(src)).unwrap();
+            for (t, &x) in total.iter_mut().zip(gather_bc(&runner, &dist).iter()) {
+                *t += x as f64;
+            }
+        }
+        let mut expect = vec![0.0f64; 40];
+        for src in [0u32, 5, 11] {
+            for (t, x) in expect.iter_mut().zip(crate::reference::bc(&g, src)) {
+                *t += x;
+            }
+        }
+        for (i, (&a, &b)) in total.iter().zip(&expect).enumerate() {
+            assert!((a - b).abs() <= 1e-3 * (1.0 + b.abs()), "vertex {i}: {a} vs {b}");
+        }
+    }
+}

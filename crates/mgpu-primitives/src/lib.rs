@@ -1,0 +1,38 @@
+//! # mgpu-primitives — the paper's six graph primitives
+//!
+//! Each primitive implements [`mgpu_core::MgpuProblem`] with exactly the
+//! per-primitive choices of Table I / §IV:
+//!
+//! | primitive | duplication | communication | W | H |
+//! |---|---|---|---|---|
+//! | [`bfs::Bfs`] | duplicate-all | selective | O(\|E_i\|) | O(\|B_i\|) |
+//! | [`dobfs::Dobfs`] | duplicate-all | broadcast | O(a·\|E_i\|) | O((n−1)·\|V\|) |
+//! | [`sssp::Sssp`] | duplicate-all | selective | O(b·\|E_i\|) | O(2b·\|B_i\|) |
+//! | [`bc::Bc`] | duplicate-all | selective fwd / broadcast bwd | O(2\|E_i\|) | O(5\|B_i\| + 2(n−1)\|L_i\|) |
+//! | [`cc::Cc`] | duplicate-all | broadcast | log(D/2)·O(\|E_i\|) | S·O(2\|V_i\|) |
+//! | [`pr::Pagerank`] | duplicate-all | selective | S·O(\|E_i\|) | S·O(\|B_i\|) |
+//!
+//! [`reference`] holds sequential CPU implementations of every primitive;
+//! the test suites validate multi-GPU results against them exactly.
+
+pub mod bc;
+pub mod bfs;
+pub mod bfs_pred;
+pub mod cc;
+pub mod dobfs;
+pub mod pr;
+pub mod reference;
+pub mod sssp;
+pub mod sssp_delta;
+
+pub use bc::Bc;
+pub use bfs::Bfs;
+pub use cc::Cc;
+pub use dobfs::Dobfs;
+pub use bfs_pred::BfsPred;
+pub use pr::Pagerank;
+pub use sssp::Sssp;
+pub use sssp_delta::SsspDelta;
+
+/// Unreached/unvisited marker for label and distance arrays.
+pub const INF: u32 = u32::MAX;

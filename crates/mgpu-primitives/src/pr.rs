@@ -1,0 +1,310 @@
+//! Multi-GPU PageRank (Algorithm 3).
+//!
+//! * **Vertex duplication:** either works; like the paper we use
+//!   duplicate-all "to better trace the program".
+//! * **Computation:** a filter kernel updating the PR values (except on the
+//!   first iteration), followed by an advance kernel accumulating rank
+//!   shares along out-edges. `W ∈ O(|E_i|)` per iteration.
+//! * **Communication:** selective. "The remote sub-frontiers do not change
+//!   over iterations. We get all these sub-frontiers during the
+//!   initialization step, and only send ranking values during actual
+//!   computation" — each iteration pushes locally accumulated rank mass of
+//!   each border vertex to its hosting GPU. `H ∈ O(|B_i|)` per iteration.
+//! * **Combination:** atomicAdd of received partial rank into the local
+//!   accumulator.
+//! * **Convergence:** when the global sum of rank updates falls below a
+//!   threshold, or at the iteration cap.
+
+use mgpu_core::alloc::{AllocScheme, FrontierBufs};
+use mgpu_core::comm::CommStrategy;
+use mgpu_core::ops;
+use mgpu_core::problem::MgpuProblem;
+use mgpu_core::Runner;
+use mgpu_graph::Id;
+use mgpu_partition::{DistGraph, Duplication, SubGraph};
+use vgpu::sync::{Contribution, GlobalReduce};
+use vgpu::{Device, DeviceArray, KernelKind, Result, COMPUTE_STREAM};
+
+/// Multi-GPU PageRank.
+#[derive(Debug, Clone, Copy)]
+pub struct Pagerank {
+    /// Damping factor (0.85 is customary).
+    pub damping: f64,
+    /// Stop when the global sum of |rank updates| in one iteration falls
+    /// below this ("all ranking value updates are smaller than a pre-defined
+    /// threshold"). Set to 0.0 to always run to `max_iters`.
+    pub threshold: f64,
+    /// Maximum number of rank-update iterations.
+    pub max_iters: usize,
+}
+
+impl Default for Pagerank {
+    fn default() -> Self {
+        Pagerank { damping: 0.85, threshold: 0.0, max_iters: 30 }
+    }
+}
+
+/// Per-GPU PageRank state.
+#[derive(Debug)]
+pub struct PrState {
+    /// Authoritative ranks for owned vertices (junk elsewhere).
+    pub ranks: DeviceArray<f32>,
+    /// Per-iteration accumulated rank mass over the whole local space
+    /// (owned and proxy vertices alike).
+    accum: DeviceArray<f32>,
+    /// Owned vertices (the compute frontier, fixed).
+    owned: Vec<usize>,
+    /// Border vertices: proxies with local in-edges — the fixed remote
+    /// sub-frontier computed at init.
+    border: Vec<usize>,
+    /// Sum of |rank change| in the last update step.
+    last_delta: f64,
+    n_global: usize,
+}
+
+impl<V: Id, O: Id> MgpuProblem<V, O> for Pagerank {
+    type State = PrState;
+    type Msg = f32;
+
+    fn name(&self) -> &'static str {
+        "PR"
+    }
+
+    fn duplication(&self) -> Duplication {
+        Duplication::All
+    }
+
+    fn comm(&self) -> CommStrategy {
+        CommStrategy::Selective
+    }
+
+    fn alloc_scheme(&self) -> AllocScheme {
+        // "we use fixed preallocation for CC and PR, as their memory
+        // requirements can be determined before running" (§VI-B)
+        AllocScheme::Fixed { sizing_factor: 1.0 }
+    }
+
+    fn init(&self, dev: &mut Device, sub: &SubGraph<V, O>) -> Result<Self::State> {
+        assert_eq!(
+            sub.duplication,
+            Duplication::All,
+            "this primitive's local ids must equal global ids (duplicate-all)"
+        );
+        let n = sub.n_vertices();
+        let ranks = dev.alloc(n)?;
+        let accum = dev.alloc(n)?;
+        // One pass over local edges discovers the fixed border sub-frontier.
+        let (owned, border) = dev.kernel(COMPUTE_STREAM, KernelKind::Bulk, || {
+            let mut owned = Vec::new();
+            let mut is_border = vec![false; n];
+            for v in 0..n {
+                let vid = V::from_usize(v);
+                if sub.is_owned(vid) {
+                    owned.push(v);
+                    for &d in sub.csr.neighbors(vid) {
+                        if !sub.is_owned(d) {
+                            is_border[d.idx()] = true;
+                        }
+                    }
+                }
+            }
+            let border: Vec<usize> = (0..n).filter(|&v| is_border[v]).collect();
+            ((owned, border), (n + sub.n_edges()) as u64)
+        })?;
+        Ok(PrState {
+            ranks,
+            accum,
+            owned,
+            border,
+            last_delta: f64::INFINITY,
+            // n_global is filled in reset (the dist graph isn't visible
+            // here beyond the subgraph, whose dup-all space *is* global).
+            n_global: n,
+        })
+    }
+
+    fn reset(
+        &self,
+        dev: &mut Device,
+        _sub: &SubGraph<V, O>,
+        state: &mut Self::State,
+        _src: Option<V>,
+    ) -> Result<Vec<V>> {
+        let init_rank = 1.0f32 / state.n_global as f32;
+        let PrState { ranks, accum, .. } = state;
+        dev.kernel(COMPUTE_STREAM, KernelKind::Bulk, || {
+            ranks.as_mut_slice().fill(init_rank);
+            accum.as_mut_slice().fill(0.0);
+            let n = ranks.len();
+            ((), 2 * n as u64)
+        })?;
+        state.last_delta = f64::INFINITY;
+        Ok(state.owned.iter().map(|&v| V::from_usize(v)).collect())
+    }
+
+    fn iteration(
+        &self,
+        dev: &mut Device,
+        sub: &SubGraph<V, O>,
+        state: &mut Self::State,
+        bufs: &mut FrontierBufs<V>,
+        _input: &[V],
+        iter: usize,
+    ) -> Result<Vec<V>> {
+        let n_global = state.n_global;
+        // Filter step: apply accumulated mass to owned ranks (skipped on the
+        // first iteration, which only spreads the uniform initial ranks).
+        if iter > 0 {
+            let damping = self.damping as f32;
+            let base = (1.0 - self.damping) as f32 / n_global as f32;
+            let PrState { ranks, accum, owned, .. } = state;
+            let delta = ops::compute(dev, owned.len() as u64, || {
+                let mut delta = 0.0f64;
+                for &v in owned.iter() {
+                    let new = base + damping * accum[v];
+                    delta += (new - ranks[v]).abs() as f64;
+                    ranks[v] = new;
+                }
+                delta
+            })?;
+            state.last_delta = delta;
+            // Zero the accumulators for the next round (all local vertices,
+            // proxies included).
+            let accum = &mut state.accum;
+            dev.kernel(COMPUTE_STREAM, KernelKind::Bulk, || {
+                accum.as_mut_slice().fill(0.0);
+                let n = accum.len();
+                ((), n as u64)
+            })?;
+        }
+        // Advance step: spread rank shares along local out-edges.
+        let owned_frontier: Vec<V> = state.owned.iter().map(|&v| V::from_usize(v)).collect();
+        let PrState { ranks, accum, .. } = state;
+        ops::advance(dev, sub, bufs, &owned_frontier, |s, _, d| {
+            let deg = sub.csr.degree(s);
+            debug_assert!(deg > 0, "advance only visits vertices with out-edges");
+            accum[d.idx()] += ranks[s.idx()] / deg as f32;
+            None
+        })?;
+        // The fixed remote sub-frontier: border proxies carrying their
+        // accumulated mass to their hosts.
+        Ok(state.border.iter().map(|&v| V::from_usize(v)).collect())
+    }
+
+    fn package(&self, state: &Self::State, v: V) -> f32 {
+        state.accum[v.idx()]
+    }
+
+    fn combine(&self, state: &mut Self::State, v: V, msg: &f32) -> bool {
+        state.accum[v.idx()] += *msg; // the paper's atomicAdd
+        false
+    }
+
+    fn locally_done(&self, _state: &Self::State, _next_input: &[V]) -> bool {
+        false // PR stops via the global residual, not empty frontiers
+    }
+
+    fn contribution(&self, state: &Self::State, _next_input: &[V]) -> Contribution {
+        Contribution { f64_add: state.last_delta, ..Contribution::default() }
+    }
+
+    fn globally_done(&self, reduce: &GlobalReduce, iter: usize) -> bool {
+        iter >= 2 && reduce.f64_sum < self.threshold
+    }
+
+    fn max_iterations(&self) -> usize {
+        // iteration 0 spreads, iterations 1..=max_iters apply+spread
+        self.max_iters + 1
+    }
+}
+
+/// Gather final ranks from a finished runner into global vertex order.
+pub fn gather_ranks<V: Id, O: Id>(
+    runner: &Runner<'_, V, O, Pagerank>,
+    dist: &DistGraph<V, O>,
+) -> Vec<f32> {
+    crate::bfs::gather(dist, |gpu, local| runner.state(gpu).ranks[local.idx()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgpu_core::EnactConfig;
+    use mgpu_gen::{gnm, preferential_attachment};
+    use mgpu_graph::{Csr, GraphBuilder};
+    use vgpu::{HardwareProfile, SimSystem};
+
+    fn run_pr(g: &Csr<u32, u64>, n_gpus: usize, pr: Pagerank) -> (Vec<f32>, mgpu_core::EnactReport) {
+        let owner: Vec<u32> = (0..g.n_vertices()).map(|v| (v % n_gpus) as u32).collect();
+        let dist = DistGraph::build(g, owner, n_gpus, Duplication::All);
+        let system = SimSystem::homogeneous(n_gpus, HardwareProfile::k40());
+        let mut runner = Runner::new(system, &dist, pr, EnactConfig::default()).unwrap();
+        let report = runner.enact(None).unwrap();
+        (gather_ranks(&runner, &dist), report)
+    }
+
+    fn assert_close(ours: &[f32], reference: &[f64], tol: f64) {
+        for (i, (&a, &b)) in ours.iter().zip(reference).enumerate() {
+            assert!(
+                (a as f64 - b).abs() <= tol * b.abs().max(1e-12),
+                "vertex {i}: ours {a} vs reference {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_power_iteration_across_gpu_counts() {
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&gnm(100, 600, 21));
+        let pr = Pagerank { damping: 0.85, threshold: 0.0, max_iters: 20 };
+        let reference = crate::reference::pagerank(&g, 0.85, 20);
+        for n in [1, 2, 3, 4] {
+            let (ranks, report) = run_pr(&g, n, pr);
+            assert_close(&ranks, &reference, 1e-3);
+            assert_eq!(report.iterations, 21, "{n} GPUs: 1 spread + 20 updates");
+        }
+    }
+
+    #[test]
+    fn rank_sum_is_conserved_without_dangling_vertices() {
+        let g: Csr<u32, u64> =
+            GraphBuilder::undirected(&preferential_attachment(200, 4, 3));
+        let (ranks, _) = run_pr(&g, 2, Pagerank { max_iters: 15, ..Default::default() });
+        let sum: f64 = ranks.iter().map(|&r| r as f64).sum();
+        assert!((sum - 1.0).abs() < 1e-3, "sum {sum}");
+    }
+
+    #[test]
+    fn threshold_stops_early() {
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&gnm(50, 300, 5));
+        let loose = Pagerank { damping: 0.85, threshold: 1e-2, max_iters: 100 };
+        let (_, report) = run_pr(&g, 2, loose);
+        assert!(
+            report.iterations < 50,
+            "threshold should stop early, ran {}",
+            report.iterations
+        );
+    }
+
+    #[test]
+    fn communication_volume_is_border_bound_per_iteration() {
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&gnm(100, 500, 8));
+        let pr = Pagerank { damping: 0.85, threshold: 0.0, max_iters: 10 };
+        let (_, report) = run_pr(&g, 2, pr);
+        let iters = report.iterations as u64;
+        // each iteration each GPU sends at most its border (≤ |V|) vertices
+        assert!(report.totals.h_vertices <= iters * 2 * 100);
+        assert!(report.totals.h_vertices > 0);
+    }
+
+    #[test]
+    fn isolated_vertices_keep_base_rank() {
+        let mut coo = gnm(40, 150, 2);
+        coo.n_vertices = 44; // 4 isolated vertices appended
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&coo);
+        let (ranks, _) = run_pr(&g, 2, Pagerank { max_iters: 10, ..Default::default() });
+        let base = (1.0 - 0.85) / 44.0;
+        for v in 40..44 {
+            assert!((ranks[v] as f64 - base).abs() < 1e-6);
+        }
+    }
+}

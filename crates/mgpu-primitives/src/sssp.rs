@@ -1,0 +1,222 @@
+//! Multi-GPU single-source shortest paths (Table I row 3).
+//!
+//! Frontier-based Bellman–Ford relaxation, as in Gunrock: an advance kernel
+//! relaxes the out-edges of the frontier (atomicMin on distances), a filter
+//! kernel deduplicates the output frontier with a per-iteration visit stamp.
+//! Vertices may re-enter the frontier when a shorter path arrives later —
+//! the `b` factor of the paper's cost model (`W ∈ O(b·|E_i|)`,
+//! `H ∈ O(2b·|B_i|)`, `S ≈ b·D/2`).
+//!
+//! Duplication and communication follow BFS: duplicate-all + selective; the
+//! message is the new distance.
+
+use mgpu_core::alloc::{AllocScheme, FrontierBufs};
+use mgpu_core::comm::CommStrategy;
+use mgpu_core::ops;
+use mgpu_core::problem::MgpuProblem;
+use mgpu_core::Runner;
+use mgpu_graph::Id;
+use mgpu_partition::{DistGraph, Duplication, SubGraph};
+use vgpu::{Device, DeviceArray, KernelKind, Result, COMPUTE_STREAM};
+
+use crate::bfs::gather;
+use crate::INF;
+
+/// Multi-GPU SSSP.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sssp;
+
+/// Per-GPU SSSP state.
+#[derive(Debug)]
+pub struct SsspState {
+    /// Tentative distances, `INF` = unreached. Indexed by local vertex id.
+    pub dists: DeviceArray<u32>,
+    /// Per-iteration visit stamps for frontier deduplication: `stamp[v]`
+    /// holds the last iteration in which `v` entered the output frontier.
+    stamp: DeviceArray<u32>,
+}
+
+impl<V: Id, O: Id> MgpuProblem<V, O> for Sssp {
+    type State = SsspState;
+    type Msg = u32;
+
+    fn name(&self) -> &'static str {
+        "SSSP"
+    }
+
+    fn duplication(&self) -> Duplication {
+        Duplication::All
+    }
+
+    fn comm(&self) -> CommStrategy {
+        CommStrategy::Selective
+    }
+
+    fn alloc_scheme(&self) -> AllocScheme {
+        AllocScheme::PreallocFusion { sizing_factor: 1.0 }
+    }
+
+    fn init(&self, dev: &mut Device, sub: &SubGraph<V, O>) -> Result<Self::State> {
+        Ok(SsspState {
+            dists: dev.alloc(sub.n_vertices())?,
+            stamp: dev.alloc(sub.n_vertices())?,
+        })
+    }
+
+    fn reset(
+        &self,
+        dev: &mut Device,
+        _sub: &SubGraph<V, O>,
+        state: &mut Self::State,
+        src: Option<V>,
+    ) -> Result<Vec<V>> {
+        let SsspState { dists, stamp } = state;
+        dev.kernel(COMPUTE_STREAM, KernelKind::Bulk, || {
+            dists.as_mut_slice().fill(INF);
+            stamp.as_mut_slice().fill(INF);
+            let n = dists.len();
+            ((), 2 * n as u64)
+        })?;
+        Ok(match src {
+            Some(s) => {
+                state.dists[s.idx()] = 0;
+                vec![s]
+            }
+            None => Vec::new(),
+        })
+    }
+
+    fn iteration(
+        &self,
+        dev: &mut Device,
+        sub: &SubGraph<V, O>,
+        state: &mut Self::State,
+        bufs: &mut FrontierBufs<V>,
+        input: &[V],
+        iter: usize,
+    ) -> Result<Vec<V>> {
+        let it = iter as u32;
+        let SsspState { dists, stamp } = state;
+        if bufs.scheme().fused() {
+            ops::advance_filter_fused(dev, sub, input, |s, e, d| {
+                let nd = dists[s.idx()].saturating_add(sub.csr.edge_weight(e));
+                if nd < dists[d.idx()] {
+                    dists[d.idx()] = nd;
+                    if stamp[d.idx()] != it {
+                        stamp[d.idx()] = it;
+                        return Some(d);
+                    }
+                }
+                None
+            })
+        } else {
+            let relaxed = ops::advance(dev, sub, bufs, input, |s, e, d| {
+                let nd = dists[s.idx()].saturating_add(sub.csr.edge_weight(e));
+                if nd < dists[d.idx()] {
+                    dists[d.idx()] = nd;
+                    Some(d)
+                } else {
+                    None
+                }
+            })?;
+            ops::filter(dev, &relaxed, |v| {
+                if stamp[v.idx()] != it {
+                    stamp[v.idx()] = it;
+                    true
+                } else {
+                    false
+                }
+            })
+        }
+    }
+
+    fn package(&self, state: &Self::State, v: V) -> u32 {
+        state.dists[v.idx()]
+    }
+
+    fn combine(&self, state: &mut Self::State, v: V, msg: &u32) -> bool {
+        if *msg < state.dists[v.idx()] {
+            state.dists[v.idx()] = *msg;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Gather final distances from a finished runner into global vertex order.
+pub fn gather_dists<V: Id, O: Id>(
+    runner: &Runner<'_, V, O, Sssp>,
+    dist: &DistGraph<V, O>,
+) -> Vec<u32> {
+    gather(dist, |gpu, local| runner.state(gpu).dists[local.idx()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgpu_core::EnactConfig;
+    use mgpu_gen::weights::add_paper_weights;
+    use mgpu_gen::gnm;
+    use mgpu_graph::{Coo, Csr, GraphBuilder};
+    use vgpu::{HardwareProfile, SimSystem};
+
+    fn run_sssp(g: &Csr<u32, u64>, n_gpus: usize, src: u32) -> Vec<u32> {
+        let owner: Vec<u32> = (0..g.n_vertices()).map(|v| (v % n_gpus) as u32).collect();
+        let dist = DistGraph::build(g, owner, n_gpus, Duplication::All);
+        let system = SimSystem::homogeneous(n_gpus, HardwareProfile::k40());
+        let mut runner = Runner::new(system, &dist, Sssp, EnactConfig::default()).unwrap();
+        runner.enact(Some(src)).unwrap();
+        gather_dists(&runner, &dist)
+    }
+
+    #[test]
+    fn weighted_diamond_takes_cheap_path() {
+        let coo =
+            Coo::from_edges(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)], Some(vec![1, 4, 1, 1]));
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&coo);
+        for n in [1, 2, 3] {
+            assert_eq!(run_sssp(&g, n, 0), crate::reference::sssp(&g, 0u32), "{n} GPUs");
+        }
+    }
+
+    #[test]
+    fn zero_weight_edges_are_handled() {
+        let coo = Coo::from_edges(3, vec![(0, 1), (1, 2)], Some(vec![0, 0]));
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&coo);
+        assert_eq!(run_sssp(&g, 2, 0), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn random_graph_matches_dijkstra_across_gpu_counts() {
+        let mut coo = gnm(120, 600, 42);
+        add_paper_weights(&mut coo, 7);
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&coo);
+        let expect = crate::reference::sssp(&g, 5u32);
+        for n in [1, 2, 4, 6] {
+            assert_eq!(run_sssp(&g, n, 5), expect, "{n} GPUs");
+        }
+    }
+
+    #[test]
+    fn unweighted_graph_degenerates_to_bfs() {
+        let coo = gnm(60, 240, 3);
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&coo);
+        assert_eq!(run_sssp(&g, 2, 0), crate::reference::bfs(&g, 0u32));
+    }
+
+    #[test]
+    fn unfused_path_agrees() {
+        let mut coo = gnm(80, 400, 9);
+        add_paper_weights(&mut coo, 11);
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&coo);
+        let owner: Vec<u32> = (0..80).map(|v| (v % 3) as u32).collect();
+        let dist = DistGraph::build(&g, owner, 3, Duplication::All);
+        let system = SimSystem::homogeneous(3, HardwareProfile::k40());
+        let config =
+            EnactConfig { alloc_scheme: Some(AllocScheme::JustEnough), ..Default::default() };
+        let mut runner = Runner::new(system, &dist, Sssp, config).unwrap();
+        runner.enact(Some(0u32)).unwrap();
+        assert_eq!(gather_dists(&runner, &dist), crate::reference::sssp(&g, 0u32));
+    }
+}

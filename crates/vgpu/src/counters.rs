@@ -1,0 +1,87 @@
+//! BSP cost counters: the W / H / C / S / l bookkeeping of §III-A.
+//!
+//! The paper analyzes every primitive in the BSP model `T = W + H·g + S·l`
+//! with an additional term `C` for *communication computation* (the work
+//! required to facilitate inter-GPU communication: frontier splitting,
+//! packaging, combining). Each device keeps one [`BspCounters`] instance and
+//! every kernel launch / transfer / superstep updates it, so experiments can
+//! report measured W, H, C and S next to the paper's analytic orders
+//! (Table I).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-device BSP accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct BspCounters {
+    /// Local computation items processed by primitive kernels (W).
+    pub w_items: u64,
+    /// Items processed by communication-computation kernels: split, package,
+    /// combine (C).
+    pub c_items: u64,
+    /// Bytes sent to remote devices (H, outbound).
+    pub h_bytes_sent: u64,
+    /// Bytes received from remote devices (inbound H).
+    pub h_bytes_recv: u64,
+    /// Number of outbound messages (package pushes).
+    pub h_messages: u64,
+    /// Vertices sent to remote devices (the unit Table I counts H in).
+    pub h_vertices: u64,
+    /// Supersteps (iterations) completed (S).
+    pub supersteps: u64,
+    /// Kernel launches performed.
+    pub kernel_launches: u64,
+    /// Simulated microseconds spent inside primitive kernels.
+    pub w_time_us: f64,
+    /// Simulated microseconds spent inside communication-computation kernels.
+    pub c_time_us: f64,
+    /// Simulated microseconds of transfer occupancy on this device's
+    /// communication stream.
+    pub h_time_us: f64,
+    /// Simulated microseconds charged as synchronization overhead (S·l).
+    pub sync_time_us: f64,
+}
+
+impl BspCounters {
+    /// Element-wise accumulation (for aggregating a system's devices).
+    pub fn merge(&mut self, other: &BspCounters) {
+        self.w_items += other.w_items;
+        self.c_items += other.c_items;
+        self.h_bytes_sent += other.h_bytes_sent;
+        self.h_bytes_recv += other.h_bytes_recv;
+        self.h_messages += other.h_messages;
+        self.h_vertices += other.h_vertices;
+        self.supersteps = self.supersteps.max(other.supersteps);
+        self.kernel_launches += other.kernel_launches;
+        self.w_time_us += other.w_time_us;
+        self.c_time_us += other.c_time_us;
+        self.h_time_us += other.h_time_us;
+        self.sync_time_us += other.sync_time_us;
+    }
+
+    /// Reset all counters to zero (between traversals of the same problem).
+    pub fn reset(&mut self) {
+        *self = BspCounters::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_work_and_maxes_supersteps() {
+        let mut a = BspCounters { w_items: 10, supersteps: 5, ..Default::default() };
+        let b = BspCounters { w_items: 7, supersteps: 3, h_bytes_sent: 64, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.w_items, 17);
+        assert_eq!(a.supersteps, 5, "supersteps are a global iteration count, not additive");
+        assert_eq!(a.h_bytes_sent, 64);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut c = BspCounters { w_items: 1, w_time_us: 2.0, ..Default::default() };
+        c.reset();
+        assert_eq!(c, BspCounters::default());
+    }
+}

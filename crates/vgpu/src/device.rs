@@ -1,0 +1,387 @@
+//! A virtual GPU: streams, memory pool, clock and metered kernel launches.
+
+use crate::counters::BspCounters;
+use crate::error::{Result, VgpuError};
+use crate::memory::{DeviceArray, MemoryPool};
+use crate::profile::HardwareProfile;
+use crate::stream::{Event, Stream, StreamId};
+
+/// The kind of kernel being launched; selects which calibrated throughput of
+/// the [`HardwareProfile`] meters the work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Edge-centric traversal kernel (Gunrock *advance*); work unit = edges.
+    Advance,
+    /// Vertex-centric selection kernel (Gunrock *filter*); work unit =
+    /// vertices.
+    Filter,
+    /// A fused advance+filter kernel (§VI-C); work unit = edges. One launch
+    /// instead of two and no intermediate frontier in memory.
+    FusedAdvanceFilter,
+    /// Per-element compute kernel; work unit = elements.
+    Compute,
+    /// Atomic-heavy communication-computation kernel (`Expand_Incoming`
+    /// combiner, frontier split with atomic output cursors).
+    Combine,
+    /// Frontier split / package kernel (communication computation).
+    Split,
+    /// Bulk bookkeeping: memset, scan, compact, copy.
+    Bulk,
+}
+
+impl KernelKind {
+    /// Does this kernel count toward W (primitive computation) or C
+    /// (communication computation) in the BSP accounting?
+    pub fn is_communication_computation(self) -> bool {
+        matches!(self, KernelKind::Combine | KernelKind::Split)
+    }
+
+    /// Trace label for the profiler.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Advance => "advance",
+            KernelKind::Filter => "filter",
+            KernelKind::FusedAdvanceFilter => "advance+filter",
+            KernelKind::Compute => "compute",
+            KernelKind::Combine => "combine",
+            KernelKind::Split => "split",
+            KernelKind::Bulk => "bulk",
+        }
+    }
+}
+
+/// Conventional stream assignment used by the framework: stream 0 computes,
+/// stream 1 communicates, mirroring the paper's separation of computation and
+/// communication into different CUDA streams.
+pub const COMPUTE_STREAM: StreamId = StreamId(0);
+/// See [`COMPUTE_STREAM`].
+pub const COMM_STREAM: StreamId = StreamId(1);
+
+/// One virtual GPU.
+#[derive(Debug)]
+pub struct Device {
+    id: usize,
+    profile: HardwareProfile,
+    pool: MemoryPool,
+    streams: Vec<Stream>,
+    /// Bandwidth multiplier on per-item kernel cost reflecting the graph's
+    /// id widths (Table V: 64-bit vertex ids read 2× data per edge and
+    /// record 0.5× performance). 1.0 = the 32-bit-vertex/32-bit-offset
+    /// baseline; set by the framework from the graph's `IdWidths`.
+    width_factor: f64,
+    /// BSP cost counters for the current traversal.
+    pub counters: BspCounters,
+    /// Opt-in execution profiler (see [`crate::Timeline`]).
+    pub timeline: crate::timeline::Timeline,
+}
+
+impl Device {
+    /// Create device `id` with the given profile and two streams
+    /// (compute + communication).
+    pub fn new(id: usize, profile: HardwareProfile) -> Self {
+        let pool = MemoryPool::new(id, profile.mem_capacity);
+        Device {
+            id,
+            profile,
+            pool,
+            streams: vec![Stream::new(0.0), Stream::new(0.0)],
+            width_factor: 1.0,
+            counters: BspCounters::default(),
+            timeline: crate::timeline::Timeline::default(),
+        }
+    }
+
+    /// Set the id-width bandwidth factor (see the field docs). The
+    /// framework derives it as `(vertex_bytes + offset_bytes/4) / 5`, which
+    /// reproduces the paper's measured Table V ratios: 32v/32e → 1.0×
+    /// throughput cost, 32v/64e → 1.2×, 64v/64e → 2.0×.
+    pub fn set_width_factor(&mut self, factor: f64) {
+        assert!(factor > 0.0, "width factor must be positive");
+        self.width_factor = factor;
+    }
+
+    /// The current id-width bandwidth factor.
+    pub fn width_factor(&self) -> f64 {
+        self.width_factor
+    }
+
+    /// Device id within its system.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The device's hardware profile.
+    pub fn profile(&self) -> &HardwareProfile {
+        &self.profile
+    }
+
+    /// The device's memory pool.
+    pub fn pool(&self) -> &MemoryPool {
+        &self.pool
+    }
+
+    /// Add a stream; returns its id.
+    pub fn create_stream(&mut self) -> StreamId {
+        let t = self.now();
+        self.streams.push(Stream::new(t));
+        StreamId(self.streams.len() - 1)
+    }
+
+    /// Number of streams.
+    pub fn n_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn stream_mut(&mut self, s: StreamId) -> Result<&mut Stream> {
+        let have = self.streams.len();
+        self.streams.get_mut(s.0).ok_or(VgpuError::BadStream { stream: s.0, have })
+    }
+
+    /// The device's simulated clock: the time at which all streams drain
+    /// (the `cudaDeviceSynchronize` analog).
+    pub fn now(&self) -> f64 {
+        self.streams.iter().map(Stream::ready_at).fold(0.0, f64::max)
+    }
+
+    /// Completion time of a single stream.
+    pub fn stream_time(&self, s: StreamId) -> f64 {
+        self.streams[s.0].ready_at()
+    }
+
+    /// Record an event on a stream.
+    pub fn record_event(&self, s: StreamId) -> Event {
+        self.streams[s.0].record()
+    }
+
+    /// Make stream `s` wait for `event` (`cudaStreamWaitEvent` analog; the
+    /// event may come from another device's stream).
+    pub fn stream_wait(&mut self, s: StreamId, event: Event) -> Result<()> {
+        self.stream_mut(s)?.wait(event);
+        Ok(())
+    }
+
+    /// Launch a kernel on stream `s`. The closure runs immediately (for
+    /// real) and must return `(result, work_items)`; the launch charges
+    /// `kernel_launch_us + work_items / throughput(kind)` to the stream and
+    /// updates the BSP counters. Zero-work launches still pay the launch
+    /// overhead — that is precisely the §V-B effect that makes road networks
+    /// and deep frontiers slow.
+    pub fn kernel<R>(
+        &mut self,
+        s: StreamId,
+        kind: KernelKind,
+        f: impl FnOnce() -> (R, u64),
+    ) -> Result<R> {
+        let (result, items) = f();
+        let per_us = match kind {
+            KernelKind::Advance | KernelKind::FusedAdvanceFilter => {
+                self.profile.advance_edges_per_us
+            }
+            KernelKind::Filter | KernelKind::Compute => self.profile.filter_vertices_per_us,
+            KernelKind::Combine | KernelKind::Split => self.profile.atomic_items_per_us,
+            KernelKind::Bulk => self.profile.bulk_items_per_us,
+        };
+        let cost = self.profile.kernel_launch_us + items as f64 * self.width_factor / per_us;
+        let end = self.stream_mut(s)?.enqueue(cost, 0.0);
+        self.timeline.record(crate::timeline::TraceEvent {
+            device: self.id,
+            stream: s.0,
+            name: kind.name(),
+            start_us: end - cost,
+            dur_us: cost,
+            items,
+        });
+        self.counters.kernel_launches += 1;
+        if kind.is_communication_computation() {
+            self.counters.c_items += items;
+            self.counters.c_time_us += cost;
+        } else {
+            self.counters.w_items += items;
+            self.counters.w_time_us += cost;
+        }
+        Ok(result)
+    }
+
+    /// Charge an explicit duration to a stream without running work (used
+    /// for transfer occupancy and host-side overheads).
+    pub fn charge(&mut self, s: StreamId, cost_us: f64, not_before: f64) -> Result<f64> {
+        let end = self.stream_mut(s)?.enqueue(cost_us, not_before);
+        if self.timeline.is_enabled() && cost_us > 0.0 {
+            self.timeline.record(crate::timeline::TraceEvent {
+                device: self.id,
+                stream: s.0,
+                name: "charge",
+                start_us: end - cost_us,
+                dur_us: cost_us,
+                items: 0,
+            });
+        }
+        Ok(end)
+    }
+
+    /// Allocate a zeroed array, charging an allocation overhead to the
+    /// compute stream (`cudaMalloc` is not free).
+    pub fn alloc<T: Default + Clone>(&mut self, len: usize) -> Result<DeviceArray<T>> {
+        let a = self.pool.alloc::<T>(len)?;
+        self.charge(COMPUTE_STREAM, 2.0, 0.0)?;
+        Ok(a)
+    }
+
+    /// Allocate an empty array with the given capacity (see [`Self::alloc`]).
+    pub fn alloc_with_capacity<T: Default + Clone>(&mut self, cap: usize) -> Result<DeviceArray<T>> {
+        let a = self.pool.alloc_with_capacity::<T>(cap)?;
+        self.charge(COMPUTE_STREAM, 2.0, 0.0)?;
+        Ok(a)
+    }
+
+    /// Copy host data to a fresh device array, charging the transfer at the
+    /// device's memory bandwidth (initialization-time H2D copies).
+    pub fn upload<T: Default + Clone>(&mut self, src: &[T]) -> Result<DeviceArray<T>> {
+        let a = self.pool.alloc_from_slice(src)?;
+        let cost = self.profile.local_copy_us(a.bytes());
+        self.charge(COMPUTE_STREAM, 2.0 + cost, 0.0)?;
+        Ok(a)
+    }
+
+    /// Grow `array` to hold at least `need` elements, charging the
+    /// reallocation copy cost. This is the expensive event that the
+    /// just-enough allocation scheme's size estimation works to avoid
+    /// (§VI-B: "reallocation, which is expensive, is infrequent").
+    pub fn ensure_capacity<T: Default + Clone>(
+        &mut self,
+        array: &mut DeviceArray<T>,
+        need: usize,
+    ) -> Result<()> {
+        let copied = array.ensure_capacity(need)?;
+        if copied > 0 || need > 0 {
+            // alloc + copy-over cost; freeing the old allocation is cheap
+            let cost = 2.0 + self.profile.local_copy_us(copied);
+            self.charge(COMPUTE_STREAM, cost, 0.0)?;
+        }
+        Ok(())
+    }
+
+    /// Charge the per-superstep synchronization cost `l` and align every
+    /// stream to the device-wide completion time plus that cost. Returns the
+    /// new clock value. `global_time` is the maximum clock over all devices
+    /// at the barrier (BSP global synchronization).
+    pub fn end_superstep(&mut self, n_devices: usize, global_time: f64) -> f64 {
+        let l = self.profile.superstep_sync_us(n_devices);
+        let t = self.now().max(global_time) + l;
+        for s in &mut self.streams {
+            s.advance_to(t);
+        }
+        self.counters.supersteps += 1;
+        self.counters.sync_time_us += l;
+        t
+    }
+
+    /// Reset the clock and counters for a fresh traversal (memory contents
+    /// and allocations persist, exactly like a GPU between runs).
+    pub fn reset_clock(&mut self) {
+        for s in &mut self.streams {
+            *s = Stream::new(0.0);
+        }
+        self.counters.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> Device {
+        Device::new(0, HardwareProfile::k40())
+    }
+
+    #[test]
+    fn kernel_charges_launch_plus_work() {
+        let mut d = dev();
+        let sum: u64 = d
+            .kernel(COMPUTE_STREAM, KernelKind::Advance, || {
+                let s: u64 = (0..3000u64).sum();
+                (s, 3000)
+            })
+            .unwrap();
+        assert_eq!(sum, 3000 * 2999 / 2);
+        // 3 µs launch + 3000 edges / 3000 edges-per-µs = 4 µs
+        assert!((d.now() - 4.0).abs() < 1e-9);
+        assert_eq!(d.counters.w_items, 3000);
+        assert_eq!(d.counters.kernel_launches, 1);
+    }
+
+    #[test]
+    fn zero_work_kernel_still_pays_launch_overhead() {
+        let mut d = dev();
+        d.kernel(COMPUTE_STREAM, KernelKind::Filter, || ((), 0)).unwrap();
+        assert!((d.now() - d.profile().kernel_launch_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn combine_counts_toward_c_not_w() {
+        let mut d = dev();
+        d.kernel(COMM_STREAM, KernelKind::Combine, || ((), 100)).unwrap();
+        assert_eq!(d.counters.c_items, 100);
+        assert_eq!(d.counters.w_items, 0);
+        assert!(d.counters.c_time_us > 0.0);
+    }
+
+    #[test]
+    fn streams_overlap_and_superstep_aligns() {
+        let mut d = dev();
+        d.kernel(COMPUTE_STREAM, KernelKind::Advance, || ((), 30_000)).unwrap(); // 13 µs
+        d.charge(COMM_STREAM, 8.0, 0.0).unwrap();
+        assert!((d.now() - 13.0).abs() < 1e-9, "overlapped, not summed");
+        let t = d.end_superstep(1, 0.0);
+        assert!((t - (13.0 + d.profile().superstep_api_us)).abs() < 1e-9);
+        assert_eq!(d.stream_time(COMPUTE_STREAM), d.stream_time(COMM_STREAM));
+        assert_eq!(d.counters.supersteps, 1);
+    }
+
+    #[test]
+    fn superstep_respects_global_time() {
+        let mut d = dev();
+        d.kernel(COMPUTE_STREAM, KernelKind::Filter, || ((), 9)).unwrap();
+        let t = d.end_superstep(2, 500.0);
+        assert!(t > 500.0, "device waits for the slowest peer");
+    }
+
+    #[test]
+    fn cross_device_event_dependency() {
+        let mut a = Device::new(0, HardwareProfile::k40());
+        let mut b = Device::new(1, HardwareProfile::k40());
+        a.kernel(COMPUTE_STREAM, KernelKind::Advance, || ((), 300_000)).unwrap(); // 103 µs
+        let ev = a.record_event(COMPUTE_STREAM);
+        b.stream_wait(COMM_STREAM, ev).unwrap();
+        b.charge(COMM_STREAM, 1.0, 0.0).unwrap();
+        assert!((b.stream_time(COMM_STREAM) - 104.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upload_charges_bandwidth() {
+        let mut d = dev();
+        let data = vec![0u32; 1 << 20];
+        let arr = d.upload(&data).unwrap();
+        assert_eq!(arr.len(), 1 << 20);
+        assert!(d.now() > 2.0, "H2D copy is not free");
+    }
+
+    #[test]
+    fn reset_clock_keeps_memory() {
+        let mut d = dev();
+        let _a = d.alloc::<u32>(100).unwrap();
+        let live = d.pool().live();
+        d.kernel(COMPUTE_STREAM, KernelKind::Advance, || ((), 100)).unwrap();
+        d.reset_clock();
+        assert_eq!(d.now(), 0.0);
+        assert_eq!(d.pool().live(), live);
+        assert_eq!(d.counters, BspCounters::default());
+    }
+
+    #[test]
+    fn bad_stream_is_reported() {
+        let mut d = dev();
+        let err = d.charge(StreamId(9), 1.0, 0.0).unwrap_err();
+        assert!(matches!(err, VgpuError::BadStream { stream: 9, .. }));
+    }
+}

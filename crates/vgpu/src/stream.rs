@@ -1,0 +1,133 @@
+//! Streams and events: the `cudaStream_t` / `cudaEvent_t` timing analog.
+//!
+//! The paper overlaps computation and communication by putting them on
+//! different CUDA streams and establishing dependencies with
+//! `cudaStreamWaitEvent()` without CPU intervention (§III-B "Manage GPUs").
+//! We model each stream as a monotonically advancing timeline: launching a
+//! kernel or transfer on a stream occupies it for the operation's cost, an
+//! [`Event`] captures a stream's current ready time, and waiting on an event
+//! advances a stream to at least that time. A device's simulated clock is the
+//! maximum over its stream timelines; overlap falls out naturally because
+//! work on different streams occupies disjoint timelines.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a stream within one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StreamId(pub usize);
+
+/// A stream: an in-order execution timeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Stream {
+    /// Simulated time (µs) at which all work enqueued so far completes.
+    ready_at_us: f64,
+}
+
+impl Stream {
+    /// A fresh stream, idle at time `t0`.
+    pub fn new(t0: f64) -> Self {
+        Stream { ready_at_us: t0 }
+    }
+
+    /// Time at which the stream drains.
+    pub fn ready_at(&self) -> f64 {
+        self.ready_at_us
+    }
+
+    /// Enqueue an operation of duration `cost_us`, not beginning before
+    /// `not_before` (e.g. data arrival). Returns the completion time.
+    pub fn enqueue(&mut self, cost_us: f64, not_before: f64) -> f64 {
+        debug_assert!(cost_us >= 0.0, "operation cost must be non-negative");
+        let start = self.ready_at_us.max(not_before);
+        self.ready_at_us = start + cost_us;
+        self.ready_at_us
+    }
+
+    /// Record an event capturing the stream's current completion time
+    /// (the `cudaEventRecord` analog).
+    pub fn record(&self) -> Event {
+        Event { at_us: self.ready_at_us }
+    }
+
+    /// Make this stream wait for `event` (the `cudaStreamWaitEvent` analog).
+    pub fn wait(&mut self, event: Event) {
+        self.ready_at_us = self.ready_at_us.max(event.at_us);
+    }
+
+    /// Advance the stream's timeline to at least `t` (global synchronization).
+    pub fn advance_to(&mut self, t: f64) {
+        self.ready_at_us = self.ready_at_us.max(t);
+    }
+}
+
+/// A recorded timestamp on some stream; cheap to copy across devices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    at_us: f64,
+}
+
+impl Event {
+    /// An event that is already complete at time zero.
+    pub fn ready() -> Self {
+        Event { at_us: 0.0 }
+    }
+
+    /// An event completing at an explicit time (used to propagate transfer
+    /// arrival times between devices).
+    pub fn at(t_us: f64) -> Self {
+        Event { at_us: t_us }
+    }
+
+    /// Completion time of the event in microseconds.
+    pub fn time(&self) -> f64 {
+        self.at_us
+    }
+
+    /// The later of two events.
+    pub fn max(self, other: Event) -> Event {
+        Event { at_us: self.at_us.max(other.at_us) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enqueue_is_in_order() {
+        let mut s = Stream::new(0.0);
+        assert_eq!(s.enqueue(5.0, 0.0), 5.0);
+        assert_eq!(s.enqueue(3.0, 0.0), 8.0);
+    }
+
+    #[test]
+    fn enqueue_respects_not_before() {
+        let mut s = Stream::new(0.0);
+        assert_eq!(s.enqueue(2.0, 10.0), 12.0);
+    }
+
+    #[test]
+    fn two_streams_overlap() {
+        let mut compute = Stream::new(0.0);
+        let mut comm = Stream::new(0.0);
+        compute.enqueue(100.0, 0.0);
+        comm.enqueue(80.0, 0.0);
+        // Overlapped: device time is max, not sum.
+        assert_eq!(compute.ready_at().max(comm.ready_at()), 100.0);
+    }
+
+    #[test]
+    fn event_wait_establishes_dependency() {
+        let mut producer = Stream::new(0.0);
+        let mut consumer = Stream::new(0.0);
+        producer.enqueue(50.0, 0.0);
+        let ev = producer.record();
+        consumer.wait(ev);
+        assert_eq!(consumer.enqueue(10.0, 0.0), 60.0);
+    }
+
+    #[test]
+    fn event_max_picks_later() {
+        assert_eq!(Event::at(3.0).max(Event::at(7.0)).time(), 7.0);
+    }
+}

@@ -1,0 +1,269 @@
+//! Cross-device synchronization: the BSP barrier and the push fabric.
+//!
+//! Each virtual GPU is driven by a dedicated CPU thread (as in the paper,
+//! §III-B "Manage GPUs"). Two pieces of shared machinery connect them:
+//!
+//! * [`SyncPoint`] — the bulk-synchronous superstep boundary. All device
+//!   threads rendezvous, their simulated clocks are max-reduced to a global
+//!   time, convergence flags are AND-reduced and numeric contributions are
+//!   reduced for global stop conditions (e.g. PageRank's residual
+//!   threshold).
+//! * [`Mailbox`] — per-device inboxes for pushed packages. A send carries the
+//!   [`Event`] at which the transfer completes on the wire so the receiver's
+//!   combine kernel can `stream_wait` on real arrival times.
+//!
+//! The barrier uses a double-buffered reduction slot: the leader prepares the
+//! *next* round's slot between the two barrier phases, so a fast thread can
+//! never merge into a slot a slow thread is still reading.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+use parking_lot::Mutex;
+
+use crate::stream::Event;
+
+/// The values reduced across devices at a superstep boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlobalReduce {
+    /// Maximum simulated clock over all devices (the BSP global time).
+    pub max_time_us: f64,
+    /// Number of devices that declared themselves locally converged.
+    pub done_count: usize,
+    /// Sum of per-device floating-point contributions (primitive-specific:
+    /// e.g. total rank change for PageRank's stop condition).
+    pub f64_sum: f64,
+    /// Maximum of per-device floating-point contributions.
+    pub f64_max: f64,
+    /// Sum of per-device integer contributions (e.g. total frontier size).
+    pub u64_sum: u64,
+}
+
+impl GlobalReduce {
+    fn identity() -> Self {
+        GlobalReduce {
+            max_time_us: 0.0,
+            done_count: 0,
+            f64_sum: 0.0,
+            f64_max: f64::NEG_INFINITY,
+            u64_sum: 0,
+        }
+    }
+
+    fn merge(&mut self, time_us: f64, done: bool, c: &Contribution) {
+        self.max_time_us = self.max_time_us.max(time_us);
+        if done {
+            self.done_count += 1;
+        }
+        self.f64_sum += c.f64_add;
+        self.f64_max = self.f64_max.max(c.f64_max);
+        self.u64_sum += c.u64_add;
+    }
+}
+
+/// Per-device numeric contribution to the superstep reduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Contribution {
+    /// Added into [`GlobalReduce::f64_sum`].
+    pub f64_add: f64,
+    /// Max-reduced into [`GlobalReduce::f64_max`].
+    pub f64_max: f64,
+    /// Added into [`GlobalReduce::u64_sum`].
+    pub u64_add: u64,
+}
+
+impl Default for Contribution {
+    fn default() -> Self {
+        Contribution { f64_add: 0.0, f64_max: f64::NEG_INFINITY, u64_add: 0 }
+    }
+}
+
+/// A reusable BSP superstep barrier for `n` device threads.
+pub struct SyncPoint {
+    n: usize,
+    barrier: Barrier,
+    slots: [Mutex<GlobalReduce>; 2],
+    generation: AtomicUsize,
+}
+
+impl SyncPoint {
+    /// Barrier for `n` participating threads.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a sync point needs at least one participant");
+        SyncPoint {
+            n,
+            barrier: Barrier::new(n),
+            slots: [Mutex::new(GlobalReduce::identity()), Mutex::new(GlobalReduce::identity())],
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of participants.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Rendezvous with all other device threads: contribute this device's
+    /// clock, local convergence flag and numeric contribution; receive the
+    /// global reduction. Every participant must call this the same number of
+    /// times (a superstep boundary).
+    pub fn superstep(&self, time_us: f64, locally_done: bool, contribution: Contribution) -> GlobalReduce {
+        let g = self.generation.load(Ordering::Acquire) % 2;
+        self.slots[g].lock().merge(time_us, locally_done, &contribution);
+        let wait = self.barrier.wait();
+        if wait.is_leader() {
+            // Prepare the *next* round's slot and publish the new generation
+            // before releasing anyone, so no thread can race a merge into a
+            // slot that is concurrently being read or cleared.
+            *self.slots[(g + 1) % 2].lock() = GlobalReduce::identity();
+            self.generation.store(g + 1, Ordering::Release);
+        }
+        self.barrier.wait();
+        *self.slots[g].lock()
+    }
+
+    /// Convenience: a plain rendezvous carrying only time and the done flag.
+    pub fn barrier(&self, time_us: f64, locally_done: bool) -> GlobalReduce {
+        self.superstep(time_us, locally_done, Contribution::default())
+    }
+}
+
+/// A message pushed to a peer device: payload plus wire arrival time.
+#[derive(Debug)]
+pub struct Delivery<T> {
+    /// Sending device.
+    pub src: usize,
+    /// Simulated time at which the data is resident on the receiver.
+    pub arrival: Event,
+    /// The packaged payload.
+    pub payload: T,
+}
+
+/// Per-device inboxes for peer-to-peer pushes.
+pub struct Mailbox<T> {
+    inboxes: Vec<Mutex<Vec<Delivery<T>>>>,
+}
+
+impl<T> Mailbox<T> {
+    /// Inboxes for `n` devices.
+    pub fn new(n: usize) -> Self {
+        Mailbox { inboxes: (0..n).map(|_| Mutex::new(Vec::new())).collect() }
+    }
+
+    /// Number of inboxes.
+    pub fn n(&self) -> usize {
+        self.inboxes.len()
+    }
+
+    /// Push `payload` from `src` to `dst`, arriving at `arrival`.
+    pub fn send(&self, src: usize, dst: usize, arrival: Event, payload: T) {
+        self.inboxes[dst].lock().push(Delivery { src, arrival, payload });
+    }
+
+    /// Drain everything delivered to `dst`. Deliveries are sorted by sender
+    /// for determinism (combine order must not depend on thread scheduling,
+    /// or runs would not be reproducible).
+    pub fn drain(&self, dst: usize) -> Vec<Delivery<T>> {
+        let mut out: Vec<Delivery<T>> = std::mem::take(&mut *self.inboxes[dst].lock());
+        out.sort_by_key(|d| d.src);
+        out
+    }
+
+    /// True if `dst`'s inbox is empty.
+    pub fn is_empty(&self, dst: usize) -> bool {
+        self.inboxes[dst].lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn superstep_reduces_max_time_and_done() {
+        let sp = Arc::new(SyncPoint::new(3));
+        let results: Vec<GlobalReduce> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|i| {
+                    let sp = Arc::clone(&sp);
+                    s.spawn(move || {
+                        sp.superstep(
+                            10.0 * (i + 1) as f64,
+                            i == 0,
+                            Contribution { f64_add: 1.5, f64_max: i as f64, u64_add: i as u64 },
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in &results {
+            assert_eq!(r.max_time_us, 30.0);
+            assert_eq!(r.done_count, 1);
+            assert!((r.f64_sum - 4.5).abs() < 1e-12);
+            assert_eq!(r.f64_max, 2.0);
+            assert_eq!(r.u64_sum, 3);
+        }
+    }
+
+    #[test]
+    fn repeated_supersteps_do_not_leak_state() {
+        let sp = Arc::new(SyncPoint::new(4));
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let sp = Arc::clone(&sp);
+                s.spawn(move || {
+                    for round in 0..50u64 {
+                        let r = sp.superstep(
+                            round as f64,
+                            true,
+                            Contribution { u64_add: round + i, ..Default::default() },
+                        );
+                        assert_eq!(r.max_time_us, round as f64);
+                        assert_eq!(r.done_count, 4);
+                        assert_eq!(r.u64_sum, 4 * round + 6, "round {round}");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn single_participant_superstep_is_immediate() {
+        let sp = SyncPoint::new(1);
+        let r = sp.barrier(5.0, false);
+        assert_eq!(r.max_time_us, 5.0);
+        assert_eq!(r.done_count, 0);
+    }
+
+    #[test]
+    fn mailbox_delivers_sorted_by_sender() {
+        let mb: Mailbox<Vec<u32>> = Mailbox::new(2);
+        mb.send(1, 0, Event::at(5.0), vec![9]);
+        mb.send(0, 0, Event::at(3.0), vec![7]);
+        let got = mb.drain(0);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].src, 0);
+        assert_eq!(got[1].src, 1);
+        assert_eq!(got[1].arrival.time(), 5.0);
+        assert!(mb.is_empty(0));
+    }
+
+    #[test]
+    fn mailbox_concurrent_sends_all_arrive() {
+        let mb = Arc::new(Mailbox::<u64>::new(4));
+        std::thread::scope(|s| {
+            for src in 0..4usize {
+                let mb = Arc::clone(&mb);
+                s.spawn(move || {
+                    for k in 0..100u64 {
+                        mb.send(src, (src + 1) % 4, Event::ready(), k);
+                    }
+                });
+            }
+        });
+        let total: usize = (0..4).map(|d| mb.drain(d).len()).sum();
+        assert_eq!(total, 400);
+    }
+}

@@ -1,0 +1,130 @@
+//! A node: a set of devices plus the interconnect.
+
+use std::sync::Arc;
+
+use crate::counters::BspCounters;
+use crate::device::Device;
+use crate::error::{Result, VgpuError};
+use crate::interconnect::Interconnect;
+use crate::profile::HardwareProfile;
+
+/// A single node with `n` (possibly heterogeneous) devices and a fabric.
+///
+/// The devices are plain values: the framework moves each one into its
+/// dedicated control thread for the duration of a traversal and moves them
+/// back afterwards, so no locking is needed on the hot path.
+#[derive(Debug)]
+pub struct SimSystem {
+    /// The devices, indexed by device id.
+    pub devices: Vec<Device>,
+    /// The shared inter-device fabric.
+    pub interconnect: Arc<Interconnect>,
+}
+
+impl SimSystem {
+    /// Build a system from explicit per-device profiles.
+    pub fn new(profiles: Vec<HardwareProfile>, interconnect: Interconnect) -> Result<Self> {
+        if interconnect.n_devices() != profiles.len() {
+            return Err(VgpuError::BadDevice {
+                device: interconnect.n_devices(),
+                have: profiles.len(),
+            });
+        }
+        Ok(SimSystem {
+            devices: profiles.into_iter().enumerate().map(|(i, p)| Device::new(i, p)).collect(),
+            interconnect: Arc::new(interconnect),
+        })
+    }
+
+    /// A homogeneous node of `n` devices with the paper's PCIe topology
+    /// (peer groups of 4).
+    pub fn homogeneous(n: usize, profile: HardwareProfile) -> Self {
+        Self::new(vec![profile; n], Interconnect::pcie3(n, 4))
+            .expect("matching sizes by construction")
+    }
+
+    /// Number of devices.
+    pub fn n_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The latest simulated clock over all devices: the traversal makespan.
+    pub fn makespan_us(&self) -> f64 {
+        self.devices.iter().map(Device::now).fold(0.0, f64::max)
+    }
+
+    /// Aggregate BSP counters over all devices.
+    pub fn total_counters(&self) -> BspCounters {
+        let mut total = BspCounters::default();
+        for d in &self.devices {
+            total.merge(&d.counters);
+        }
+        total
+    }
+
+    /// Peak memory use over devices (bytes) — the per-GPU footprint Fig. 3
+    /// reports is the max, since the graph must *fit* on every device.
+    pub fn peak_memory_per_device(&self) -> u64 {
+        self.devices.iter().map(|d| d.pool().peak()).max().unwrap_or(0)
+    }
+
+    /// Sum of peak memory over devices (bytes) — total footprint.
+    pub fn total_peak_memory(&self) -> u64 {
+        self.devices.iter().map(|d| d.pool().peak()).sum()
+    }
+
+    /// Reset all device clocks and counters (memory persists).
+    pub fn reset_clocks(&mut self) {
+        for d in &mut self.devices {
+            d.reset_clock();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{KernelKind, COMPUTE_STREAM};
+
+    #[test]
+    fn homogeneous_system_has_n_devices() {
+        let sys = SimSystem::homogeneous(6, HardwareProfile::k40());
+        assert_eq!(sys.n_devices(), 6);
+        assert_eq!(sys.devices[5].id(), 5);
+    }
+
+    #[test]
+    fn mismatched_interconnect_is_rejected() {
+        let err =
+            SimSystem::new(vec![HardwareProfile::k40(); 2], Interconnect::pcie3(3, 4)).unwrap_err();
+        assert!(matches!(err, VgpuError::BadDevice { .. }));
+    }
+
+    #[test]
+    fn makespan_is_max_over_devices() {
+        let mut sys = SimSystem::homogeneous(2, HardwareProfile::k40());
+        sys.devices[0].kernel(COMPUTE_STREAM, KernelKind::Advance, || ((), 30_000)).unwrap();
+        sys.devices[1].kernel(COMPUTE_STREAM, KernelKind::Advance, || ((), 3_000)).unwrap();
+        assert!((sys.makespan_us() - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heterogeneous_profiles_are_allowed() {
+        let sys = SimSystem::new(
+            vec![HardwareProfile::k40(), HardwareProfile::xeon_e5()],
+            Interconnect::pcie3(2, 4),
+        )
+        .unwrap();
+        assert_eq!(sys.devices[1].profile().name, "Xeon E5-2690 v2");
+    }
+
+    #[test]
+    fn counters_aggregate() {
+        let mut sys = SimSystem::homogeneous(3, HardwareProfile::k40());
+        for d in &mut sys.devices {
+            d.kernel(COMPUTE_STREAM, KernelKind::Advance, || ((), 10)).unwrap();
+        }
+        assert_eq!(sys.total_counters().w_items, 30);
+        assert_eq!(sys.total_counters().kernel_launches, 3);
+    }
+}

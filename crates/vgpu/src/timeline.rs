@@ -1,0 +1,135 @@
+//! Execution timelines: an opt-in profiler for the virtual devices.
+//!
+//! When enabled on a [`crate::Device`], every kernel launch and explicit
+//! charge is recorded as a span on its stream's timeline. The trace exports
+//! to the Chrome trace-event JSON format (`chrome://tracing`, Perfetto),
+//! which is how one would inspect computation/communication overlap on a
+//! real multi-GPU run — here it visualizes the simulated schedule instead:
+//! the compute stream of each device, its communication stream, and the
+//! gaps where it waits at BSP barriers.
+
+/// One recorded span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Device id (Chrome trace `pid`).
+    pub device: usize,
+    /// Stream id (Chrome trace `tid`).
+    pub stream: usize,
+    /// Span label (kernel kind or `"transfer"` / `"charge"`).
+    pub name: &'static str,
+    /// Simulated start time in microseconds.
+    pub start_us: f64,
+    /// Simulated duration in microseconds.
+    pub dur_us: f64,
+    /// Work items metered for the span (0 for plain charges).
+    pub items: u64,
+}
+
+/// A per-device recording buffer; disabled (and free) by default.
+#[derive(Debug, Default)]
+pub struct Timeline {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Timeline {
+    /// Begin recording.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Is recording active?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record a span (no-op while disabled).
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// The recorded spans.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Drop all recorded spans.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Serialize spans from one or more timelines into Chrome trace-event
+    /// JSON (load in `chrome://tracing` or Perfetto).
+    pub fn chrome_trace<'a>(timelines: impl IntoIterator<Item = &'a Timeline>) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        for tl in timelines {
+            for e in &tl.events {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!(
+                    "{{\"pid\":{},\"tid\":{},\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+                     \"name\":\"{}\",\"args\":{{\"items\":{}}}}}",
+                    e.device, e.stream, e.start_us, e.dur_us, e.name, e.items
+                ));
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(start: f64, dur: f64) -> TraceEvent {
+        TraceEvent { device: 0, stream: 1, name: "advance", start_us: start, dur_us: dur, items: 5 }
+    }
+
+    #[test]
+    fn disabled_timeline_records_nothing() {
+        let mut tl = Timeline::default();
+        tl.record(ev(0.0, 1.0));
+        assert!(tl.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_timeline_records_in_order() {
+        let mut tl = Timeline::default();
+        tl.enable();
+        tl.record(ev(0.0, 1.0));
+        tl.record(ev(1.0, 2.0));
+        assert_eq!(tl.events().len(), 2);
+        assert_eq!(tl.events()[1].dur_us, 2.0);
+        tl.clear();
+        assert!(tl.events().is_empty());
+        assert!(tl.is_enabled(), "clear keeps recording on");
+    }
+
+    #[test]
+    fn chrome_trace_is_well_formed() {
+        let mut a = Timeline::default();
+        a.enable();
+        a.record(ev(0.0, 1.5));
+        let mut b = Timeline::default();
+        b.enable();
+        b.record(TraceEvent { device: 1, ..ev(3.0, 0.5) });
+        let json = Timeline::chrome_trace([&a, &b]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.contains("\"name\":\"advance\""));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json() {
+        assert_eq!(Timeline::chrome_trace([]), "{\"traceEvents\":[]}");
+    }
+}

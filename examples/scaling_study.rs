@@ -1,0 +1,69 @@
+//! Scaling study: where do more GPUs help?
+//!
+//! Runs BFS over 1–6 virtual K40s on two very different topologies:
+//! a social-network analog (power-law, shallow) and a road-network analog
+//! (high diameter, degree ≤ 4). Reproduces the §VII-A observation that
+//! road networks "have insufficient parallelism to saturate even one GPU …
+//! we observed performance decreases on multiple GPUs", while power-law
+//! graphs scale.
+//!
+//! ```sh
+//! cargo run --release --example scaling_study
+//! ```
+
+use mgpu_graph_analytics::core::{EnactConfig, Runner};
+use mgpu_graph_analytics::gen::{grid2d, preferential_attachment};
+use mgpu_graph_analytics::graph::{Csr, GraphBuilder};
+use mgpu_graph_analytics::partition::{DistGraph, Duplication, RandomPartitioner};
+use mgpu_graph_analytics::primitives::Bfs;
+use mgpu_graph_analytics::vgpu::{HardwareProfile, Interconnect, SimSystem};
+
+/// These graphs are ~2^8 smaller than the paper's, so fixed overheads are
+/// shrunk by the same factor (dimensional scaling, see DESIGN.md) — the
+/// work-to-overhead ratios, and therefore the scaling shapes, match the
+/// paper's testbed.
+const SCALE: f64 = 256.0;
+
+fn bfs_time_ms(graph: &Csr<u32, u64>, n_gpus: usize, src: u32) -> (f64, usize) {
+    let dist =
+        DistGraph::partition(graph, &RandomPartitioner::default(), n_gpus, Duplication::All);
+    let profile = HardwareProfile::k40().with_overhead_scale(SCALE);
+    let ic = Interconnect::pcie3(n_gpus, 4).with_latency_scale(SCALE);
+    let system = SimSystem::new(vec![profile; n_gpus], ic).expect("sizes match");
+    let mut runner =
+        Runner::new(system, &dist, Bfs::default(), EnactConfig::default()).expect("init");
+    let report = runner.enact(Some(src)).expect("bfs");
+    (report.sim_time_us / 1e3, report.iterations)
+}
+
+fn main() {
+    let social: Csr<u32, u64> =
+        GraphBuilder::undirected(&preferential_attachment(60_000, 16, 5));
+    let road: Csr<u32, u64> = GraphBuilder::undirected(&grid2d(250, 250, 1.0, 5));
+
+    println!("BFS scaling, simulated K40 node\n");
+    println!("{:<6} {:>18} {:>10} {:>18} {:>10}", "GPUs", "social (ms)", "speedup", "road (ms)", "speedup");
+    let (social_base, social_iters) = bfs_time_ms(&social, 1, 0);
+    let (road_base, road_iters) = bfs_time_ms(&road, 1, 0);
+    for n in 1..=6usize {
+        let (s, _) = bfs_time_ms(&social, n, 0);
+        let (r, _) = bfs_time_ms(&road, n, 0);
+        println!(
+            "{:<6} {:>18.2} {:>9.2}x {:>18.2} {:>9.2}x",
+            n,
+            s,
+            social_base / s,
+            r,
+            road_base / r
+        );
+    }
+    println!(
+        "\nsocial: {} supersteps (shallow, wide frontiers — parallelism to spare)",
+        social_iters
+    );
+    println!(
+        "road:   {} supersteps (deep, narrow frontiers — per-iteration overhead dominates,\n\
+         so extra GPUs only add synchronization cost; §VII-A)",
+        road_iters
+    );
+}

@@ -1,0 +1,56 @@
+//! # Multi-GPU Graph Analytics
+//!
+//! A Rust reproduction of Pan, Wang, Wu, Yang & Owens, *"Multi-GPU Graph
+//! Analytics"* (IPDPS 2017): a single-node multi-GPU programmable
+//! graph-processing framework in which unmodified single-GPU primitives are
+//! extended to multiple GPUs by framework-managed frontier splitting,
+//! packaging, pushing and combining at bulk-synchronous iteration
+//! boundaries.
+//!
+//! Real GPUs are replaced by the [`vgpu`] virtual-GPU substrate: every
+//! algorithm executes for real on one CPU thread per virtual device, while a
+//! calibrated cost model meters kernels, transfers and synchronization so
+//! that the paper's BSP-scale behaviour (W + H·g + S·l) is reproducible on
+//! any machine. See `DESIGN.md` for the full substitution table.
+//!
+//! Minimal usage — partition a graph over four virtual GPUs and run
+//! multi-GPU BFS:
+//!
+//! ```
+//! use mgpu_graph_analytics::core::{EnactConfig, Runner};
+//! use mgpu_graph_analytics::gen::{rmat, RmatParams};
+//! use mgpu_graph_analytics::graph::{Csr, GraphBuilder};
+//! use mgpu_graph_analytics::partition::{DistGraph, Duplication, RandomPartitioner};
+//! use mgpu_graph_analytics::primitives::Bfs;
+//! use mgpu_graph_analytics::vgpu::{HardwareProfile, SimSystem};
+//!
+//! let graph: Csr<u32, u64> =
+//!     GraphBuilder::undirected(&rmat(10, 8, RmatParams::paper(), 42));
+//! let dist = DistGraph::partition(&graph, &RandomPartitioner::default(), 4, Duplication::All);
+//! let system = SimSystem::homogeneous(4, HardwareProfile::k40());
+//! let mut runner = Runner::new(system, &dist, Bfs::default(), EnactConfig::default())?;
+//! let report = runner.enact(Some(0))?;
+//! assert!(report.iterations > 0);
+//! assert!(report.sim_time_us > 0.0);
+//! # Ok::<(), mgpu_graph_analytics::vgpu::VgpuError>(())
+//! ```
+//!
+//! This facade crate re-exports the workspace crates under stable names:
+//!
+//! * [`vgpu`] — devices, streams, memory pools, interconnect, BSP counters.
+//! * [`graph`] — COO/CSR/CSC structures, builders, statistics.
+//! * [`gen`] — R-MAT and analog dataset generators.
+//! * [`partition`] — random / biased-random / multilevel partitioners and
+//!   multi-GPU host-graph construction.
+//! * [`core`] — frontiers, advance/filter operators, the multi-GPU enactor.
+//! * [`primitives`] — BFS, DOBFS, SSSP, BC, CC, PageRank.
+//! * [`baselines`] — re-implemented comparison mechanisms (2D BFS,
+//!   hardwired DOBFS, out-of-core GAS, hybrid placement).
+
+pub use mgpu_baselines as baselines;
+pub use mgpu_core as core;
+pub use mgpu_gen as gen;
+pub use mgpu_graph as graph;
+pub use mgpu_partition as partition;
+pub use mgpu_primitives as primitives;
+pub use vgpu;

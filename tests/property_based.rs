@@ -1,0 +1,159 @@
+//! Property-based tests (proptest) on the core invariants listed in
+//! DESIGN.md §6: partitioner invariants, CSR round-trips, frontier
+//! conservation through the enactor, and result equivalence to references
+//! under arbitrary graphs, partitions and GPU counts.
+
+use proptest::prelude::*;
+
+use mgpu_graph_analytics::core::{EnactConfig, Runner};
+use mgpu_graph_analytics::graph::{Coo, Csr, GraphBuilder};
+use mgpu_graph_analytics::partition::{
+    DistGraph, Duplication, PartitionQuality, Partitioner, RandomPartitioner,
+};
+use mgpu_graph_analytics::primitives::{
+    bfs::gather_labels, cc::gather_components, reference, sssp::gather_dists, Bfs, Cc, Sssp,
+};
+use mgpu_graph_analytics::vgpu::{HardwareProfile, SimSystem};
+
+/// Arbitrary small weighted graph: vertex count, edge list, weights.
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>, Vec<u32>)> {
+    (4usize..40).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n as u32, 0..n as u32), 0..120);
+        let weights = prop::collection::vec(0u32..65, 120);
+        (Just(n), edges, weights)
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32)], weights: &[u32]) -> Csr<u32, u64> {
+    let w = weights[..edges.len()].to_vec();
+    GraphBuilder::undirected(&Coo::from_edges(n, edges.to_vec(), Some(w)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn partition_covers_every_vertex_exactly_once(
+        (n, edges, weights) in arb_graph(),
+        n_parts in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let g = build(n, &edges, &weights);
+        let owner = RandomPartitioner { seed }.assign(&g, n_parts);
+        prop_assert_eq!(owner.len(), n);
+        prop_assert!(owner.iter().all(|&o| (o as usize) < n_parts));
+        let q = PartitionQuality::measure(&g, &owner, n_parts);
+        prop_assert_eq!(q.vertices.iter().sum::<usize>(), n);
+        prop_assert_eq!(q.edges.iter().sum::<usize>(), g.n_edges());
+    }
+
+    #[test]
+    fn dup_all_subgraphs_partition_the_edges(
+        (n, edges, weights) in arb_graph(),
+        n_parts in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let g = build(n, &edges, &weights);
+        let dist = DistGraph::partition(&g, &RandomPartitioner { seed }, n_parts, Duplication::All);
+        let total: usize = dist.parts.iter().map(|p| p.n_edges()).sum();
+        prop_assert_eq!(total, g.n_edges(), "every edge on exactly one GPU");
+        for part in &dist.parts {
+            prop_assert_eq!(part.n_vertices(), n, "duplicate-all vertex space");
+        }
+        let owned: usize = dist.parts.iter().map(|p| p.n_local).sum();
+        prop_assert_eq!(owned, n);
+    }
+
+    #[test]
+    fn one_hop_conversion_tables_are_consistent(
+        (n, edges, weights) in arb_graph(),
+        n_parts in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let g = build(n, &edges, &weights);
+        let dist = DistGraph::partition(&g, &RandomPartitioner { seed }, n_parts, Duplication::OneHop);
+        for v in 0..n as u32 {
+            let (gpu, local) = dist.locate(v);
+            let part = &dist.parts[gpu];
+            prop_assert!(part.is_owned(local));
+            prop_assert_eq!(part.to_global(local), v, "locate/to_global round trip");
+        }
+        for part in &dist.parts {
+            for l in 0..part.n_vertices() as u32 {
+                let gl = part.to_global(l);
+                prop_assert_eq!(part.from_global(gl), Some(l), "global resolution round trip");
+            }
+        }
+    }
+
+    #[test]
+    fn csr_transpose_is_involutive(
+        (n, edges, weights) in arb_graph(),
+    ) {
+        let g = build(n, &edges, &weights);
+        prop_assert_eq!(g.transpose().transpose(), g);
+    }
+
+    #[test]
+    fn mgpu_bfs_equals_reference_on_arbitrary_graphs(
+        (n, edges, weights) in arb_graph(),
+        n_gpus in 1usize..5,
+        seed in 0u64..1000,
+        src_pick in 0usize..100,
+    ) {
+        let g = build(n, &edges, &weights);
+        let src = (src_pick % n) as u32;
+        let dist = DistGraph::partition(&g, &RandomPartitioner { seed }, n_gpus, Duplication::All);
+        let sys = SimSystem::homogeneous(n_gpus, HardwareProfile::k40());
+        let mut runner = Runner::new(sys, &dist, Bfs::default(), EnactConfig::default()).unwrap();
+        runner.enact(Some(src)).unwrap();
+        prop_assert_eq!(gather_labels(&runner, &dist), reference::bfs(&g, src));
+    }
+
+    #[test]
+    fn mgpu_sssp_equals_dijkstra_on_arbitrary_graphs(
+        (n, edges, weights) in arb_graph(),
+        n_gpus in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let g = build(n, &edges, &weights);
+        let dist = DistGraph::partition(&g, &RandomPartitioner { seed }, n_gpus, Duplication::All);
+        let sys = SimSystem::homogeneous(n_gpus, HardwareProfile::k40());
+        let mut runner = Runner::new(sys, &dist, Sssp, EnactConfig::default()).unwrap();
+        runner.enact(Some(0u32)).unwrap();
+        prop_assert_eq!(gather_dists(&runner, &dist), reference::sssp(&g, 0u32));
+    }
+
+    #[test]
+    fn mgpu_cc_equals_union_find_on_arbitrary_graphs(
+        (n, edges, weights) in arb_graph(),
+        n_gpus in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let g = build(n, &edges, &weights);
+        let dist = DistGraph::partition(&g, &RandomPartitioner { seed }, n_gpus, Duplication::All);
+        let sys = SimSystem::homogeneous(n_gpus, HardwareProfile::k40());
+        let mut runner = Runner::new(sys, &dist, Cc, EnactConfig::default()).unwrap();
+        runner.enact(None).unwrap();
+        prop_assert_eq!(gather_components(&runner, &dist), reference::cc(&g));
+    }
+
+    #[test]
+    fn bsp_counters_are_conserved(
+        (n, edges, weights) in arb_graph(),
+        n_gpus in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        let g = build(n, &edges, &weights);
+        let dist = DistGraph::partition(&g, &RandomPartitioner { seed }, n_gpus, Duplication::All);
+        let sys = SimSystem::homogeneous(n_gpus, HardwareProfile::k40());
+        let mut runner = Runner::new(sys, &dist, Bfs::default(), EnactConfig::default()).unwrap();
+        let report = runner.enact(Some(0u32)).unwrap();
+        // what is sent is received
+        prop_assert_eq!(report.totals.h_bytes_sent, report.totals.h_bytes_recv);
+        // wire format: every transmitted vertex costs id + label
+        prop_assert_eq!(report.totals.h_bytes_sent, report.totals.h_vertices * 8);
+        // simulated time is monotone and includes the sync overhead
+        prop_assert!(report.sim_time_us >= report.iterations as f64);
+    }
+}

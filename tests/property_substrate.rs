@@ -1,0 +1,183 @@
+//! Property-based tests of the vgpu substrate and I/O layers: simulated
+//! clocks are monotone under arbitrary operation sequences, memory pools
+//! account exactly, transfer costs are monotone in size, and MatrixMarket
+//! round-trips preserve edge lists.
+
+use proptest::prelude::*;
+
+use mgpu_graph_analytics::graph::{read_mtx, write_mtx, Coo};
+use mgpu_graph_analytics::vgpu::{
+    Device, HardwareProfile, Interconnect, KernelKind, COMM_STREAM, COMPUTE_STREAM,
+};
+
+/// An arbitrary device operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Kernel { comm: bool, kind: u8, items: u16 },
+    Charge { comm: bool, us: u16 },
+    CrossWait,
+    Superstep { n: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<bool>(), 0u8..7, any::<u16>())
+            .prop_map(|(comm, kind, items)| Op::Kernel { comm, kind, items }),
+        (any::<bool>(), any::<u16>()).prop_map(|(comm, us)| Op::Charge { comm, us }),
+        Just(Op::CrossWait),
+        (1u8..6).prop_map(|n| Op::Superstep { n }),
+    ]
+}
+
+fn kind_of(k: u8) -> KernelKind {
+    match k {
+        0 => KernelKind::Advance,
+        1 => KernelKind::Filter,
+        2 => KernelKind::FusedAdvanceFilter,
+        3 => KernelKind::Compute,
+        4 => KernelKind::Combine,
+        5 => KernelKind::Split,
+        _ => KernelKind::Bulk,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn device_clock_is_monotone_under_any_op_sequence(ops in prop::collection::vec(arb_op(), 0..60)) {
+        let mut dev = Device::new(0, HardwareProfile::k40());
+        let mut last = 0.0f64;
+        for op in ops {
+            match op {
+                Op::Kernel { comm, kind, items } => {
+                    let s = if comm { COMM_STREAM } else { COMPUTE_STREAM };
+                    dev.kernel(s, kind_of(kind), || ((), items as u64)).unwrap();
+                }
+                Op::Charge { comm, us } => {
+                    let s = if comm { COMM_STREAM } else { COMPUTE_STREAM };
+                    dev.charge(s, us as f64 / 16.0, 0.0).unwrap();
+                }
+                Op::CrossWait => {
+                    let ev = dev.record_event(COMPUTE_STREAM);
+                    dev.stream_wait(COMM_STREAM, ev).unwrap();
+                }
+                Op::Superstep { n } => {
+                    dev.end_superstep(n as usize, 0.0);
+                }
+            }
+            let now = dev.now();
+            prop_assert!(now >= last, "clock went backwards: {now} < {last}");
+            prop_assert!(now.is_finite());
+            last = now;
+        }
+    }
+
+    #[test]
+    fn kernel_work_accounting_matches_the_items_charged(
+        items in prop::collection::vec(0u32..10_000, 1..30),
+    ) {
+        let mut dev = Device::new(0, HardwareProfile::k40());
+        let mut expect_w = 0u64;
+        let mut expect_c = 0u64;
+        for (i, &n) in items.iter().enumerate() {
+            let kind = if i % 3 == 0 { KernelKind::Combine } else { KernelKind::Advance };
+            dev.kernel(COMPUTE_STREAM, kind, || ((), n as u64)).unwrap();
+            if kind.is_communication_computation() {
+                expect_c += n as u64;
+            } else {
+                expect_w += n as u64;
+            }
+        }
+        prop_assert_eq!(dev.counters.w_items, expect_w);
+        prop_assert_eq!(dev.counters.c_items, expect_c);
+        prop_assert_eq!(dev.counters.kernel_launches, items.len() as u64);
+    }
+
+    #[test]
+    fn pool_accounting_is_exact_under_alloc_free_sequences(
+        sizes in prop::collection::vec(1usize..4_000, 1..40),
+        keep_mask in prop::collection::vec(any::<bool>(), 40),
+    ) {
+        let pool = mgpu_graph_analytics::vgpu::MemoryPool::new(0, 1 << 26);
+        let mut live_model = 0u64;
+        let mut held = Vec::new();
+        for (i, &n) in sizes.iter().enumerate() {
+            let a = pool.alloc::<u64>(n).unwrap();
+            live_model += (n * 8) as u64;
+            if keep_mask[i % keep_mask.len()] {
+                held.push(a);
+            } else {
+                live_model -= (n * 8) as u64;
+                drop(a);
+            }
+            prop_assert_eq!(pool.live(), live_model);
+            prop_assert!(pool.peak() >= pool.live());
+        }
+        drop(held);
+        let total: u64 = sizes.iter().map(|&n| (n * 8) as u64).sum();
+        prop_assert_eq!(pool.live(), 0);
+        prop_assert!(pool.peak() <= total);
+    }
+
+    #[test]
+    fn transfer_cost_is_monotone_in_bytes_and_respects_topology(
+        a in 0usize..8, b in 0usize..8, bytes in 0u64..(1 << 24),
+    ) {
+        let ic = Interconnect::pcie3(8, 4);
+        let t1 = ic.transfer_us(a, b, bytes);
+        let t2 = ic.transfer_us(a, b, bytes + 1024);
+        prop_assert!(t2 >= t1);
+        if a == b {
+            prop_assert_eq!(t1, 0.0);
+        } else {
+            prop_assert!(t1 >= ic.latency_us(a, b));
+            // symmetric links
+            prop_assert_eq!(t1, ic.transfer_us(b, a, bytes));
+        }
+    }
+
+    #[test]
+    fn two_level_fabric_charges_more_across_nodes(
+        bytes in 1u64..(1 << 22),
+    ) {
+        let ic = Interconnect::two_level(2, 4);
+        let intra = ic.transfer_us(0, 3, bytes);
+        let inter = ic.transfer_us(0, 4, bytes);
+        prop_assert!(inter > intra);
+    }
+
+    #[test]
+    fn mtx_round_trip_preserves_weighted_edges(
+        n in 2usize..40,
+        raw in prop::collection::vec((0u32..40, 0u32..40, 1u32..1000), 0..80),
+    ) {
+        let edges: Vec<(u32, u32)> = raw
+            .iter()
+            .map(|&(s, d, _)| (s % n as u32, d % n as u32))
+            .collect();
+        let weights: Vec<u32> = raw.iter().map(|&(_, _, w)| w).collect();
+        let coo = Coo::<u32>::from_edges(n, edges, Some(weights));
+        let mut buf = Vec::new();
+        write_mtx(&coo, &mut buf).unwrap();
+        let back = read_mtx::<u32, _>(std::io::BufReader::new(buf.as_slice())).unwrap();
+        prop_assert_eq!(back.n_vertices, coo.n_vertices);
+        prop_assert_eq!(back.edges, coo.edges);
+        prop_assert_eq!(back.weights, coo.weights);
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic(seed in 0u64..1000, scale in 4u32..9) {
+        use mgpu_graph_analytics::gen::{preferential_attachment, rmat, web_crawl, RmatParams};
+        let n = 1usize << scale;
+        prop_assert_eq!(
+            rmat(scale, 4, RmatParams::paper(), seed).edges,
+            rmat(scale, 4, RmatParams::paper(), seed).edges
+        );
+        prop_assert_eq!(
+            preferential_attachment(n.max(16), 3, seed).edges,
+            preferential_attachment(n.max(16), 3, seed).edges
+        );
+        prop_assert_eq!(web_crawl(n.max(16), 3, seed).edges, web_crawl(n.max(16), 3, seed).edges);
+    }
+}
