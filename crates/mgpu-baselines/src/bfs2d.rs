@@ -36,7 +36,7 @@ impl Bfs2d {
     pub fn for_gpus(n: usize) -> Self {
         assert!(n > 0);
         let mut r = (n as f64).sqrt() as usize;
-        while n % r != 0 {
+        while !n.is_multiple_of(r) {
             r -= 1;
         }
         Bfs2d { rows: r, cols: n / r }
@@ -99,7 +99,7 @@ impl Bfs2d {
             for i in 0..rows {
                 let row_frontier: Vec<V> =
                     frontier.iter().copied().filter(|v| row_slice(v.idx()) == i).collect();
-                for j in 0..cols {
+                for (j, col_candidates) in candidates.iter_mut().enumerate() {
                     let g = gpu_at(i, j);
                     let block = &blocks[g];
                     let dev = &mut system.devices[g];
@@ -130,7 +130,7 @@ impl Bfs2d {
                         dev.counters.h_vertices += cand.len() as u64;
                         dev.counters.h_messages += 1;
                     }
-                    candidates[j].extend(cand);
+                    col_candidates.extend(cand);
                 }
             }
             // --- contract at column leaders ---

@@ -24,17 +24,11 @@ use vgpu::{KernelKind, Result, SimSystem, COMPUTE_STREAM};
 const INF: u32 = u32::MAX;
 
 /// The hardwired DOBFS baseline.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct HardwiredDobfs {
     /// Direction-switch thresholds (same estimator as the framework's, to
     /// isolate the mechanism differences listed in the module docs).
     pub direction: DirectionConfig,
-}
-
-impl Default for HardwiredDobfs {
-    fn default() -> Self {
-        HardwiredDobfs { direction: DirectionConfig::default() }
-    }
 }
 
 impl HardwiredDobfs {
@@ -191,8 +185,7 @@ impl HardwiredDobfs {
             }
         }
 
-        let labels_out: Vec<u32> =
-            (0..n_global).map(|v| label_arrays[0][v]).collect();
+        let labels_out: Vec<u32> = (0..n_global).map(|v| label_arrays[0][v]).collect();
         let report = EnactReport {
             primitive: "Enterprise-like DOBFS",
             n_devices: n,

@@ -16,7 +16,7 @@ use vgpu::{HardwareProfile, Interconnect, SimSystem};
 /// `1..=n_gpus` are GPUs, all on the PCIe fabric.
 pub fn hybrid_system(n_gpus: usize, gpu_profile: HardwareProfile) -> SimSystem {
     let mut profiles = vec![HardwareProfile::xeon_e5()];
-    profiles.extend(std::iter::repeat(gpu_profile).take(n_gpus));
+    profiles.extend(std::iter::repeat_n(gpu_profile, n_gpus));
     SimSystem::new(profiles, Interconnect::pcie3(n_gpus + 1, n_gpus + 1))
         .expect("sizes match by construction")
 }
@@ -84,16 +84,10 @@ mod tests {
         let g: mgpu_graph::Csr<u32, u64> =
             GraphBuilder::undirected(&preferential_attachment(300, 6, 2));
         let owner = DegreePartitioner::default().assign(&g, 3);
-        let cpu_max: usize = (0..300u32)
-            .filter(|&v| owner[v as usize] == 0)
-            .map(|v| g.degree(v))
-            .max()
-            .unwrap();
-        let gpu_max: usize = (0..300u32)
-            .filter(|&v| owner[v as usize] != 0)
-            .map(|v| g.degree(v))
-            .max()
-            .unwrap();
+        let cpu_max: usize =
+            (0..300u32).filter(|&v| owner[v as usize] == 0).map(|v| g.degree(v)).max().unwrap();
+        let gpu_max: usize =
+            (0..300u32).filter(|&v| owner[v as usize] != 0).map(|v| g.degree(v)).max().unwrap();
         assert!(gpu_max > cpu_max, "hubs belong on the GPU");
     }
 
@@ -123,12 +117,11 @@ mod tests {
         let dist_h = DistGraph::partition(&g, &DegreePartitioner::default(), 3, Duplication::All);
         let mut profiles = vec![HardwareProfile::xeon_e5().with_overhead_scale(scale)];
         profiles.extend(vec![HardwareProfile::k40().with_overhead_scale(scale); 2]);
-        let sys_h = SimSystem::new(
-            profiles,
-            vgpu::Interconnect::pcie3(3, 3).with_latency_scale(scale),
-        )
-        .unwrap();
-        let mut run_h = Runner::new(sys_h, &dist_h, Bfs::default(), EnactConfig::default()).unwrap();
+        let sys_h =
+            SimSystem::new(profiles, vgpu::Interconnect::pcie3(3, 3).with_latency_scale(scale))
+                .unwrap();
+        let mut run_h =
+            Runner::new(sys_h, &dist_h, Bfs::default(), EnactConfig::default()).unwrap();
         let hybrid = run_h.enact(Some(0u32)).unwrap();
 
         let owner: Vec<u32> = (0..2000).map(|v| (v % 3) as u32).collect();
@@ -138,7 +131,8 @@ mod tests {
             vgpu::Interconnect::pcie3(3, 4).with_latency_scale(scale),
         )
         .unwrap();
-        let mut run_g = Runner::new(sys_g, &dist_g, Bfs::default(), EnactConfig::default()).unwrap();
+        let mut run_g =
+            Runner::new(sys_g, &dist_g, Bfs::default(), EnactConfig::default()).unwrap();
         let all_gpu = run_g.enact(Some(0u32)).unwrap();
 
         assert!(

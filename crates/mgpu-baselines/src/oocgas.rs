@@ -38,13 +38,7 @@ pub trait OocProgram {
     fn combine(&self, a: Self::Acc, b: Self::Acc) -> Self::Acc;
     /// Apply the gathered accumulator: returns the new value and whether
     /// the vertex is active in the next superstep.
-    fn apply(
-        &self,
-        old: Self::Val,
-        acc: Self::Acc,
-        received: bool,
-        n: usize,
-    ) -> (Self::Val, bool);
+    fn apply(&self, old: Self::Val, acc: Self::Acc, received: bool, n: usize) -> (Self::Val, bool);
     /// Superstep cap (PR uses a fixed iteration count).
     fn max_supersteps(&self) -> usize {
         usize::MAX
@@ -121,8 +115,7 @@ impl OocEngine {
         let src_idx = src.map(|s| s.idx());
         self.device.reset_clock();
         let mut vals: Vec<P::Val> = (0..n).map(|v| program.init(v, n, src_idx)).collect();
-        let mut active: Vec<bool> =
-            (0..n).map(|v| program.initially_active(v, src_idx)).collect();
+        let mut active: Vec<bool> = (0..n).map(|v| program.initially_active(v, src_idx)).collect();
 
         // Shard boundaries: contiguous source ranges of ~shard_edges edges.
         let mut shards: Vec<std::ops::Range<usize>> = Vec::new();

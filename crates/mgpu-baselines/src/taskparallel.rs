@@ -145,8 +145,7 @@ mod tests {
     fn accumulates_brandes_over_sources() {
         let g = graph();
         let sources = [0u32, 3, 17];
-        let (report, bc) =
-            TaskParallelBc.run(&g, &sources, 2, HardwareProfile::k40()).unwrap();
+        let (report, bc) = TaskParallelBc.run(&g, &sources, 2, HardwareProfile::k40()).unwrap();
         assert_eq!(report.n_sources, 3);
         let mut expect = vec![0.0f64; 80];
         for &s in &sources {

@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks of the communication hot path (wall-clock of
+//! the real execution, not the simulated clock): the count-then-scatter
+//! selective split with its reusable scratch, broadcast packaging with
+//! `Arc` fan-out vs the deep-clone fan-out it replaced, and the combine
+//! loop that appends received vertices straight into the next frontier.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mgpu_core::comm::{broadcast_package, split_and_package, Package, SplitScratch};
+use mgpu_graph::{Coo, Csr, GraphBuilder};
+use mgpu_partition::{DistGraph, Duplication};
+use vgpu::{Device, HardwareProfile};
+
+const N_PARTS: usize = 4;
+const SIZES: [usize; 4] = [1_000, 10_000, 100_000, 1_000_000];
+
+/// A duplicate-all 4-way partition over `n` vertices. The split only reads
+/// ownership, so a sparse ring graph keeps setup cheap at frontier sizes up
+/// to 1e6.
+fn setup(n: usize) -> (DistGraph<u32, u64>, Vec<u32>) {
+    let edges: Vec<(u32, u32)> = (0..1000u32).map(|i| (i, (i + 1) % 1000)).collect();
+    let g: Csr<u32, u64> = GraphBuilder::undirected(&Coo::from_edges(n, edges, None));
+    let owner: Vec<u32> = (0..n).map(|v| (v % N_PARTS) as u32).collect();
+    let dist = DistGraph::build(&g, owner, N_PARTS, Duplication::All);
+    let frontier: Vec<u32> = (0..n as u32).collect();
+    (dist, frontier)
+}
+
+fn bench_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm/split_and_package");
+    for size in SIZES {
+        let (dist, frontier) = setup(size);
+        let sub = &dist.parts[0];
+        let mut dev = Device::new(0, HardwareProfile::k40());
+        let mut scratch = SplitScratch::default();
+        group.bench_function(BenchmarkId::from_parameter(size), |b| {
+            b.iter(|| split_and_package(&mut dev, sub, &frontier, &mut scratch, |v| v).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm/broadcast");
+    for size in SIZES {
+        let (dist, frontier) = setup(size);
+        let sub = &dist.parts[0];
+        let mut dev = Device::new(0, HardwareProfile::k40());
+        // The shipped path: package once, fan out n−1 Arc pointers.
+        group.bench_function(BenchmarkId::new("arc_fanout", size), |b| {
+            b.iter(|| {
+                let pkg = broadcast_package(&mut dev, sub, &frontier, |v| v).unwrap();
+                let pkg = Arc::new(pkg);
+                let sends: Vec<Arc<Package<u32, u32>>> =
+                    (1..N_PARTS).map(|_| Arc::clone(&pkg)).collect();
+                sends
+            })
+        });
+        // The pre-zero-copy behavior: a frontier copy for the local part and
+        // a deep package clone per peer.
+        group.bench_function(BenchmarkId::new("deep_clone", size), |b| {
+            b.iter(|| {
+                let pkg = broadcast_package(&mut dev, sub, &frontier, |v| v).unwrap();
+                let local = frontier.to_vec();
+                let sends: Vec<Package<u32, u32>> = (1..N_PARTS).map(|_| pkg.clone()).collect();
+                (local, sends)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_combine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm/combine");
+    for size in SIZES {
+        let (dist, frontier) = setup(size);
+        let sub = &dist.parts[0];
+        let mut dev = Device::new(0, HardwareProfile::k40());
+        let mut scratch = SplitScratch::default();
+        let (_, pkgs) = split_and_package(&mut dev, sub, &frontier, &mut scratch, |v| v).unwrap();
+        let pkgs: Vec<Package<u32, u32>> = pkgs.into_iter().flatten().collect();
+        let n = sub.n_vertices();
+        // The enactor's combine loop: one pass per received package,
+        // appending fresh vertices straight into the next input frontier.
+        group.bench_function(BenchmarkId::from_parameter(size), |b| {
+            b.iter(|| {
+                let mut labels = vec![u32::MAX; n];
+                let mut next: Vec<u32> = Vec::new();
+                for pkg in &pkgs {
+                    for (&v, &msg) in pkg.vertices.iter().zip(&pkg.msgs) {
+                        if msg < labels[v as usize] {
+                            labels[v as usize] = msg;
+                            next.push(v);
+                        }
+                    }
+                }
+                next
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_split, bench_broadcast, bench_combine);
+criterion_main!(benches);

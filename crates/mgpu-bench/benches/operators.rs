@@ -2,6 +2,8 @@
 //! real execution, not the simulated clock): advance vs fused
 //! advance+filter — the §VI-C fusion win — plus filter and pull-advance.
 
+use std::sync::atomic::Ordering::Relaxed;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mgpu_core::alloc::{AllocScheme, FrontierBufs};
 use mgpu_core::ops;
@@ -11,8 +13,7 @@ use mgpu_partition::{DistGraph, Duplication};
 use vgpu::{Device, HardwareProfile};
 
 fn setup(scale: u32) -> (DistGraph<u32, u64>, Vec<u32>) {
-    let g: Csr<u32, u64> =
-        GraphBuilder::undirected(&rmat(scale, 16, RmatParams::paper(), 7));
+    let g: Csr<u32, u64> = GraphBuilder::undirected(&rmat(scale, 16, RmatParams::paper(), 7));
     let n = g.n_vertices();
     let dist = DistGraph::build(&g, vec![0; n], 1, Duplication::All);
     let frontier: Vec<u32> = (0..n as u32).step_by(4).collect();
@@ -30,13 +31,12 @@ fn bench_operators(c: &mut Criterion) {
             let mut bufs =
                 FrontierBufs::new(&mut dev, AllocScheme::Max, sub.n_vertices(), sub.n_edges())
                     .unwrap();
-            let mut seen = vec![false; sub.n_vertices()];
-            let cand = ops::advance(&mut dev, sub, &mut bufs, &frontier, |_, _, d| Some(d))
-                .unwrap();
+            let mut seen = vec![0u32; sub.n_vertices()];
+            let seen = vgpu::par::as_atomic_u32(&mut seen);
+            let cand =
+                ops::advance(&mut dev, sub, &mut bufs, &frontier, |_, _, d| Some(d)).unwrap();
             ops::filter(&mut dev, &cand, |v| {
-                let fresh = !seen[v as usize];
-                seen[v as usize] = true;
-                fresh
+                seen[v as usize].compare_exchange(0, 1, Relaxed, Relaxed).is_ok()
             })
             .unwrap()
         })
@@ -45,14 +45,10 @@ fn bench_operators(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("fused", "rmat13"), |b| {
         b.iter(|| {
             let mut dev = Device::new(0, HardwareProfile::k40());
-            let mut seen = vec![false; sub.n_vertices()];
+            let mut seen = vec![0u32; sub.n_vertices()];
+            let seen = vgpu::par::as_atomic_u32(&mut seen);
             ops::advance_filter_fused(&mut dev, sub, &frontier, |_, _, d| {
-                if seen[d as usize] {
-                    None
-                } else {
-                    seen[d as usize] = true;
-                    Some(d)
-                }
+                seen[d as usize].compare_exchange(0, 1, Relaxed, Relaxed).is_ok().then_some(d)
             })
             .unwrap()
         })

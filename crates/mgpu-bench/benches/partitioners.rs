@@ -5,13 +5,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mgpu_gen::{rmat, RmatParams};
 use mgpu_graph::{Csr, GraphBuilder};
-use mgpu_partition::{
-    BiasedRandomPartitioner, MultilevelPartitioner, Partitioner, RandomPartitioner,
-};
+use mgpu_partition::{BiasedRandomPartitioner, MultilevelPartitioner, Partitioner, RandomPartitioner};
 
 fn bench_partitioners(c: &mut Criterion) {
-    let g: Csr<u32, u64> =
-        GraphBuilder::undirected(&rmat(13, 16, RmatParams::paper(), 11));
+    let g: Csr<u32, u64> = GraphBuilder::undirected(&rmat(13, 16, RmatParams::paper(), 11));
     let mut group = c.benchmark_group("partitioners");
     group.bench_function(BenchmarkId::new("random", "rmat13x4"), |b| {
         let p = RandomPartitioner::default();

@@ -29,10 +29,8 @@ impl BenchArgs {
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--shift" => {
-                    out.shift = args
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--shift needs an integer");
+                    out.shift =
+                        args.next().and_then(|v| v.parse().ok()).expect("--shift needs an integer");
                 }
                 "--seed" => {
                     out.seed =
@@ -58,9 +56,8 @@ mod tests {
 
     #[test]
     fn parses_flags() {
-        let a = BenchArgs::parse_from(
-            ["--shift", "5", "--seed", "7"].iter().map(|s| s.to_string()),
-        );
+        let a =
+            BenchArgs::parse_from(["--shift", "5", "--seed", "7"].iter().map(|s| s.to_string()));
         assert_eq!(a.shift, 5);
         assert_eq!(a.seed, 7);
     }

@@ -61,25 +61,16 @@ fn main() {
         let frontier: Vec<u32> = (0..graph.n_vertices() as u32).collect();
         let time = |mode| {
             let mut dev = Device::new(0, HardwareProfile::k40());
-            let mut bufs = FrontierBufs::new(
-                &mut dev,
-                AllocScheme::Max,
-                sub.n_vertices(),
-                sub.n_edges(),
-            )
-            .unwrap();
+            let mut bufs =
+                FrontierBufs::new(&mut dev, AllocScheme::Max, sub.n_vertices(), sub.n_edges())
+                    .unwrap();
             ops::advance_with_mode(&mut dev, sub, &mut bufs, &frontier, mode, |_, _, d| Some(d))
                 .unwrap();
             dev.now()
         };
         let lb = time(AdvanceMode::LoadBalanced);
         let tm = time(AdvanceMode::ThreadMapped);
-        t.row(&[
-            label.into(),
-            format!("{lb:.1}"),
-            format!("{tm:.1}"),
-            format!("{:.1}x", tm / lb),
-        ]);
+        t.row(&[label.into(), format!("{lb:.1}"), format!("{tm:.1}"), format!("{:.1}x", tm / lb)]);
     }
     t.print();
 

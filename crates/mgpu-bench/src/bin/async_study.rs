@@ -51,7 +51,13 @@ fn main() {
     );
     let part = RandomPartitioner { seed: args.seed };
     let mut t = Table::new(&[
-        "graph", "algo", "GPUs", "BSP (ms)", "BSP supersteps", "async (ms)", "async advantage",
+        "graph",
+        "algo",
+        "GPUs",
+        "BSP (ms)",
+        "BSP supersteps",
+        "async (ms)",
+        "async advantage",
     ]);
     for (gname, g) in [("road", &road), ("soc", &soc)] {
         for n in [2usize, 4] {

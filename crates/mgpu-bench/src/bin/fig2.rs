@@ -40,12 +40,9 @@ fn main() {
     let biased = BiasedRandomPartitioner { seed: args.seed, slack: 0.05 };
     let metis = MultilevelPartitioner { seed: args.seed, ..Default::default() };
 
-    let mut t = Table::new(&[
-        "primitive+dataset", "random", "biased-random", "metis-like",
-    ]);
-    let mut quality = Table::new(&[
-        "dataset", "partitioner", "edge cut", "max |Bi|", "edge imbalance",
-    ]);
+    let mut t = Table::new(&["primitive+dataset", "random", "biased-random", "metis-like"]);
+    let mut quality =
+        Table::new(&["dataset", "partitioner", "edge cut", "max |Bi|", "edge imbalance"]);
 
     for ds in &datasets {
         let g = ds.build_undirected(args.shift, args.seed);

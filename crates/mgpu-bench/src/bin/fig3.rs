@@ -21,9 +21,8 @@ fn main() {
         AllocScheme::Max,
         AllocScheme::PreallocFusion { sizing_factor: 3.0 },
     ];
-    let mut t = Table::new(&[
-        "dataset", "scheme", "peak mem/GPU", "reallocs", "sim time", "relative mem",
-    ]);
+    let mut t =
+        Table::new(&["dataset", "scheme", "peak mem/GPU", "reallocs", "sim time", "relative mem"]);
     for ds in Dataset::figure_trio() {
         let g = ds.build_undirected(args.shift, args.seed);
         let mut base_mem = 0u64;

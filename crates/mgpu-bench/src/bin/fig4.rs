@@ -46,7 +46,10 @@ fn main() {
         let base: Vec<f64> = graphs
             .iter()
             .map(|(_, g)| {
-                run_scaled(prim, g, 1, HardwareProfile::k40(), &part, args.shift).expect("run").report.sim_time_us
+                run_scaled(prim, g, 1, HardwareProfile::k40(), &part, args.shift)
+                    .expect("run")
+                    .report
+                    .sim_time_us
             })
             .collect();
         let mut cells = vec![prim.name().to_string()];

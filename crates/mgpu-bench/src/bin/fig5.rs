@@ -33,12 +33,8 @@ fn main() {
     {
         for prim in [Primitive::Dobfs, Primitive::Bfs, Primitive::Pr] {
             let mut t = Table::new(&["GPUs", "strong", "weak-edge", "weak-vertex"]);
-            let strong: Csr<u32, u64> = GraphBuilder::undirected(&rmat(
-                strong_scale,
-                32,
-                RmatParams::paper(),
-                args.seed,
-            ));
+            let strong: Csr<u32, u64> =
+                GraphBuilder::undirected(&rmat(strong_scale, 32, RmatParams::paper(), args.seed));
             // PR is credited per iteration (|E|·iters / time), the metric
             // the paper's Fig. 5c uses; traversals are credited with |E|.
             let gteps = |out: &mgpu_bench::RunOutcome| {
@@ -49,22 +45,21 @@ fn main() {
                 }
             };
             for &n in &gpu_counts {
-                let s = run_scaled(prim, &strong, n, profile.clone(), &part, args.shift).expect("strong");
+                let s = run_scaled(prim, &strong, n, profile.clone(), &part, args.shift)
+                    .expect("strong");
                 let we_graph: Csr<u32, u64> = GraphBuilder::undirected(&rmat(
                     weak_scale,
                     32 * n, // paper: 256·n, scaled to keep runs short
                     RmatParams::paper(),
                     args.seed,
                 ));
-                let we = run_scaled(prim, &we_graph, n, profile.clone(), &part, args.shift).expect("weak-edge");
+                let we = run_scaled(prim, &we_graph, n, profile.clone(), &part, args.shift)
+                    .expect("weak-edge");
                 let wv_scale = weak_scale + (n as f64).log2().ceil() as u32;
-                let wv_graph: Csr<u32, u64> = GraphBuilder::undirected(&rmat(
-                    wv_scale,
-                    32,
-                    RmatParams::paper(),
-                    args.seed,
-                ));
-                let wv = run_scaled(prim, &wv_graph, n, profile.clone(), &part, args.shift).expect("weak-vertex");
+                let wv_graph: Csr<u32, u64> =
+                    GraphBuilder::undirected(&rmat(wv_scale, 32, RmatParams::paper(), args.seed));
+                let wv = run_scaled(prim, &wv_graph, n, profile.clone(), &part, args.shift)
+                    .expect("weak-vertex");
                 t.row(&[
                     format!("{n}"),
                     format!("{:.2}", gteps(&s)),

@@ -17,7 +17,10 @@ fn main() {
     let args = BenchArgs::parse();
     let part = RandomPartitioner { seed: args.seed };
     let gpu_counts = [2usize, 3, 4, 5, 6];
-    println!("Fig. 6 reproduction — geomean speedup over 1 GPU by graph type (shift {})\n", args.shift);
+    println!(
+        "Fig. 6 reproduction — geomean speedup over 1 GPU by graph type (shift {})\n",
+        args.shift
+    );
 
     for prim in [Primitive::Bfs, Primitive::Dobfs, Primitive::Pr] {
         let mut t = Table::new(&["group", "2", "3", "4", "5", "6"]);

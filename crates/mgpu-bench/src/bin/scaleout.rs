@@ -49,7 +49,11 @@ fn main() {
         "Scale-out study (§VIII future work) — 8 GPUs total, rmat 2^{scale}/32, runtime in ms\n"
     );
     let mut t = Table::new(&[
-        "primitive", "1 node x 8 GPUs", "2 nodes x 4", "4 nodes x 2", "scale-out penalty",
+        "primitive",
+        "1 node x 8 GPUs",
+        "2 nodes x 4",
+        "4 nodes x 2",
+        "scale-out penalty",
     ]);
     for prim in [Primitive::Bfs, Primitive::Dobfs, Primitive::Pr] {
         let one = run(prim, &g, 1, 8, args.shift, args.seed);

@@ -28,9 +28,7 @@ fn run(g: &Csr<u32, u64>, n: usize, do_a: f64, do_b: f64) -> f64 {
 fn main() {
     let args = BenchArgs::parse();
     let g = Dataset::by_name("soc-orkut").unwrap().build_undirected(args.shift, args.seed);
-    println!(
-        "Sec. VI-A ablation — DOBFS do_a/do_b sweep on soc-orkut analog (runtime in ms)\n"
-    );
+    println!("Sec. VI-A ablation — DOBFS do_a/do_b sweep on soc-orkut analog (runtime in ms)\n");
     // Wide sweep: tiny do_a switches to pull almost immediately; huge do_a
     // never switches (plain BFS); huge do_b snaps back to push right away.
     let do_as = [0.0001, 0.01, 1.0, 1e6];

@@ -41,11 +41,25 @@ fn main() {
     };
 
     let mut t = Table::new(&[
-        "primitive", "analytic W", "W meas", "analytic C", "C meas", "analytic H", "H meas (vtx)",
-        "analytic S", "S meas", "order ok",
+        "primitive",
+        "analytic W",
+        "W meas",
+        "analytic C",
+        "C meas",
+        "analytic H",
+        "H meas (vtx)",
+        "analytic S",
+        "S meas",
+        "order ok",
     ]);
-    for prim in [Primitive::Bfs, Primitive::Dobfs, Primitive::Sssp, Primitive::Bc, Primitive::Cc, Primitive::Pr]
-    {
+    for prim in [
+        Primitive::Bfs,
+        Primitive::Dobfs,
+        Primitive::Sssp,
+        Primitive::Bc,
+        Primitive::Cc,
+        Primitive::Pr,
+    ] {
         let out = run_on_k(prim, &g, n_gpus, HardwareProfile::k40(), &RandomPartitioner::default())
             .expect("run");
         let c = &out.report.totals;
@@ -56,8 +70,7 @@ fn main() {
             Primitive::Bfs => {
                 // selective H is bounded by the summed borders Σ|B_i|,
                 // itself at most (n-1)·|V| with duplication across peers
-                (c.w_items as f64) < 8.0 * e
-                    && (c.h_vertices as f64) < (n_gpus as f64 - 1.0) * v
+                (c.w_items as f64) < 8.0 * e && (c.h_vertices as f64) < (n_gpus as f64 - 1.0) * v
             }
             Primitive::Dobfs => {
                 (c.w_items as f64) < 4.0 * e

@@ -13,8 +13,15 @@ fn main() {
     let args = BenchArgs::parse();
     println!("Table II reproduction — dataset analogs at shift {}\n", args.shift);
     let mut t = Table::new(&[
-        "group", "name", "paper |V|", "paper |E|", "paper D", "analog |V|", "analog |E|",
-        "analog D*", "edge factor",
+        "group",
+        "name",
+        "paper |V|",
+        "paper |E|",
+        "paper D",
+        "analog |V|",
+        "analog |E|",
+        "analog D*",
+        "edge factor",
     ]);
     for ds in TABLE2 {
         let g = ds.build_undirected(args.shift, args.seed);

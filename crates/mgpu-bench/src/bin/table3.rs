@@ -23,9 +23,18 @@ fn graph(name: &str, shift: u32, seed: u64) -> Csr<u32, u64> {
 fn main() {
     let args = BenchArgs::parse();
     let part = RandomPartitioner { seed: args.seed };
-    println!("Table III reproduction — vs previous in-core GPU BFS (analogs at shift {})\n", args.shift);
+    println!(
+        "Table III reproduction — vs previous in-core GPU BFS (analogs at shift {})\n",
+        args.shift
+    );
     let mut t = Table::new(&[
-        "graph", "reference", "ref hw", "ref perf (paper)", "baseline here", "ours", "ours vs baseline",
+        "graph",
+        "reference",
+        "ref hw",
+        "ref perf (paper)",
+        "baseline here",
+        "ours",
+        "ours vs baseline",
     ]);
 
     // --- Enterprise (Liu & Huang): hardwired DOBFS, {2,4} GPUs ---
@@ -48,7 +57,11 @@ fn main() {
             ref_perf.into(),
             format!("{:.2} GTEPS", hw.gteps(kron.n_edges())),
             format!("{:.2} GTEPS", ours.gteps()),
-            format!("{:.2}x (paper: {})", ours.gteps() / hw.gteps(kron.n_edges()), if n == 2 { "5.18x" } else { "3.76x" }),
+            format!(
+                "{:.2}x (paper: {})",
+                ours.gteps() / hw.gteps(kron.n_edges()),
+                if n == 2 { "5.18x" } else { "3.76x" }
+            ),
         ]);
     }
 
@@ -86,8 +99,7 @@ fn main() {
         .unwrap();
         let (b2d, _) = engine.run(&mut sys, &g, pick_source(&g)).expect("2d bfs");
         let ours =
-            run_scaled(Primitive::Dobfs, &g, 4, HardwareProfile::k40(), &part, args.shift)
-                .unwrap();
+            run_scaled(Primitive::Dobfs, &g, 4, HardwareProfile::k40(), &part, args.shift).unwrap();
         t.row(&[
             name.into(),
             reference.into(),

@@ -28,10 +28,18 @@ fn weighted_graph(name: &str, shift: u32, seed: u64) -> Csr<u32, u64> {
 fn main() {
     let args = BenchArgs::parse();
     let part = RandomPartitioner { seed: args.seed };
-    println!("Table IV reproduction — vs out-of-core GPU / CPU systems (analogs at shift {})\n", args.shift);
+    println!(
+        "Table IV reproduction — vs out-of-core GPU / CPU systems (analogs at shift {})\n",
+        args.shift
+    );
 
     let mut t = Table::new(&[
-        "graph", "algo", "reference (paper)", "out-of-core here", "ours (in-core)", "in-core speedup",
+        "graph",
+        "algo",
+        "reference (paper)",
+        "out-of-core here",
+        "ours (in-core)",
+        "in-core speedup",
     ]);
 
     // --- GraphReduce on uk-2002: {BFS, SSSP, CC, PR} = {49, 80, 153, 162} s ---
@@ -78,26 +86,20 @@ fn main() {
     let sys_h = {
         let mut profiles = vec![HardwareProfile::xeon_e5().with_overhead_scale(scale)];
         profiles.extend(vec![HardwareProfile::k40().with_overhead_scale(scale); 2]);
-        vgpu::SimSystem::new(
-            profiles,
-            vgpu::Interconnect::pcie3(3, 3).with_latency_scale(scale),
-        )
-        .unwrap()
+        vgpu::SimSystem::new(profiles, vgpu::Interconnect::pcie3(3, 3).with_latency_scale(scale))
+            .unwrap()
     };
     let mut run_h = Runner::new(sys_h, &dist_h, Bfs::default(), EnactConfig::default()).unwrap();
     let hybrid = run_h.enact(Some(pick_source(&g))).unwrap();
-    let ours = run_scaled(Primitive::Bfs, &g, 4, HardwareProfile::k40(), &part, args.shift).unwrap();
+    let ours =
+        run_scaled(Primitive::Bfs, &g, 4, HardwareProfile::k40(), &part, args.shift).unwrap();
     let mut t2 = Table::new(&["config", "BFS time", "paper"]);
     t2.row(&[
         "Totem-like hybrid (CPU+2xK40)".into(),
         fmt_us(hybrid.sim_time_us),
         "0.698 s (2xK40+2xXeon, twitter-mpi)".into(),
     ]);
-    t2.row(&[
-        "ours 4xK40".into(),
-        fmt_us(ours.report.sim_time_us),
-        "0.0785 s".into(),
-    ]);
+    t2.row(&["ours 4xK40".into(), fmt_us(ours.report.sim_time_us), "0.0785 s".into()]);
     t2.print();
     println!(
         "\nShape: in-core beats out-of-core by orders of magnitude when the graph fits in\n\

@@ -48,9 +48,8 @@ fn main() {
             &Dataset::by_name(name).unwrap().generate(args.shift, args.seed),
         );
         let (us, suffix) = if algo == "BFS" {
-            let out =
-                run_scaled(Primitive::Bfs, &g, 4, HardwareProfile::k40(), &part, args.shift)
-                    .unwrap();
+            let out = run_scaled(Primitive::Bfs, &g, 4, HardwareProfile::k40(), &part, args.shift)
+                .unwrap();
             (out.report.sim_time_us, "")
         } else {
             let owner: Vec<u32> = (0..g.n_vertices()).map(|v| (v % 4) as u32).collect();
@@ -86,8 +85,15 @@ fn main() {
     let r32e = bfs_gteps(&g32e, 4, args.shift);
     let r64e = bfs_gteps(&g64e, 4, args.shift);
     let r64v = bfs_gteps(&g64v, 4, args.shift);
-    let mut t2 = Table::new(&["id widths", "ours GTEPS", "relative", "paper GTEPS", "paper relative"]);
-    t2.row(&["32-bit eID".into(), format!("{r32e:.2}"), "1.00x".into(), "67.6".into(), "1.00x".into()]);
+    let mut t2 =
+        Table::new(&["id widths", "ours GTEPS", "relative", "paper GTEPS", "paper relative"]);
+    t2.row(&[
+        "32-bit eID".into(),
+        format!("{r32e:.2}"),
+        "1.00x".into(),
+        "67.6".into(),
+        "1.00x".into(),
+    ]);
     t2.row(&[
         "64-bit eID".into(),
         format!("{r64e:.2}"),

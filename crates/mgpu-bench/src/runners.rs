@@ -39,7 +39,14 @@ impl Primitive {
 
     /// All six, in the paper's Fig. 4 order.
     pub fn all() -> [Primitive; 6] {
-        [Primitive::Bc, Primitive::Bfs, Primitive::Cc, Primitive::Dobfs, Primitive::Pr, Primitive::Sssp]
+        [
+            Primitive::Bc,
+            Primitive::Bfs,
+            Primitive::Cc,
+            Primitive::Dobfs,
+            Primitive::Pr,
+            Primitive::Sssp,
+        ]
     }
 
     /// Does this primitive take a source vertex?
@@ -192,8 +199,7 @@ mod tests {
 
     #[test]
     fn pick_source_finds_the_hub() {
-        let g: Csr<u32, u64> =
-            GraphBuilder::undirected(&preferential_attachment(100, 4, 5));
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&preferential_attachment(100, 4, 5));
         let s = pick_source(&g);
         let smax = (0..100u32).map(|v| g.degree(v)).max().unwrap();
         assert_eq!(g.degree(s), smax);

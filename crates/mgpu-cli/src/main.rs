@@ -196,9 +196,7 @@ fn run(args: &[String]) -> ExitCode {
             &MultilevelPartitioner { seed: a.seed, ..Default::default() },
             Default::default(),
         ),
-        "chunked" => {
-            run_primitive(prim, &graph, system, &ChunkedPartitioner, Default::default())
-        }
+        "chunked" => run_primitive(prim, &graph, system, &ChunkedPartitioner, Default::default()),
         other => {
             eprintln!("unknown partitioner {other}");
             return ExitCode::FAILURE;

@@ -19,6 +19,8 @@
 use mgpu_graph::Id;
 use vgpu::{Device, DeviceArray, Result};
 
+use crate::comm::SplitScratch;
+
 /// Frontier-buffer allocation scheme.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AllocScheme {
@@ -60,7 +62,8 @@ impl AllocScheme {
     fn prealloc_elems(&self, n_vertices: usize, n_edges: usize) -> usize {
         match *self {
             AllocScheme::JustEnough => 0,
-            AllocScheme::Fixed { sizing_factor } | AllocScheme::PreallocFusion { sizing_factor } => {
+            AllocScheme::Fixed { sizing_factor }
+            | AllocScheme::PreallocFusion { sizing_factor } => {
                 (n_vertices as f64 * sizing_factor).ceil() as usize
             }
             AllocScheme::Max => n_edges,
@@ -79,6 +82,9 @@ pub struct FrontierBufs<V: Id> {
     pub output: DeviceArray<V>,
     /// Advance's pre-filter output; `None` under prealloc+fusion.
     pub intermediate: Option<DeviceArray<V>>,
+    /// Reusable scratch for the selective split's count pass — lives here so
+    /// every per-iteration split reuses one histogram allocation.
+    pub split: SplitScratch,
 }
 
 impl<V: Id> FrontierBufs<V> {
@@ -108,12 +114,9 @@ impl<V: Id> FrontierBufs<V> {
         };
         let input = dev.alloc_with_capacity::<V>(frontier_pre.max(1))?;
         let output = dev.alloc_with_capacity::<V>(frontier_pre.max(1))?;
-        let intermediate = if scheme.fused() {
-            None
-        } else {
-            Some(dev.alloc_with_capacity::<V>(pre.max(1))?)
-        };
-        Ok(FrontierBufs { scheme, input, output, intermediate })
+        let intermediate =
+            if scheme.fused() { None } else { Some(dev.alloc_with_capacity::<V>(pre.max(1))?) };
+        Ok(FrontierBufs { scheme, input, output, intermediate, split: SplitScratch::default() })
     }
 
     /// The scheme in force.
@@ -197,7 +200,8 @@ mod tests {
     #[test]
     fn just_enough_grows_on_demand_only() {
         let mut d = dev();
-        let mut bufs = FrontierBufs::<u32>::new(&mut d, AllocScheme::JustEnough, 100, 5000).unwrap();
+        let mut bufs =
+            FrontierBufs::<u32>::new(&mut d, AllocScheme::JustEnough, 100, 5000).unwrap();
         let base = d.pool().live();
         bufs.prepare_intermediate(&mut d, 640).unwrap();
         assert_eq!(d.pool().live() - base, (640 - 1) * 4);

@@ -23,6 +23,7 @@
 //!   clocks. Results still converge to the same fixpoint.
 
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering::SeqCst};
+use std::sync::Arc;
 use std::time::Instant;
 
 use mgpu_graph::Id;
@@ -81,7 +82,7 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> AsyncRunner<'g, V, O, P> {
         self.system.reset_clocks();
         let n = self.dist.n_parts;
         let located = src.map(|g| self.dist.locate(g));
-        let mailbox: Mailbox<Package<V, P::Msg>> = Mailbox::new(n);
+        let mailbox: Mailbox<Arc<Package<V, P::Msg>>> = Mailbox::new(n);
         // Distributed termination: messages in flight + busy device count.
         let in_flight = AtomicI64::new(0);
         let busy = AtomicUsize::new(n);
@@ -170,7 +171,7 @@ fn run_async_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
     per: &mut AsyncPerGpu<V, P::State>,
     sub: &SubGraph<V, O>,
     interconnect: &Interconnect,
-    mailbox: &Mailbox<Package<V, P::Msg>>,
+    mailbox: &Mailbox<Arc<Package<V, P::Msg>>>,
     in_flight: &AtomicI64,
     busy: &AtomicUsize,
     abort: &AtomicBool,
@@ -212,23 +213,20 @@ fn run_async_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
             idle = false;
         }
         for delivery in deliveries {
-            dev.stream_wait(COMM_STREAM, delivery.arrival)
-                .expect("streams exist by construction");
+            dev.stream_wait(COMM_STREAM, delivery.arrival).expect("streams exist by construction");
             let pkg = delivery.payload;
             dev.counters.h_bytes_recv += pkg.wire_bytes();
             let state = &mut per.state;
-            let added = dev
-                .kernel(COMM_STREAM, KernelKind::Combine, || {
-                    let mut added = Vec::new();
-                    for (i, &wire) in pkg.vertices.iter().enumerate() {
-                        if problem.combine(state, wire, &pkg.msgs[i]) {
-                            added.push(wire);
-                        }
+            let pending_ref = &mut pending;
+            dev.kernel(COMM_STREAM, KernelKind::Combine, || {
+                for (i, &wire) in pkg.vertices.iter().enumerate() {
+                    if problem.combine(state, wire, &pkg.msgs[i]) {
+                        pending_ref.push(wire);
                     }
-                    (added, pkg.len() as u64)
-                })
-                .expect("combine kernel");
-            pending.extend(added);
+                }
+                ((), pkg.len() as u64)
+            })
+            .expect("combine kernel");
             in_flight.fetch_sub(1, SeqCst);
         }
         // combine output feeds the next relaxation
@@ -243,10 +241,7 @@ fn run_async_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
                 idle = true;
             }
             // termination: nobody busy, nothing in flight, inbox empty
-            if busy.load(SeqCst) == 0
-                && in_flight.load(SeqCst) == 0
-                && mailbox.is_empty(gpu)
-            {
+            if busy.load(SeqCst) == 0 && in_flight.load(SeqCst) == 0 && mailbox.is_empty(gpu) {
                 return Ok(rounds);
             }
             std::thread::yield_now();
@@ -259,8 +254,9 @@ fn run_async_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
             let output =
                 problem.iteration(dev, sub, &mut per.state, &mut per.bufs, &input, rounds)?;
             let state = &per.state;
-            let (local, pkgs) =
-                split_and_package(dev, sub, &output, |v| problem.package(state, v))?;
+            let (local, pkgs) = split_and_package(dev, sub, &output, &mut per.bufs.split, |v| {
+                problem.package(state, v)
+            })?;
             if pkgs.iter().any(Option::is_some) {
                 let ready = dev.record_event(COMPUTE_STREAM);
                 dev.stream_wait(COMM_STREAM, ready)?;
@@ -276,7 +272,7 @@ fn run_async_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
                 dev.counters.h_messages += 1;
                 dev.counters.h_time_us += occupancy;
                 in_flight.fetch_add(1, SeqCst);
-                mailbox.send(gpu, peer, Event::at(arrival), pkg);
+                mailbox.send(gpu, peer, Event::at(arrival), Arc::new(pkg));
             }
             Ok(local)
         })();
@@ -305,10 +301,8 @@ mod tests {
     #[should_panic(expected = "assertion")]
     fn mismatched_device_count_is_rejected() {
         use mgpu_graph::{Coo, Csr, GraphBuilder};
-        let g: Csr<u32, u64> =
-            GraphBuilder::undirected(&Coo::from_edges(4, vec![(0, 1)], None));
-        let dist =
-            DistGraph::partition(&g, &RandomPartitioner::default(), 2, Duplication::All);
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&Coo::from_edges(4, vec![(0, 1)], None));
+        let dist = DistGraph::partition(&g, &RandomPartitioner::default(), 2, Duplication::All);
         let system = SimSystem::homogeneous(3, HardwareProfile::k40());
         let _ = AsyncRunner::new(system, &dist, DummyNever);
         let _ = EnactConfig::default();

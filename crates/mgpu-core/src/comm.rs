@@ -79,21 +79,54 @@ impl<V: Id, M: Wire> Package<V, M> {
     }
 }
 
+/// What a selective split produces: the local sub-frontier plus one
+/// optional package per peer (`None` when nothing goes to that peer).
+pub type SplitOutput<V, M> = (Vec<V>, Vec<Option<Package<V, M>>>);
+
+/// Reusable split scratch: the per-peer destination histogram. Owned by the
+/// caller (one per device, inside `FrontierBufs`) so the per-iteration split
+/// allocates nothing beyond the exact-capacity output buffers.
+#[derive(Debug, Default)]
+pub struct SplitScratch {
+    counts: Vec<usize>,
+}
+
 /// Selective split: divide `frontier` (local ids) into the local
 /// sub-frontier (owned vertices) and one package per peer holding that
 /// peer's vertices as owner-local ids. Metered as one Split kernel over the
 /// frontier ("data packaging can be done together with frontier splitting").
+///
+/// Two passes — count, then scatter — so every output buffer is allocated
+/// once at its exact final size; the GPU split kernel does the same
+/// (histogram + prefix sum + scatter) to compute output cursors. The charge
+/// is one frontier scan, as before: the count pass models the cursor
+/// computation that the atomic-throughput `Split` metering already covers.
 pub fn split_and_package<V: Id, O: Id, M: Wire>(
     dev: &mut Device,
     sub: &SubGraph<V, O>,
     frontier: &[V],
+    scratch: &mut SplitScratch,
     mut packager: impl FnMut(V) -> M,
-) -> Result<(Vec<V>, Vec<Option<Package<V, M>>>)> {
+) -> Result<SplitOutput<V, M>> {
     let n_parts = sub.n_parts;
     dev.kernel(COMPUTE_STREAM, KernelKind::Split, || {
-        let mut local = Vec::new();
-        let mut pkgs: Vec<Option<Package<V, M>>> = (0..n_parts).map(|_| None).collect();
-        let mut parts: Vec<(Vec<V>, Vec<M>)> = (0..n_parts).map(|_| (Vec::new(), Vec::new())).collect();
+        // pass 1: destination histogram (slot n_parts counts the local part)
+        let counts = &mut scratch.counts;
+        counts.clear();
+        counts.resize(n_parts + 1, 0);
+        for &v in frontier {
+            if sub.is_owned(v) {
+                counts[n_parts] += 1;
+            } else {
+                counts[sub.owner(v) as usize] += 1;
+            }
+        }
+        // pass 2: scatter into exact-capacity buffers
+        let mut local = Vec::with_capacity(counts[n_parts]);
+        let mut parts: Vec<(Vec<V>, Vec<M>)> = counts[..n_parts]
+            .iter()
+            .map(|&c| (Vec::with_capacity(c), Vec::with_capacity(c)))
+            .collect();
         for &v in frontier {
             if sub.is_owned(v) {
                 local.push(v);
@@ -103,32 +136,34 @@ pub fn split_and_package<V: Id, O: Id, M: Wire>(
                 parts[peer].1.push(packager(v));
             }
         }
-        for (peer, (vs, ms)) in parts.into_iter().enumerate() {
-            if !vs.is_empty() {
-                pkgs[peer] = Some(Package::list(vs, ms));
-            }
-        }
+        let pkgs: Vec<Option<Package<V, M>>> = parts
+            .into_iter()
+            .map(|(vs, ms)| (!vs.is_empty()).then(|| Package::list(vs, ms)))
+            .collect();
         ((local, pkgs), frontier.len() as u64)
     })
 }
 
 /// Broadcast packaging: the whole frontier (as global ids) goes to every
-/// peer; the local sub-frontier is the whole frontier. No split pass is
-/// needed, only id conversion and data packaging — still one Split-class
-/// kernel, but the per-peer loop disappears.
+/// peer; the local sub-frontier is the whole frontier — the caller keeps
+/// using its own frontier vector, so nothing is copied for the local part.
+/// No split pass is needed, only id conversion and data packaging — still
+/// one Split-class kernel, but the per-peer loop disappears. The returned
+/// package is wrapped in an `Arc` by the sender and fanned out to all peers
+/// without further copies.
 pub fn broadcast_package<V: Id, O: Id, M: Wire>(
     dev: &mut Device,
     sub: &SubGraph<V, O>,
     frontier: &[V],
     mut packager: impl FnMut(V) -> M,
-) -> Result<(Vec<V>, Package<V, M>)> {
+) -> Result<Package<V, M>> {
     dev.kernel(COMPUTE_STREAM, KernelKind::Split, || {
         let vertices: Vec<V> = frontier.iter().map(|&v| sub.to_global(v)).collect();
         let msgs: Vec<M> = frontier.iter().map(|&v| packager(v)).collect();
         // broadcast ids live in the global space; the bitmap alternative
         // spans that space
         let pkg = Package::best_encoding(vertices, msgs, sub.n_vertices());
-        ((frontier.to_vec(), pkg), frontier.len() as u64)
+        (pkg, frontier.len() as u64)
     })
 }
 
@@ -150,8 +185,10 @@ mod tests {
         let dg = cycle6(Duplication::All);
         let mut dev = Device::new(0, HardwareProfile::k40());
         // GPU0's frontier holds owned {1,2} and remote {3,5}
+        let mut scratch = SplitScratch::default();
         let (local, pkgs) =
-            split_and_package(&mut dev, &dg.parts[0], &[1, 2, 3, 5], |v| v * 10).unwrap();
+            split_and_package(&mut dev, &dg.parts[0], &[1, 2, 3, 5], &mut scratch, |v| v * 10)
+                .unwrap();
         assert_eq!(local, vec![1, 2]);
         assert!(pkgs[0].is_none(), "nothing to self");
         let p1 = pkgs[1].as_ref().unwrap();
@@ -167,8 +204,9 @@ mod tests {
         let mut dev = Device::new(0, HardwareProfile::k40());
         // On GPU0: locals 0..3 owned; proxy 3 = global 3 (owner-local 0),
         // proxy 4 = global 5 (owner-local 2)
+        let mut scratch = SplitScratch::default();
         let (local, pkgs) =
-            split_and_package(&mut dev, &dg.parts[0], &[2, 3, 4], |v| v).unwrap();
+            split_and_package(&mut dev, &dg.parts[0], &[2, 3, 4], &mut scratch, |v| v).unwrap();
         assert_eq!(local, vec![2]);
         let p1 = pkgs[1].as_ref().unwrap();
         assert_eq!(p1.vertices, vec![0, 2], "owner-local ids on the wire");
@@ -179,8 +217,9 @@ mod tests {
     fn broadcast_keeps_whole_frontier_local_and_packages_global_ids() {
         let dg = cycle6(Duplication::OneHop);
         let mut dev = Device::new(0, HardwareProfile::k40());
-        let (local, pkg) = broadcast_package(&mut dev, &dg.parts[0], &[2, 4], |_| ()).unwrap();
-        assert_eq!(local, vec![2, 4]);
+        let frontier = [2u32, 4];
+        let pkg = broadcast_package(&mut dev, &dg.parts[0], &frontier, |_| ()).unwrap();
+        // the caller's own frontier *is* the local part — nothing is copied
         assert_eq!(pkg.vertices, vec![2, 5], "local 4 is global 5");
         assert_eq!(
             pkg.wire_bytes(),
@@ -193,10 +232,28 @@ mod tests {
     fn empty_frontier_produces_no_packages() {
         let dg = cycle6(Duplication::All);
         let mut dev = Device::new(0, HardwareProfile::k40());
+        let mut scratch = SplitScratch::default();
         let (local, pkgs) =
-            split_and_package::<u32, u64, ()>(&mut dev, &dg.parts[0], &[], |_| ()).unwrap();
+            split_and_package::<u32, u64, ()>(&mut dev, &dg.parts[0], &[], &mut scratch, |_| ())
+                .unwrap();
         assert!(local.is_empty());
         assert!(pkgs.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn split_scratch_is_reusable_across_iterations() {
+        let dg = cycle6(Duplication::All);
+        let mut dev = Device::new(0, HardwareProfile::k40());
+        let mut scratch = SplitScratch::default();
+        for frontier in [vec![1u32, 3, 5], vec![0, 2], vec![4], vec![]] {
+            let (local, pkgs) =
+                split_and_package(&mut dev, &dg.parts[0], &frontier, &mut scratch, |v| v).unwrap();
+            let total: usize = local.len() + pkgs.iter().flatten().map(Package::len).sum::<usize>();
+            assert_eq!(total, frontier.len(), "split conserves the frontier");
+            for pkg in pkgs.iter().flatten() {
+                assert_eq!(pkg.vertices.len(), pkg.vertices.capacity(), "exact-size scatter");
+            }
+        }
     }
 }
 

@@ -141,8 +141,8 @@ mod tests {
     fn returns_forward_for_the_tail_and_never_switches_back_again() {
         let mut s = DirectionState::new(DirectionConfig::default());
         s.decide(10_000, 90_000, 10_000, 3_200_000, 100_000); // → backward
-        // tail: one-vertex frontier, sizeable unvisited remainder:
-        // FV = 1·32 = 32; BV = 1000·100k/99k ≈ 1010; FV < BV·0.1 = 101 → forward
+                                                              // tail: one-vertex frontier, sizeable unvisited remainder:
+                                                              // FV = 1·32 = 32; BV = 1000·100k/99k ≈ 1010; FV < BV·0.1 = 101 → forward
         let d = s.decide(1, 1_000, 99_000, 3_200_000, 100_000);
         assert_eq!(d, Direction::Forward, "FV=32 < BV·0.1≈101");
         // another explosion cannot trigger a second backward switch

@@ -24,6 +24,7 @@
 //! returns the root-cause error.
 
 use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
 use std::time::Instant;
 
 use mgpu_graph::Id;
@@ -49,6 +50,11 @@ pub struct EnactConfig {
     pub comm: Option<CommStrategy>,
     /// Override the primitive's iteration cap.
     pub max_iterations: Option<usize>,
+    /// Host threads for kernel bodies on every device (default: the
+    /// `MGPU_KERNEL_THREADS` env var, else available parallelism). Purely a
+    /// wall-clock knob — simulated time and BSP counters are identical at
+    /// every value (see `vgpu::par`).
+    pub kernel_threads: Option<usize>,
 }
 
 struct PerGpu<V: Id, S> {
@@ -91,6 +97,9 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> Runner<'g, V, O, P> {
         let mut per_gpu = Vec::with_capacity(dist.n_parts);
         for (dev, sub) in system.devices.iter_mut().zip(dist.parts.iter()) {
             dev.set_width_factor(width_factor);
+            if let Some(t) = config.kernel_threads {
+                dev.set_kernel_threads(t);
+            }
             let bytes = sub.topology_bytes();
             let topology = dev.pool().reserve_external(bytes)?;
             // charge the H2D copy of the graph at memory bandwidth
@@ -127,7 +136,10 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> Runner<'g, V, O, P> {
         let n = self.dist.n_parts;
         let located = src.map(|g| self.dist.locate(g));
         let sync = SyncPoint::new(n);
-        let mailbox: Mailbox<Package<V, P::Msg>> = Mailbox::new(n);
+        // Packages travel as `Arc`s: a broadcast to n−1 peers posts n−1
+        // pointers to one package, not n−1 deep copies (the wire cost is
+        // still charged per peer — the copies that disappear are host-side).
+        let mailbox: Mailbox<Arc<Package<V, P::Msg>>> = Mailbox::new(n);
         let abort = AtomicBool::new(false);
         let first_error: Mutex<Option<VgpuError>> = Mutex::new(None);
         let comm = self.config.comm;
@@ -232,7 +244,7 @@ fn run_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
     sub: &SubGraph<V, O>,
     interconnect: &Interconnect,
     sync: &SyncPoint,
-    mailbox: &Mailbox<Package<V, P::Msg>>,
+    mailbox: &Mailbox<Arc<Package<V, P::Msg>>>,
     comm: Option<CommStrategy>,
     max_iterations: usize,
     abort: &AtomicBool,
@@ -249,7 +261,9 @@ fn run_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
     };
 
     // Reset: primitive state + initial frontier ("Put tsrc into initial
-    // frontier on GPU src_gpu").
+    // frontier on GPU src_gpu"). The host vector drives the iteration
+    // directly; commit_output only establishes device residency (no
+    // copy-back — the contents are by construction identical).
     let mut input: Vec<V> = match problem.reset(dev, sub, &mut per.state, src_local) {
         Ok(f) => f,
         Err(e) => {
@@ -260,8 +274,6 @@ fn run_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
     if !failed {
         if let Err(e) = per.bufs.commit_output(dev, &input) {
             fail(e, &mut failed);
-        } else {
-            input = per.bufs.input.as_slice().to_vec();
         }
     }
 
@@ -351,7 +363,7 @@ fn compute_and_send<V: Id, O: Id, P: MgpuProblem<V, O>>(
     per: &mut PerGpu<V, P::State>,
     sub: &SubGraph<V, O>,
     interconnect: &Interconnect,
-    mailbox: &Mailbox<Package<V, P::Msg>>,
+    mailbox: &Mailbox<Arc<Package<V, P::Msg>>>,
     comm: CommStrategy,
     input: &[V],
     iter: usize,
@@ -361,31 +373,35 @@ fn compute_and_send<V: Id, O: Id, P: MgpuProblem<V, O>>(
     let output = problem.iteration(dev, sub, &mut per.state, &mut per.bufs, input, iter)?;
     let output_len = output.len() as u64;
 
-    let (local, sends): (Vec<V>, Vec<(usize, Package<V, P::Msg>)>) = if n == 1 {
+    type Sends<V, M> = Vec<(usize, Arc<Package<V, M>>)>;
+    let (local, sends): (Vec<V>, Sends<V, P::Msg>) = if n == 1 {
         (output, Vec::new())
     } else {
         match comm {
             CommStrategy::Selective => {
                 let state = &per.state;
                 let (local, pkgs) =
-                    split_and_package(dev, sub, &output, |v| problem.package(state, v))?;
+                    split_and_package(dev, sub, &output, &mut per.bufs.split, |v| {
+                        problem.package(state, v)
+                    })?;
                 let sends = pkgs
                     .into_iter()
                     .enumerate()
-                    .filter_map(|(j, p)| p.map(|p| (j, p)))
+                    .filter_map(|(j, p)| p.map(|p| (j, Arc::new(p))))
                     .collect();
                 (local, sends)
             }
             CommStrategy::Broadcast => {
                 let state = &per.state;
-                let (local, pkg) =
-                    broadcast_package(dev, sub, &output, |v| problem.package(state, v))?;
+                let pkg = broadcast_package(dev, sub, &output, |v| problem.package(state, v))?;
+                // the output frontier itself is the local part — no copy
                 let sends = if pkg.is_empty() {
                     Vec::new()
                 } else {
-                    (0..n).filter(|&j| j != gpu).map(|j| (j, pkg.clone())).collect()
+                    let pkg = Arc::new(pkg);
+                    (0..n).filter(|&j| j != gpu).map(|j| (j, Arc::clone(&pkg))).collect()
                 };
-                (local, sends)
+                (output, sends)
             }
         }
     };
@@ -417,7 +433,7 @@ fn combine_received<V: Id, O: Id, P: MgpuProblem<V, O>>(
     dev: &mut Device,
     per: &mut PerGpu<V, P::State>,
     sub: &SubGraph<V, O>,
-    mailbox: &Mailbox<Package<V, P::Msg>>,
+    mailbox: &Mailbox<Arc<Package<V, P::Msg>>>,
     comm: CommStrategy,
     local_part: Vec<V>,
 ) -> Result<Vec<V>> {
@@ -428,8 +444,10 @@ fn combine_received<V: Id, O: Id, P: MgpuProblem<V, O>>(
         let pkg = delivery.payload;
         dev.counters.h_bytes_recv += pkg.wire_bytes();
         let state = &mut per.state;
-        let added = dev.kernel(COMM_STREAM, KernelKind::Combine, || {
-            let mut added = Vec::new();
+        // accepted vertices append straight onto the merged frontier — the
+        // per-package `added` temporary is gone
+        let next_ref = &mut next;
+        dev.kernel(COMM_STREAM, KernelKind::Combine, || {
             for (i, &wire) in pkg.vertices.iter().enumerate() {
                 let v = match comm {
                     CommStrategy::Selective => Some(wire),
@@ -437,13 +455,12 @@ fn combine_received<V: Id, O: Id, P: MgpuProblem<V, O>>(
                 };
                 if let Some(v) = v {
                     if problem.combine(state, v, &pkg.msgs[i]) {
-                        added.push(v);
+                        next_ref.push(v);
                     }
                 }
             }
-            (added, pkg.len() as u64)
+            ((), pkg.len() as u64)
         })?;
-        next.extend(added);
     }
     // Make the merged frontier resident under the allocation scheme and let
     // the next iteration's compute wait for combine completion.

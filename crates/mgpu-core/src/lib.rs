@@ -40,7 +40,7 @@ pub mod problem;
 pub mod report;
 
 pub use alloc::{AllocScheme, FrontierBufs};
-pub use comm::{CommStrategy, Package};
+pub use comm::{CommStrategy, Package, SplitScratch};
 pub use direction::{Direction, DirectionConfig, DirectionState};
 pub use async_enactor::AsyncRunner;
 pub use enactor::{EnactConfig, Runner};

@@ -9,9 +9,7 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> Coo<u32> {
     assert!(n > 0, "need at least one vertex");
     assert!(n <= u32::MAX as usize);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let edges = (0..m)
-        .map(|_| (rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32))
-        .collect();
+    let edges = (0..m).map(|_| (rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32)).collect();
     Coo::from_edges(n, edges, None)
 }
 

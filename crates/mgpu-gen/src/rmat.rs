@@ -64,7 +64,9 @@ pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> Co
     let edges: Vec<(u32, u32)> = (0..n_chunks)
         .into_par_iter()
         .flat_map_iter(|chunk| {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(chunk as u64 + 1)));
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(chunk as u64 + 1)),
+            );
             let lo = chunk * CHUNK;
             let hi = (lo + CHUNK).min(m);
             (lo..hi).map(move |_| one_edge(scale, &params, &mut rng)).collect::<Vec<_>>()

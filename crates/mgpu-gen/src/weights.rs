@@ -31,8 +31,8 @@ mod tests {
         let w = coo.weights.as_ref().unwrap();
         assert_eq!(w.len(), 5000);
         assert!(w.iter().all(|&x| x <= 64));
-        assert!(w.iter().any(|&x| x == 0), "range is inclusive of 0");
-        assert!(w.iter().any(|&x| x == 64), "range is inclusive of 64");
+        assert!(w.contains(&0), "range is inclusive of 0");
+        assert!(w.contains(&64), "range is inclusive of 64");
     }
 
     #[test]

@@ -52,8 +52,7 @@ impl GraphBuilder {
         let mut triples: Vec<(V, V, u32)> = coo.iter_weighted().collect();
 
         if options.symmetrize {
-            let rev: Vec<(V, V, u32)> =
-                triples.iter().map(|&(s, d, w)| (d, s, w)).collect();
+            let rev: Vec<(V, V, u32)> = triples.iter().map(|&(s, d, w)| (d, s, w)).collect();
             triples.extend(rev);
         }
         if options.remove_self_loops {
@@ -117,10 +116,8 @@ mod tests {
     #[test]
     fn dedup_keeps_first_weight() {
         let coo = Coo::from_edges(2, vec![(0, 1), (0, 1)], Some(vec![7, 9]));
-        let g: Csr<u32, u64> = GraphBuilder::build(
-            &coo,
-            BuildOptions { symmetrize: false, ..Default::default() },
-        );
+        let g: Csr<u32, u64> =
+            GraphBuilder::build(&coo, BuildOptions { symmetrize: false, ..Default::default() });
         let w: Vec<_> = g.neighbors_weighted(0).collect();
         assert_eq!(w, vec![(1, 7)]);
     }

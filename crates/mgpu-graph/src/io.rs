@@ -55,10 +55,8 @@ pub fn read_mtx<V: Id, R: BufRead>(reader: R) -> Result<Coo<V>, MtxError> {
     let mut lines = reader.lines().enumerate();
 
     // header
-    let (i, header) = lines
-        .next()
-        .ok_or_else(|| parse_err(1, "empty file"))
-        .and_then(|(i, l)| Ok((i, l?)))?;
+    let (i, header) =
+        lines.next().ok_or_else(|| parse_err(1, "empty file")).and_then(|(i, l)| Ok((i, l?)))?;
     let header = header.to_ascii_lowercase();
     let fields: Vec<&str> = header.split_whitespace().collect();
     if fields.len() < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
@@ -124,10 +122,8 @@ pub fn read_mtx<V: Id, R: BufRead>(reader: R) -> Result<Coo<V>, MtxError> {
         if parts.len() < want {
             return Err(parse_err(lineno, format!("expected {want} fields")));
         }
-        let r: usize =
-            parts[0].parse().map_err(|e| parse_err(lineno, format!("bad row: {e}")))?;
-        let c: usize =
-            parts[1].parse().map_err(|e| parse_err(lineno, format!("bad col: {e}")))?;
+        let r: usize = parts[0].parse().map_err(|e| parse_err(lineno, format!("bad row: {e}")))?;
+        let c: usize = parts[1].parse().map_err(|e| parse_err(lineno, format!("bad col: {e}")))?;
         if r == 0 || c == 0 || r > n || c > n {
             return Err(parse_err(lineno, format!("index out of range: {r} {c} (n={n})")));
         }
@@ -237,15 +233,11 @@ mod tests {
 
     #[test]
     fn out_of_range_and_count_mismatch_are_rejected() {
-        let err = parse(
-            "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n",
-        )
-        .unwrap_err();
+        let err =
+            parse("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n").unwrap_err();
         assert!(matches!(err, MtxError::Parse { .. }), "{err}");
-        let err = parse(
-            "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n",
-        )
-        .unwrap_err();
+        let err =
+            parse("%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n").unwrap_err();
         assert!(err.to_string().contains("expected 2 entries"));
     }
 

@@ -199,7 +199,12 @@ impl<V: Id, O: Id> DistGraph<V, O> {
     }
 
     /// Build host graphs from an explicit assignment.
-    pub fn build(graph: &Csr<V, O>, owner: Vec<u32>, n_parts: usize, duplication: Duplication) -> Self {
+    pub fn build(
+        graph: &Csr<V, O>,
+        owner: Vec<u32>,
+        n_parts: usize,
+        duplication: Duplication,
+    ) -> Self {
         let n = graph.n_vertices();
         assert_eq!(owner.len(), n, "one owner per vertex");
         assert!(owner.iter().all(|&o| (o as usize) < n_parts), "owner in range");
@@ -306,7 +311,7 @@ impl<V: Id, O: Id> DistGraph<V, O> {
             local_to_global.extend(proxies.iter().copied());
 
             let mut owner_of: Vec<u32> = Vec::with_capacity(n_vi);
-            owner_of.extend(std::iter::repeat(gpu as u32).take(n_local));
+            owner_of.extend(std::iter::repeat_n(gpu as u32, n_local));
             owner_of.extend(proxies.iter().map(|g| table[g.idx()]));
 
             let mut owner_local: Vec<V> = Vec::with_capacity(n_vi);

@@ -51,10 +51,8 @@ impl PartitionQuality {
                 }
             }
         }
-        let border = border_sets
-            .iter()
-            .map(|per_peer| per_peer.iter().map(HashSet::len).sum())
-            .collect();
+        let border =
+            border_sets.iter().map(|per_peer| per_peer.iter().map(HashSet::len).sum()).collect();
         PartitionQuality { n_parts, edge_cut, border, vertices, edges }
     }
 

@@ -119,23 +119,24 @@ impl Partitioner for MultilevelPartitioner {
 
 fn level_from_csr<V: Id, O: Id>(graph: &Csr<V, O>) -> Level {
     let n = graph.n_vertices();
-    let mut adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
-    for v in 0..n {
-        let mut nbrs: Vec<u32> =
-            graph.neighbors(V::from_usize(v)).iter().map(|u| u.idx() as u32).collect();
-        nbrs.sort_unstable();
-        let mut merged: Vec<(u32, u64)> = Vec::with_capacity(nbrs.len());
-        for u in nbrs {
-            if u as usize == v {
-                continue;
+    let adj: Vec<Vec<(u32, u64)>> = (0..n)
+        .map(|v| {
+            let mut nbrs: Vec<u32> =
+                graph.neighbors(V::from_usize(v)).iter().map(|u| u.idx() as u32).collect();
+            nbrs.sort_unstable();
+            let mut merged: Vec<(u32, u64)> = Vec::with_capacity(nbrs.len());
+            for u in nbrs {
+                if u as usize == v {
+                    continue;
+                }
+                match merged.last_mut() {
+                    Some((lu, w)) if *lu == u => *w += 1,
+                    _ => merged.push((u, 1)),
+                }
             }
-            match merged.last_mut() {
-                Some((lu, w)) if *lu == u => *w += 1,
-                _ => merged.push((u, 1)),
-            }
-        }
-        adj[v] = merged;
-    }
+            merged
+        })
+        .collect();
     Level { vw: vec![1; n], adj, to_coarse: Vec::new() }
 }
 
@@ -155,10 +156,9 @@ fn coarsen(level: &Level, rng: &mut ChaCha8Rng) -> (Level, Vec<u32>) {
         // heaviest unmatched neighbor
         let mut best: Option<(u32, u64)> = None;
         for &(u, w) in &level.adj[v] {
-            if mate[u as usize] == UNMATCHED && u as usize != v {
-                if best.map_or(true, |(_, bw)| w > bw) {
-                    best = Some((u, w));
-                }
+            if mate[u as usize] == UNMATCHED && u as usize != v && best.is_none_or(|(_, bw)| w > bw)
+            {
+                best = Some((u, w));
             }
         }
         match best {
@@ -247,10 +247,10 @@ fn grow_regions(level: &Level, n_parts: usize, budget: u64, rng: &mut ChaCha8Rng
         }
     }
     // leftovers → least-loaded part
-    for v in 0..n {
-        if part[v] == FREE {
+    for (v, pv) in part.iter_mut().enumerate() {
+        if *pv == FREE {
             let p = (0..n_parts).min_by_key(|&p| load[p]).unwrap();
-            part[v] = p as u32;
+            *pv = p as u32;
             load[p] += level.vw[v];
         }
     }

@@ -93,9 +93,8 @@ impl Partitioner for BiasedRandomPartitioner {
                     votes[o as usize] += 1;
                 }
             }
-            let biased = (0..n_parts)
-                .filter(|&p| load[p] < cap && votes[p] > 0)
-                .max_by_key(|&p| votes[p]);
+            let biased =
+                (0..n_parts).filter(|&p| load[p] < cap && votes[p] > 0).max_by_key(|&p| votes[p]);
             let part = match biased {
                 Some(p) => p,
                 None => {
@@ -238,8 +237,7 @@ mod chunked_tests {
         let g: mgpu_graph::Csr<u32, u64> =
             GraphBuilder::undirected(&Coo::from_edges(100, edges, None));
         let qc = PartitionQuality::measure(&g, &ChunkedPartitioner.assign(&g, 4), 4);
-        let qr =
-            PartitionQuality::measure(&g, &RandomPartitioner { seed: 1 }.assign(&g, 4), 4);
+        let qr = PartitionQuality::measure(&g, &RandomPartitioner { seed: 1 }.assign(&g, 4), 4);
         assert!(qc.edge_cut < qr.edge_cut / 5, "chunked {} vs random {}", qc.edge_cut, qr.edge_cut);
         assert_eq!(qc.edge_cut, 6, "a path cut at 3 boundaries, both directions");
     }

@@ -181,7 +181,9 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Bc {
                 let next = iter as u32 + 1;
                 // Fused advance: discover + accumulate σ along tree edges.
                 let BcState { labels, sigma, .. } = state;
-                let discovered = ops::advance_filter_fused(dev, sub, input, |s, _, d| {
+                // Sequential on purpose: σ accumulation is += over f32 in
+                // edge order — parallel chunking would reorder the sums.
+                let discovered = ops::advance_filter_fused_seq(dev, sub, input, |s, _, d| {
                     if labels[d.idx()] == INF {
                         labels[d.idx()] = next;
                         sigma[d.idx()] += sigma[s.idx()];
@@ -201,27 +203,21 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Bc {
             }
             BcPhase::SyncSigma => {
                 // Broadcast authoritative (label, σ) for every owned vertex.
-                let owned: Vec<V> = (0..sub.n_vertices())
-                    .map(V::from_usize)
-                    .filter(|&v| sub.is_owned(v))
-                    .collect();
+                let owned: Vec<V> =
+                    (0..sub.n_vertices()).map(V::from_usize).filter(|&v| sub.is_owned(v)).collect();
                 let count = owned.len() as u64;
                 dev.kernel(COMPUTE_STREAM, KernelKind::Compute, || ((), count))?;
                 Ok(owned)
             }
             BcPhase::Backward => {
                 let d = state.cur_depth;
-                let frontier: Vec<V> = state
-                    .depth_frontiers
-                    .get(d)
-                    .cloned()
-                    .unwrap_or_default();
+                let frontier: Vec<V> = state.depth_frontiers.get(d).cloned().unwrap_or_default();
                 let next_depth = d as u32 + 1;
                 {
                     let BcState { labels, sigma, delta, .. } = state;
                     // advance over the frontier's out-edges: accumulate δ
                     // from successors one depth deeper.
-                    ops::advance_filter_fused(dev, sub, &frontier, |s, _, w| {
+                    ops::advance_filter_fused_seq(dev, sub, &frontier, |s, _, w| {
                         if labels[w.idx()] == next_depth && sigma[w.idx()] > 0.0 {
                             delta[s.idx()] +=
                                 sigma[s.idx()] / sigma[w.idx()] * (1.0 + delta[w.idx()]);
@@ -250,9 +246,7 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Bc {
 
     fn package(&self, state: &Self::State, v: V) -> (u32, f32) {
         match state.phase {
-            BcPhase::Forward | BcPhase::SyncSigma => {
-                (state.labels[v.idx()], state.sigma[v.idx()])
-            }
+            BcPhase::Forward | BcPhase::SyncSigma => (state.labels[v.idx()], state.sigma[v.idx()]),
             _ => (state.labels[v.idx()], state.delta[v.idx()]),
         }
     }

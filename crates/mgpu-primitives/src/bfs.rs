@@ -97,34 +97,28 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Bfs {
         input: &[V],
         iter: usize,
     ) -> Result<Vec<V>> {
+        use std::sync::atomic::Ordering::Relaxed;
         let next_label = iter as u32 + 1;
-        let labels = &mut state.labels;
+        // Atomic view so the parallel operator kernels can claim vertices
+        // with CAS (the GPU atomicCAS idiom): each unvisited vertex is won by
+        // exactly one claimant, so the discovered *set* and final labels are
+        // schedule-independent.
+        let labels = vgpu::par::as_atomic_u32(state.labels.as_mut_slice());
         if bufs.scheme().fused() {
             // §VI-C: one kernel, no intermediate frontier.
             ops::advance_filter_fused(dev, sub, input, |_, _, d| {
-                if labels[d.idx()] == INF {
-                    labels[d.idx()] = next_label;
-                    Some(d)
-                } else {
-                    None
-                }
+                labels[d.idx()]
+                    .compare_exchange(INF, next_label, Relaxed, Relaxed)
+                    .is_ok()
+                    .then_some(d)
             })
         } else {
             // Merrill-style expand (advance) then contract (filter).
             let candidates = ops::advance(dev, sub, bufs, input, |_, _, d| {
-                if labels[d.idx()] == INF {
-                    Some(d)
-                } else {
-                    None
-                }
+                (labels[d.idx()].load(Relaxed) == INF).then_some(d)
             })?;
             ops::filter(dev, &candidates, |v| {
-                if labels[v.idx()] == INF {
-                    labels[v.idx()] = next_label;
-                    true
-                } else {
-                    false
-                }
+                labels[v.idx()].compare_exchange(INF, next_label, Relaxed, Relaxed).is_ok()
             })
         }
     }
@@ -206,7 +200,7 @@ mod tests {
         let g = ladder();
         let (labels, report) = run_bfs(&g, 1, false, 0);
         assert_eq!(labels, crate::reference::bfs(&g, 0u32));
-        assert_eq!(report.iterations as usize, 9, "depth 8 + one empty-frontier step");
+        assert_eq!(report.iterations, 9, "depth 8 + one empty-frontier step");
         assert!(report.totals.h_bytes_sent == 0, "no communication on 1 GPU");
     }
 
@@ -240,12 +234,8 @@ mod tests {
     #[test]
     fn unfused_scheme_gives_same_answer() {
         let g = ladder();
-        let dist = DistGraph::build(
-            &g,
-            (0..16).map(|v| (v % 2) as u32).collect(),
-            2,
-            Duplication::All,
-        );
+        let dist =
+            DistGraph::build(&g, (0..16).map(|v| (v % 2) as u32).collect(), 2, Duplication::All);
         let system = SimSystem::homogeneous(2, HardwareProfile::k40());
         let config = EnactConfig { alloc_scheme: Some(AllocScheme::Max), ..Default::default() };
         let mut runner = Runner::new(system, &dist, Bfs::default(), config).unwrap();
@@ -262,7 +252,7 @@ mod tests {
         // W ∈ O(|E_i|) summed over GPUs ≈ |E| (every edge expanded once,
         // plus load-balancing scan items)
         assert!(t.w_items as usize >= g.n_edges());
-        assert!(t.w_items as usize <= 4 * g.n_edges() + 16 * report.iterations as usize);
+        assert!(t.w_items as usize <= 4 * g.n_edges() + 16 * report.iterations);
         // H counted in vertices is bounded by border size × iterations
         assert!(t.h_vertices > 0);
         // wire bytes = vertices × (id + label)
@@ -275,7 +265,8 @@ mod tests {
         let dist =
             DistGraph::build(&g, (0..16).map(|v| (v % 2) as u32).collect(), 2, Duplication::All);
         let system = SimSystem::homogeneous(2, HardwareProfile::k40());
-        let mut runner = Runner::new(system, &dist, Bfs::default(), EnactConfig::default()).unwrap();
+        let mut runner =
+            Runner::new(system, &dist, Bfs::default(), EnactConfig::default()).unwrap();
         let r1 = runner.enact(Some(0u32)).unwrap();
         let l1 = gather_labels(&runner, &dist);
         let r2 = runner.enact(Some(15u32)).unwrap();

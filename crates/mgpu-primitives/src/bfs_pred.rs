@@ -98,7 +98,9 @@ impl<V: Id + Wire, O: Id> MgpuProblem<V, O> for BfsPred {
     ) -> Result<Vec<V>> {
         let next = iter as u32 + 1;
         let BfsPredState { labels, preds } = state;
-        ops::advance_filter_fused(dev, sub, input, |s, _, d| {
+        // Sequential on purpose: "first discoverer wins" for predecessors is
+        // a tie-break we keep schedule-independent by fixing the visit order.
+        ops::advance_filter_fused_seq(dev, sub, input, |s, _, d| {
             if labels[d.idx()] == INF {
                 labels[d.idx()] = next;
                 preds[d.idx()] = sub.to_global(s);

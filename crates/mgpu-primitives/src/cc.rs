@@ -81,10 +81,7 @@ impl<V: Id + Wire, O: Id> MgpuProblem<V, O> for Cc {
         })?;
         // CC is frontier-free; seed with the owned set so the first
         // superstep is not skipped as "locally done".
-        Ok((0..sub.n_vertices())
-            .map(V::from_usize)
-            .filter(|&v| sub.is_owned(v))
-            .collect())
+        Ok((0..sub.n_vertices()).map(V::from_usize).filter(|&v| sub.is_owned(v)).collect())
     }
 
     fn iteration(
@@ -156,10 +153,8 @@ impl<V: Id + Wire, O: Id> MgpuProblem<V, O> for Cc {
         // to their owners via the broadcast).
         let CcState { comp, prev } = state;
         let changed = dev.kernel(COMPUTE_STREAM, KernelKind::Filter, || {
-            let changed: Vec<V> = (0..n)
-                .map(V::from_usize)
-                .filter(|&v| comp[v.idx()] != prev[v.idx()])
-                .collect();
+            let changed: Vec<V> =
+                (0..n).map(V::from_usize).filter(|&v| comp[v.idx()] != prev[v.idx()]).collect();
             (changed, n as u64)
         })?;
         Ok(changed)
@@ -232,11 +227,7 @@ mod tests {
         let g: Csr<u32, u64> = GraphBuilder::undirected(&grid2d(30, 30, 1.0, 1));
         let (comp, report) = run_cc(&g, 4);
         assert!(comp.iter().all(|&c| c == 0), "a connected grid is one component");
-        assert!(
-            report.iterations <= 8,
-            "expected O(log D) supersteps, got {}",
-            report.iterations
-        );
+        assert!(report.iterations <= 8, "expected O(log D) supersteps, got {}", report.iterations);
     }
 
     #[test]

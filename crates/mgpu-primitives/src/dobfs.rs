@@ -38,17 +38,11 @@ use crate::bfs::gather;
 use crate::INF;
 
 /// Multi-GPU direction-optimizing BFS.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Dobfs {
     /// Switch thresholds (`do_a`, `do_b`); the defaults are the paper's
     /// social-graph values 0.01 / 0.1.
     pub direction: DirectionConfig,
-}
-
-impl Default for Dobfs {
-    fn default() -> Self {
-        Dobfs { direction: DirectionConfig::default() }
-    }
 }
 
 /// Per-GPU DOBFS state.
@@ -149,43 +143,32 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Dobfs {
     ) -> Result<Vec<V>> {
         let n_vi = sub.n_vertices();
         let unvisited_count = n_vi - state.visited;
-        let dir = state.dir.decide(
-            input.len(),
-            unvisited_count,
-            state.visited,
-            sub.n_edges(),
-            n_vi,
-        );
+        let dir =
+            state.dir.decide(input.len(), unvisited_count, state.visited, sub.n_edges(), n_vi);
         let cur_label = iter as u32;
         let next_label = cur_label + 1;
 
         let out = match dir {
             Direction::Forward => {
-                let labels = &mut state.labels;
+                use std::sync::atomic::Ordering::Relaxed;
+                // CAS-claimed labels as in push BFS: the discovered set is
+                // schedule-independent, so the parallel kernels stay
+                // deterministic. The pull path below remains sequential
+                // (its scanned-edge charge is early-exit order dependent).
+                let labels = vgpu::par::as_atomic_u32(state.labels.as_mut_slice());
                 if bufs.scheme().fused() {
                     ops::advance_filter_fused(dev, sub, input, |_, _, d| {
-                        if labels[d.idx()] == INF {
-                            labels[d.idx()] = next_label;
-                            Some(d)
-                        } else {
-                            None
-                        }
+                        labels[d.idx()]
+                            .compare_exchange(INF, next_label, Relaxed, Relaxed)
+                            .is_ok()
+                            .then_some(d)
                     })?
                 } else {
                     let cand = ops::advance(dev, sub, bufs, input, |_, _, d| {
-                        if labels[d.idx()] == INF {
-                            Some(d)
-                        } else {
-                            None
-                        }
+                        (labels[d.idx()].load(Relaxed) == INF).then_some(d)
                     })?;
                     ops::filter(dev, &cand, |v| {
-                        if labels[v.idx()] == INF {
-                            labels[v.idx()] = next_label;
-                            true
-                        } else {
-                            false
-                        }
+                        labels[v.idx()].compare_exchange(INF, next_label, Relaxed, Relaxed).is_ok()
                     })?
                 }
             }
@@ -194,8 +177,7 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Dobfs {
                     // The one full vertex scan the switch is charged for.
                     let labels = &state.labels;
                     state.unvisited = dev.kernel(COMPUTE_STREAM, KernelKind::Bulk, || {
-                        let list: Vec<usize> =
-                            (0..n_vi).filter(|&v| labels[v] == INF).collect();
+                        let list: Vec<usize> = (0..n_vi).filter(|&v| labels[v] == INF).collect();
                         (list, n_vi as u64)
                     })?;
                     state.unvisited_built = true;
@@ -214,9 +196,8 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Dobfs {
                     state.unvisited.iter().map(|&v| V::from_usize(v)).collect();
                 let csc = sub.csc.as_ref().expect("checked at init");
                 let labels = &state.labels;
-                let (newly, scanned) = ops::advance_pull(dev, csc, &unvisited_v, |_, p| {
-                    labels[p.idx()] == cur_label
-                })?;
+                let (newly, scanned) =
+                    ops::advance_pull(dev, csc, &unvisited_v, |_, p| labels[p.idx()] == cur_label)?;
                 state.pull_edges_scanned += scanned;
                 let labels = &mut state.labels;
                 let count = newly.len() as u64;

@@ -60,6 +60,11 @@ pub struct PrState {
     /// Sum of |rank change| in the last update step.
     last_delta: f64,
     n_global: usize,
+    /// Host scratch for the parallel accumulation advance: per-chunk dense
+    /// rank partials, merged deterministically in chunk order (f32 addition
+    /// is not associative, so the merge order is fixed by the chunk plan,
+    /// never by the thread schedule). Reused across iterations.
+    partial_scratch: Vec<f32>,
 }
 
 impl<V: Id, O: Id> MgpuProblem<V, O> for Pagerank {
@@ -120,6 +125,7 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Pagerank {
             // n_global is filled in reset (the dist graph isn't visible
             // here beyond the subgraph, whose dup-all space *is* global).
             n_global: n,
+            partial_scratch: Vec::new(),
         })
     }
 
@@ -177,15 +183,26 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Pagerank {
                 ((), n as u64)
             })?;
         }
-        // Advance step: spread rank shares along local out-edges.
+        // Advance step: spread rank shares along local out-edges. The
+        // accumulation operator owns the += — chunks write disjoint dense
+        // partials and the merge happens in chunk order, so the resulting
+        // f32 bits are identical at every thread count.
         let owned_frontier: Vec<V> = state.owned.iter().map(|&v| V::from_usize(v)).collect();
-        let PrState { ranks, accum, .. } = state;
-        ops::advance(dev, sub, bufs, &owned_frontier, |s, _, d| {
-            let deg = sub.csr.degree(s);
-            debug_assert!(deg > 0, "advance only visits vertices with out-edges");
-            accum[d.idx()] += ranks[s.idx()] / deg as f32;
-            None
-        })?;
+        let PrState { ranks, accum, partial_scratch, .. } = state;
+        let ranks: &[f32] = ranks.as_slice();
+        ops::advance_accumulate(
+            dev,
+            sub,
+            bufs,
+            &owned_frontier,
+            accum.as_mut_slice(),
+            partial_scratch,
+            |s| {
+                let deg = sub.csr.degree(s);
+                debug_assert!(deg > 0, "advance only visits vertices with out-edges");
+                ranks[s.idx()] / deg as f32
+            },
+        )?;
         // The fixed remote sub-frontier: border proxies carrying their
         // accumulated mass to their hosts.
         Ok(state.border.iter().map(|&v| V::from_usize(v)).collect())
@@ -234,7 +251,11 @@ mod tests {
     use mgpu_graph::{Csr, GraphBuilder};
     use vgpu::{HardwareProfile, SimSystem};
 
-    fn run_pr(g: &Csr<u32, u64>, n_gpus: usize, pr: Pagerank) -> (Vec<f32>, mgpu_core::EnactReport) {
+    fn run_pr(
+        g: &Csr<u32, u64>,
+        n_gpus: usize,
+        pr: Pagerank,
+    ) -> (Vec<f32>, mgpu_core::EnactReport) {
         let owner: Vec<u32> = (0..g.n_vertices()).map(|v| (v % n_gpus) as u32).collect();
         let dist = DistGraph::build(g, owner, n_gpus, Duplication::All);
         let system = SimSystem::homogeneous(n_gpus, HardwareProfile::k40());
@@ -266,8 +287,7 @@ mod tests {
 
     #[test]
     fn rank_sum_is_conserved_without_dangling_vertices() {
-        let g: Csr<u32, u64> =
-            GraphBuilder::undirected(&preferential_attachment(200, 4, 3));
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&preferential_attachment(200, 4, 3));
         let (ranks, _) = run_pr(&g, 2, Pagerank { max_iters: 15, ..Default::default() });
         let sum: f64 = ranks.iter().map(|&r| r as f64).sum();
         assert!((sum - 1.0).abs() < 1e-3, "sum {sum}");
@@ -278,11 +298,7 @@ mod tests {
         let g: Csr<u32, u64> = GraphBuilder::undirected(&gnm(50, 300, 5));
         let loose = Pagerank { damping: 0.85, threshold: 1e-2, max_iters: 100 };
         let (_, report) = run_pr(&g, 2, loose);
-        assert!(
-            report.iterations < 50,
-            "threshold should stop early, ran {}",
-            report.iterations
-        );
+        assert!(report.iterations < 50, "threshold should stop early, ran {}", report.iterations);
     }
 
     #[test]
@@ -303,8 +319,8 @@ mod tests {
         let g: Csr<u32, u64> = GraphBuilder::undirected(&coo);
         let (ranks, _) = run_pr(&g, 2, Pagerank { max_iters: 10, ..Default::default() });
         let base = (1.0 - 0.85) / 44.0;
-        for v in 40..44 {
-            assert!((ranks[v] as f64 - base).abs() < 1e-6);
+        for &r in &ranks[40..44] {
+            assert!((r as f64 - base).abs() < 1e-6);
         }
     }
 }

@@ -89,19 +89,19 @@ pub fn pagerank<V: Id, O: Id>(g: &Csr<V, O>, d: f64, iters: usize) -> Vec<f64> {
     let mut next = vec![0.0f64; n];
     for _ in 0..iters {
         next.iter_mut().for_each(|x| *x = 0.0);
-        for v in 0..n {
+        for (v, &rv) in rank.iter().enumerate() {
             let vid = V::from_usize(v);
             let deg = g.degree(vid);
             if deg == 0 {
                 continue;
             }
-            let share = rank[v] / deg as f64;
+            let share = rv / deg as f64;
             for &u in g.neighbors(vid) {
                 next[u.idx()] += share;
             }
         }
-        for v in 0..n {
-            next[v] = (1.0 - d) / n as f64 + d * next[v];
+        for x in next.iter_mut() {
+            *x = (1.0 - d) / n as f64 + d * *x;
         }
         std::mem::swap(&mut rank, &mut next);
     }
@@ -155,8 +155,7 @@ mod tests {
 
     fn diamond_weighted() -> Csr<u32, u64> {
         // 0→1 (w1), 0→2 (w4), 1→3 (w1), 2→3 (w1); undirected
-        let coo =
-            Coo::from_edges(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)], Some(vec![1, 4, 1, 1]));
+        let coo = Coo::from_edges(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)], Some(vec![1, 4, 1, 1]));
         GraphBuilder::undirected(&coo)
     }
 

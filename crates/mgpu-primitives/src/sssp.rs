@@ -34,6 +34,13 @@ pub struct SsspState {
     /// Per-iteration visit stamps for frontier deduplication: `stamp[v]`
     /// holds the last iteration in which `v` entered the output frontier.
     stamp: DeviceArray<u32>,
+    /// Iteration-start snapshot of `dists` (host scratch, reused every
+    /// iteration). Relaxations *read* the snapshot and *write* `dists`
+    /// through `fetch_min`, so concurrent chunks of the parallel advance see
+    /// one consistent pre-iteration view: the set of vertices whose distance
+    /// improves in an iteration depends only on the snapshot, never on the
+    /// chunk schedule.
+    snap: Vec<u32>,
 }
 
 impl<V: Id, O: Id> MgpuProblem<V, O> for Sssp {
@@ -60,6 +67,7 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Sssp {
         Ok(SsspState {
             dists: dev.alloc(sub.n_vertices())?,
             stamp: dev.alloc(sub.n_vertices())?,
+            snap: Vec::with_capacity(sub.n_vertices()),
         })
     }
 
@@ -70,7 +78,7 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Sssp {
         state: &mut Self::State,
         src: Option<V>,
     ) -> Result<Vec<V>> {
-        let SsspState { dists, stamp } = state;
+        let SsspState { dists, stamp, .. } = state;
         dev.kernel(COMPUTE_STREAM, KernelKind::Bulk, || {
             dists.as_mut_slice().fill(INF);
             stamp.as_mut_slice().fill(INF);
@@ -95,38 +103,44 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Sssp {
         input: &[V],
         iter: usize,
     ) -> Result<Vec<V>> {
+        use std::sync::atomic::Ordering::Relaxed;
         let it = iter as u32;
-        let SsspState { dists, stamp } = state;
+        let SsspState { dists, stamp, snap } = state;
+        // Snapshot the distances at iteration start (metered as one bulk
+        // copy). Gating relaxations on the snapshot — and deduplicating
+        // emissions with an atomic stamp swap — makes the relaxed set
+        // independent of the parallel chunk schedule, while `fetch_min`
+        // guarantees the final distance of each vertex is the minimum over
+        // all offers regardless of arrival order.
+        dev.kernel(COMPUTE_STREAM, KernelKind::Bulk, || {
+            snap.clear();
+            snap.extend_from_slice(dists.as_slice());
+            ((), snap.len() as u64)
+        })?;
+        let snap: &[u32] = snap;
+        let dists_a = vgpu::par::as_atomic_u32(dists.as_mut_slice());
+        let stamp_a = vgpu::par::as_atomic_u32(stamp.as_mut_slice());
         if bufs.scheme().fused() {
             ops::advance_filter_fused(dev, sub, input, |s, e, d| {
-                let nd = dists[s.idx()].saturating_add(sub.csr.edge_weight(e));
-                if nd < dists[d.idx()] {
-                    dists[d.idx()] = nd;
-                    if stamp[d.idx()] != it {
-                        stamp[d.idx()] = it;
-                        return Some(d);
-                    }
+                let nd = snap[s.idx()].saturating_add(sub.csr.edge_weight(e));
+                if nd < snap[d.idx()] {
+                    dists_a[d.idx()].fetch_min(nd, Relaxed);
+                    (stamp_a[d.idx()].swap(it, Relaxed) != it).then_some(d)
+                } else {
+                    None
                 }
-                None
             })
         } else {
             let relaxed = ops::advance(dev, sub, bufs, input, |s, e, d| {
-                let nd = dists[s.idx()].saturating_add(sub.csr.edge_weight(e));
-                if nd < dists[d.idx()] {
-                    dists[d.idx()] = nd;
+                let nd = snap[s.idx()].saturating_add(sub.csr.edge_weight(e));
+                if nd < snap[d.idx()] {
+                    dists_a[d.idx()].fetch_min(nd, Relaxed);
                     Some(d)
                 } else {
                     None
                 }
             })?;
-            ops::filter(dev, &relaxed, |v| {
-                if stamp[v.idx()] != it {
-                    stamp[v.idx()] = it;
-                    true
-                } else {
-                    false
-                }
-            })
+            ops::filter(dev, &relaxed, |v| stamp_a[v.idx()].swap(it, Relaxed) != it)
         }
     }
 
@@ -172,8 +186,7 @@ mod tests {
 
     #[test]
     fn weighted_diamond_takes_cheap_path() {
-        let coo =
-            Coo::from_edges(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)], Some(vec![1, 4, 1, 1]));
+        let coo = Coo::from_edges(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)], Some(vec![1, 4, 1, 1]));
         let g: Csr<u32, u64> = GraphBuilder::undirected(&coo);
         for n in [1, 2, 3] {
             assert_eq!(run_sssp(&g, n, 0), crate::reference::sssp(&g, 0u32), "{n} GPUs");

@@ -151,8 +151,7 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for SsspDelta {
                 let f: Vec<V> = raw
                     .into_iter()
                     .filter(|&v| {
-                        dists[v.idx()] != INF
-                            && (dists[v.idx()] / delta.max(1)) as usize == cur
+                        dists[v.idx()] != INF && (dists[v.idx()] / delta.max(1)) as usize == cur
                     })
                     .collect();
                 (f, count)
@@ -167,7 +166,9 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for SsspDelta {
         {
             let dists = &mut state.dists;
             let mut relax_count = 0u64;
-            ops::advance_filter_fused(dev, sub, &frontier, |s, e, d| {
+            // Sequential on purpose: the closure threads mutable relaxation
+            // state (dists writes read by later edges in the same pass).
+            ops::advance_filter_fused_seq(dev, sub, &frontier, |s, e, d| {
                 let nd = dists[s.idx()].saturating_add(sub.csr.edge_weight(e));
                 if nd < dists[d.idx()] {
                     dists[d.idx()] = nd;
@@ -248,7 +249,8 @@ mod tests {
         let owner: Vec<u32> = (0..g.n_vertices()).map(|v| (v % n) as u32).collect();
         let dist = DistGraph::build(g, owner, n, Duplication::All);
         let sys = SimSystem::homogeneous(n, HardwareProfile::k40());
-        let mut runner = Runner::new(sys, &dist, SsspDelta { delta }, EnactConfig::default()).unwrap();
+        let mut runner =
+            Runner::new(sys, &dist, SsspDelta { delta }, EnactConfig::default()).unwrap();
         runner.enact(Some(src)).unwrap();
         let relax = (0..n).map(|g| runner.state(g).relaxations).sum();
         (gather_dists(&runner, &dist), relax)

@@ -8,10 +8,8 @@
 //! report measured W, H, C and S next to the paper's analytic orders
 //! (Table I).
 
-use serde::{Deserialize, Serialize};
-
 /// Per-device BSP accounting.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct BspCounters {
     /// Local computation items processed by primitive kernels (W).
     pub w_items: u64,

@@ -69,6 +69,10 @@ pub struct Device {
     /// record 0.5× performance). 1.0 = the 32-bit-vertex/32-bit-offset
     /// baseline; set by the framework from the graph's `IdWidths`.
     width_factor: f64,
+    /// Host worker threads available to kernel bodies (see [`crate::par`]).
+    /// Affects wall-clock execution speed only — never the metered cost,
+    /// which is a pure function of the charged item counts.
+    kernel_threads: usize,
     /// BSP cost counters for the current traversal.
     pub counters: BspCounters,
     /// Opt-in execution profiler (see [`crate::Timeline`]).
@@ -86,6 +90,7 @@ impl Device {
             pool,
             streams: vec![Stream::new(0.0), Stream::new(0.0)],
             width_factor: 1.0,
+            kernel_threads: crate::par::default_kernel_threads(),
             counters: BspCounters::default(),
             timeline: crate::timeline::Timeline::default(),
         }
@@ -103,6 +108,18 @@ impl Device {
     /// The current id-width bandwidth factor.
     pub fn width_factor(&self) -> f64 {
         self.width_factor
+    }
+
+    /// Set how many host threads kernel bodies may use (clamped to ≥ 1).
+    /// Purely a wall-clock knob: simulated cost and all BSP counters are
+    /// charged from item counts and are identical for every value.
+    pub fn set_kernel_threads(&mut self, n: usize) {
+        self.kernel_threads = n.max(1);
+    }
+
+    /// Host threads available to kernel bodies.
+    pub fn kernel_threads(&self) -> usize {
+        self.kernel_threads
     }
 
     /// Device id within its system.
@@ -228,7 +245,10 @@ impl Device {
     }
 
     /// Allocate an empty array with the given capacity (see [`Self::alloc`]).
-    pub fn alloc_with_capacity<T: Default + Clone>(&mut self, cap: usize) -> Result<DeviceArray<T>> {
+    pub fn alloc_with_capacity<T: Default + Clone>(
+        &mut self,
+        cap: usize,
+    ) -> Result<DeviceArray<T>> {
         let a = self.pool.alloc_with_capacity::<T>(cap)?;
         self.charge(COMPUTE_STREAM, 2.0, 0.0)?;
         Ok(a)
@@ -376,6 +396,22 @@ mod tests {
         assert_eq!(d.now(), 0.0);
         assert_eq!(d.pool().live(), live);
         assert_eq!(d.counters, BspCounters::default());
+    }
+
+    #[test]
+    fn kernel_threads_is_a_wall_clock_knob_only() {
+        let mut a = dev();
+        let mut b = dev();
+        a.set_kernel_threads(1);
+        b.set_kernel_threads(8);
+        assert_eq!(a.kernel_threads(), 1);
+        assert_eq!(b.kernel_threads(), 8);
+        a.kernel(COMPUTE_STREAM, KernelKind::Advance, || ((), 3000)).unwrap();
+        b.kernel(COMPUTE_STREAM, KernelKind::Advance, || ((), 3000)).unwrap();
+        assert_eq!(a.now().to_bits(), b.now().to_bits());
+        assert_eq!(a.counters, b.counters);
+        b.set_kernel_threads(0);
+        assert_eq!(b.kernel_threads(), 1, "clamped to one");
     }
 
     #[test]

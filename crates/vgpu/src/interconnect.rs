@@ -6,10 +6,8 @@
 //! groups of 4 GPUs where appropriate" (§VII-A), so a 6-GPU node has two
 //! peer groups with slower host-staged transfers between them.
 
-use serde::{Deserialize, Serialize};
-
 /// Classification of a link between two devices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LinkClass {
     /// The "link" from a device to itself (local copy).
     Local,
@@ -20,7 +18,7 @@ pub enum LinkClass {
 }
 
 /// Bandwidth/latency description of one link class.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Link {
     /// Sustained bandwidth in GB/s.
     pub bandwidth_gb_s: f64,
@@ -29,7 +27,7 @@ pub struct Link {
 }
 
 /// The inter-device fabric of a node.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Interconnect {
     n: usize,
     /// Peer-group id of each device; devices in the same group use

@@ -32,6 +32,7 @@ pub mod device;
 pub mod error;
 pub mod interconnect;
 pub mod memory;
+pub mod par;
 pub mod profile;
 pub mod stream;
 pub mod sync;

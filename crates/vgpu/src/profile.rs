@@ -20,13 +20,11 @@
 //! by the bandwidth ratio — the same scaling rule the paper applies when
 //! comparing against K20 results (§VII-C).
 
-use serde::{Deserialize, Serialize};
-
 /// Gibibyte in bytes.
 pub const GIB: u64 = 1 << 30;
 
 /// Calibrated cost parameters for one (virtual) processor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HardwareProfile {
     /// Human-readable board name, e.g. `"Tesla K40"`.
     pub name: &'static str,

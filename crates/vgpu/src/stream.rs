@@ -10,14 +10,12 @@
 //! maximum over its stream timelines; overlap falls out naturally because
 //! work on different streams occupies disjoint timelines.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a stream within one device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StreamId(pub usize);
 
 /// A stream: an in-order execution timeline.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Stream {
     /// Simulated time (µs) at which all work enqueued so far completes.
     ready_at_us: f64,
@@ -61,7 +59,7 @@ impl Stream {
 }
 
 /// A recorded timestamp on some stream; cheap to copy across devices.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Event {
     at_us: f64,
 }

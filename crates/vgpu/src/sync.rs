@@ -107,7 +107,12 @@ impl SyncPoint {
     /// clock, local convergence flag and numeric contribution; receive the
     /// global reduction. Every participant must call this the same number of
     /// times (a superstep boundary).
-    pub fn superstep(&self, time_us: f64, locally_done: bool, contribution: Contribution) -> GlobalReduce {
+    pub fn superstep(
+        &self,
+        time_us: f64,
+        locally_done: bool,
+        contribution: Contribution,
+    ) -> GlobalReduce {
         let g = self.generation.load(Ordering::Acquire) % 2;
         self.slots[g].lock().merge(time_us, locally_done, &contribution);
         let wait = self.barrier.wait();

@@ -12,17 +12,11 @@
 
 use mgpu_graph_analytics::core::ops;
 use mgpu_graph_analytics::core::problem::MgpuProblem;
-use mgpu_graph_analytics::core::{
-    AllocScheme, CommStrategy, EnactConfig, FrontierBufs, Runner,
-};
+use mgpu_graph_analytics::core::{AllocScheme, CommStrategy, EnactConfig, FrontierBufs, Runner};
 use mgpu_graph_analytics::gen::preferential_attachment;
 use mgpu_graph_analytics::graph::{Csr, GraphBuilder};
-use mgpu_graph_analytics::partition::{
-    DistGraph, Duplication, RandomPartitioner, SubGraph,
-};
-use mgpu_graph_analytics::vgpu::{
-    Device, DeviceArray, HardwareProfile, Result, SimSystem,
-};
+use mgpu_graph_analytics::partition::{DistGraph, Duplication, RandomPartitioner, SubGraph};
+use mgpu_graph_analytics::vgpu::{Device, DeviceArray, HardwareProfile, Result, SimSystem};
 
 /// Multi-source, hop-bounded reachability.
 struct Reachability {
@@ -67,8 +61,7 @@ impl MgpuProblem<u32, u64> for Reachability {
     ) -> Result<Vec<u32>> {
         state.reached.as_mut_slice().fill(0);
         // every GPU seeds the vertices it owns
-        let mine: Vec<u32> =
-            self.seeds.iter().copied().filter(|&s| sub.is_owned(s)).collect();
+        let mine: Vec<u32> = self.seeds.iter().copied().filter(|&s| sub.is_owned(s)).collect();
         for &s in &mine {
             state.reached[s as usize] = 1;
         }
@@ -84,8 +77,12 @@ impl MgpuProblem<u32, u64> for Reachability {
         input: &[u32],
         _iter: usize,
     ) -> Result<Vec<u32>> {
+        // The `_seq` variant accepts a plain mutable closure — the easiest
+        // starting point for a custom primitive. Switch to
+        // `advance_filter_fused` with an atomic functor (see the BFS
+        // primitive) to run the kernel on multiple threads.
         let reached = &mut state.reached;
-        ops::advance_filter_fused(dev, sub, input, |_, _, d| {
+        ops::advance_filter_fused_seq(dev, sub, input, |_, _, d| {
             if reached[d as usize] == 0 {
                 reached[d as usize] = 1;
                 Some(d)
@@ -112,8 +109,7 @@ impl MgpuProblem<u32, u64> for Reachability {
 }
 
 fn main() {
-    let graph: Csr<u32, u64> =
-        GraphBuilder::undirected(&preferential_attachment(50_000, 6, 11));
+    let graph: Csr<u32, u64> = GraphBuilder::undirected(&preferential_attachment(50_000, 6, 11));
     let dist = DistGraph::partition(&graph, &RandomPartitioner::default(), 4, Duplication::All);
 
     for k in [1usize, 2, 3, 4] {

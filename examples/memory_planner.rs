@@ -22,8 +22,7 @@ use mgpu_graph_analytics::vgpu::{HardwareProfile, SimSystem, VgpuError};
 /// Try to run BFS on a 1-GPU system with `capacity` bytes of device memory.
 fn fits(graph: &Csr<u32, u64>, scheme: AllocScheme, capacity: u64) -> Result<u64, VgpuError> {
     let dist = DistGraph::build(graph, vec![0; graph.n_vertices()], 1, Duplication::All);
-    let system =
-        SimSystem::homogeneous(1, HardwareProfile::k40().with_capacity(capacity));
+    let system = SimSystem::homogeneous(1, HardwareProfile::k40().with_capacity(capacity));
     let config = EnactConfig { alloc_scheme: Some(scheme), ..Default::default() };
     let mut runner = Runner::new(system, &dist, Bfs::default(), config)?;
     runner.enact(Some(0))?;

@@ -18,8 +18,7 @@ use mgpu_graph_analytics::primitives::Bfs;
 use mgpu_graph_analytics::vgpu::{HardwareProfile, SimSystem, Timeline};
 
 fn main() {
-    let graph: Csr<u32, u64> =
-        GraphBuilder::undirected(&rmat(14, 16, RmatParams::paper(), 11));
+    let graph: Csr<u32, u64> = GraphBuilder::undirected(&rmat(14, 16, RmatParams::paper(), 11));
     let dist = DistGraph::partition(&graph, &RandomPartitioner::default(), 4, Duplication::All);
 
     let mut system = SimSystem::homogeneous(4, HardwareProfile::k40());
@@ -31,8 +30,7 @@ fn main() {
         Runner::new(system, &dist, Bfs::default(), EnactConfig::default()).expect("init");
     let report = runner.enact(Some(0)).expect("bfs");
 
-    let timelines: Vec<&Timeline> =
-        runner.system().devices.iter().map(|d| &d.timeline).collect();
+    let timelines: Vec<&Timeline> = runner.system().devices.iter().map(|d| &d.timeline).collect();
     let total_spans: usize = timelines.iter().map(|t| t.events().len()).sum();
     let json = Timeline::chrome_trace(timelines);
     let path = "target/bfs_trace.json";

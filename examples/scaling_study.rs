@@ -25,8 +25,7 @@ use mgpu_graph_analytics::vgpu::{HardwareProfile, Interconnect, SimSystem};
 const SCALE: f64 = 256.0;
 
 fn bfs_time_ms(graph: &Csr<u32, u64>, n_gpus: usize, src: u32) -> (f64, usize) {
-    let dist =
-        DistGraph::partition(graph, &RandomPartitioner::default(), n_gpus, Duplication::All);
+    let dist = DistGraph::partition(graph, &RandomPartitioner::default(), n_gpus, Duplication::All);
     let profile = HardwareProfile::k40().with_overhead_scale(SCALE);
     let ic = Interconnect::pcie3(n_gpus, 4).with_latency_scale(SCALE);
     let system = SimSystem::new(vec![profile; n_gpus], ic).expect("sizes match");
@@ -37,12 +36,14 @@ fn bfs_time_ms(graph: &Csr<u32, u64>, n_gpus: usize, src: u32) -> (f64, usize) {
 }
 
 fn main() {
-    let social: Csr<u32, u64> =
-        GraphBuilder::undirected(&preferential_attachment(60_000, 16, 5));
+    let social: Csr<u32, u64> = GraphBuilder::undirected(&preferential_attachment(60_000, 16, 5));
     let road: Csr<u32, u64> = GraphBuilder::undirected(&grid2d(250, 250, 1.0, 5));
 
     println!("BFS scaling, simulated K40 node\n");
-    println!("{:<6} {:>18} {:>10} {:>18} {:>10}", "GPUs", "social (ms)", "speedup", "road (ms)", "speedup");
+    println!(
+        "{:<6} {:>18} {:>10} {:>18} {:>10}",
+        "GPUs", "social (ms)", "speedup", "road (ms)", "speedup"
+    );
     let (social_base, social_iters) = bfs_time_ms(&social, 1, 0);
     let (road_base, road_iters) = bfs_time_ms(&road, 1, 0);
     for n in 1..=6usize {

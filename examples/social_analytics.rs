@@ -25,13 +25,8 @@ fn top5(scores: &[f32]) -> Vec<(usize, f32)> {
 
 fn main() {
     // A 20k-member social network analog (power-law, shallow diameter).
-    let graph: Csr<u32, u64> =
-        GraphBuilder::undirected(&preferential_attachment(20_000, 12, 7));
-    println!(
-        "social graph: {} members, {} directed edges",
-        graph.n_vertices(),
-        graph.n_edges()
-    );
+    let graph: Csr<u32, u64> = GraphBuilder::undirected(&preferential_attachment(20_000, 12, 7));
+    println!("social graph: {} members, {} directed edges", graph.n_vertices(), graph.n_edges());
 
     // One partition, reused by every primitive (all three use
     // duplicate-all, so the host graphs are shared).

@@ -17,8 +17,7 @@ fn graph() -> Csr<u32, u64> {
 fn simulated_time_is_exactly_reproducible() {
     let g = graph();
     let run = || {
-        let dist =
-            DistGraph::partition(&g, &RandomPartitioner { seed: 3 }, 4, Duplication::All);
+        let dist = DistGraph::partition(&g, &RandomPartitioner { seed: 3 }, 4, Duplication::All);
         let sys = SimSystem::homogeneous(4, HardwareProfile::k40());
         let mut runner = Runner::new(sys, &dist, Bfs::default(), EnactConfig::default()).unwrap();
         let r = runner.enact(Some(0u32)).unwrap();
@@ -59,8 +58,8 @@ fn oom_on_one_device_aborts_cleanly_without_deadlock() {
         HardwareProfile::k40().with_capacity(2_000),
         HardwareProfile::k40(),
     ];
-    let sys = SimSystem::new(profiles, mgpu_graph_analytics::vgpu::Interconnect::pcie3(3, 4))
-        .unwrap();
+    let sys =
+        SimSystem::new(profiles, mgpu_graph_analytics::vgpu::Interconnect::pcie3(3, 4)).unwrap();
     match Runner::new(sys, &dist, Bfs::default(), EnactConfig::default()) {
         Err(VgpuError::OutOfMemory { device, .. }) => assert_eq!(device, 1),
         Err(e) => panic!("expected OOM on device 1, got error {e}"),
@@ -81,10 +80,9 @@ fn mid_run_oom_is_reported_not_deadlocked() {
         HardwareProfile::k40().with_capacity(budget + (64 << 20)),
         HardwareProfile::k40().with_capacity(budget),
     ];
-    let sys = SimSystem::new(profiles, mgpu_graph_analytics::vgpu::Interconnect::pcie3(2, 4))
-        .unwrap();
-    let config =
-        EnactConfig { alloc_scheme: Some(AllocScheme::JustEnough), ..Default::default() };
+    let sys =
+        SimSystem::new(profiles, mgpu_graph_analytics::vgpu::Interconnect::pcie3(2, 4)).unwrap();
+    let config = EnactConfig { alloc_scheme: Some(AllocScheme::JustEnough), ..Default::default() };
     match Runner::new(sys, &dist, Bfs::default(), config) {
         Ok(mut runner) => match runner.enact(Some(0u32)) {
             Ok(_) => {} // budget happened to suffice — fine
@@ -101,8 +99,7 @@ fn partitioner_seed_changes_partition_but_not_answer() {
     let g = graph();
     let expect = mgpu_graph_analytics::primitives::reference::bfs(&g, 0u32);
     for seed in [1u64, 2, 3, 4] {
-        let dist =
-            DistGraph::partition(&g, &RandomPartitioner { seed }, 4, Duplication::All);
+        let dist = DistGraph::partition(&g, &RandomPartitioner { seed }, 4, Duplication::All);
         let sys = SimSystem::homogeneous(4, HardwareProfile::k40());
         let mut runner = Runner::new(sys, &dist, Bfs::default(), EnactConfig::default()).unwrap();
         runner.enact(Some(0u32)).unwrap();
@@ -119,6 +116,9 @@ fn overhead_scaled_profiles_accepted_end_to_end() {
     let sys = SimSystem::new(vec![profile; 2], ic).unwrap();
     let mut runner = Runner::new(sys, &dist, Bfs::default(), EnactConfig::default()).unwrap();
     let r = runner.enact(Some(0u32)).unwrap();
-    assert_eq!(gather_labels(&runner, &dist), mgpu_graph_analytics::primitives::reference::bfs(&g, 0u32));
+    assert_eq!(
+        gather_labels(&runner, &dist),
+        mgpu_graph_analytics::primitives::reference::bfs(&g, 0u32)
+    );
     assert!(r.sim_time_us > 0.0);
 }

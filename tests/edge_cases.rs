@@ -72,8 +72,7 @@ fn self_loops_and_parallel_edges_survive_raw_builds() {
 fn dobfs_on_a_chain_never_switches_but_stays_correct() {
     // chain: FV stays tiny, backward never profitable
     let g: Csr<u32, u64> = GraphBuilder::undirected(&chain(64));
-    let mut dist =
-        DistGraph::partition(&g, &RandomPartitioner { seed: 2 }, 2, Duplication::All);
+    let mut dist = DistGraph::partition(&g, &RandomPartitioner { seed: 2 }, 2, Duplication::All);
     dist.build_cscs();
     let sys = SimSystem::homogeneous(2, HardwareProfile::k40());
     let mut runner = Runner::new(sys, &dist, Dobfs::default(), EnactConfig::default()).unwrap();
@@ -110,8 +109,7 @@ fn comm_override_changes_volume_but_not_answer() {
     let expect = reference::bfs(&g, 0u32);
     let mut volumes = Vec::new();
     for comm in [CommStrategy::Selective, CommStrategy::Broadcast] {
-        let dist =
-            DistGraph::partition(&g, &RandomPartitioner { seed: 3 }, 3, Duplication::All);
+        let dist = DistGraph::partition(&g, &RandomPartitioner { seed: 3 }, 3, Duplication::All);
         let sys = SimSystem::homogeneous(3, HardwareProfile::k40());
         let config = EnactConfig { comm: Some(comm), ..Default::default() };
         let mut runner = Runner::new(sys, &dist, Bfs::default(), config).unwrap();
@@ -128,8 +126,7 @@ fn alloc_scheme_override_changes_memory_but_not_answer() {
     let expect = reference::bfs(&g, 0u32);
     let mut peaks = Vec::new();
     for scheme in [AllocScheme::JustEnough, AllocScheme::Max] {
-        let dist =
-            DistGraph::partition(&g, &RandomPartitioner { seed: 3 }, 2, Duplication::All);
+        let dist = DistGraph::partition(&g, &RandomPartitioner { seed: 3 }, 2, Duplication::All);
         let sys = SimSystem::homogeneous(2, HardwareProfile::k40());
         let config = EnactConfig { alloc_scheme: Some(scheme), ..Default::default() };
         let mut runner = Runner::new(sys, &dist, Bfs::default(), config).unwrap();

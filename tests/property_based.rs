@@ -1,9 +1,15 @@
-//! Property-based tests (proptest) on the core invariants listed in
-//! DESIGN.md §6: partitioner invariants, CSR round-trips, frontier
-//! conservation through the enactor, and result equivalence to references
-//! under arbitrary graphs, partitions and GPU counts.
+//! Randomized property tests on the core invariants listed in DESIGN.md §6:
+//! partitioner invariants, CSR round-trips, frontier conservation through the
+//! enactor, and result equivalence to references under arbitrary graphs,
+//! partitions and GPU counts.
+//!
+//! These were originally written with `proptest`; the offline build vendors
+//! only a minimal `rand`, so each property is now driven by a seeded ChaCha
+//! stream over the same input distribution (fixed trial count, deterministic
+//! per seed — failures reproduce exactly).
 
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 use mgpu_graph_analytics::core::{EnactConfig, Runner};
 use mgpu_graph_analytics::graph::{Coo, Csr, GraphBuilder};
@@ -15,13 +21,15 @@ use mgpu_graph_analytics::primitives::{
 };
 use mgpu_graph_analytics::vgpu::{HardwareProfile, SimSystem};
 
+const CASES: usize = 48;
+
 /// Arbitrary small weighted graph: vertex count, edge list, weights.
-fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>, Vec<u32>)> {
-    (4usize..40).prop_flat_map(|n| {
-        let edges = prop::collection::vec((0..n as u32, 0..n as u32), 0..120);
-        let weights = prop::collection::vec(0u32..65, 120);
-        (Just(n), edges, weights)
-    })
+fn arb_graph(rng: &mut ChaCha8Rng) -> (usize, Vec<(u32, u32)>, Vec<u32>) {
+    let n = rng.gen_range(4usize..40);
+    let m = rng.gen_range(0usize..120);
+    let edges = (0..m).map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32))).collect();
+    let weights = (0..120).map(|_| rng.gen_range(0u32..65)).collect();
+    (n, edges, weights)
 }
 
 fn build(n: usize, edges: &[(u32, u32)], weights: &[u32]) -> Csr<u32, u64> {
@@ -29,131 +37,143 @@ fn build(n: usize, edges: &[(u32, u32)], weights: &[u32]) -> Csr<u32, u64> {
     GraphBuilder::undirected(&Coo::from_edges(n, edges.to_vec(), Some(w)))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn partition_covers_every_vertex_exactly_once(
-        (n, edges, weights) in arb_graph(),
-        n_parts in 1usize..5,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn partition_covers_every_vertex_exactly_once() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA11);
+    for _ in 0..CASES {
+        let (n, edges, weights) = arb_graph(&mut rng);
+        let n_parts = rng.gen_range(1usize..5);
+        let seed = rng.gen_range(0u64..1000);
         let g = build(n, &edges, &weights);
         let owner = RandomPartitioner { seed }.assign(&g, n_parts);
-        prop_assert_eq!(owner.len(), n);
-        prop_assert!(owner.iter().all(|&o| (o as usize) < n_parts));
+        assert_eq!(owner.len(), n);
+        assert!(owner.iter().all(|&o| (o as usize) < n_parts));
         let q = PartitionQuality::measure(&g, &owner, n_parts);
-        prop_assert_eq!(q.vertices.iter().sum::<usize>(), n);
-        prop_assert_eq!(q.edges.iter().sum::<usize>(), g.n_edges());
+        assert_eq!(q.vertices.iter().sum::<usize>(), n);
+        assert_eq!(q.edges.iter().sum::<usize>(), g.n_edges());
     }
+}
 
-    #[test]
-    fn dup_all_subgraphs_partition_the_edges(
-        (n, edges, weights) in arb_graph(),
-        n_parts in 1usize..5,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn dup_all_subgraphs_partition_the_edges() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA12);
+    for _ in 0..CASES {
+        let (n, edges, weights) = arb_graph(&mut rng);
+        let n_parts = rng.gen_range(1usize..5);
+        let seed = rng.gen_range(0u64..1000);
         let g = build(n, &edges, &weights);
         let dist = DistGraph::partition(&g, &RandomPartitioner { seed }, n_parts, Duplication::All);
         let total: usize = dist.parts.iter().map(|p| p.n_edges()).sum();
-        prop_assert_eq!(total, g.n_edges(), "every edge on exactly one GPU");
+        assert_eq!(total, g.n_edges(), "every edge on exactly one GPU");
         for part in &dist.parts {
-            prop_assert_eq!(part.n_vertices(), n, "duplicate-all vertex space");
+            assert_eq!(part.n_vertices(), n, "duplicate-all vertex space");
         }
         let owned: usize = dist.parts.iter().map(|p| p.n_local).sum();
-        prop_assert_eq!(owned, n);
+        assert_eq!(owned, n);
     }
+}
 
-    #[test]
-    fn one_hop_conversion_tables_are_consistent(
-        (n, edges, weights) in arb_graph(),
-        n_parts in 1usize..5,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn one_hop_conversion_tables_are_consistent() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA13);
+    for _ in 0..CASES {
+        let (n, edges, weights) = arb_graph(&mut rng);
+        let n_parts = rng.gen_range(1usize..5);
+        let seed = rng.gen_range(0u64..1000);
         let g = build(n, &edges, &weights);
-        let dist = DistGraph::partition(&g, &RandomPartitioner { seed }, n_parts, Duplication::OneHop);
+        let dist =
+            DistGraph::partition(&g, &RandomPartitioner { seed }, n_parts, Duplication::OneHop);
         for v in 0..n as u32 {
             let (gpu, local) = dist.locate(v);
             let part = &dist.parts[gpu];
-            prop_assert!(part.is_owned(local));
-            prop_assert_eq!(part.to_global(local), v, "locate/to_global round trip");
+            assert!(part.is_owned(local));
+            assert_eq!(part.to_global(local), v, "locate/to_global round trip");
         }
         for part in &dist.parts {
             for l in 0..part.n_vertices() as u32 {
                 let gl = part.to_global(l);
-                prop_assert_eq!(part.from_global(gl), Some(l), "global resolution round trip");
+                assert_eq!(part.from_global(gl), Some(l), "global resolution round trip");
             }
         }
     }
+}
 
-    #[test]
-    fn csr_transpose_is_involutive(
-        (n, edges, weights) in arb_graph(),
-    ) {
+#[test]
+fn csr_transpose_is_involutive() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA14);
+    for _ in 0..CASES {
+        let (n, edges, weights) = arb_graph(&mut rng);
         let g = build(n, &edges, &weights);
-        prop_assert_eq!(g.transpose().transpose(), g);
+        assert_eq!(g.transpose().transpose(), g);
     }
+}
 
-    #[test]
-    fn mgpu_bfs_equals_reference_on_arbitrary_graphs(
-        (n, edges, weights) in arb_graph(),
-        n_gpus in 1usize..5,
-        seed in 0u64..1000,
-        src_pick in 0usize..100,
-    ) {
+#[test]
+fn mgpu_bfs_equals_reference_on_arbitrary_graphs() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA15);
+    for _ in 0..CASES {
+        let (n, edges, weights) = arb_graph(&mut rng);
+        let n_gpus = rng.gen_range(1usize..5);
+        let seed = rng.gen_range(0u64..1000);
+        let src = (rng.gen_range(0usize..100) % n) as u32;
         let g = build(n, &edges, &weights);
-        let src = (src_pick % n) as u32;
         let dist = DistGraph::partition(&g, &RandomPartitioner { seed }, n_gpus, Duplication::All);
         let sys = SimSystem::homogeneous(n_gpus, HardwareProfile::k40());
         let mut runner = Runner::new(sys, &dist, Bfs::default(), EnactConfig::default()).unwrap();
         runner.enact(Some(src)).unwrap();
-        prop_assert_eq!(gather_labels(&runner, &dist), reference::bfs(&g, src));
+        assert_eq!(gather_labels(&runner, &dist), reference::bfs(&g, src));
     }
+}
 
-    #[test]
-    fn mgpu_sssp_equals_dijkstra_on_arbitrary_graphs(
-        (n, edges, weights) in arb_graph(),
-        n_gpus in 1usize..4,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn mgpu_sssp_equals_dijkstra_on_arbitrary_graphs() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA16);
+    for _ in 0..CASES {
+        let (n, edges, weights) = arb_graph(&mut rng);
+        let n_gpus = rng.gen_range(1usize..4);
+        let seed = rng.gen_range(0u64..1000);
         let g = build(n, &edges, &weights);
         let dist = DistGraph::partition(&g, &RandomPartitioner { seed }, n_gpus, Duplication::All);
         let sys = SimSystem::homogeneous(n_gpus, HardwareProfile::k40());
         let mut runner = Runner::new(sys, &dist, Sssp, EnactConfig::default()).unwrap();
         runner.enact(Some(0u32)).unwrap();
-        prop_assert_eq!(gather_dists(&runner, &dist), reference::sssp(&g, 0u32));
+        assert_eq!(gather_dists(&runner, &dist), reference::sssp(&g, 0u32));
     }
+}
 
-    #[test]
-    fn mgpu_cc_equals_union_find_on_arbitrary_graphs(
-        (n, edges, weights) in arb_graph(),
-        n_gpus in 1usize..4,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn mgpu_cc_equals_union_find_on_arbitrary_graphs() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA17);
+    for _ in 0..CASES {
+        let (n, edges, weights) = arb_graph(&mut rng);
+        let n_gpus = rng.gen_range(1usize..4);
+        let seed = rng.gen_range(0u64..1000);
         let g = build(n, &edges, &weights);
         let dist = DistGraph::partition(&g, &RandomPartitioner { seed }, n_gpus, Duplication::All);
         let sys = SimSystem::homogeneous(n_gpus, HardwareProfile::k40());
         let mut runner = Runner::new(sys, &dist, Cc, EnactConfig::default()).unwrap();
         runner.enact(None).unwrap();
-        prop_assert_eq!(gather_components(&runner, &dist), reference::cc(&g));
+        assert_eq!(gather_components(&runner, &dist), reference::cc(&g));
     }
+}
 
-    #[test]
-    fn bsp_counters_are_conserved(
-        (n, edges, weights) in arb_graph(),
-        n_gpus in 2usize..5,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn bsp_counters_are_conserved() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA18);
+    for _ in 0..CASES {
+        let (n, edges, weights) = arb_graph(&mut rng);
+        let n_gpus = rng.gen_range(2usize..5);
+        let seed = rng.gen_range(0u64..1000);
         let g = build(n, &edges, &weights);
         let dist = DistGraph::partition(&g, &RandomPartitioner { seed }, n_gpus, Duplication::All);
         let sys = SimSystem::homogeneous(n_gpus, HardwareProfile::k40());
         let mut runner = Runner::new(sys, &dist, Bfs::default(), EnactConfig::default()).unwrap();
         let report = runner.enact(Some(0u32)).unwrap();
         // what is sent is received
-        prop_assert_eq!(report.totals.h_bytes_sent, report.totals.h_bytes_recv);
+        assert_eq!(report.totals.h_bytes_sent, report.totals.h_bytes_recv);
         // wire format: every transmitted vertex costs id + label
-        prop_assert_eq!(report.totals.h_bytes_sent, report.totals.h_vertices * 8);
+        assert_eq!(report.totals.h_bytes_sent, report.totals.h_vertices * 8);
         // simulated time is monotone and includes the sync overhead
-        prop_assert!(report.sim_time_us >= report.iterations as f64);
+        assert!(report.sim_time_us >= report.iterations as f64);
     }
 }

@@ -1,14 +1,22 @@
-//! Property-based tests of the vgpu substrate and I/O layers: simulated
+//! Randomized property tests of the vgpu substrate and I/O layers: simulated
 //! clocks are monotone under arbitrary operation sequences, memory pools
 //! account exactly, transfer costs are monotone in size, and MatrixMarket
 //! round-trips preserve edge lists.
+//!
+//! These were originally written with `proptest`; the offline build vendors
+//! only a minimal `rand`, so each property is now driven by a seeded ChaCha
+//! stream over the same input distribution (fixed trial count, deterministic
+//! per seed — failures reproduce exactly).
 
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 use mgpu_graph_analytics::graph::{read_mtx, write_mtx, Coo};
 use mgpu_graph_analytics::vgpu::{
     Device, HardwareProfile, Interconnect, KernelKind, COMM_STREAM, COMPUTE_STREAM,
 };
+
+const CASES: usize = 64;
 
 /// An arbitrary device operation.
 #[derive(Debug, Clone)]
@@ -19,14 +27,17 @@ enum Op {
     Superstep { n: u8 },
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<bool>(), 0u8..7, any::<u16>())
-            .prop_map(|(comm, kind, items)| Op::Kernel { comm, kind, items }),
-        (any::<bool>(), any::<u16>()).prop_map(|(comm, us)| Op::Charge { comm, us }),
-        Just(Op::CrossWait),
-        (1u8..6).prop_map(|n| Op::Superstep { n }),
-    ]
+fn arb_op(rng: &mut ChaCha8Rng) -> Op {
+    match rng.gen_range(0usize..4) {
+        0 => Op::Kernel {
+            comm: rng.gen(),
+            kind: rng.gen_range(0u8..7),
+            items: rng.gen_range(0u32..=u16::MAX as u32) as u16,
+        },
+        1 => Op::Charge { comm: rng.gen(), us: rng.gen_range(0u32..=u16::MAX as u32) as u16 },
+        2 => Op::CrossWait,
+        _ => Op::Superstep { n: rng.gen_range(1u8..6) },
+    }
 }
 
 fn kind_of(k: u8) -> KernelKind {
@@ -41,11 +52,11 @@ fn kind_of(k: u8) -> KernelKind {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn device_clock_is_monotone_under_any_op_sequence(ops in prop::collection::vec(arb_op(), 0..60)) {
+#[test]
+fn device_clock_is_monotone_under_any_op_sequence() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xB21);
+    for _ in 0..CASES {
+        let ops: Vec<Op> = (0..rng.gen_range(0usize..60)).map(|_| arb_op(&mut rng)).collect();
         let mut dev = Device::new(0, HardwareProfile::k40());
         let mut last = 0.0f64;
         for op in ops {
@@ -67,16 +78,19 @@ proptest! {
                 }
             }
             let now = dev.now();
-            prop_assert!(now >= last, "clock went backwards: {now} < {last}");
-            prop_assert!(now.is_finite());
+            assert!(now >= last, "clock went backwards: {now} < {last}");
+            assert!(now.is_finite());
             last = now;
         }
     }
+}
 
-    #[test]
-    fn kernel_work_accounting_matches_the_items_charged(
-        items in prop::collection::vec(0u32..10_000, 1..30),
-    ) {
+#[test]
+fn kernel_work_accounting_matches_the_items_charged() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xB22);
+    for _ in 0..CASES {
+        let items: Vec<u32> =
+            (0..rng.gen_range(1usize..30)).map(|_| rng.gen_range(0u32..10_000)).collect();
         let mut dev = Device::new(0, HardwareProfile::k40());
         let mut expect_w = 0u64;
         let mut expect_c = 0u64;
@@ -89,16 +103,19 @@ proptest! {
                 expect_w += n as u64;
             }
         }
-        prop_assert_eq!(dev.counters.w_items, expect_w);
-        prop_assert_eq!(dev.counters.c_items, expect_c);
-        prop_assert_eq!(dev.counters.kernel_launches, items.len() as u64);
+        assert_eq!(dev.counters.w_items, expect_w);
+        assert_eq!(dev.counters.c_items, expect_c);
+        assert_eq!(dev.counters.kernel_launches, items.len() as u64);
     }
+}
 
-    #[test]
-    fn pool_accounting_is_exact_under_alloc_free_sequences(
-        sizes in prop::collection::vec(1usize..4_000, 1..40),
-        keep_mask in prop::collection::vec(any::<bool>(), 40),
-    ) {
+#[test]
+fn pool_accounting_is_exact_under_alloc_free_sequences() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xB23);
+    for _ in 0..CASES {
+        let sizes: Vec<usize> =
+            (0..rng.gen_range(1usize..40)).map(|_| rng.gen_range(1usize..4_000)).collect();
+        let keep_mask: Vec<bool> = (0..40).map(|_| rng.gen()).collect();
         let pool = mgpu_graph_analytics::vgpu::MemoryPool::new(0, 1 << 26);
         let mut live_model = 0u64;
         let mut held = Vec::new();
@@ -111,73 +128,86 @@ proptest! {
                 live_model -= (n * 8) as u64;
                 drop(a);
             }
-            prop_assert_eq!(pool.live(), live_model);
-            prop_assert!(pool.peak() >= pool.live());
+            assert_eq!(pool.live(), live_model);
+            assert!(pool.peak() >= pool.live());
         }
         drop(held);
         let total: u64 = sizes.iter().map(|&n| (n * 8) as u64).sum();
-        prop_assert_eq!(pool.live(), 0);
-        prop_assert!(pool.peak() <= total);
+        assert_eq!(pool.live(), 0);
+        assert!(pool.peak() <= total);
     }
+}
 
-    #[test]
-    fn transfer_cost_is_monotone_in_bytes_and_respects_topology(
-        a in 0usize..8, b in 0usize..8, bytes in 0u64..(1 << 24),
-    ) {
+#[test]
+fn transfer_cost_is_monotone_in_bytes_and_respects_topology() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xB24);
+    for _ in 0..CASES {
+        let a = rng.gen_range(0usize..8);
+        let b = rng.gen_range(0usize..8);
+        let bytes = rng.gen_range(0u64..(1 << 24));
         let ic = Interconnect::pcie3(8, 4);
         let t1 = ic.transfer_us(a, b, bytes);
         let t2 = ic.transfer_us(a, b, bytes + 1024);
-        prop_assert!(t2 >= t1);
+        assert!(t2 >= t1);
         if a == b {
-            prop_assert_eq!(t1, 0.0);
+            assert_eq!(t1, 0.0);
         } else {
-            prop_assert!(t1 >= ic.latency_us(a, b));
+            assert!(t1 >= ic.latency_us(a, b));
             // symmetric links
-            prop_assert_eq!(t1, ic.transfer_us(b, a, bytes));
+            assert_eq!(t1, ic.transfer_us(b, a, bytes));
         }
     }
+}
 
-    #[test]
-    fn two_level_fabric_charges_more_across_nodes(
-        bytes in 1u64..(1 << 22),
-    ) {
+#[test]
+fn two_level_fabric_charges_more_across_nodes() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xB25);
+    for _ in 0..CASES {
+        let bytes = rng.gen_range(1u64..(1 << 22));
         let ic = Interconnect::two_level(2, 4);
         let intra = ic.transfer_us(0, 3, bytes);
         let inter = ic.transfer_us(0, 4, bytes);
-        prop_assert!(inter > intra);
+        assert!(inter > intra);
     }
+}
 
-    #[test]
-    fn mtx_round_trip_preserves_weighted_edges(
-        n in 2usize..40,
-        raw in prop::collection::vec((0u32..40, 0u32..40, 1u32..1000), 0..80),
-    ) {
-        let edges: Vec<(u32, u32)> = raw
-            .iter()
-            .map(|&(s, d, _)| (s % n as u32, d % n as u32))
+#[test]
+fn mtx_round_trip_preserves_weighted_edges() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xB26);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2usize..40);
+        let raw: Vec<(u32, u32, u32)> = (0..rng.gen_range(0usize..80))
+            .map(|_| (rng.gen_range(0u32..40), rng.gen_range(0u32..40), rng.gen_range(1u32..1000)))
             .collect();
+        let edges: Vec<(u32, u32)> =
+            raw.iter().map(|&(s, d, _)| (s % n as u32, d % n as u32)).collect();
         let weights: Vec<u32> = raw.iter().map(|&(_, _, w)| w).collect();
         let coo = Coo::<u32>::from_edges(n, edges, Some(weights));
         let mut buf = Vec::new();
         write_mtx(&coo, &mut buf).unwrap();
         let back = read_mtx::<u32, _>(std::io::BufReader::new(buf.as_slice())).unwrap();
-        prop_assert_eq!(back.n_vertices, coo.n_vertices);
-        prop_assert_eq!(back.edges, coo.edges);
-        prop_assert_eq!(back.weights, coo.weights);
+        assert_eq!(back.n_vertices, coo.n_vertices);
+        assert_eq!(back.edges, coo.edges);
+        assert_eq!(back.weights, coo.weights);
     }
+}
 
-    #[test]
-    fn generators_are_seed_deterministic(seed in 0u64..1000, scale in 4u32..9) {
-        use mgpu_graph_analytics::gen::{preferential_attachment, rmat, web_crawl, RmatParams};
+#[test]
+fn generators_are_seed_deterministic() {
+    use mgpu_graph_analytics::gen::{preferential_attachment, rmat, web_crawl, RmatParams};
+    let mut rng = ChaCha8Rng::seed_from_u64(0xB27);
+    for _ in 0..8 {
+        let seed = rng.gen_range(0u64..1000);
+        let scale = rng.gen_range(4u32..9);
         let n = 1usize << scale;
-        prop_assert_eq!(
+        assert_eq!(
             rmat(scale, 4, RmatParams::paper(), seed).edges,
             rmat(scale, 4, RmatParams::paper(), seed).edges
         );
-        prop_assert_eq!(
+        assert_eq!(
             preferential_attachment(n.max(16), 3, seed).edges,
             preferential_attachment(n.max(16), 3, seed).edges
         );
-        prop_assert_eq!(web_crawl(n.max(16), 3, seed).edges, web_crawl(n.max(16), 3, seed).edges);
+        assert_eq!(web_crawl(n.max(16), 3, seed).edges, web_crawl(n.max(16), 3, seed).edges);
     }
 }

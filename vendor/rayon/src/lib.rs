@@ -1,0 +1,208 @@
+//! Offline vendored shim for the subset of `rayon` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! API-compatible stand-ins for its external dependencies. This shim executes
+//! `into_par_iter().flat_map_iter().collect()` pipelines on scoped std threads
+//! (contiguous chunks, results concatenated in index order, so output matches
+//! the sequential order exactly) and maps `par_sort_by_key` onto the std
+//! stable sort.
+
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+}
+
+fn worker_count(items: usize) -> usize {
+    if items < 2 {
+        return 1;
+    }
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    hw.min(8).min(items)
+}
+
+/// Sources convertible into a "parallel" iterator.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl IntoParallelIterator for Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl IntoParallelIterator for Range<u32> {
+    type Item = u32;
+    fn into_par_iter(self) -> ParIter<u32> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// An eagerly materialized parallel-iterator source.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn flat_map_iter<U, F>(self, f: F) -> FlatMapIter<T, F>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        FlatMapIter { items: self.items, f }
+    }
+
+    pub fn map<U, F>(self, f: F) -> MapIter<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        MapIter { items: self.items, f }
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Run `f` over contiguous chunks of `items` on scoped threads; concatenate
+/// the per-chunk outputs in chunk order, which reproduces sequential order.
+fn run_chunked<T, R, F>(items: Vec<T>, per_item: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> Vec<R> + Sync,
+{
+    let workers = worker_count(items.len());
+    if workers <= 1 {
+        return items.into_iter().flat_map(&per_item).collect();
+    }
+    let chunk_len = items.len().div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk_len));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let per_item = &per_item;
+    let mut out: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().flat_map(per_item).collect::<Vec<R>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rayon-shim worker panicked")).collect()
+    });
+    let total = out.iter().map(Vec::len).sum();
+    let mut flat = Vec::with_capacity(total);
+    for part in out.iter_mut() {
+        flat.append(part);
+    }
+    flat
+}
+
+/// Result of `flat_map_iter`: collected in parallel, order-preserving.
+pub struct FlatMapIter<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, U, F> FlatMapIter<T, F>
+where
+    T: Send,
+    U: IntoIterator,
+    U::Item: Send,
+    F: Fn(T) -> U + Sync,
+{
+    pub fn collect<C: FromIterator<U::Item>>(self) -> C {
+        let f = self.f;
+        run_chunked(self.items, |item| f(item).into_iter().collect::<Vec<_>>())
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Result of `map`: collected in parallel, order-preserving.
+pub struct MapIter<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, U, F> MapIter<T, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        let f = self.f;
+        run_chunked(self.items, |item| vec![f(item)]).into_iter().collect()
+    }
+}
+
+/// Parallel sort extension; the shim delegates to the std stable sort, which
+/// produces the same ordering rayon's `par_sort_by_key` guarantees.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_sort_by_key<K: Ord, F: Fn(&T) -> K + Sync>(&mut self, f: F);
+    fn par_sort_unstable_by_key<K: Ord, F: Fn(&T) -> K + Sync>(&mut self, f: F);
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_sort_by_key<K: Ord, F: Fn(&T) -> K + Sync>(&mut self, f: F) {
+        self.sort_by_key(f);
+    }
+
+    fn par_sort_unstable_by_key<K: Ord, F: Fn(&T) -> K + Sync>(&mut self, f: F) {
+        self.sort_unstable_by_key(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn flat_map_iter_preserves_sequential_order() {
+        let par: Vec<usize> =
+            (0..100usize).into_par_iter().flat_map_iter(|i| vec![i * 2, i * 2 + 1]).collect();
+        let seq: Vec<usize> = (0..100usize).flat_map(|i| vec![i * 2, i * 2 + 1]).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let par: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * i).collect();
+        let seq: Vec<usize> = (0..1000usize).map(|i| i * i).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_sort_by_key_sorts() {
+        let mut v = vec![(3, 'a'), (1, 'b'), (2, 'c'), (1, 'd')];
+        v.par_sort_by_key(|&(k, _)| k);
+        assert_eq!(v, vec![(1, 'b'), (1, 'd'), (2, 'c'), (3, 'a')]);
+    }
+
+    #[test]
+    fn empty_source_collects_empty() {
+        let v: Vec<usize> = (0..0usize).into_par_iter().flat_map_iter(|i| vec![i]).collect();
+        assert!(v.is_empty());
+    }
+}
