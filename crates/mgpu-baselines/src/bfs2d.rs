@@ -185,6 +185,7 @@ impl Bfs2d {
             total_peak_memory: system.total_peak_memory(),
             pool_reallocs: system.devices.iter().map(|d| d.pool().reallocs()).sum(),
             history: Vec::new(),
+            recovery: mgpu_core::RecoveryLog::default(),
         };
         Ok((report, labels))
     }

@@ -1,11 +1,11 @@
 //! Uniform primitive dispatch for the experiment binaries.
 
-use mgpu_core::{EnactConfig, EnactReport, Runner};
+use mgpu_core::{EnactConfig, EnactReport, ResilientRunner, Runner};
 use mgpu_graph::{Csr, Id};
 use mgpu_partition::{DistGraph, Duplication, Partitioner};
 use mgpu_primitives::{Bc, Bfs, Cc, Dobfs, Pagerank, Sssp};
 use mgpu_core::problem::MgpuProblem;
-use vgpu::{Result, SimSystem};
+use vgpu::{FaultPlan, Result, SimSystem};
 
 /// The six evaluated primitives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +119,42 @@ pub fn run_primitive(
         Primitive::Pr => {
             let pr = Pagerank { damping: 0.85, threshold: 0.0, max_iters: 20 };
             Runner::new(system, &dist, pr, config)?.enact(None)?
+        }
+    };
+    Ok(RunOutcome { report, edges: g.n_edges() })
+}
+
+/// Partition `g` for `prim` and run it under a fault plan through the
+/// self-healing [`ResilientRunner`] — the path `mgpu run --fault-plan
+/// --recovery` takes. The enact retries transient faults and degrades to
+/// the surviving devices on a permanent loss, per `config.recovery`.
+pub fn run_primitive_resilient(
+    prim: Primitive,
+    g: &Csr<u32, u64>,
+    n: usize,
+    profile: vgpu::HardwareProfile,
+    partitioner: &impl Partitioner,
+    config: EnactConfig,
+    plan: FaultPlan,
+) -> Result<RunOutcome> {
+    let owner = partitioner.assign(g, n);
+    let src = prim.needs_source().then(|| pick_source(g));
+    macro_rules! resilient {
+        ($problem:expr) => {
+            ResilientRunner::homogeneous(g, $problem, n, profile, config)
+                .with_owner(owner)
+                .with_fault_plan(plan)
+        };
+    }
+    let report = match prim {
+        Primitive::Bfs => resilient!(Bfs::default()).enact(src)?,
+        Primitive::Dobfs => resilient!(Dobfs::default()).with_csc().enact(src)?,
+        Primitive::Sssp => resilient!(Sssp).enact(src)?,
+        Primitive::Bc => resilient!(Bc).enact(src)?,
+        Primitive::Cc => resilient!(Cc).enact(src)?,
+        Primitive::Pr => {
+            let pr = Pagerank { damping: 0.85, threshold: 0.0, max_iters: 20 };
+            resilient!(pr).enact(None)?
         }
     };
     Ok(RunOutcome { report, edges: g.n_edges() })

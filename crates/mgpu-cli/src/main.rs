@@ -19,12 +19,21 @@
 //!   --seed S            generator/partitioner seed     [default 42]
 //!   --src V             source vertex ("auto" = highest degree) [auto]
 //!   --json              emit the report as JSON instead of text
+//!   --comm {selective|broadcast}  override the primitive's communication
+//!                       strategy
+//!   --fault-plan SPEC   deterministic fault injection; SPEC is either a
+//!                       comma-separated event list (`kfail:D@N`, `oom:D@N`,
+//!                       `slow:D@N:US`, `lose:D@N`, `tfail:S>D@N`,
+//!                       `ttimeout:S>D@N`) or `random:SEED:COUNT:HORIZON`
+//!   --recovery          enact through the resilient runner: bounded retry,
+//!                       superstep checkpoints, degrade on device loss
 //! ```
 
 use std::process::ExitCode;
 
-use mgpu_bench::runners::{scaled_system, Primitive};
+use mgpu_bench::runners::{run_primitive_resilient, scaled_system, Primitive};
 use mgpu_bench::{pick_source, run_primitive};
+use mgpu_core::{EnactConfig, RecoveryPolicy};
 use mgpu_gen::catalog::{COMPARISON, TABLE2};
 use mgpu_gen::weights::add_paper_weights;
 use mgpu_gen::Dataset;
@@ -32,13 +41,14 @@ use mgpu_graph::{read_mtx, Csr, GraphBuilder};
 use mgpu_partition::{
     BiasedRandomPartitioner, ChunkedPartitioner, MultilevelPartitioner, RandomPartitioner,
 };
-use vgpu::HardwareProfile;
+use vgpu::{FaultPlan, HardwareProfile};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  mgpu datasets\n  mgpu run --primitive <bfs|dobfs|sssp|bc|cc|pr> \
          (--dataset <name> | --mtx <path>) [--gpus N] [--partitioner random|biased|metis|chunked]\n\
-         \x20         [--profile k40|k80|p100] [--shift N] [--seed S] [--src V|auto] [--json]"
+         \x20         [--profile k40|k80|p100] [--shift N] [--seed S] [--src V|auto] [--json]\n\
+         \x20         [--comm selective|broadcast] [--fault-plan <spec|random:SEED:COUNT:HORIZON>] [--recovery]"
     );
     ExitCode::FAILURE
 }
@@ -64,6 +74,25 @@ fn main() -> ExitCode {
     }
 }
 
+/// Parse `--fault-plan`: either the event grammar understood by
+/// [`FaultPlan::parse`] or the shorthand `random:SEED:COUNT:HORIZON` for a
+/// seed-derived transient-only plan.
+fn parse_fault_plan(spec: &str, n_devices: usize) -> Result<FaultPlan, String> {
+    match spec.strip_prefix("random:") {
+        Some(rest) => {
+            let parts: Vec<&str> = rest.split(':').collect();
+            let [seed, count, horizon] = parts.as_slice() else {
+                return Err(format!("expected random:SEED:COUNT:HORIZON, got {spec}"));
+            };
+            let seed = seed.parse::<u64>().map_err(|e| format!("seed: {e}"))?;
+            let count = count.parse::<usize>().map_err(|e| format!("count: {e}"))?;
+            let horizon = horizon.parse::<u64>().map_err(|e| format!("horizon: {e}"))?;
+            Ok(FaultPlan::random(seed, n_devices, count, horizon))
+        }
+        None => FaultPlan::parse(spec),
+    }
+}
+
 #[derive(Default)]
 struct RunArgs {
     primitive: Option<String>,
@@ -76,6 +105,9 @@ struct RunArgs {
     seed: u64,
     src: String,
     json: bool,
+    comm: Option<String>,
+    fault_plan: Option<String>,
+    recovery: bool,
 }
 
 fn run(args: &[String]) -> ExitCode {
@@ -107,6 +139,9 @@ fn run(args: &[String]) -> ExitCode {
             "--seed" => a.seed = value("--seed").parse().expect("--seed S"),
             "--src" => a.src = value("--src"),
             "--json" => a.json = true,
+            "--comm" => a.comm = Some(value("--comm")),
+            "--fault-plan" => a.fault_plan = Some(value("--fault-plan")),
+            "--recovery" => a.recovery = true,
             other => {
                 eprintln!("unknown flag {other}");
                 return usage();
@@ -171,32 +206,63 @@ fn run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let system = scaled_system(a.gpus, profile, a.shift);
+    let mut system = scaled_system(a.gpus, profile.clone(), a.shift);
+
+    // --- fault injection / recovery ---
+    let plan = match a.fault_plan.as_deref() {
+        Some(spec) => match parse_fault_plan(spec, a.gpus) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("bad --fault-plan: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let comm = match a.comm.as_deref() {
+        None => None,
+        Some("selective") => Some(mgpu_core::CommStrategy::Selective),
+        Some("broadcast") => Some(mgpu_core::CommStrategy::Broadcast),
+        Some(other) => {
+            eprintln!("unknown comm strategy {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = EnactConfig {
+        comm,
+        recovery: if a.recovery { RecoveryPolicy::resilient() } else { RecoveryPolicy::default() },
+        ..Default::default()
+    };
+    if let (Some(p), false) = (&plan, a.recovery) {
+        // No recovery requested: inject into the plain BSP enactor and let
+        // the run succeed (transients absorbed by retry=0 → fail) or fail.
+        system.attach_fault_plan(p);
+    }
 
     // --- partition + run (partitioners are statically dispatched) ---
+    macro_rules! dispatch {
+        ($partitioner:expr) => {
+            if let (Some(p), true) = (&plan, a.recovery) {
+                let s = (1u64 << a.shift.min(40)) as f64;
+                run_primitive_resilient(
+                    prim,
+                    &graph,
+                    a.gpus,
+                    profile.clone().with_overhead_scale(s),
+                    $partitioner,
+                    config,
+                    p.clone(),
+                )
+            } else {
+                run_primitive(prim, &graph, system, $partitioner, config)
+            }
+        };
+    }
     let outcome = match a.partitioner.as_str() {
-        "random" => run_primitive(
-            prim,
-            &graph,
-            system,
-            &RandomPartitioner { seed: a.seed },
-            Default::default(),
-        ),
-        "biased" => run_primitive(
-            prim,
-            &graph,
-            system,
-            &BiasedRandomPartitioner { seed: a.seed, slack: 0.05 },
-            Default::default(),
-        ),
-        "metis" => run_primitive(
-            prim,
-            &graph,
-            system,
-            &MultilevelPartitioner { seed: a.seed, ..Default::default() },
-            Default::default(),
-        ),
-        "chunked" => run_primitive(prim, &graph, system, &ChunkedPartitioner, Default::default()),
+        "random" => dispatch!(&RandomPartitioner { seed: a.seed }),
+        "biased" => dispatch!(&BiasedRandomPartitioner { seed: a.seed, slack: 0.05 }),
+        "metis" => dispatch!(&MultilevelPartitioner { seed: a.seed, ..Default::default() }),
+        "chunked" => dispatch!(&ChunkedPartitioner),
         other => {
             eprintln!("unknown partitioner {other}");
             return ExitCode::FAILURE;
@@ -237,6 +303,20 @@ fn run(args: &[String]) -> ExitCode {
             r.totals.h_bytes_sent / 1024
         );
         println!("peak mem/GPU   {} KiB", r.peak_memory_per_device / 1024);
+        if !r.recovery.is_quiet() {
+            let rec = &r.recovery;
+            println!(
+                "recovery       {} kernel + {} transfer retries, {} checkpoints, {} failovers",
+                rec.kernel_retries, rec.transfer_retries, rec.checkpoints_taken, rec.failovers
+            );
+            if !rec.lost_devices.is_empty() {
+                println!(
+                    "lost devices   {:?} ({:.3} ms of work discarded)",
+                    rec.lost_devices,
+                    rec.lost_time_us / 1e3
+                );
+            }
+        }
     }
     ExitCode::SUCCESS
 }

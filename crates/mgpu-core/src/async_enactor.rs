@@ -30,6 +30,7 @@ use mgpu_graph::Id;
 use mgpu_partition::{DistGraph, SubGraph};
 use parking_lot::Mutex;
 use vgpu::memory::Reservation;
+use vgpu::sync::harvest_device_thread;
 use vgpu::{
     Device, Event, Interconnect, KernelKind, Mailbox, Result, SimSystem, VgpuError, COMM_STREAM,
     COMPUTE_STREAM,
@@ -39,6 +40,7 @@ use crate::alloc::FrontierBufs;
 use crate::comm::{split_and_package, Package};
 use crate::problem::MgpuProblem;
 use crate::report::EnactReport;
+use crate::resilience::{guard, RecoveryLog};
 
 /// An asynchronous runner for label-correcting primitives.
 ///
@@ -82,7 +84,8 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> AsyncRunner<'g, V, O, P> {
         self.system.reset_clocks();
         let n = self.dist.n_parts;
         let located = src.map(|g| self.dist.locate(g));
-        let mailbox: Mailbox<Arc<Package<V, P::Msg>>> = Mailbox::new(n);
+        let mailbox: Mailbox<Arc<Package<V, P::Msg>>> =
+            Mailbox::with_faults(n, self.system.fault_injector());
         // Distributed termination: messages in flight + busy device count.
         let in_flight = AtomicI64::new(0);
         let busy = AtomicUsize::new(n);
@@ -127,7 +130,11 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> AsyncRunner<'g, V, O, P> {
                     )
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("device thread panicked")).collect()
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(gpu, h)| harvest_device_thread(h.join(), gpu))
+                .collect()
         });
         let wall_time_us = t0.elapsed().as_secs_f64() * 1e6;
 
@@ -150,6 +157,7 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> AsyncRunner<'g, V, O, P> {
             total_peak_memory: self.system.total_peak_memory(),
             pool_reallocs: self.system.devices.iter().map(|d| d.pool().reallocs()).sum(),
             history: Vec::new(), // async mode has no superstep structure
+            recovery: RecoveryLog::default(),
         })
     }
 
@@ -184,13 +192,14 @@ fn run_async_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
         abort.store(true, SeqCst);
     };
 
-    let mut pending: Vec<V> = match problem.reset(dev, sub, &mut per.state, src_local) {
-        Ok(f) => f,
-        Err(e) => {
-            fail(e);
-            Vec::new()
-        }
-    };
+    let mut pending: Vec<V> =
+        match guard(gpu, || problem.reset(dev, sub, &mut per.state, src_local)) {
+            Ok(f) => f,
+            Err(e) => {
+                fail(e);
+                Vec::new()
+            }
+        };
     let mut rounds = 0usize;
     let mut idle = false;
     if pending.is_empty() {
@@ -213,26 +222,35 @@ fn run_async_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
             idle = false;
         }
         for delivery in deliveries {
-            dev.stream_wait(COMM_STREAM, delivery.arrival).expect("streams exist by construction");
-            let pkg = delivery.payload;
-            dev.counters.h_bytes_recv += pkg.wire_bytes();
-            let state = &mut per.state;
-            let pending_ref = &mut pending;
-            dev.kernel(COMM_STREAM, KernelKind::Combine, || {
-                for (i, &wire) in pkg.vertices.iter().enumerate() {
-                    if problem.combine(state, wire, &pkg.msgs[i]) {
-                        pending_ref.push(wire);
+            // The message leaves flight whether or not the combine succeeds —
+            // otherwise a failing device would wedge termination detection.
+            let combined = guard(gpu, || {
+                dev.stream_wait(COMM_STREAM, delivery.arrival)?;
+                let pkg = delivery.payload;
+                dev.counters.h_bytes_recv += pkg.wire_bytes();
+                let state = &mut per.state;
+                let pending_ref = &mut pending;
+                dev.kernel(COMM_STREAM, KernelKind::Combine, || {
+                    for (i, &wire) in pkg.vertices.iter().enumerate() {
+                        if problem.combine(state, wire, &pkg.msgs[i]) {
+                            pending_ref.push(wire);
+                        }
                     }
-                }
-                ((), pkg.len() as u64)
-            })
-            .expect("combine kernel");
+                    ((), pkg.len() as u64)
+                })?;
+                Ok(())
+            });
             in_flight.fetch_sub(1, SeqCst);
+            if let Err(e) = combined {
+                fail(e);
+            }
         }
         // combine output feeds the next relaxation
         if !pending.is_empty() {
             let ev = dev.record_event(COMM_STREAM);
-            dev.stream_wait(COMPUTE_STREAM, ev).expect("streams exist");
+            if let Err(e) = dev.stream_wait(COMPUTE_STREAM, ev) {
+                fail(e);
+            }
         }
 
         if pending.is_empty() {
@@ -250,7 +268,7 @@ fn run_async_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
 
         // --- relax the pending frontier ---
         let input = std::mem::take(&mut pending);
-        let outcome = (|| -> Result<Vec<V>> {
+        let outcome = guard(gpu, || -> Result<Vec<V>> {
             let output =
                 problem.iteration(dev, sub, &mut per.state, &mut per.bufs, &input, rounds)?;
             let state = &per.state;
@@ -271,11 +289,13 @@ fn run_async_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
                 dev.counters.h_vertices += pkg.len() as u64;
                 dev.counters.h_messages += 1;
                 dev.counters.h_time_us += occupancy;
+                // Count the message in flight only once it is actually
+                // posted; a faulted send must not wedge termination.
+                mailbox.send(gpu, peer, Event::at(arrival), Arc::new(pkg))?;
                 in_flight.fetch_add(1, SeqCst);
-                mailbox.send(gpu, peer, Event::at(arrival), Arc::new(pkg));
             }
             Ok(local)
-        })();
+        });
         match outcome {
             Ok(local) => pending = local,
             Err(e) => fail(e),

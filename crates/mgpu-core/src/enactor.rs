@@ -19,27 +19,32 @@
 //!    evaluated (all devices locally done, a primitive-specific global
 //!    predicate, or the iteration cap).
 //!
-//! A device thread that fails (e.g. out of memory) keeps participating in
-//! rendezvous with an abort flag raised so no peer deadlocks; the enact call
-//! returns the root-cause error.
+//! A device thread that fails (e.g. out of memory, an injected fault, or a
+//! panic in problem code) keeps participating in rendezvous so no peer
+//! deadlocks; its failure travels through the superstep reduction
+//! (`Contribution::aborting` → `GlobalReduce::abort_count`), so every device
+//! makes the identical exit decision at the identical superstep and the
+//! enact call returns the deterministic root-cause error.
 
-use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 use std::time::Instant;
 
 use mgpu_graph::Id;
 use mgpu_partition::{DistGraph, SubGraph};
-use parking_lot::Mutex;
 use vgpu::memory::Reservation;
+use vgpu::sync::Contribution;
 use vgpu::{
-    Device, Event, Interconnect, KernelKind, Mailbox, Result, SimSystem, SyncPoint, VgpuError,
-    COMM_STREAM, COMPUTE_STREAM,
+    harvest_device_thread, Device, Event, Interconnect, KernelKind, Mailbox, Result, SimSystem,
+    SyncPoint, VgpuError, COMM_STREAM, COMPUTE_STREAM,
 };
 
 use crate::alloc::{AllocScheme, FrontierBufs};
 use crate::comm::{broadcast_package, split_and_package, CommStrategy, Package};
 use crate::problem::MgpuProblem;
 use crate::report::{EnactReport, SuperstepTrace};
+use crate::resilience::{
+    guard, CheckpointSink, GlobalCheckpoint, RecoveryCounters, RecoveryLog, RecoveryPolicy,
+};
 
 /// Per-enact configuration overrides.
 #[derive(Debug, Clone, Copy, Default)]
@@ -55,6 +60,9 @@ pub struct EnactConfig {
     /// wall-clock knob — simulated time and BSP counters are identical at
     /// every value (see `vgpu::par`).
     pub kernel_threads: Option<usize>,
+    /// Recovery policy (retries, checkpoints, straggler timeout). The
+    /// default is fully off and adds zero simulated-time overhead.
+    pub recovery: RecoveryPolicy,
 }
 
 struct PerGpu<V: Id, S> {
@@ -132,6 +140,21 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> Runner<'g, V, O, P> {
     /// primitives without a source, e.g. PR and CC). Device clocks and
     /// counters are reset so each enact reports an independent measurement.
     pub fn enact(&mut self, src: Option<V>) -> Result<EnactReport> {
+        let sink = CheckpointSink::new(self.dist.n_parts, self.config.recovery.checkpoint_interval);
+        self.enact_resilient(src, None, &sink).0
+    }
+
+    /// [`Self::enact`] with explicit recovery plumbing: optionally resume
+    /// from a [`GlobalCheckpoint`] and offer new checkpoints into `sink`.
+    /// Returns the attempt's [`RecoveryLog`] alongside the result so a
+    /// driver ([`crate::resilience::ResilientRunner`]) can account for
+    /// failed attempts too.
+    pub fn enact_resilient(
+        &mut self,
+        src: Option<V>,
+        resume: Option<&GlobalCheckpoint<V>>,
+        sink: &CheckpointSink<V>,
+    ) -> (Result<EnactReport>, RecoveryLog) {
         self.system.reset_clocks();
         let n = self.dist.n_parts;
         let located = src.map(|g| self.dist.locate(g));
@@ -139,17 +162,19 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> Runner<'g, V, O, P> {
         // Packages travel as `Arc`s: a broadcast to n−1 peers posts n−1
         // pointers to one package, not n−1 deep copies (the wire cost is
         // still charged per peer — the copies that disappear are host-side).
-        let mailbox: Mailbox<Arc<Package<V, P::Msg>>> = Mailbox::new(n);
-        let abort = AtomicBool::new(false);
-        let first_error: Mutex<Option<VgpuError>> = Mutex::new(None);
+        let mailbox: Mailbox<Arc<Package<V, P::Msg>>> =
+            Mailbox::with_faults(n, self.system.fault_injector());
         let comm = self.config.comm;
+        let policy = self.config.recovery;
+        let rec = RecoveryCounters::default();
+        let fired_before = self.system.fault_injector().map_or(0, |inj| inj.fired());
         let max_iterations =
             self.config.max_iterations.unwrap_or_else(|| self.problem.max_iterations());
 
         let problem = &self.problem;
         let interconnect = std::sync::Arc::clone(&self.system.interconnect);
         let t0 = Instant::now();
-        let iterations: Vec<Result<(usize, Vec<SuperstepTrace>)>> = std::thread::scope(|scope| {
+        let outcomes: Vec<Result<(usize, Vec<SuperstepTrace>)>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for ((dev, per), sub) in self
                 .system
@@ -162,10 +187,10 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> Runner<'g, V, O, P> {
                     Some((gpu, local)) if gpu == dev.id() => Some(local),
                     _ => None,
                 };
+                dev.set_retry_policy(policy.max_retries, policy.retry_backoff_us);
                 let sync = &sync;
                 let mailbox = &mailbox;
-                let abort = &abort;
-                let first_error = &first_error;
+                let rec = &rec;
                 let interconnect = std::sync::Arc::clone(&interconnect);
                 handles.push(scope.spawn(move || {
                     run_gpu(
@@ -178,41 +203,73 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> Runner<'g, V, O, P> {
                         mailbox,
                         comm,
                         max_iterations,
-                        abort,
-                        first_error,
+                        &policy,
+                        rec,
+                        sink,
+                        resume,
                         src_local,
                     )
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("device thread panicked")).collect()
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(gpu, h)| harvest_device_thread(h.join(), gpu))
+                .collect()
         });
         let wall_time_us = t0.elapsed().as_secs_f64() * 1e6;
 
+        let fired_after = self.system.fault_injector().map_or(0, |inj| inj.fired());
+        let kernel_retries: u64 = self.system.devices.iter().map(|d| d.kernel_retries()).sum();
+        let transfer_retries = rec.transfer_retries.load(std::sync::atomic::Ordering::Relaxed);
+        let log = RecoveryLog {
+            kernel_retries,
+            transfer_retries,
+            faults_injected: fired_after - fired_before,
+            checkpoints_taken: sink.taken(),
+            stragglers_detected: rec.stragglers.load(std::sync::atomic::Ordering::Relaxed),
+            backoff_us: (kernel_retries + transfer_retries) as f64 * policy.retry_backoff_us,
+            resumed_at: resume.map(|ck| ck.iter),
+            ..RecoveryLog::default()
+        };
+
+        // Deterministic root-cause selection: the most severe error wins,
+        // lowest device id breaking ties (`Aborted` is only a peer echo).
+        let mut root: Option<(u8, VgpuError)> = None;
         let mut iters = 0usize;
         let mut history: Vec<SuperstepTrace> = Vec::new();
-        for r in iterations {
+        for r in &outcomes {
             match r {
                 Ok((i, local_hist)) => {
-                    iters = iters.max(i);
+                    iters = iters.max(*i);
                     if history.len() < local_hist.len() {
                         history.resize(local_hist.len(), SuperstepTrace::default());
                     }
-                    for (acc, t) in history.iter_mut().zip(&local_hist) {
+                    for (acc, t) in history.iter_mut().zip(local_hist) {
                         acc.input += t.input;
                         acc.output += t.output;
                         acc.sent += t.sent;
                         acc.combined += t.combined;
                     }
                 }
-                Err(VgpuError::Aborted) => {}
-                Err(e) => return Err(e),
+                Err(e) => {
+                    let severity = match e {
+                        VgpuError::DeviceLost { .. } => 3,
+                        VgpuError::Timeout { .. } => 2,
+                        VgpuError::Aborted => 0,
+                        _ => 1,
+                    };
+                    if root.as_ref().is_none_or(|(s, _)| severity > *s) {
+                        root = Some((severity, e.clone()));
+                    }
+                }
             }
         }
-        if abort.load(Relaxed) {
-            return Err(first_error.lock().take().unwrap_or(VgpuError::Aborted));
+        if let Some((_, e)) = root {
+            return (Err(e), log);
         }
 
-        Ok(EnactReport {
+        let report = EnactReport {
             primitive: self.problem.name(),
             n_devices: n,
             iterations: iters,
@@ -224,7 +281,9 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> Runner<'g, V, O, P> {
             total_peak_memory: self.system.total_peak_memory(),
             pool_reallocs: self.system.devices.iter().map(|d| d.pool().reallocs()).sum(),
             history,
-        })
+            recovery: log.clone(),
+        };
+        (Ok(report), log)
     }
 
     /// Access a device's per-GPU primitive state (e.g. to read labels or
@@ -236,6 +295,14 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> Runner<'g, V, O, P> {
 
 /// The per-device control loop (the `BFSThread` + `Iteration_Loop` of
 /// Appendix A).
+///
+/// Failure protocol: a device that fails *keeps participating in every
+/// rendezvous* with its work skipped, and raises `Contribution::aborting` at
+/// the next superstep reduction. All devices see the identical
+/// `abort_count`/`done_count`/timeout information in the shared reduction,
+/// so every exit decision is uniform — no device can leave a peer stranded
+/// at a barrier, and the exit superstep is a deterministic function of the
+/// fault plan.
 #[allow(clippy::too_many_arguments)]
 fn run_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
     problem: &P,
@@ -247,37 +314,42 @@ fn run_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
     mailbox: &Mailbox<Arc<Package<V, P::Msg>>>,
     comm: Option<CommStrategy>,
     max_iterations: usize,
-    abort: &AtomicBool,
-    first_error: &Mutex<Option<VgpuError>>,
+    policy: &RecoveryPolicy,
+    rec: &RecoveryCounters,
+    sink: &CheckpointSink<V>,
+    resume: Option<&GlobalCheckpoint<V>>,
     src_local: Option<V>,
 ) -> Result<(usize, Vec<SuperstepTrace>)> {
     let n = sync.n();
     let gpu = dev.id();
     let mut failed = false;
-    let fail = |e: VgpuError, failed: &mut bool| {
-        abort.store(true, Relaxed);
-        first_error.lock().get_or_insert(e);
-        *failed = true;
-    };
+    let mut my_error: Option<VgpuError> = None;
 
     // Reset: primitive state + initial frontier ("Put tsrc into initial
     // frontier on GPU src_gpu"). The host vector drives the iteration
     // directly; commit_output only establishes device residency (no
-    // copy-back — the contents are by construction identical).
-    let mut input: Vec<V> = match problem.reset(dev, sub, &mut per.state, src_local) {
+    // copy-back — the contents are by construction identical). When
+    // resuming, the checkpoint overwrites the freshly reset state and
+    // supplies the frontier instead.
+    let init = guard(gpu, || -> Result<Vec<V>> {
+        let fresh = problem.reset(dev, sub, &mut per.state, src_local)?;
+        let input = match resume {
+            None => fresh,
+            Some(ck) => restore_checkpoint(problem, dev, per, sub, ck)?,
+        };
+        per.bufs.commit_output(dev, &input)?;
+        Ok(input)
+    });
+    let mut input: Vec<V> = match init {
         Ok(f) => f,
         Err(e) => {
-            fail(e, &mut failed);
+            my_error.get_or_insert(e);
+            failed = true;
             Vec::new()
         }
     };
-    if !failed {
-        if let Err(e) = per.bufs.commit_output(dev, &input) {
-            fail(e, &mut failed);
-        }
-    }
 
-    let mut iter = 0usize;
+    let mut iter = resume.map_or(0, |ck| ck.iter);
     let mut history: Vec<SuperstepTrace> = Vec::new();
     loop {
         let mut trace = SuperstepTrace { input: input.len() as u64, ..Default::default() };
@@ -286,25 +358,30 @@ fn run_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
         // phases evolve from the shared reduction.
         let comm_k = comm.unwrap_or_else(|| problem.comm_now(&per.state));
         // ---- compute + split/package/push (Fig. 1's top half) ----
-        let local_part: Vec<V> = if !failed && !abort.load(Relaxed) {
-            match compute_and_send(
-                problem,
-                dev,
-                per,
-                sub,
-                interconnect,
-                mailbox,
-                comm_k,
-                &input,
-                iter,
-                n,
-            ) {
+        let local_part: Vec<V> = if !failed {
+            match guard(gpu, || {
+                compute_and_send(
+                    problem,
+                    dev,
+                    per,
+                    sub,
+                    interconnect,
+                    mailbox,
+                    comm_k,
+                    &input,
+                    iter,
+                    n,
+                    policy,
+                    rec,
+                )
+            }) {
                 Ok((local, output_len)) => {
                     trace.output = output_len;
                     local
                 }
                 Err(e) => {
-                    fail(e, &mut failed);
+                    my_error.get_or_insert(e);
+                    failed = true;
                     Vec::new()
                 }
             }
@@ -316,11 +393,15 @@ fn run_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
         sync.barrier(dev.now(), false);
 
         // ---- combine received sub-frontiers (Fig. 1's bottom half) ----
-        let next_input: Vec<V> = if !failed && !abort.load(Relaxed) {
-            match combine_received(problem, dev, per, sub, mailbox, comm_k, local_part) {
+        let next_input: Vec<V> = if !failed {
+            match guard(gpu, || {
+                combine_received(problem, dev, per, sub, mailbox, comm_k, local_part)
+            }) {
                 Ok(v) => v,
                 Err(e) => {
-                    fail(e, &mut failed);
+                    my_error.get_or_insert(e);
+                    failed = true;
+                    let _ = mailbox.drain(gpu);
                     Vec::new()
                 }
             }
@@ -333,27 +414,140 @@ fn run_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
         trace.combined = next_input.len() as u64; // local part + combined adds
         history.push(trace);
 
+        // ---- checkpoint offer: before the reduce, so a device that failed
+        // this superstep never contributes and the partial stays incomplete
+        if !failed && sink.due(iter + 1) && problem.supports_checkpoint() {
+            if let Err(e) =
+                guard(gpu, || offer_checkpoint(problem, dev, per, sub, sink, &next_input, iter + 1))
+            {
+                my_error.get_or_insert(e);
+                failed = true;
+            }
+        }
+
         // ---- superstep boundary: global sync + convergence ----
-        let locally_done = failed || problem.locally_done(&per.state, &next_input);
-        let contribution = problem.contribution(&per.state, &next_input);
-        let reduce = sync.superstep(dev.now(), locally_done, contribution);
+        let (locally_done, contribution) = if failed {
+            (true, Contribution { aborting: true, ..Contribution::default() })
+        } else {
+            match guard(gpu, || {
+                Ok((
+                    problem.locally_done(&per.state, &next_input),
+                    problem.contribution(&per.state, &next_input),
+                ))
+            }) {
+                Ok(v) => v,
+                Err(e) => {
+                    my_error.get_or_insert(e);
+                    failed = true;
+                    (true, Contribution { aborting: true, ..Contribution::default() })
+                }
+            }
+        };
+        let my_time = dev.now();
+        let reduce = sync.superstep(my_time, locally_done, contribution);
         dev.end_superstep(n, reduce.max_time_us);
         iter += 1;
-        problem.after_superstep(&mut per.state, &reduce, iter);
+        if !failed {
+            if let Err(e) = guard(gpu, || {
+                problem.after_superstep(&mut per.state, &reduce, iter);
+                Ok(())
+            }) {
+                my_error.get_or_insert(e);
+                failed = true;
+            }
+        }
 
-        if abort.load(Relaxed) {
-            return Err(if failed {
-                first_error.lock().clone().unwrap_or(VgpuError::Aborted)
-            } else {
-                VgpuError::Aborted
-            });
+        // ---- uniform straggler decision from the shared reduction ----
+        if policy.straggler_timeout_us.is_finite()
+            && reduce.max_time_us - reduce.min_time_us > policy.straggler_timeout_us
+        {
+            if gpu == 0 {
+                rec.note_straggler();
+            }
+            if policy.evict_stragglers {
+                // The straggler self-identifies (its barrier time *is* the
+                // max, bitwise); everyone exits at this same superstep.
+                return Err(if my_time == reduce.max_time_us {
+                    VgpuError::Timeout { device: gpu }
+                } else {
+                    my_error.take().unwrap_or(VgpuError::Aborted)
+                });
+            }
+        }
+
+        if reduce.abort_count > 0 {
+            return Err(my_error.take().unwrap_or(VgpuError::Aborted));
         }
         if reduce.done_count == n || problem.globally_done(&reduce, iter) || iter >= max_iterations
         {
-            return Ok((iter, history));
+            // a failure after this superstep's reduce (in after_superstep)
+            // is not yet visible to peers — surface it here
+            return match my_error.take() {
+                Some(e) => Err(e),
+                None => Ok((iter, history)),
+            };
         }
         input = next_input;
     }
+}
+
+/// Encode this device's owned vertices (global-id keyed) and its owned
+/// slice of the next frontier, and offer them to the sink. The encode pass
+/// is metered as a bulk kernel over the owned set.
+fn offer_checkpoint<V: Id, O: Id, P: MgpuProblem<V, O>>(
+    problem: &P,
+    dev: &mut Device,
+    per: &mut PerGpu<V, P::State>,
+    sub: &SubGraph<V, O>,
+    sink: &CheckpointSink<V>,
+    next_input: &[V],
+    iter: usize,
+) -> Result<()> {
+    let state = &per.state;
+    let words = dev.kernel(COMPUTE_STREAM, KernelKind::Bulk, || {
+        let mut words: Vec<(V, u64)> = Vec::with_capacity(sub.n_local);
+        for l in 0..sub.n_vertices() {
+            let lv = V::from_usize(l);
+            if sub.is_owned(lv) {
+                words.push((sub.to_global(lv), problem.checkpoint_word(state, lv)));
+            }
+        }
+        let n = words.len() as u64;
+        (words, n)
+    })?;
+    let frontier: Vec<V> =
+        next_input.iter().copied().filter(|&v| sub.is_owned(v)).map(|v| sub.to_global(v)).collect();
+    sink.offer(iter, words, frontier);
+    Ok(())
+}
+
+/// Overwrite freshly reset state from a checkpoint (restoring owned
+/// vertices *and* proxies this device holds) and return the restored local
+/// input frontier (the owned slice of the checkpoint frontier).
+fn restore_checkpoint<V: Id, O: Id, P: MgpuProblem<V, O>>(
+    problem: &P,
+    dev: &mut Device,
+    per: &mut PerGpu<V, P::State>,
+    sub: &SubGraph<V, O>,
+    ck: &GlobalCheckpoint<V>,
+) -> Result<Vec<V>> {
+    let state = &mut per.state;
+    dev.kernel(COMPUTE_STREAM, KernelKind::Bulk, || {
+        let mut restored = 0u64;
+        for &(g, w) in &ck.words {
+            if let Some(l) = sub.from_global(g) {
+                problem.restore_word(state, l, w);
+                restored += 1;
+            }
+        }
+        ((), restored)
+    })?;
+    Ok(ck
+        .frontier
+        .iter()
+        .filter_map(|&g| sub.from_global(g))
+        .filter(|&l| sub.is_owned(l))
+        .collect())
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -368,6 +562,8 @@ fn compute_and_send<V: Id, O: Id, P: MgpuProblem<V, O>>(
     input: &[V],
     iter: usize,
     n: usize,
+    policy: &RecoveryPolicy,
+    rec: &RecoveryCounters,
 ) -> Result<(Vec<V>, u64)> {
     let gpu = dev.id();
     let output = problem.iteration(dev, sub, &mut per.state, &mut per.bufs, input, iter)?;
@@ -415,14 +611,31 @@ fn compute_and_send<V: Id, O: Id, P: MgpuProblem<V, O>>(
             let bytes = pkg.wire_bytes();
             // The sender's copy engine is occupied for the bandwidth
             // component; the wire latency only delays arrival at the peer.
+            // A transiently failed push re-occupies the link for the full
+            // retransmission plus the policy backoff; the injector checks
+            // the fault site *before* posting, so a failed send delivered
+            // nothing and re-sending cannot duplicate a package.
             let occupancy = interconnect.occupancy_us(gpu, j, bytes);
-            let sent_at = dev.charge(COMM_STREAM, occupancy, 0.0)?;
-            let arrived_at = sent_at + interconnect.latency_us(gpu, j);
+            let mut attempts = 0u32;
+            loop {
+                let sent_at = dev.charge(COMM_STREAM, occupancy, 0.0)?;
+                dev.counters.h_time_us += occupancy;
+                let arrived_at = sent_at + interconnect.latency_us(gpu, j);
+                match mailbox.send(gpu, j, Event::at(arrived_at), Arc::clone(&pkg)) {
+                    Ok(()) => break,
+                    Err(e) if attempts < policy.max_retries && policy.is_transient(&e) => {
+                        attempts += 1;
+                        rec.note_transfer_retry();
+                        if policy.retry_backoff_us > 0.0 {
+                            dev.charge(COMM_STREAM, policy.retry_backoff_us, 0.0)?;
+                        }
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
             dev.counters.h_bytes_sent += interconnect.charged_bytes(bytes);
             dev.counters.h_vertices += pkg.len() as u64;
             dev.counters.h_messages += 1;
-            dev.counters.h_time_us += occupancy;
-            mailbox.send(gpu, j, Event::at(arrived_at), pkg);
         }
     }
     Ok((local, output_len))

@@ -38,6 +38,7 @@ pub mod enactor;
 pub mod ops;
 pub mod problem;
 pub mod report;
+pub mod resilience;
 
 pub use alloc::{AllocScheme, FrontierBufs};
 pub use comm::{CommStrategy, Package, SplitScratch};
@@ -46,3 +47,4 @@ pub use async_enactor::AsyncRunner;
 pub use enactor::{EnactConfig, Runner};
 pub use problem::{MgpuProblem, Wire};
 pub use report::EnactReport;
+pub use resilience::{CheckpointSink, GlobalCheckpoint, RecoveryLog, RecoveryPolicy, ResilientRunner};

@@ -161,6 +161,29 @@ pub trait MgpuProblem<V: Id, O: Id>: Sync {
     fn max_iterations(&self) -> usize {
         usize::MAX
     }
+
+    /// Does this primitive support superstep checkpointing — i.e. is its
+    /// per-vertex recoverable state fully captured by
+    /// [`Self::checkpoint_word`] / [`Self::restore_word`]? Default: no
+    /// (checkpoints are silently skipped). Monotone label primitives (BFS,
+    /// SSSP, CC) encode one word per vertex; primitives with cross-superstep
+    /// scalar state evolving in [`Self::after_superstep`] (e.g. PR) should
+    /// leave this off unless that state is also reconstructible.
+    fn supports_checkpoint(&self) -> bool {
+        false
+    }
+
+    /// Encode local vertex `v`'s recoverable state as one 64-bit word (the
+    /// framework keys it by *global* id, so a checkpoint restores onto any
+    /// partition layout). Only called when [`Self::supports_checkpoint`].
+    fn checkpoint_word(&self, _state: &Self::State, _v: V) -> u64 {
+        0
+    }
+
+    /// Overwrite local vertex `v`'s state from a checkpoint word (inverse
+    /// of [`Self::checkpoint_word`], applied after a fresh
+    /// [`Self::reset`]). Called for owned vertices *and* proxies.
+    fn restore_word(&self, _state: &mut Self::State, _v: V, _word: u64) {}
 }
 
 #[cfg(test)]

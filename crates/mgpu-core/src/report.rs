@@ -2,6 +2,8 @@
 
 use vgpu::BspCounters;
 
+use crate::resilience::RecoveryLog;
+
 /// Aggregated per-superstep statistics (summed over devices) — the frontier
 /// evolution that drives direction switching and communication volume.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -45,6 +47,9 @@ pub struct EnactReport {
     pub pool_reallocs: u64,
     /// Per-superstep frontier statistics, summed over devices.
     pub history: Vec<SuperstepTrace>,
+    /// Recovery events (retries, checkpoints, failovers) — all zero/empty
+    /// for a fault-free run under the default policy.
+    pub recovery: RecoveryLog,
 }
 
 impl EnactReport {
@@ -70,6 +75,25 @@ impl EnactReport {
         baseline.sim_time_us / self.sim_time_us
     }
 
+    /// Bit-identical *simulation* equality: everything except host
+    /// wall-clock, with simulated times compared by bit pattern. Two runs of
+    /// the same workload under the same fault plan and policy must satisfy
+    /// this regardless of `kernel_threads` or thread scheduling — the
+    /// determinism contract the resilience tests assert.
+    pub fn same_simulation(&self, other: &EnactReport) -> bool {
+        self.primitive == other.primitive
+            && self.n_devices == other.n_devices
+            && self.iterations == other.iterations
+            && self.sim_time_us.to_bits() == other.sim_time_us.to_bits()
+            && self.totals == other.totals
+            && self.per_device == other.per_device
+            && self.peak_memory_per_device == other.peak_memory_per_device
+            && self.total_peak_memory == other.total_peak_memory
+            && self.pool_reallocs == other.pool_reallocs
+            && self.history == other.history
+            && self.recovery == other.recovery
+    }
+
     /// Serialize the report as a JSON object (flat, self-describing) for
     /// external plotting/analysis pipelines. Hand-rolled to keep the
     /// dependency set small; every field is either numeric or a quoted
@@ -85,7 +109,11 @@ impl EnactReport {
                 "\"kernel_launches\":{},\"w_time_us\":{},\"c_time_us\":{},",
                 "\"h_time_us\":{},\"sync_time_us\":{},",
                 "\"peak_memory_per_device\":{},\"total_peak_memory\":{},",
-                "\"pool_reallocs\":{}}}"
+                "\"pool_reallocs\":{},",
+                "\"kernel_retries\":{},\"transfer_retries\":{},",
+                "\"faults_injected\":{},\"checkpoints_taken\":{},",
+                "\"stragglers_detected\":{},\"failovers\":{},",
+                "\"lost_devices\":{},\"lost_time_us\":{}}}"
             ),
             self.primitive,
             self.n_devices,
@@ -106,6 +134,14 @@ impl EnactReport {
             self.peak_memory_per_device,
             self.total_peak_memory,
             self.pool_reallocs,
+            self.recovery.kernel_retries,
+            self.recovery.transfer_retries,
+            self.recovery.faults_injected,
+            self.recovery.checkpoints_taken,
+            self.recovery.stragglers_detected,
+            self.recovery.failovers,
+            self.recovery.lost_devices.len(),
+            self.recovery.lost_time_us,
         )
     }
 }
@@ -127,6 +163,7 @@ mod tests {
             total_peak_memory: 0,
             pool_reallocs: 0,
             history: Vec::new(),
+            recovery: RecoveryLog::default(),
         }
     }
 

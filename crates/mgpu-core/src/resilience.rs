@@ -1,0 +1,514 @@
+//! Superstep-granular resilience: recovery policy, checkpointing, and a
+//! driver that degrades gracefully after permanent device loss.
+//!
+//! The BSP superstep boundary is the natural recovery point: every device's
+//! state is globally consistent there (all pushes combined, clocks aligned),
+//! so it is where this module detects failures, takes checkpoints, and
+//! decides — uniformly on every device, from the shared reduction — whether
+//! to abort.
+//!
+//! Three recovery mechanisms, all off by default (a default-configured run
+//! is bit-identical to a build without this module):
+//!
+//! * **In-place retry** — transient launch faults are relaunched at the
+//!   fault site (see [`vgpu::Device::set_retry_policy`]; the fault fires
+//!   before the kernel body, so the failed launch had no side effects).
+//!   Transient transfer faults are re-sent by the enactor, re-charging the
+//!   link occupancy per attempt. Both charge
+//!   [`RecoveryPolicy::retry_backoff_us`] simulated microseconds per
+//!   attempt.
+//! * **Checkpointing** — every [`RecoveryPolicy::checkpoint_interval`]
+//!   supersteps, each device encodes its *owned* vertices' recoverable state
+//!   as one `u64` word each ([`crate::MgpuProblem::checkpoint_word`]) keyed
+//!   by **global** vertex id, plus its owned slice of the next input
+//!   frontier. A checkpoint completes only when all devices contribute — a
+//!   device that failed during the superstep never offers, so partial
+//!   checkpoints are discarded deterministically. Global-id keying is what
+//!   lets a checkpoint taken on N devices restore onto a re-partitioned
+//!   N−1-device layout.
+//! * **Degradation** — on permanent device loss, [`ResilientRunner`]
+//!   restores the last complete checkpoint, re-homes the lost device's
+//!   vertices onto the survivors, and continues on N−1 GPUs. The failed
+//!   attempt's simulated makespan is banked as
+//!   [`RecoveryLog::lost_time_us`] and folded into the final report.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use mgpu_graph::{Csr, Id};
+use mgpu_partition::DistGraph;
+use parking_lot::Mutex;
+use vgpu::{FaultPlan, HardwareProfile, Interconnect, Result, SimSystem, VgpuError};
+
+use crate::enactor::{EnactConfig, Runner};
+use crate::problem::MgpuProblem;
+use crate::report::EnactReport;
+
+/// Bounded-recovery policy carried on [`EnactConfig`]. The default is
+/// fully off: no retries, no checkpoints, no straggler rendezvous timeout,
+/// no degradation — and, by construction, zero simulated-time overhead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Retry budget for transient faults: in-place kernel relaunches,
+    /// per-package re-sends, and (for [`ResilientRunner`]) whole-attempt
+    /// restarts from the last checkpoint.
+    pub max_retries: u32,
+    /// Simulated backoff charged per retry attempt, in microseconds.
+    pub retry_backoff_us: f64,
+    /// Take a checkpoint every this many supersteps (0 = never).
+    pub checkpoint_interval: usize,
+    /// Rendezvous timeout: if the spread between the fastest and slowest
+    /// device at a superstep barrier exceeds this, the straggler is
+    /// detected (and evicted if [`Self::evict_stragglers`] is set). Every
+    /// device evaluates the identical condition from the shared reduction,
+    /// so the decision is uniform. `INFINITY` = never.
+    pub straggler_timeout_us: f64,
+    /// Evict the slowest device when the rendezvous timeout trips (it exits
+    /// with [`VgpuError::Timeout`] and the run fails over to the
+    /// survivors); otherwise stragglers are only counted.
+    pub evict_stragglers: bool,
+    /// On permanent device loss, re-home the lost device's subgraph onto
+    /// the survivors and continue on N−1 GPUs instead of failing.
+    pub degrade_on_loss: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 0,
+            retry_backoff_us: 0.0,
+            checkpoint_interval: 0,
+            straggler_timeout_us: f64::INFINITY,
+            evict_stragglers: false,
+            degrade_on_loss: false,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// A sensible everything-on preset: 3 retries with 25 µs backoff, a
+    /// checkpoint every 4 supersteps, degradation on loss.
+    pub fn resilient() -> Self {
+        RecoveryPolicy {
+            max_retries: 3,
+            retry_backoff_us: 25.0,
+            checkpoint_interval: 4,
+            degrade_on_loss: true,
+            ..RecoveryPolicy::default()
+        }
+    }
+
+    /// Is `e` a transient fault that a bounded retry may clear (as opposed
+    /// to a permanent loss or a programming error)?
+    pub fn is_transient(&self, e: &VgpuError) -> bool {
+        matches!(
+            e,
+            VgpuError::KernelFailed { .. }
+                | VgpuError::TransferFailed { .. }
+                | VgpuError::Timeout { .. }
+                | VgpuError::OutOfMemory { .. }
+        )
+    }
+}
+
+/// Every recovery event of an enact (or of a whole [`ResilientRunner`]
+/// drive, accumulated across attempts). All counts derive from
+/// deterministic fault sites, so two runs of the same plan produce equal
+/// logs — [`EnactReport::same_simulation`] includes this.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryLog {
+    /// In-place kernel relaunches (summed over devices).
+    pub kernel_retries: u64,
+    /// Package re-sends after transient transfer faults.
+    pub transfer_retries: u64,
+    /// Fault events that fired from the attached plan.
+    pub faults_injected: u64,
+    /// Complete (all-device) checkpoints taken.
+    pub checkpoints_taken: u64,
+    /// Superstep barriers whose fast–slow spread exceeded the rendezvous
+    /// timeout.
+    pub stragglers_detected: u64,
+    /// Total simulated backoff charged across retries, in microseconds.
+    pub backoff_us: f64,
+    /// Devices permanently lost, by *original* device id, in loss order.
+    pub lost_devices: Vec<usize>,
+    /// Failovers performed (re-home + restart on survivors).
+    pub failovers: u64,
+    /// Simulated time spent on attempts that did not complete, in
+    /// microseconds.
+    pub lost_time_us: f64,
+    /// Superstep the final successful attempt resumed from, if it restored
+    /// a checkpoint.
+    pub resumed_at: Option<usize>,
+}
+
+impl RecoveryLog {
+    /// Accumulate another attempt's log into this one.
+    pub fn absorb(&mut self, other: &RecoveryLog) {
+        self.kernel_retries += other.kernel_retries;
+        self.transfer_retries += other.transfer_retries;
+        self.faults_injected += other.faults_injected;
+        self.checkpoints_taken += other.checkpoints_taken;
+        self.stragglers_detected += other.stragglers_detected;
+        self.backoff_us += other.backoff_us;
+        self.lost_devices.extend(&other.lost_devices);
+        self.failovers += other.failovers;
+        self.lost_time_us += other.lost_time_us;
+        if other.resumed_at.is_some() {
+            self.resumed_at = other.resumed_at;
+        }
+    }
+
+    /// Did anything at all happen?
+    pub fn is_quiet(&self) -> bool {
+        *self == RecoveryLog::default()
+    }
+}
+
+/// Shared recovery counters for the device threads of one enact.
+#[derive(Debug, Default)]
+pub(crate) struct RecoveryCounters {
+    pub(crate) transfer_retries: AtomicU64,
+    pub(crate) stragglers: AtomicU64,
+}
+
+impl RecoveryCounters {
+    pub(crate) fn note_transfer_retry(&self) {
+        self.transfer_retries.fetch_add(1, Relaxed);
+    }
+
+    pub(crate) fn note_straggler(&self) {
+        self.stragglers.fetch_add(1, Relaxed);
+    }
+}
+
+/// A complete superstep checkpoint in the *global* vertex space — valid to
+/// restore onto any partition layout of the same graph.
+#[derive(Debug, Clone)]
+pub struct GlobalCheckpoint<V> {
+    /// The superstep boundary this captures: resume by running iteration
+    /// `iter` next.
+    pub iter: usize,
+    /// `(global vertex id, state word)` for every vertex, sorted by id.
+    pub words: Vec<(V, u64)>,
+    /// The input frontier for iteration `iter`, as sorted global ids.
+    pub frontier: Vec<V>,
+}
+
+struct PartialCheckpoint<V> {
+    iter: usize,
+    offers: usize,
+    words: Vec<(V, u64)>,
+    frontier: Vec<V>,
+}
+
+/// Collects per-device checkpoint offers and finalizes a
+/// [`GlobalCheckpoint`] once all devices have contributed for the same
+/// superstep. A failed device never offers, so its superstep's partial is
+/// silently superseded by the next due one.
+pub struct CheckpointSink<V> {
+    interval: usize,
+    n: usize,
+    partial: Mutex<PartialCheckpoint<V>>,
+    complete: Mutex<Option<GlobalCheckpoint<V>>>,
+    taken: AtomicU64,
+}
+
+impl<V: Id> CheckpointSink<V> {
+    /// A sink for `n` devices checkpointing every `interval` supersteps
+    /// (0 = disabled).
+    pub fn new(n: usize, interval: usize) -> Self {
+        CheckpointSink {
+            interval,
+            n,
+            partial: Mutex::new(PartialCheckpoint {
+                iter: 0,
+                offers: 0,
+                words: Vec::new(),
+                frontier: Vec::new(),
+            }),
+            complete: Mutex::new(None),
+            taken: AtomicU64::new(0),
+        }
+    }
+
+    /// Is a checkpoint due at superstep boundary `iter`?
+    pub fn due(&self, iter: usize) -> bool {
+        self.interval > 0 && iter > 0 && iter.is_multiple_of(self.interval)
+    }
+
+    /// One device's contribution for boundary `iter`: its owned vertices'
+    /// `(global id, word)` pairs and its owned slice of the next frontier.
+    pub fn offer(&self, iter: usize, words: Vec<(V, u64)>, frontier: Vec<V>) {
+        let mut p = self.partial.lock();
+        if p.iter != iter {
+            p.iter = iter;
+            p.offers = 0;
+            p.words.clear();
+            p.frontier.clear();
+        }
+        p.words.extend(words);
+        p.frontier.extend(frontier);
+        p.offers += 1;
+        if p.offers == self.n {
+            let mut words = std::mem::take(&mut p.words);
+            let mut frontier = std::mem::take(&mut p.frontier);
+            words.sort_unstable_by_key(|&(g, _)| g);
+            frontier.sort_unstable();
+            frontier.dedup();
+            *self.complete.lock() = Some(GlobalCheckpoint { iter, words, frontier });
+            self.taken.fetch_add(1, Relaxed);
+        }
+    }
+
+    /// Complete checkpoints finalized so far.
+    pub fn taken(&self) -> u64 {
+        self.taken.load(Relaxed)
+    }
+
+    /// Take the most recent complete checkpoint, if any.
+    pub fn take_complete(&self) -> Option<GlobalCheckpoint<V>> {
+        self.complete.lock().take()
+    }
+}
+
+/// Run `f`, converting a panic in problem code into
+/// [`VgpuError::DeviceLost`] so the device thread keeps participating in
+/// rendezvous (one poisoned kernel body fails the enact call, not the
+/// process).
+pub(crate) fn guard<T>(gpu: usize, f: impl FnOnce() -> Result<T>) -> Result<T> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(_) => Err(VgpuError::DeviceLost { device: gpu }),
+    }
+}
+
+/// A self-healing driver around [`Runner`]: binds a problem to a graph,
+/// enacts, and on failure retries from the last checkpoint — rebuilding the
+/// partition on the surviving devices when one is permanently lost.
+///
+/// Device ids in [`RecoveryLog::lost_devices`] and in the fault plan are
+/// *original* ids; after a failover the plan is remapped onto the runtime
+/// ids of the survivors and the dead device's remaining events are dropped.
+pub struct ResilientRunner<'g, V: Id, O: Id, P: MgpuProblem<V, O> + Clone> {
+    graph: &'g Csr<V, O>,
+    problem: P,
+    profiles: Vec<HardwareProfile>,
+    /// Global vertex id → original owning device.
+    owner: Vec<u32>,
+    config: EnactConfig,
+    plan: FaultPlan,
+    build_csc: bool,
+}
+
+impl<'g, V: Id, O: Id, P: MgpuProblem<V, O> + Clone> ResilientRunner<'g, V, O, P> {
+    /// A homogeneous node of `n` devices with round-robin vertex ownership.
+    pub fn homogeneous(
+        graph: &'g Csr<V, O>,
+        problem: P,
+        n: usize,
+        profile: HardwareProfile,
+        config: EnactConfig,
+    ) -> Self {
+        assert!(n > 0, "need at least one device");
+        let owner = (0..graph.n_vertices()).map(|v| (v % n) as u32).collect();
+        ResilientRunner {
+            graph,
+            problem,
+            profiles: vec![profile; n],
+            owner,
+            config,
+            plan: FaultPlan::new(),
+            build_csc: false,
+        }
+    }
+
+    /// Replace the round-robin ownership with an explicit table
+    /// (global vertex id → original device id).
+    pub fn with_owner(mut self, owner: Vec<u32>) -> Self {
+        assert_eq!(owner.len(), self.graph.n_vertices(), "one owner per vertex");
+        self.owner = owner;
+        self
+    }
+
+    /// Attach a deterministic fault plan (device ids are original ids).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Build reverse adjacencies on every attempt's partition (needed by
+    /// pull-mode primitives).
+    pub fn with_csc(mut self) -> Self {
+        self.build_csc = true;
+        self
+    }
+
+    /// Enact from `src`, recovering per the config's [`RecoveryPolicy`].
+    pub fn enact(&self, src: Option<V>) -> Result<EnactReport> {
+        self.enact_with(src, |_, _| ()).map(|(report, ())| report)
+    }
+
+    /// Enact, then run `extract` on the final (possibly degraded) runner and
+    /// partition before they are dropped — the hook for reading results out
+    /// of per-GPU state in the global vertex space.
+    pub fn enact_with<R>(
+        &self,
+        src: Option<V>,
+        extract: impl Fn(&Runner<'_, V, O, P>, &DistGraph<V, O>) -> R,
+    ) -> Result<(EnactReport, R)> {
+        let policy = self.config.recovery;
+        let n_original = self.profiles.len();
+        // Original ids of the devices still alive, indexed by runtime id.
+        let mut alive: Vec<usize> = (0..n_original).collect();
+        let mut resume: Option<GlobalCheckpoint<V>> = None;
+        let mut log = RecoveryLog::default();
+        let mut retries_left = policy.max_retries;
+        loop {
+            let n = alive.len();
+            let mut orig_to_runtime: Vec<Option<usize>> = vec![None; n_original];
+            for (r, &o) in alive.iter().enumerate() {
+                orig_to_runtime[o] = Some(r);
+            }
+            // Re-home: surviving owners keep their vertices (renumbered to
+            // runtime ids); a dead device's vertices are dealt round-robin
+            // over the survivors.
+            let runtime_owner: Vec<u32> = self
+                .owner
+                .iter()
+                .enumerate()
+                .map(|(v, &o)| match orig_to_runtime[o as usize] {
+                    Some(r) => r as u32,
+                    None => (v % n) as u32,
+                })
+                .collect();
+            let mut dist =
+                DistGraph::build(self.graph, runtime_owner, n, self.problem.duplication());
+            if self.build_csc {
+                dist.build_cscs();
+            }
+            let profiles: Vec<HardwareProfile> =
+                alive.iter().map(|&o| self.profiles[o].clone()).collect();
+            let mut system = SimSystem::new(profiles, Interconnect::pcie3(n, 4))
+                .expect("matching sizes by construction");
+            if !self.plan.is_empty() {
+                system.attach_fault_plan(&self.plan.remap(&alive));
+            }
+            let sink = CheckpointSink::new(n, policy.checkpoint_interval);
+
+            let mut runner = Runner::new(system, &dist, self.problem.clone(), self.config)?;
+            let (outcome, attempt_log) = runner.enact_resilient(src, resume.as_ref(), &sink);
+            log.absorb(&attempt_log);
+            match outcome {
+                Ok(mut report) => {
+                    let value = extract(&runner, &dist);
+                    report.sim_time_us += log.lost_time_us;
+                    report.recovery = log;
+                    return Ok((report, value));
+                }
+                Err(e) => {
+                    log.lost_time_us += runner.system().makespan_us();
+                    if let Some(ck) = sink.take_complete() {
+                        resume = Some(ck);
+                    }
+                    match e {
+                        VgpuError::DeviceLost { device }
+                            if policy.degrade_on_loss && alive.len() > 1 =>
+                        {
+                            let original = alive.remove(device);
+                            log.lost_devices.push(original);
+                            log.failovers += 1;
+                        }
+                        VgpuError::Timeout { device }
+                            if policy.evict_stragglers
+                                && policy.degrade_on_loss
+                                && alive.len() > 1 =>
+                        {
+                            let original = alive.remove(device);
+                            log.lost_devices.push(original);
+                            log.failovers += 1;
+                        }
+                        ref transient if policy.is_transient(transient) && retries_left > 0 => {
+                            retries_left -= 1;
+                        }
+                        _ => return Err(e),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_fully_off() {
+        let p = RecoveryPolicy::default();
+        assert_eq!(p.max_retries, 0);
+        assert_eq!(p.checkpoint_interval, 0);
+        assert!(p.straggler_timeout_us.is_infinite());
+        assert!(!p.evict_stragglers && !p.degrade_on_loss);
+    }
+
+    #[test]
+    fn transient_classification() {
+        let p = RecoveryPolicy::resilient();
+        assert!(p.is_transient(&VgpuError::KernelFailed { device: 0 }));
+        assert!(p.is_transient(&VgpuError::TransferFailed { from: 0, to: 1 }));
+        assert!(p.is_transient(&VgpuError::Timeout { device: 2 }));
+        assert!(!p.is_transient(&VgpuError::DeviceLost { device: 0 }));
+        assert!(!p.is_transient(&VgpuError::Aborted));
+    }
+
+    #[test]
+    fn sink_finalizes_only_when_all_devices_offer() {
+        let sink: CheckpointSink<u32> = CheckpointSink::new(2, 2);
+        assert!(!sink.due(1) && sink.due(2) && !sink.due(3) && sink.due(4));
+        sink.offer(2, vec![(1, 10)], vec![1]);
+        assert!(sink.take_complete().is_none(), "one of two devices offered");
+        // the second device failed and never offers for iter 2; its stale
+        // partial is discarded when iter 4 begins
+        sink.offer(4, vec![(0, 7), (2, 9)], vec![2]);
+        sink.offer(4, vec![(1, 8), (3, 6)], vec![1, 2]);
+        let ck = sink.take_complete().expect("all devices offered for iter 4");
+        assert_eq!(ck.iter, 4);
+        assert_eq!(ck.words, vec![(0, 7), (1, 8), (2, 9), (3, 6)], "sorted by global id");
+        assert_eq!(ck.frontier, vec![1, 2], "sorted and deduplicated");
+        assert_eq!(sink.taken(), 1);
+    }
+
+    #[test]
+    fn disabled_sink_is_never_due() {
+        let sink: CheckpointSink<u32> = CheckpointSink::new(4, 0);
+        for i in 0..20 {
+            assert!(!sink.due(i));
+        }
+    }
+
+    #[test]
+    fn log_absorb_accumulates() {
+        let mut a = RecoveryLog { kernel_retries: 2, backoff_us: 50.0, ..Default::default() };
+        let b = RecoveryLog {
+            kernel_retries: 3,
+            lost_devices: vec![1],
+            failovers: 1,
+            resumed_at: Some(4),
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.kernel_retries, 5);
+        assert_eq!(a.lost_devices, vec![1]);
+        assert_eq!(a.resumed_at, Some(4));
+        assert!(!a.is_quiet());
+        assert!(RecoveryLog::default().is_quiet());
+    }
+
+    #[test]
+    fn guard_converts_panics() {
+        let ok: Result<u32> = guard(0, || Ok(7));
+        assert_eq!(ok.unwrap(), 7);
+        let err = guard(3, || -> Result<()> { panic!("poisoned") }).unwrap_err();
+        assert_eq!(err, VgpuError::DeviceLost { device: 3 });
+    }
+}

@@ -95,7 +95,16 @@ pub fn read_mtx<V: Id, R: BufRead>(reader: R) -> Result<Coo<V>, MtxError> {
                 parts[1].parse().map_err(|e| parse_err(i + 1, format!("bad cols: {e}")))?;
             let nnz: usize =
                 parts[2].parse().map_err(|e| parse_err(i + 1, format!("bad nnz: {e}")))?;
-            size = Some((rows.max(cols), rows.max(cols), nnz));
+            let n = rows.max(cols);
+            // Vertex ids run 0..n; the largest, n-1, must fit the id type
+            // or `V::from_usize` would truncate (u32) downstream.
+            if n > 0 && n - 1 > V::MAX_AS_USIZE {
+                return Err(parse_err(
+                    i + 1,
+                    format!("{n} vertices exceed the {}-byte vertex id type", V::BYTES),
+                ));
+            }
+            size = Some((n, n, nnz));
         } else {
             rest.push((i + 1, trimmed.to_string()));
         }
@@ -132,6 +141,16 @@ pub fn read_mtx<V: Id, R: BufRead>(reader: R) -> Result<Coo<V>, MtxError> {
                 parts[2].parse().map_err(|e| parse_err(lineno, format!("bad value: {e}")))?;
             Some(raw.unsigned_abs().min(u32::MAX as u64) as u32)
         } else {
+            if value_kind == "real" {
+                // The value is discarded (topology-only), but a file whose
+                // entries aren't numbers — or are NaN/inf — is corrupt, not
+                // a graph.
+                let v: f64 =
+                    parts[2].parse().map_err(|e| parse_err(lineno, format!("bad value: {e}")))?;
+                if !v.is_finite() {
+                    return Err(parse_err(lineno, format!("non-finite value '{}'", parts[2])));
+                }
+            }
             None
         };
         let (src, dst) = (V::from_usize(r - 1), V::from_usize(c - 1));
@@ -260,5 +279,118 @@ mod tests {
         write_mtx(&coo, &mut buf).unwrap();
         let back = read_mtx::<u32, _>(BufReader::new(buf.as_slice())).unwrap();
         assert_eq!(back.edges, coo.edges);
+    }
+
+    #[test]
+    fn truncated_headers_are_rejected_not_panicked() {
+        for s in [
+            "",
+            "%%MatrixMarket",
+            "%%MatrixMarket matrix",
+            "%%MatrixMarket matrix coordinate",
+            "%%MatrixMarket matrix coordinate pattern",
+            "%%MatrixMarket matrix coordinate pattern general",
+        ] {
+            assert!(parse(s).is_err(), "{s:?} should be an error");
+        }
+    }
+
+    #[test]
+    fn vertex_count_exceeding_id_width_is_rejected() {
+        // 2^33 vertices cannot be indexed by u32 ids.
+        let err = parse("%%MatrixMarket matrix coordinate pattern general\n8589934592 1 0\n")
+            .unwrap_err();
+        assert!(err.to_string().contains("vertex id type"), "{err}");
+        // …but fits u64 ids.
+        assert!(read_mtx::<u64, _>(BufReader::new(
+            "%%MatrixMarket matrix coordinate pattern general\n8589934592 1 0\n".as_bytes()
+        ))
+        .is_ok());
+    }
+
+    #[test]
+    fn non_finite_real_values_are_rejected() {
+        for v in ["nan", "NaN", "inf", "-inf", "infinity"] {
+            let s = format!("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 {v}\n");
+            let err = parse(&s).unwrap_err();
+            assert!(err.to_string().contains("non-finite"), "{v}: {err}");
+        }
+        assert!(parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 x7\n").is_err());
+    }
+
+    /// Property: `read_mtx` never panics, whatever the input — it returns
+    /// `Ok` or a typed [`MtxError`]. Sweeps structured corruptions of a
+    /// valid file (token splices, truncations) and raw byte soup, both
+    /// driven by a deterministic splitmix64 stream.
+    #[test]
+    fn read_mtx_never_panics_on_corrupt_input() {
+        fn splitmix(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        let template = "%%MatrixMarket matrix coordinate integer symmetric\n\
+                        % comment\n\
+                        4 4 3\n\
+                        1 2 5\n\
+                        3 1 -2\n\
+                        4 4 9\n";
+        let tokens = [
+            "0",
+            "-1",
+            "999999999999999999999999",
+            "4294967296",
+            "nan",
+            "inf",
+            "1e308",
+            "%",
+            "%%MatrixMarket",
+            "pattern",
+            "symmetric",
+            "\u{0}",
+            "☃",
+            " ",
+            "\t",
+            "18446744073709551615",
+        ];
+        let mut rng = 0x5eed_u64;
+        for case in 0..500 {
+            let mut s = template.to_string();
+            match splitmix(&mut rng) % 3 {
+                // truncate at a random byte (clamped to a char boundary)
+                0 => {
+                    let mut cut = (splitmix(&mut rng) as usize) % (s.len() + 1);
+                    while !s.is_char_boundary(cut) {
+                        cut -= 1;
+                    }
+                    s.truncate(cut);
+                }
+                // splice a hostile token at a random whitespace gap
+                1 => {
+                    let gaps: Vec<usize> = s
+                        .char_indices()
+                        .filter(|&(_, c)| c == ' ' || c == '\n')
+                        .map(|(i, _)| i)
+                        .collect();
+                    let at = gaps[(splitmix(&mut rng) as usize) % gaps.len()];
+                    let tok = tokens[(splitmix(&mut rng) as usize) % tokens.len()];
+                    s.insert_str(at, tok);
+                }
+                // raw byte soup (lossy-decoded so it is still &str input)
+                _ => {
+                    let len = (splitmix(&mut rng) as usize) % 200;
+                    let bytes: Vec<u8> =
+                        (0..len).map(|_| (splitmix(&mut rng) & 0xff) as u8).collect();
+                    s = String::from_utf8_lossy(&bytes).into_owned();
+                }
+            }
+            let outcome = std::panic::catch_unwind(|| {
+                let _ = parse(&s);
+                let _ = read_mtx::<u64, _>(BufReader::new(s.as_bytes()));
+            });
+            assert!(outcome.is_ok(), "case {case} panicked on input {s:?}");
+        }
     }
 }

@@ -135,6 +135,19 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Bfs {
             false
         }
     }
+
+    // The depth label is BFS's entire recoverable per-vertex state.
+    fn supports_checkpoint(&self) -> bool {
+        true
+    }
+
+    fn checkpoint_word(&self, state: &Self::State, v: V) -> u64 {
+        state.labels[v.idx()] as u64
+    }
+
+    fn restore_word(&self, state: &mut Self::State, v: V, word: u64) {
+        state.labels[v.idx()] = word as u32;
+    }
 }
 
 /// Gather per-vertex results from the owning GPUs back into global order —

@@ -172,6 +172,20 @@ impl<V: Id + Wire, O: Id> MgpuProblem<V, O> for Cc {
             false
         }
     }
+
+    // Component pointers are vertex ids, which under duplicate-all are
+    // global ids already — they survive re-partitioning unchanged.
+    fn supports_checkpoint(&self) -> bool {
+        true
+    }
+
+    fn checkpoint_word(&self, state: &Self::State, v: V) -> u64 {
+        state.comp[v.idx()].idx() as u64
+    }
+
+    fn restore_word(&self, state: &mut Self::State, v: V, word: u64) {
+        state.comp[v.idx()] = V::from_usize(word as usize);
+    }
 }
 
 /// Gather component labels (smallest member id per component) into global

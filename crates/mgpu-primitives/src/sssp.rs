@@ -156,6 +156,20 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Sssp {
             false
         }
     }
+
+    // Tentative distances are the recoverable state; the visit stamps are
+    // per-iteration scratch a fresh reset reinitializes correctly.
+    fn supports_checkpoint(&self) -> bool {
+        true
+    }
+
+    fn checkpoint_word(&self, state: &Self::State, v: V) -> u64 {
+        state.dists[v.idx()] as u64
+    }
+
+    fn restore_word(&self, state: &mut Self::State, v: V, word: u64) {
+        state.dists[v.idx()] = word as u32;
+    }
 }
 
 /// Gather final distances from a finished runner into global vertex order.

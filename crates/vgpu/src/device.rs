@@ -1,7 +1,10 @@
 //! A virtual GPU: streams, memory pool, clock and metered kernel launches.
 
+use std::sync::Arc;
+
 use crate::counters::BspCounters;
 use crate::error::{Result, VgpuError};
+use crate::fault::{FaultInjector, KernelFault};
 use crate::memory::{DeviceArray, MemoryPool};
 use crate::profile::HardwareProfile;
 use crate::stream::{Event, Stream, StreamId};
@@ -73,6 +76,18 @@ pub struct Device {
     /// Affects wall-clock execution speed only — never the metered cost,
     /// which is a pure function of the charged item counts.
     kernel_threads: usize,
+    /// Deterministic fault injector shared across the system; `None` (the
+    /// default) leaves the launch path exactly as fast and exactly as
+    /// metered as a fault-free build.
+    fault: Option<Arc<FaultInjector>>,
+    /// Transient launch faults are retried in place up to this many times
+    /// (the fault fired *before* the body, so the failed launch had no side
+    /// effects and an immediate relaunch is always safe).
+    retry_max: u32,
+    /// Simulated backoff charged per relaunch attempt.
+    retry_backoff_us: f64,
+    /// Relaunch attempts performed during the current traversal.
+    kernel_retries: u64,
     /// BSP cost counters for the current traversal.
     pub counters: BspCounters,
     /// Opt-in execution profiler (see [`crate::Timeline`]).
@@ -91,6 +106,10 @@ impl Device {
             streams: vec![Stream::new(0.0), Stream::new(0.0)],
             width_factor: 1.0,
             kernel_threads: crate::par::default_kernel_threads(),
+            fault: None,
+            retry_max: 0,
+            retry_backoff_us: 0.0,
+            kernel_retries: 0,
             counters: BspCounters::default(),
             timeline: crate::timeline::Timeline::default(),
         }
@@ -120,6 +139,31 @@ impl Device {
     /// Host threads available to kernel bodies.
     pub fn kernel_threads(&self) -> usize {
         self.kernel_threads
+    }
+
+    /// Attach (or detach) a fault injector. Injected faults fire at
+    /// deterministic kernel-launch indices — see [`crate::fault`].
+    pub fn set_fault_injector(&mut self, injector: Option<Arc<FaultInjector>>) {
+        self.fault = injector;
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.fault.as_ref()
+    }
+
+    /// Bound in-place relaunches of transiently failing kernels: up to
+    /// `max_retries` attempts, each charging `backoff_us` simulated
+    /// microseconds (plus the failed launch's own overhead) before the
+    /// relaunch. `(0, 0.0)` — the default — disables retries.
+    pub fn set_retry_policy(&mut self, max_retries: u32, backoff_us: f64) {
+        self.retry_max = max_retries;
+        self.retry_backoff_us = backoff_us;
+    }
+
+    /// Relaunch attempts performed since the last [`Self::reset_clock`].
+    pub fn kernel_retries(&self) -> u64 {
+        self.kernel_retries
     }
 
     /// Device id within its system.
@@ -189,6 +233,51 @@ impl Device {
         kind: KernelKind,
         f: impl FnOnce() -> (R, u64),
     ) -> Result<R> {
+        // Injected faults fire *before* the body runs, so a failed launch
+        // has no side effects on device state and can be retried safely.
+        let mut straggle_us = 0.0;
+        if let Some(inj) = &self.fault {
+            if inj.is_lost(self.id) {
+                return Err(VgpuError::DeviceLost { device: self.id });
+            }
+        }
+        let mut attempts = 0u32;
+        loop {
+            let injected = self.fault.as_ref().and_then(|inj| inj.on_kernel(self.id));
+            match injected {
+                None => {}
+                Some(KernelFault::Straggle { delay_us }) => straggle_us = delay_us,
+                Some(KernelFault::Fail) => {
+                    // a failed launch still pays its launch overhead
+                    self.charge(s, self.profile.kernel_launch_us, 0.0)?;
+                    if attempts < self.retry_max {
+                        attempts += 1;
+                        self.kernel_retries += 1;
+                        self.charge(s, self.retry_backoff_us, 0.0)?;
+                        continue;
+                    }
+                    return Err(VgpuError::KernelFailed { device: self.id });
+                }
+                Some(KernelFault::TransientOom) => {
+                    if attempts < self.retry_max {
+                        attempts += 1;
+                        self.kernel_retries += 1;
+                        self.charge(s, self.retry_backoff_us, 0.0)?;
+                        continue;
+                    }
+                    return Err(VgpuError::OutOfMemory {
+                        device: self.id,
+                        requested: self.profile.mem_capacity,
+                        live: self.pool.live(),
+                        capacity: self.profile.mem_capacity,
+                    });
+                }
+                Some(KernelFault::DeviceLoss) => {
+                    return Err(VgpuError::DeviceLost { device: self.id });
+                }
+            }
+            break;
+        }
         let (result, items) = f();
         let per_us = match kind {
             KernelKind::Advance | KernelKind::FusedAdvanceFilter => {
@@ -198,7 +287,8 @@ impl Device {
             KernelKind::Combine | KernelKind::Split => self.profile.atomic_items_per_us,
             KernelKind::Bulk => self.profile.bulk_items_per_us,
         };
-        let cost = self.profile.kernel_launch_us + items as f64 * self.width_factor / per_us;
+        let cost =
+            self.profile.kernel_launch_us + items as f64 * self.width_factor / per_us + straggle_us;
         let end = self.stream_mut(s)?.enqueue(cost, 0.0);
         self.timeline.record(crate::timeline::TraceEvent {
             device: self.id,
@@ -303,6 +393,7 @@ impl Device {
             *s = Stream::new(0.0);
         }
         self.counters.reset();
+        self.kernel_retries = 0;
     }
 }
 
@@ -412,6 +503,75 @@ mod tests {
         assert_eq!(a.counters, b.counters);
         b.set_kernel_threads(0);
         assert_eq!(b.kernel_threads(), 1, "clamped to one");
+    }
+
+    #[test]
+    fn injected_kernel_faults_fire_before_the_body() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let mut d = dev();
+        let plan = FaultPlan::new().kernel_fail(0, 0).straggle(0, 1, 25.0).device_loss(0, 2);
+        d.set_fault_injector(Some(Arc::new(FaultInjector::new(&plan, 1))));
+        let mut ran = false;
+        // launch 0: fails, body never runs, launch overhead still charged
+        let err = d
+            .kernel(COMPUTE_STREAM, KernelKind::Filter, || {
+                ran = true;
+                ((), 0)
+            })
+            .unwrap_err();
+        assert!(matches!(err, VgpuError::KernelFailed { device: 0 }));
+        assert!(!ran, "faults fire before the kernel body");
+        assert!((d.now() - d.profile().kernel_launch_us).abs() < 1e-9);
+        // launch 1: straggles — extra time is charged in simulated time
+        let before = d.now();
+        d.kernel(COMPUTE_STREAM, KernelKind::Filter, || ((), 0)).unwrap();
+        assert!((d.now() - before - d.profile().kernel_launch_us - 25.0).abs() < 1e-9);
+        // launch 2: permanent loss, sticky for every later launch
+        let err = d.kernel(COMPUTE_STREAM, KernelKind::Filter, || ((), 0)).unwrap_err();
+        assert!(matches!(err, VgpuError::DeviceLost { device: 0 }));
+        let err = d.kernel(COMPUTE_STREAM, KernelKind::Filter, || ((), 0)).unwrap_err();
+        assert!(matches!(err, VgpuError::DeviceLost { device: 0 }));
+    }
+
+    #[test]
+    fn retry_policy_relaunches_transient_faults_in_place() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let mut d = dev();
+        // launches 0 and 1 fail, 2 hits a transient OOM spike; with retries,
+        // all are absorbed at the launch site.
+        let plan = FaultPlan::new().kernel_fail(0, 0).kernel_fail(0, 1).transient_oom(0, 2);
+        d.set_fault_injector(Some(Arc::new(FaultInjector::new(&plan, 1))));
+        d.set_retry_policy(3, 10.0);
+        let mut ran = 0u32;
+        d.kernel(COMPUTE_STREAM, KernelKind::Filter, || {
+            ran += 1;
+            ((), 0)
+        })
+        .unwrap();
+        assert_eq!(ran, 1, "body runs once, after the faults are retried away");
+        assert_eq!(d.kernel_retries(), 3);
+        // 2 failed launches (overhead each) + 3 backoffs + the real launch
+        let expect = 2.0 * d.profile().kernel_launch_us + 3.0 * 10.0 + d.profile().kernel_launch_us;
+        assert!((d.now() - expect).abs() < 1e-9);
+        // exhausted retries surface the error
+        let mut e = dev();
+        let plan = FaultPlan::new().kernel_fail(0, 0).kernel_fail(0, 1);
+        e.set_fault_injector(Some(Arc::new(FaultInjector::new(&plan, 1))));
+        e.set_retry_policy(1, 0.0);
+        let err = e.kernel(COMPUTE_STREAM, KernelKind::Filter, || ((), 0)).unwrap_err();
+        assert!(matches!(err, VgpuError::KernelFailed { device: 0 }));
+    }
+
+    #[test]
+    fn no_injector_means_no_metering_change() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let mut plain = dev();
+        let mut empty = dev();
+        empty.set_fault_injector(Some(Arc::new(FaultInjector::new(&FaultPlan::new(), 1))));
+        plain.kernel(COMPUTE_STREAM, KernelKind::Advance, || ((), 1234)).unwrap();
+        empty.kernel(COMPUTE_STREAM, KernelKind::Advance, || ((), 1234)).unwrap();
+        assert_eq!(plain.now().to_bits(), empty.now().to_bits());
+        assert_eq!(plain.counters, empty.counters);
     }
 
     #[test]

@@ -34,9 +34,41 @@ pub enum VgpuError {
         /// Number of devices in the system.
         have: usize,
     },
+    /// The device is gone — an injected permanent loss, or a device thread
+    /// whose kernel body panicked (the thread is unrecoverable either way).
+    DeviceLost {
+        /// The lost device.
+        device: usize,
+    },
+    /// A kernel launch failed (transient unless the device is lost).
+    KernelFailed {
+        /// Device on which the launch failed.
+        device: usize,
+    },
+    /// A peer-to-peer transfer failed on the wire.
+    TransferFailed {
+        /// Sending device.
+        from: usize,
+        /// Receiving device.
+        to: usize,
+    },
+    /// An operation exceeded its simulated-time bound (a transfer timeout,
+    /// or a straggling device evicted at a rendezvous).
+    Timeout {
+        /// Device that timed out.
+        device: usize,
+    },
     /// The run was aborted because a *peer* device thread failed; the peer's
     /// own error carries the root cause.
     Aborted,
+}
+
+impl VgpuError {
+    /// Is this a permanent device loss (as opposed to a transient fault a
+    /// bounded retry may clear)?
+    pub fn is_device_loss(&self) -> bool {
+        matches!(self, VgpuError::DeviceLost { .. })
+    }
 }
 
 impl fmt::Display for VgpuError {
@@ -52,6 +84,14 @@ impl fmt::Display for VgpuError {
             VgpuError::BadDevice { device, have } => {
                 write!(f, "device {device} does not exist (system has {have} devices)")
             }
+            VgpuError::DeviceLost { device } => write!(f, "device {device} was lost"),
+            VgpuError::KernelFailed { device } => {
+                write!(f, "kernel launch failed on device {device}")
+            }
+            VgpuError::TransferFailed { from, to } => {
+                write!(f, "transfer from device {from} to device {to} failed")
+            }
+            VgpuError::Timeout { device } => write!(f, "device {device} timed out"),
             VgpuError::Aborted => write!(f, "run aborted because a peer device thread failed"),
         }
     }

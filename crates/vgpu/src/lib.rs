@@ -30,6 +30,7 @@
 pub mod counters;
 pub mod device;
 pub mod error;
+pub mod fault;
 pub mod interconnect;
 pub mod memory;
 pub mod par;
@@ -42,10 +43,11 @@ pub mod timeline;
 pub use counters::BspCounters;
 pub use device::{Device, KernelKind, COMM_STREAM, COMPUTE_STREAM};
 pub use error::{Result, VgpuError};
+pub use fault::{FaultEvent, FaultInjector, FaultPlan, KernelFault, TransferFault};
 pub use interconnect::{Interconnect, LinkClass};
 pub use memory::{DeviceArray, MemoryPool};
 pub use profile::HardwareProfile;
 pub use stream::{Event, Stream, StreamId};
-pub use sync::{Mailbox, SyncPoint};
+pub use sync::{harvest_device_thread, Contribution, GlobalReduce, Mailbox, SyncPoint};
 pub use timeline::{Timeline, TraceEvent};
 pub use system::SimSystem;

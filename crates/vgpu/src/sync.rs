@@ -17,10 +17,12 @@
 //! never merge into a slot a slow thread is still reading.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier};
 
 use parking_lot::Mutex;
 
+use crate::error::{Result, VgpuError};
+use crate::fault::{FaultInjector, TransferFault};
 use crate::stream::Event;
 
 /// The values reduced across devices at a superstep boundary.
@@ -28,6 +30,15 @@ use crate::stream::Event;
 pub struct GlobalReduce {
     /// Maximum simulated clock over all devices (the BSP global time).
     pub max_time_us: f64,
+    /// Minimum simulated clock over all devices. The spread
+    /// `max_time_us - min_time_us` is how far the slowest device lags the
+    /// fastest at the rendezvous — the straggler-detection signal.
+    pub min_time_us: f64,
+    /// Number of devices that arrived at the boundary in a failed state.
+    /// Nonzero means every participant should abandon the traversal at this
+    /// boundary — a barrier-synchronized abort signal, so all devices make
+    /// the identical exit decision at the identical superstep.
+    pub abort_count: usize,
     /// Number of devices that declared themselves locally converged.
     pub done_count: usize,
     /// Sum of per-device floating-point contributions (primitive-specific:
@@ -43,6 +54,8 @@ impl GlobalReduce {
     fn identity() -> Self {
         GlobalReduce {
             max_time_us: 0.0,
+            min_time_us: f64::INFINITY,
+            abort_count: 0,
             done_count: 0,
             f64_sum: 0.0,
             f64_max: f64::NEG_INFINITY,
@@ -52,8 +65,12 @@ impl GlobalReduce {
 
     fn merge(&mut self, time_us: f64, done: bool, c: &Contribution) {
         self.max_time_us = self.max_time_us.max(time_us);
+        self.min_time_us = self.min_time_us.min(time_us);
         if done {
             self.done_count += 1;
+        }
+        if c.aborting {
+            self.abort_count += 1;
         }
         self.f64_sum += c.f64_add;
         self.f64_max = self.f64_max.max(c.f64_max);
@@ -70,11 +87,14 @@ pub struct Contribution {
     pub f64_max: f64,
     /// Added into [`GlobalReduce::u64_sum`].
     pub u64_add: u64,
+    /// This device arrived at the boundary in a failed state (counted into
+    /// [`GlobalReduce::abort_count`]).
+    pub aborting: bool,
 }
 
 impl Default for Contribution {
     fn default() -> Self {
-        Contribution { f64_add: 0.0, f64_max: f64::NEG_INFINITY, u64_add: 0 }
+        Contribution { f64_add: 0.0, f64_max: f64::NEG_INFINITY, u64_add: 0, aborting: false }
     }
 }
 
@@ -147,12 +167,20 @@ pub struct Delivery<T> {
 /// Per-device inboxes for peer-to-peer pushes.
 pub struct Mailbox<T> {
     inboxes: Vec<Mutex<Vec<Delivery<T>>>>,
+    fault: Option<Arc<FaultInjector>>,
 }
 
 impl<T> Mailbox<T> {
     /// Inboxes for `n` devices.
     pub fn new(n: usize) -> Self {
-        Mailbox { inboxes: (0..n).map(|_| Mutex::new(Vec::new())).collect() }
+        Self::with_faults(n, None)
+    }
+
+    /// Inboxes for `n` devices with an optional fault injector on the wire
+    /// (transfer failures and timeouts fire at deterministic per-link send
+    /// indices — see [`crate::fault`]).
+    pub fn with_faults(n: usize, fault: Option<Arc<FaultInjector>>) -> Self {
+        Mailbox { inboxes: (0..n).map(|_| Mutex::new(Vec::new())).collect(), fault }
     }
 
     /// Number of inboxes.
@@ -160,9 +188,24 @@ impl<T> Mailbox<T> {
         self.inboxes.len()
     }
 
-    /// Push `payload` from `src` to `dst`, arriving at `arrival`.
-    pub fn send(&self, src: usize, dst: usize, arrival: Event, payload: T) {
+    /// Push `payload` from `src` to `dst`, arriving at `arrival`. Fails if
+    /// the sender has been lost or the injector planned a fault at this
+    /// send's link index; a failed send posts nothing.
+    pub fn send(&self, src: usize, dst: usize, arrival: Event, payload: T) -> Result<()> {
+        if let Some(inj) = &self.fault {
+            if inj.is_lost(src) {
+                return Err(VgpuError::DeviceLost { device: src });
+            }
+            match inj.on_transfer(src, dst) {
+                None => {}
+                Some(TransferFault::Fail) => {
+                    return Err(VgpuError::TransferFailed { from: src, to: dst })
+                }
+                Some(TransferFault::Timeout) => return Err(VgpuError::Timeout { device: src }),
+            }
+        }
         self.inboxes[dst].lock().push(Delivery { src, arrival, payload });
+        Ok(())
     }
 
     /// Drain everything delivered to `dst`. Deliveries are sorted by sender
@@ -180,6 +223,20 @@ impl<T> Mailbox<T> {
     }
 }
 
+/// Convert a device thread's join outcome into a substrate result: a panic
+/// that escaped the thread body becomes [`VgpuError::DeviceLost`] for that
+/// device instead of poisoning the whole process. One bad kernel body then
+/// fails the enact call, not the program.
+pub fn harvest_device_thread<T>(
+    joined: std::thread::Result<Result<T>>,
+    device: usize,
+) -> Result<T> {
+    match joined {
+        Ok(r) => r,
+        Err(_) => Err(VgpuError::DeviceLost { device }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,28 +245,61 @@ mod tests {
     #[test]
     fn superstep_reduces_max_time_and_done() {
         let sp = Arc::new(SyncPoint::new(3));
-        let results: Vec<GlobalReduce> = std::thread::scope(|s| {
+        // Device threads are joined through `harvest_device_thread`, the
+        // same panic-capturing path the enactors use.
+        let results: Vec<Result<GlobalReduce>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..3)
                 .map(|i| {
                     let sp = Arc::clone(&sp);
-                    s.spawn(move || {
-                        sp.superstep(
+                    s.spawn(move || -> Result<GlobalReduce> {
+                        Ok(sp.superstep(
                             10.0 * (i + 1) as f64,
                             i == 0,
-                            Contribution { f64_add: 1.5, f64_max: i as f64, u64_add: i as u64 },
-                        )
+                            Contribution {
+                                f64_add: 1.5,
+                                f64_max: i as f64,
+                                u64_add: i as u64,
+                                ..Default::default()
+                            },
+                        ))
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(i, h)| harvest_device_thread(h.join(), i))
+                .collect()
         });
-        for r in &results {
+        for r in results {
+            let r = r.unwrap();
             assert_eq!(r.max_time_us, 30.0);
+            assert_eq!(r.min_time_us, 10.0);
             assert_eq!(r.done_count, 1);
+            assert_eq!(r.abort_count, 0);
             assert!((r.f64_sum - 4.5).abs() < 1e-12);
             assert_eq!(r.f64_max, 2.0);
             assert_eq!(r.u64_sum, 3);
         }
+    }
+
+    #[test]
+    fn harvest_converts_panics_to_device_loss() {
+        let joined = std::thread::scope(|s| {
+            s.spawn(|| -> Result<()> {
+                panic!("poisoned kernel body");
+            })
+            .join()
+        });
+        let err = harvest_device_thread(joined, 3).unwrap_err();
+        assert_eq!(err, VgpuError::DeviceLost { device: 3 });
+    }
+
+    #[test]
+    fn aborting_contributions_are_counted() {
+        let sp = SyncPoint::new(1);
+        let r = sp.superstep(1.0, false, Contribution { aborting: true, ..Default::default() });
+        assert_eq!(r.abort_count, 1);
     }
 
     #[test]
@@ -245,8 +335,8 @@ mod tests {
     #[test]
     fn mailbox_delivers_sorted_by_sender() {
         let mb: Mailbox<Vec<u32>> = Mailbox::new(2);
-        mb.send(1, 0, Event::at(5.0), vec![9]);
-        mb.send(0, 0, Event::at(3.0), vec![7]);
+        mb.send(1, 0, Event::at(5.0), vec![9]).unwrap();
+        mb.send(0, 0, Event::at(3.0), vec![7]).unwrap();
         let got = mb.drain(0);
         assert_eq!(got.len(), 2);
         assert_eq!(got[0].src, 0);
@@ -263,7 +353,7 @@ mod tests {
                 let mb = Arc::clone(&mb);
                 s.spawn(move || {
                     for k in 0..100u64 {
-                        mb.send(src, (src + 1) % 4, Event::ready(), k);
+                        mb.send(src, (src + 1) % 4, Event::ready(), k).unwrap();
                     }
                 });
             }

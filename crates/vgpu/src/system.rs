@@ -5,6 +5,7 @@ use std::sync::Arc;
 use crate::counters::BspCounters;
 use crate::device::Device;
 use crate::error::{Result, VgpuError};
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::interconnect::Interconnect;
 use crate::profile::HardwareProfile;
 
@@ -19,6 +20,8 @@ pub struct SimSystem {
     pub devices: Vec<Device>,
     /// The shared inter-device fabric.
     pub interconnect: Arc<Interconnect>,
+    /// The shared fault injector, when a fault plan is attached.
+    fault: Option<Arc<FaultInjector>>,
 }
 
 impl SimSystem {
@@ -33,6 +36,7 @@ impl SimSystem {
         Ok(SimSystem {
             devices: profiles.into_iter().enumerate().map(|(i, p)| Device::new(i, p)).collect(),
             interconnect: Arc::new(interconnect),
+            fault: None,
         })
     }
 
@@ -41,6 +45,23 @@ impl SimSystem {
     pub fn homogeneous(n: usize, profile: HardwareProfile) -> Self {
         Self::new(vec![profile; n], Interconnect::pcie3(n, 4))
             .expect("matching sizes by construction")
+    }
+
+    /// Attach a fault plan: builds the shared [`FaultInjector`] and wires it
+    /// into every device. Call before enacting; an empty plan is free (the
+    /// injector's probe maps are empty, so no launch behaviour changes).
+    pub fn attach_fault_plan(&mut self, plan: &FaultPlan) {
+        let inj = Arc::new(FaultInjector::new(plan, self.devices.len()));
+        for d in &mut self.devices {
+            d.set_fault_injector(Some(Arc::clone(&inj)));
+        }
+        self.fault = Some(inj);
+    }
+
+    /// The attached fault injector, if any (shared with mailboxes by the
+    /// enactors so transfers consult the same plan).
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        self.fault.clone()
     }
 
     /// Number of devices.

@@ -2,12 +2,12 @@
 //! reproducibility of the simulated clock, partitioner-independence of
 //! results, and clean failure propagation from device threads.
 
-use mgpu_graph_analytics::core::{AllocScheme, EnactConfig, Runner};
+use mgpu_graph_analytics::core::{AllocScheme, EnactConfig, RecoveryPolicy, Runner};
 use mgpu_graph_analytics::gen::preferential_attachment;
 use mgpu_graph_analytics::graph::{Csr, GraphBuilder};
 use mgpu_graph_analytics::partition::{DistGraph, Duplication, RandomPartitioner};
 use mgpu_graph_analytics::primitives::{bfs::gather_labels, Bfs};
-use mgpu_graph_analytics::vgpu::{HardwareProfile, SimSystem, VgpuError};
+use mgpu_graph_analytics::vgpu::{FaultPlan, HardwareProfile, SimSystem, VgpuError};
 
 fn graph() -> Csr<u32, u64> {
     GraphBuilder::undirected(&preferential_attachment(500, 8, 31))
@@ -92,6 +92,35 @@ fn mid_run_oom_is_reported_not_deadlocked() {
         Err(VgpuError::OutOfMemory { .. }) => {} // init-time OOM also acceptable
         Err(e) => panic!("unexpected error {e}"),
     }
+}
+
+#[test]
+fn injected_transient_faults_keep_the_simulation_reproducible() {
+    // Fault injection + in-place retry is part of the deterministic
+    // simulation: two runs under the same plan agree bit-for-bit, recovery
+    // log included (the deeper suite lives in tests/resilience.rs).
+    let g = graph();
+    let run = || {
+        let dist = DistGraph::partition(&g, &RandomPartitioner { seed: 5 }, 4, Duplication::All);
+        let mut sys = SimSystem::homogeneous(4, HardwareProfile::k40());
+        sys.attach_fault_plan(&FaultPlan::new().kernel_fail(1, 3).transfer_fail(0, 2, 1));
+        let config = EnactConfig {
+            recovery: RecoveryPolicy {
+                max_retries: 2,
+                retry_backoff_us: 5.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut runner = Runner::new(sys, &dist, Bfs::default(), config).unwrap();
+        let r = runner.enact(Some(0u32)).unwrap();
+        (r, gather_labels(&runner, &dist))
+    };
+    let (r1, l1) = run();
+    let (r2, l2) = run();
+    assert_eq!(l1, l2);
+    assert!(r1.same_simulation(&r2), "fault handling must be schedule-independent");
+    assert!(r1.recovery.kernel_retries >= 1 && r1.recovery.transfer_retries >= 1);
 }
 
 #[test]
