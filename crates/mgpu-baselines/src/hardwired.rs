@@ -197,8 +197,14 @@ impl HardwiredDobfs {
             peak_memory_per_device: system.peak_memory_per_device(),
             total_peak_memory: system.total_peak_memory(),
             pool_reallocs: system.devices.iter().map(|d| d.pool().reallocs()).sum(),
+            mem_per_device: system
+                .devices
+                .iter()
+                .map(|d| mgpu_core::DeviceMemStats::of(d.pool()))
+                .collect(),
             history: Vec::new(),
             recovery: mgpu_core::RecoveryLog::default(),
+            governor: mgpu_core::GovernorLog::default(),
         };
         Ok((report, labels_out))
     }

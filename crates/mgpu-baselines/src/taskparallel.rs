@@ -14,7 +14,7 @@
 //!   scaling over sources is embarrassingly parallel.
 
 use mgpu_graph::{Csr, Id};
-use vgpu::{Device, HardwareProfile, KernelKind, Result, SimSystem, COMPUTE_STREAM};
+use vgpu::{Device, HardwareProfile, KernelKind, Result, SimSystem, VgpuError, COMPUTE_STREAM};
 
 /// Task-parallel multi-source BC over full graph replicas.
 #[derive(Debug, Clone, Copy, Default)]
@@ -31,6 +31,13 @@ pub struct TaskParallelReport {
     pub sim_time_us: f64,
     /// Peak memory per device — ~the whole graph, the scalability limiter.
     pub peak_memory_per_device: u64,
+    /// Devices whose full-graph replica did not fit; their share of the
+    /// sources is re-routed to the devices that did fit. The run only fails
+    /// when *no* device can hold a replica.
+    pub devices_skipped: usize,
+    /// Source passes dropped because the per-source scratch did not fit on
+    /// the assigned device — skipped work is counted, never silent.
+    pub sources_skipped: usize,
 }
 
 impl TaskParallelBc {
@@ -43,18 +50,58 @@ impl TaskParallelBc {
         n_devices: usize,
         profile: HardwareProfile,
     ) -> Result<(TaskParallelReport, Vec<f64>)> {
-        let mut system = SimSystem::homogeneous(n_devices, profile);
+        self.run_on(SimSystem::homogeneous(n_devices, profile), graph, sources)
+    }
+
+    /// [`Self::run`] on a caller-built system (e.g. devices with unequal
+    /// memory capacities). A device that cannot hold the full replica is
+    /// *skipped and counted* rather than failing the whole run; only when no
+    /// device fits does the memory wall of §II-A surface as `OutOfMemory`.
+    pub fn run_on<V: Id, O: Id>(
+        &self,
+        mut system: SimSystem,
+        graph: &Csr<V, O>,
+        sources: &[V],
+    ) -> Result<(TaskParallelReport, Vec<f64>)> {
+        let n_devices = system.n_devices();
         let n = graph.n_vertices();
-        // Full replica on every device — the memory wall of §II-A.
+        let scratch_bytes = (n * 16) as u64; // depth/sigma/delta/centrality
+                                             // Full replica on every device — the memory wall of §II-A. A replica
+                                             // that does not fit skips the device instead of aborting the run.
         let mut replicas = Vec::with_capacity(n_devices);
-        for dev in &mut system.devices {
-            replicas.push(dev.pool().reserve_external(graph.bytes() + (n * 16) as u64)?);
+        let mut fitted: Vec<usize> = Vec::new();
+        let mut last_oom: Option<VgpuError> = None;
+        for (i, dev) in system.devices.iter_mut().enumerate() {
+            match dev.pool().reserve_external(graph.bytes()) {
+                Ok(r) => {
+                    replicas.push(r);
+                    fitted.push(i);
+                }
+                Err(e @ VgpuError::OutOfMemory { .. }) => last_oom = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        let devices_skipped = n_devices - fitted.len();
+        if fitted.is_empty() {
+            return Err(last_oom.expect("no devices at all"));
         }
 
+        let mut sources_skipped = 0usize;
         let mut centrality = vec![0.0f64; n];
         for (i, &src) in sources.iter().enumerate() {
-            let dev = &mut system.devices[i % n_devices];
+            let dev = &mut system.devices[fitted[i % fitted.len()]];
+            // Per-source scratch is a real reservation too: a source whose
+            // scratch does not fit is dropped and counted, never silent.
+            let scratch = match dev.pool().reserve_external(scratch_bytes) {
+                Ok(r) => r,
+                Err(VgpuError::OutOfMemory { .. }) => {
+                    sources_skipped += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             let contribution = run_one_source(dev, graph, src)?;
+            drop(scratch);
             for (c, x) in centrality.iter_mut().zip(contribution) {
                 *c += x;
             }
@@ -64,6 +111,8 @@ impl TaskParallelBc {
             n_sources: sources.len(),
             sim_time_us: system.makespan_us(),
             peak_memory_per_device: system.peak_memory_per_device(),
+            devices_skipped,
+            sources_skipped,
         };
         Ok((report, centrality))
     }
@@ -135,7 +184,7 @@ mod tests {
     use mgpu_gen::gnm;
     use mgpu_graph::GraphBuilder;
     use mgpu_primitives::reference;
-    use vgpu::VgpuError;
+    use vgpu::Interconnect;
 
     fn graph() -> Csr<u32, u64> {
         GraphBuilder::undirected(&gnm(80, 320, 55))
@@ -180,6 +229,32 @@ mod tests {
             Err(VgpuError::OutOfMemory { .. }) => {}
             other => panic!("expected the replication memory wall, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn undersized_device_is_skipped_and_counted_not_fatal() {
+        let g = graph();
+        let sources: Vec<u32> = (0..6).collect();
+        let big = HardwareProfile::k40();
+        let small = HardwareProfile::k40().with_capacity(g.bytes() / 2);
+        let system = SimSystem::new(vec![big, small], Interconnect::pcie3(2, 4)).unwrap();
+        let (report, bc) = TaskParallelBc.run_on(system, &g, &sources).unwrap();
+        assert_eq!(report.devices_skipped, 1, "the half-capacity device is skipped");
+        assert_eq!(report.sources_skipped, 0, "re-routed sources all complete");
+        // the skipped device changes nothing about the answer
+        let (full, bc_full) = TaskParallelBc.run(&g, &sources, 1, HardwareProfile::k40()).unwrap();
+        assert_eq!(full.devices_skipped, 0);
+        assert_eq!(bc, bc_full);
+    }
+
+    #[test]
+    fn unfittable_scratch_skips_sources_and_counts_them() {
+        let g = graph();
+        // replica fits; the per-source scratch (80 vertices * 16 B) does not
+        let profile = HardwareProfile::k40().with_capacity(g.bytes() + 100);
+        let (report, bc) = TaskParallelBc.run(&g, &[0u32, 5, 9], 1, profile).unwrap();
+        assert_eq!(report.sources_skipped, 3, "every dropped source is counted");
+        assert!(bc.iter().all(|&x| x == 0.0), "no silent partial contributions");
     }
 
     #[test]

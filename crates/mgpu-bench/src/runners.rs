@@ -1,11 +1,13 @@
 //! Uniform primitive dispatch for the experiment binaries.
 
-use mgpu_core::{EnactConfig, EnactReport, ResilientRunner, Runner};
+use std::sync::Arc;
+
+use mgpu_core::{CommStrategy, Downgrade, EnactConfig, EnactReport, ResilientRunner, Runner};
 use mgpu_graph::{Csr, Id};
 use mgpu_partition::{DistGraph, Duplication, Partitioner};
 use mgpu_primitives::{Bc, Bfs, Cc, Dobfs, Pagerank, Sssp};
 use mgpu_core::problem::MgpuProblem;
-use vgpu::{FaultPlan, Result, SimSystem};
+use vgpu::{FaultPlan, Result, SimSystem, VgpuError};
 
 /// The six evaluated primitives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,7 +98,52 @@ pub fn pick_source<V: Id, O: Id>(g: &Csr<V, O>) -> V {
     V::from_usize(best)
 }
 
+/// Bind + enact one attempt, recording any global downgrade `notes` the
+/// caller already took so they show up in the report's governor log.
+fn dispatch(
+    prim: Primitive,
+    system: SimSystem,
+    dist: &DistGraph<u32, u64>,
+    config: EnactConfig,
+    src: Option<u32>,
+    notes: &[Downgrade],
+    one_hop: bool,
+) -> Result<EnactReport> {
+    macro_rules! go {
+        ($p:expr) => {{
+            let mut r = Runner::new(system, dist, $p, config)?;
+            for d in notes {
+                r.note_downgrade(d.clone());
+            }
+            r.enact(src)
+        }};
+    }
+    match prim {
+        Primitive::Bfs => go!(Bfs { one_hop }),
+        Primitive::Dobfs => go!(Dobfs::default()),
+        Primitive::Sssp => go!(Sssp),
+        Primitive::Bc => go!(Bc),
+        Primitive::Cc => go!(Cc),
+        Primitive::Pr => go!(Pagerank { damping: 0.85, threshold: 0.0, max_iters: 20 }),
+    }
+}
+
+/// Does `prim`'s own communication preference allow dropping a broadcast
+/// override? (CC and DOBFS *require* broadcast wire ids.)
+fn prefers_selective(prim: Primitive) -> bool {
+    matches!(prim, Primitive::Bfs | Primitive::Sssp | Primitive::Bc | Primitive::Pr)
+}
+
 /// Partition `g` for `prim` and run it once on `system`.
+///
+/// Under an enabled [`mgpu_core::PressurePolicy`] this layer owns the
+/// *global* links of the admission downgrade chain, which need a re-bind the
+/// enactor cannot do itself: an admission `OutOfMemory` first drops a
+/// `broadcast` comm override back to the primitive's preferred `selective`
+/// (wire formats permitting), then re-partitions `duplicate-all →
+/// duplicate-1-hop` (BFS supports both). Each step is recorded in the
+/// report's governor log; only when the chain is exhausted does the typed
+/// OOM reach the caller.
 pub fn run_primitive(
     prim: Primitive,
     g: &Csr<u32, u64>,
@@ -105,23 +152,72 @@ pub fn run_primitive(
     config: EnactConfig,
 ) -> Result<RunOutcome> {
     let n = system.n_devices();
-    let mut dist = DistGraph::partition(g, partitioner, n, prim.duplication());
-    if prim == Primitive::Dobfs {
-        dist.build_cscs();
-    }
     let src = prim.needs_source().then(|| pick_source(g));
-    let report = match prim {
-        Primitive::Bfs => Runner::new(system, &dist, Bfs::default(), config)?.enact(src)?,
-        Primitive::Dobfs => Runner::new(system, &dist, Dobfs::default(), config)?.enact(src)?,
-        Primitive::Sssp => Runner::new(system, &dist, Sssp, config)?.enact(src)?,
-        Primitive::Bc => Runner::new(system, &dist, Bc, config)?.enact(src)?,
-        Primitive::Cc => Runner::new(system, &dist, Cc, config)?.enact(src)?,
-        Primitive::Pr => {
-            let pr = Pagerank { damping: 0.85, threshold: 0.0, max_iters: 20 };
-            Runner::new(system, &dist, pr, config)?.enact(None)?
+    // A governed retry consumes the system, so capture what a rebuild needs
+    // up front (profiles, fabric, fault injector).
+    let rebuild = config.pressure.enabled.then(|| {
+        (
+            system.devices.iter().map(|d| d.profile().clone()).collect::<Vec<_>>(),
+            (*system.interconnect).clone(),
+            system.fault_injector(),
+        )
+    });
+    let mut system = Some(system);
+    let mut cfg = config;
+    let mut dup = prim.duplication();
+    let mut notes: Vec<Downgrade> = Vec::new();
+    loop {
+        let sys = match system.take() {
+            Some(s) => s,
+            None => {
+                let (profiles, ic, inj) = rebuild.as_ref().expect("governed retries only");
+                let mut s = SimSystem::new(profiles.clone(), ic.clone())?;
+                if let Some(inj) = inj {
+                    for d in &mut s.devices {
+                        d.set_fault_injector(Some(Arc::clone(inj)));
+                    }
+                }
+                s
+            }
+        };
+        let mut dist = DistGraph::partition(g, partitioner, n, dup);
+        if prim == Primitive::Dobfs {
+            dist.build_cscs();
         }
-    };
-    Ok(RunOutcome { report, edges: g.n_edges() })
+        let one_hop = dup == Duplication::OneHop;
+        match dispatch(prim, sys, &dist, cfg, src, &notes, one_hop) {
+            Ok(report) => return Ok(RunOutcome { report, edges: g.n_edges() }),
+            Err(VgpuError::OutOfMemory { requested, capacity, .. })
+                if cfg.pressure.enabled
+                    && cfg.comm == Some(CommStrategy::Broadcast)
+                    && prefers_selective(prim) =>
+            {
+                notes.push(Downgrade {
+                    device: None,
+                    kind: "comm",
+                    from: "broadcast",
+                    to: "selective",
+                    estimated_bytes: requested,
+                    budget_bytes: capacity,
+                });
+                cfg.comm = None;
+            }
+            Err(VgpuError::OutOfMemory { requested, capacity, .. })
+                if cfg.pressure.enabled && prim == Primitive::Bfs && dup == Duplication::All =>
+            {
+                notes.push(Downgrade {
+                    device: None,
+                    kind: "duplication",
+                    from: "duplicate-all",
+                    to: "duplicate-1-hop",
+                    estimated_bytes: requested,
+                    budget_bytes: capacity,
+                });
+                dup = Duplication::OneHop;
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// Partition `g` for `prim` and run it under a fault plan through the
@@ -214,11 +310,37 @@ pub fn primitive_comm_label(prim: Primitive) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mgpu_core::governor::estimate_footprint;
+    use mgpu_core::{AllocScheme, PressurePolicy};
     use mgpu_gen::weights::add_paper_weights;
-    use mgpu_gen::preferential_attachment;
+    use mgpu_gen::{gnm, grid2d, preferential_attachment};
     use mgpu_graph::GraphBuilder;
-    use mgpu_partition::RandomPartitioner;
+    use mgpu_partition::{ChunkedPartitioner, RandomPartitioner};
     use vgpu::HardwareProfile;
+
+    /// The admission floor estimate `Runner::new` compares against the hard
+    /// watermark for BFS (u32 ids, u32 messages, 4 state bytes/vertex),
+    /// maximized over devices.
+    fn bfs_floor_estimate(dist: &DistGraph<u32, u64>, comm: CommStrategy) -> u64 {
+        dist.parts
+            .iter()
+            .map(|sub| {
+                estimate_footprint(
+                    AllocScheme::JustEnough,
+                    comm,
+                    dist.n_parts,
+                    sub.n_vertices(),
+                    sub.n_edges(),
+                    sub.topology_bytes(),
+                    4,
+                    4,
+                    4,
+                )
+                .total()
+            })
+            .max()
+            .unwrap()
+    }
 
     #[test]
     fn every_primitive_runs_through_the_dispatcher() {
@@ -231,6 +353,93 @@ mod tests {
             assert!(out.report.sim_time_us > 0.0, "{}", prim.name());
             assert!(out.gteps() > 0.0, "{}", prim.name());
         }
+    }
+
+    #[test]
+    fn admission_refusal_downgrades_bfs_duplication_to_one_hop() {
+        // A grid cut into contiguous strips: duplicate-all replicates the
+        // whole vertex space on every device, while duplicate-1-hop keeps a
+        // strip plus two boundary rows — a large, certain memory gap.
+        let g = GraphBuilder::undirected(&grid2d(32, 32, 1.0, 1));
+        let n = 4;
+        let all = DistGraph::<u32, u64>::partition(&g, &ChunkedPartitioner, n, Duplication::All);
+        let hop = DistGraph::<u32, u64>::partition(&g, &ChunkedPartitioner, n, Duplication::OneHop);
+        let all_floor = bfs_floor_estimate(&all, CommStrategy::Selective);
+        let hop_floor = bfs_floor_estimate(&hop, CommStrategy::Selective);
+        assert!(hop_floor < all_floor, "the test graph must make 1-hop strictly cheaper");
+        // Between the two floors: duplicate-all is refused even at the
+        // JustEnough floor, duplicate-1-hop is admitted.
+        let cap = (hop_floor + all_floor) / 2;
+        let system = SimSystem::homogeneous(n, HardwareProfile::k40().with_capacity(cap));
+        let config = EnactConfig { pressure: PressurePolicy::governed(), ..EnactConfig::default() };
+        let out = run_primitive(Primitive::Bfs, &g, system, &ChunkedPartitioner, config)
+            .expect("the duplication downgrade must rescue the run");
+        let gov = &out.report.governor;
+        let dup = gov
+            .downgrades
+            .iter()
+            .find(|d| d.kind == "duplication")
+            .expect("the re-partition must be recorded in the governor log");
+        assert_eq!(dup.device, None, "duplication is a global decision");
+        assert_eq!((dup.from, dup.to), ("duplicate-all", "duplicate-1-hop"));
+        assert!(out.report.iterations > 0);
+        // The uncapped run is never downgraded.
+        let uncapped = run_primitive(
+            Primitive::Bfs,
+            &g,
+            SimSystem::homogeneous(n, HardwareProfile::k40()),
+            &ChunkedPartitioner,
+            config,
+        )
+        .unwrap();
+        assert!(uncapped.report.governor.downgrades.is_empty());
+        assert_eq!(uncapped.report.iterations, out.report.iterations);
+    }
+
+    #[test]
+    fn admission_refusal_drops_a_broadcast_override_before_failing() {
+        let g = GraphBuilder::undirected(&gnm(4000, 8000, 7));
+        let n = 4;
+        let dist = DistGraph::<u32, u64>::partition(
+            &g,
+            &RandomPartitioner { seed: 11 },
+            n,
+            Duplication::All,
+        );
+        let sel_floor = bfs_floor_estimate(&dist, CommStrategy::Selective);
+        let bro_floor = bfs_floor_estimate(&dist, CommStrategy::Broadcast);
+        assert!(sel_floor < bro_floor, "broadcast staging must cost more than selective");
+        // Between the floors: a broadcast override is refused at admission,
+        // the primitive's own selective preference is admitted.
+        let cap = (sel_floor + bro_floor) / 2;
+        let system = SimSystem::homogeneous(n, HardwareProfile::k40().with_capacity(cap));
+        let config = EnactConfig {
+            comm: Some(CommStrategy::Broadcast),
+            pressure: PressurePolicy::governed(),
+            ..EnactConfig::default()
+        };
+        let out =
+            run_primitive(Primitive::Bfs, &g, system, &RandomPartitioner { seed: 11 }, config)
+                .expect("dropping the comm override must rescue the run");
+        let gov = &out.report.governor;
+        let comm = gov
+            .downgrades
+            .iter()
+            .find(|d| d.kind == "comm")
+            .expect("the dropped override must be recorded in the governor log");
+        assert_eq!(comm.device, None, "the comm strategy is a global decision");
+        assert_eq!((comm.from, comm.to), ("broadcast", "selective"));
+        // Degraded ≠ different: the selective run does the same supersteps as
+        // an unconstrained selective run.
+        let selective = run_primitive(
+            Primitive::Bfs,
+            &g,
+            SimSystem::homogeneous(n, HardwareProfile::k40()),
+            &RandomPartitioner { seed: 11 },
+            EnactConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.report.iterations, selective.report.iterations);
     }
 
     #[test]

@@ -27,13 +27,20 @@
 //!                       `ttimeout:S>D@N`) or `random:SEED:COUNT:HORIZON`
 //!   --recovery          enact through the resilient runner: bounded retry,
 //!                       superstep checkpoints, degrade on device loss
+//!   --mem-cap BYTES     cap each device's memory pool at BYTES and enable
+//!                       the memory-pressure governor (admission downgrades,
+//!                       host spill, chunked multi-pass advance)
+//!   --alloc-scheme {just-enough|fixed|max|prealloc-fusion}
+//!                       override the primitive's frontier allocation scheme
+//!   --sizing-factor F   preallocation sizing factor for fixed /
+//!                       prealloc-fusion schemes                   [default 1.0]
 //! ```
 
 use std::process::ExitCode;
 
 use mgpu_bench::runners::{run_primitive_resilient, scaled_system, Primitive};
 use mgpu_bench::{pick_source, run_primitive};
-use mgpu_core::{EnactConfig, RecoveryPolicy};
+use mgpu_core::{AllocScheme, EnactConfig, PressurePolicy, RecoveryPolicy};
 use mgpu_gen::catalog::{COMPARISON, TABLE2};
 use mgpu_gen::weights::add_paper_weights;
 use mgpu_gen::Dataset;
@@ -48,7 +55,8 @@ fn usage() -> ExitCode {
         "usage:\n  mgpu datasets\n  mgpu run --primitive <bfs|dobfs|sssp|bc|cc|pr> \
          (--dataset <name> | --mtx <path>) [--gpus N] [--partitioner random|biased|metis|chunked]\n\
          \x20         [--profile k40|k80|p100] [--shift N] [--seed S] [--src V|auto] [--json]\n\
-         \x20         [--comm selective|broadcast] [--fault-plan <spec|random:SEED:COUNT:HORIZON>] [--recovery]"
+         \x20         [--comm selective|broadcast] [--fault-plan <spec|random:SEED:COUNT:HORIZON>] [--recovery]\n\
+         \x20         [--mem-cap BYTES] [--alloc-scheme just-enough|fixed|max|prealloc-fusion] [--sizing-factor F]"
     );
     ExitCode::FAILURE
 }
@@ -108,6 +116,9 @@ struct RunArgs {
     comm: Option<String>,
     fault_plan: Option<String>,
     recovery: bool,
+    mem_cap: Option<u64>,
+    alloc_scheme: Option<String>,
+    sizing_factor: f64,
 }
 
 fn run(args: &[String]) -> ExitCode {
@@ -118,6 +129,7 @@ fn run(args: &[String]) -> ExitCode {
         shift: 8,
         seed: 42,
         src: "auto".into(),
+        sizing_factor: 1.0,
         ..Default::default()
     };
     let mut it = args.iter();
@@ -142,6 +154,11 @@ fn run(args: &[String]) -> ExitCode {
             "--comm" => a.comm = Some(value("--comm")),
             "--fault-plan" => a.fault_plan = Some(value("--fault-plan")),
             "--recovery" => a.recovery = true,
+            "--mem-cap" => a.mem_cap = Some(value("--mem-cap").parse().expect("--mem-cap BYTES")),
+            "--alloc-scheme" => a.alloc_scheme = Some(value("--alloc-scheme")),
+            "--sizing-factor" => {
+                a.sizing_factor = value("--sizing-factor").parse().expect("--sizing-factor F")
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 return usage();
@@ -206,6 +223,11 @@ fn run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // --mem-cap shrinks every device's pool and arms the pressure governor
+    let profile = match a.mem_cap {
+        Some(cap) => profile.with_capacity(cap),
+        None => profile,
+    };
     let mut system = scaled_system(a.gpus, profile.clone(), a.shift);
 
     // --- fault injection / recovery ---
@@ -228,9 +250,28 @@ fn run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let alloc_scheme = match a.alloc_scheme.as_deref() {
+        None => None,
+        Some("just-enough") => Some(AllocScheme::JustEnough),
+        Some("fixed") => Some(AllocScheme::Fixed { sizing_factor: a.sizing_factor }),
+        Some("max") => Some(AllocScheme::Max),
+        Some("prealloc-fusion") => {
+            Some(AllocScheme::PreallocFusion { sizing_factor: a.sizing_factor })
+        }
+        Some(other) => {
+            eprintln!("unknown alloc scheme {other}");
+            return ExitCode::FAILURE;
+        }
+    };
     let config = EnactConfig {
+        alloc_scheme,
         comm,
         recovery: if a.recovery { RecoveryPolicy::resilient() } else { RecoveryPolicy::default() },
+        pressure: if a.mem_cap.is_some() {
+            PressurePolicy::governed()
+        } else {
+            PressurePolicy::default()
+        },
         ..Default::default()
     };
     if let (Some(p), false) = (&plan, a.recovery) {
@@ -303,6 +344,42 @@ fn run(args: &[String]) -> ExitCode {
             r.totals.h_bytes_sent / 1024
         );
         println!("peak mem/GPU   {} KiB", r.peak_memory_per_device / 1024);
+        for (gpu, m) in r.mem_per_device.iter().enumerate() {
+            println!(
+                "  gpu {gpu}        peak {} KiB, live {} KiB, {} reallocs ({} KiB copied)",
+                m.peak / 1024,
+                m.live / 1024,
+                m.reallocs,
+                m.realloc_copied / 1024
+            );
+        }
+        if !r.governor.is_quiet() {
+            let g = &r.governor;
+            println!(
+                "governor       {} downgrades, {} chunked advances ({} passes), \
+                 {} spills ({} KiB), {} reclaim retries",
+                g.downgrades.len(),
+                g.chunked_advances,
+                g.chunk_passes,
+                g.spill_events,
+                g.spilled_bytes / 1024,
+                g.reclaim_retries
+            );
+            for d in &g.downgrades {
+                let scope = match d.device {
+                    Some(i) => format!("gpu {i}"),
+                    None => "global".into(),
+                };
+                println!(
+                    "  downgrade    {scope}: {} {} -> {} (est {} KiB vs budget {} KiB)",
+                    d.kind,
+                    d.from,
+                    d.to,
+                    d.estimated_bytes / 1024,
+                    d.budget_bytes / 1024
+                );
+            }
+        }
         if !r.recovery.is_quiet() {
             let rec = &r.recovery;
             println!(

@@ -17,9 +17,11 @@
 //!   buffer entirely.
 
 use mgpu_graph::Id;
-use vgpu::{Device, DeviceArray, Result};
+use vgpu::interconnect::Link;
+use vgpu::{Device, DeviceArray, Result, VgpuError, COMPUTE_STREAM};
 
 use crate::comm::SplitScratch;
+use crate::governor::{GovernorLog, PressurePolicy};
 
 /// Frontier-buffer allocation scheme.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,6 +87,13 @@ pub struct FrontierBufs<V: Id> {
     /// Reusable scratch for the selective split's count pass — lives here so
     /// every per-iteration split reuses one histogram allocation.
     pub split: SplitScratch,
+    /// Memory-pressure policy (default: fully off — every OOM propagates).
+    pressure: PressurePolicy,
+    /// Host-staged link used to charge spills; `None` until the enactor
+    /// attaches the interconnect's host path.
+    host_link: Option<Link>,
+    /// Mid-run governor decisions (spills, reclaim retries, chunked passes).
+    pub(crate) gov: GovernorLog,
 }
 
 impl<V: Id> FrontierBufs<V> {
@@ -116,7 +125,24 @@ impl<V: Id> FrontierBufs<V> {
         let output = dev.alloc_with_capacity::<V>(frontier_pre.max(1))?;
         let intermediate =
             if scheme.fused() { None } else { Some(dev.alloc_with_capacity::<V>(pre.max(1))?) };
-        Ok(FrontierBufs { scheme, input, output, intermediate, split: SplitScratch::default() })
+        Ok(FrontierBufs {
+            scheme,
+            input,
+            output,
+            intermediate,
+            split: SplitScratch::default(),
+            pressure: PressurePolicy::default(),
+            host_link: None,
+            gov: GovernorLog::default(),
+        })
+    }
+
+    /// Attach a memory-pressure policy and the host-staged link spills are
+    /// charged over. With the default (off) policy this changes nothing.
+    pub fn with_pressure(mut self, policy: PressurePolicy, host_link: Link) -> Self {
+        self.pressure = policy;
+        self.host_link = Some(host_link);
+        self
     }
 
     /// The scheme in force.
@@ -124,21 +150,90 @@ impl<V: Id> FrontierBufs<V> {
         self.scheme
     }
 
+    /// Mid-run governor decisions recorded on these buffers.
+    pub fn governor(&self) -> &GovernorLog {
+        &self.gov
+    }
+
+    /// Clear the per-enact governor decisions (the enactor calls this so
+    /// each enact reports its own degradation events).
+    pub fn reset_governor(&mut self) {
+        self.gov = GovernorLog::default();
+    }
+
     /// Make sure the intermediate buffer can hold `need` elements before an
     /// unfused advance. Under just-enough this grows the buffer exactly to
     /// `need` (charging the reallocation copy); under the preallocating
     /// schemes it is the "backstop" reallocation that §VI-B keeps armed.
     pub fn prepare_intermediate(&mut self, dev: &mut Device, need: usize) -> Result<()> {
-        match &mut self.intermediate {
-            Some(buf) => dev.ensure_capacity(buf, need),
-            None => Ok(()), // fused pipeline: nothing to size
+        self.prepare_intermediate_budget(dev, need).map(|_| ())
+    }
+
+    /// [`Self::prepare_intermediate`] under the memory-pressure governor:
+    /// returns the number of intermediate slots actually *granted*. Normally
+    /// `granted == need`. When the grow OOMs and the pressure policy is on,
+    /// cold frontier capacity is spilled to host and the grow retried; if
+    /// `need` still does not fit, the grant drops to what the pool's free
+    /// bytes allow and the caller runs the advance as a chunked multi-pass.
+    /// Every decision here is a function of pool accounting only, so the
+    /// degraded schedule is identical at any `kernel_threads`.
+    pub fn prepare_intermediate_budget(&mut self, dev: &mut Device, need: usize) -> Result<usize> {
+        if self.intermediate.is_none() {
+            return Ok(need); // fused pipeline: nothing to size
+        }
+        let first = dev.ensure_capacity(self.intermediate.as_mut().expect("checked above"), need);
+        match first {
+            Ok(()) => Ok(need),
+            Err(e) if !(self.pressure.enabled && matches!(e, VgpuError::OutOfMemory { .. })) => {
+                Err(e)
+            }
+            Err(_) => {
+                // Reclaim tier: the output buffer's contents are dead between
+                // commits and the input only needs its in-use length — spill
+                // the cold capacity to host and retry the grow.
+                self.gov.reclaim_retries += 1;
+                let mut freed = 0u64;
+                self.output.clear();
+                freed += self.output.shrink_to(1);
+                freed += self.input.shrink_to(0);
+                self.charge_spill(dev, freed)?;
+                if dev
+                    .ensure_capacity(self.intermediate.as_mut().expect("checked above"), need)
+                    .is_ok()
+                {
+                    return Ok(need);
+                }
+                // Chunk tier: grant what fits, holding half the free bytes in
+                // reserve so the output frontier can still be committed.
+                let buf = self.intermediate.as_mut().expect("checked above");
+                let free_elems = dev.pool().free_bytes() as usize / std::mem::size_of::<V>();
+                let granted = (buf.capacity() + free_elems / 2).max(self.pressure.min_chunk);
+                dev.ensure_capacity(buf, granted)?;
+                Ok(granted)
+            }
         }
     }
 
     /// Store the post-filter output frontier, growing the output buffer per
-    /// the scheme, and swap it to become the next input.
+    /// the scheme, and swap it to become the next input. Under the pressure
+    /// policy an OOM on the grow spills the intermediate (dead between
+    /// advances) and the input's slack capacity before retrying; a second
+    /// failure is hard-infeasible and propagates typed.
     pub fn commit_output(&mut self, dev: &mut Device, frontier: &[V]) -> Result<()> {
-        dev.ensure_capacity(&mut self.output, frontier.len())?;
+        if let Err(e) = dev.ensure_capacity(&mut self.output, frontier.len()) {
+            if !(self.pressure.enabled && matches!(e, VgpuError::OutOfMemory { .. })) {
+                return Err(e);
+            }
+            self.gov.reclaim_retries += 1;
+            let mut freed = 0u64;
+            if let Some(buf) = &mut self.intermediate {
+                buf.clear();
+                freed += buf.shrink_to(1);
+            }
+            freed += self.input.shrink_to(0);
+            self.charge_spill(dev, freed)?;
+            dev.ensure_capacity(&mut self.output, frontier.len())?;
+        }
         self.output.clear();
         self.output.extend_from_slice(frontier);
         std::mem::swap(&mut self.input, &mut self.output);
@@ -146,12 +241,36 @@ impl<V: Id> FrontierBufs<V> {
     }
 
     /// Record that an unfused advance produced `len` intermediate elements.
-    pub fn record_intermediate(&mut self, len: usize) {
+    /// An under-prepared buffer *grows* — a counted backstop reallocation
+    /// that can fail with a typed `OutOfMemory` — instead of silently
+    /// truncating the frontier, which was a wrong-answer bug in release
+    /// builds.
+    pub fn record_intermediate(&mut self, dev: &mut Device, len: usize) -> Result<()> {
         if let Some(buf) = &mut self.intermediate {
-            debug_assert!(len <= buf.capacity(), "prepare_intermediate was not called");
+            if len > buf.capacity() {
+                dev.ensure_capacity(buf, len)?;
+            }
             buf.clear();
-            buf.resize_within_capacity(len.min(buf.capacity()));
+            buf.resize_within_capacity(len);
         }
+        Ok(())
+    }
+
+    /// Charge a host spill of `freed` bytes over the staged link (D2H
+    /// occupancy plus latency on the compute stream, occupancy counted as
+    /// communication time) and record it in the governor log.
+    fn charge_spill(&mut self, dev: &mut Device, freed: u64) -> Result<()> {
+        if freed == 0 {
+            return Ok(());
+        }
+        if let Some(link) = self.host_link {
+            let occupancy = freed as f64 / (link.bandwidth_gb_s * 1e3);
+            dev.charge(COMPUTE_STREAM, occupancy + link.latency_us, 0.0)?;
+            dev.counters.h_time_us += occupancy;
+        }
+        self.gov.spill_events += 1;
+        self.gov.spilled_bytes += freed;
+        Ok(())
     }
 }
 
@@ -234,6 +353,79 @@ mod tests {
         assert_eq!(bufs.input.as_slice(), &[7, 8]);
         bufs.commit_output(&mut d, &[9]).unwrap();
         assert_eq!(bufs.input.as_slice(), &[9]);
+    }
+
+    #[test]
+    fn record_intermediate_grows_instead_of_truncating() {
+        let mut d = dev();
+        let mut bufs =
+            FrontierBufs::<u32>::new(&mut d, AllocScheme::JustEnough, 100, 5000).unwrap();
+        // prepare_intermediate was never called: recording must grow the
+        // buffer (a counted backstop realloc), never truncate the frontier
+        bufs.record_intermediate(&mut d, 640).unwrap();
+        assert_eq!(bufs.intermediate.as_ref().unwrap().len(), 640);
+        assert!(d.pool().reallocs() >= 1);
+    }
+
+    #[test]
+    fn record_intermediate_oom_is_typed_not_truncated() {
+        let mut d = Device::new(0, HardwareProfile::k40().with_capacity(2_000));
+        let mut bufs = FrontierBufs::<u32>::new(&mut d, AllocScheme::JustEnough, 10, 100).unwrap();
+        let err = bufs.record_intermediate(&mut d, 10_000).unwrap_err();
+        assert!(matches!(err, VgpuError::OutOfMemory { .. }));
+        // the buffer stays usable at its old capacity
+        bufs.record_intermediate(&mut d, 1).unwrap();
+    }
+
+    #[test]
+    fn pressure_spills_cold_capacity_and_grants_a_chunk_budget() {
+        let mut d = Device::new(0, HardwareProfile::k40().with_capacity(4_000));
+        let mut bufs = FrontierBufs::<u32>::new(&mut d, AllocScheme::JustEnough, 10, 100)
+            .unwrap()
+            .with_pressure(
+                crate::governor::PressurePolicy::governed(),
+                Link { bandwidth_gb_s: 16.0, latency_us: 25.0 },
+            );
+        // fatten the output buffer, then swap a tiny frontier in so the fat
+        // capacity ends up cold on the output side
+        let fat: Vec<u32> = (0..500).collect();
+        bufs.commit_output(&mut d, &fat).unwrap();
+        bufs.commit_output(&mut d, &[1, 2]).unwrap();
+        // 2000 intermediate slots (8000 B) cannot fit a 4000 B pool: the
+        // governor spills the cold 499 slots and grants a partial budget
+        let t0 = d.now();
+        let granted = bufs.prepare_intermediate_budget(&mut d, 2000).unwrap();
+        assert!(granted < 2000, "grant degrades to a chunk budget, got {granted}");
+        assert!(granted >= 1);
+        let gov = bufs.governor();
+        assert_eq!(gov.reclaim_retries, 1);
+        assert_eq!(gov.spill_events, 1);
+        assert_eq!(gov.spilled_bytes, 499 * 4);
+        assert!(d.now() > t0, "the spill transfer was charged to the clock");
+        // without the pressure policy the same request is a plain OOM
+        let mut d2 = Device::new(0, HardwareProfile::k40().with_capacity(4_000));
+        let mut plain =
+            FrontierBufs::<u32>::new(&mut d2, AllocScheme::JustEnough, 10, 100).unwrap();
+        plain.commit_output(&mut d2, &fat).unwrap();
+        plain.commit_output(&mut d2, &[1, 2]).unwrap();
+        assert!(plain.prepare_intermediate(&mut d2, 2000).is_err());
+    }
+
+    #[test]
+    fn commit_output_spills_the_intermediate_under_pressure() {
+        let mut d = Device::new(0, HardwareProfile::k40().with_capacity(4_000));
+        let mut bufs = FrontierBufs::<u32>::new(&mut d, AllocScheme::JustEnough, 10, 100)
+            .unwrap()
+            .with_pressure(
+                crate::governor::PressurePolicy::governed(),
+                Link { bandwidth_gb_s: 16.0, latency_us: 25.0 },
+            );
+        bufs.prepare_intermediate(&mut d, 800).unwrap(); // 3200 B resident
+        let frontier: Vec<u32> = (0..400).collect(); // needs 1600 B more
+        bufs.commit_output(&mut d, &frontier).unwrap();
+        assert_eq!(bufs.input.as_slice(), &frontier[..]);
+        assert!(bufs.governor().spilled_bytes > 0);
+        assert_eq!(bufs.governor().reclaim_retries, 1);
     }
 
     #[test]

@@ -156,8 +156,15 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> AsyncRunner<'g, V, O, P> {
             peak_memory_per_device: self.system.peak_memory_per_device(),
             total_peak_memory: self.system.total_peak_memory(),
             pool_reallocs: self.system.devices.iter().map(|d| d.pool().reallocs()).sum(),
+            mem_per_device: self
+                .system
+                .devices
+                .iter()
+                .map(|d| crate::report::DeviceMemStats::of(d.pool()))
+                .collect(),
             history: Vec::new(), // async mode has no superstep structure
             recovery: RecoveryLog::default(),
+            governor: crate::governor::GovernorLog::default(),
         })
     }
 

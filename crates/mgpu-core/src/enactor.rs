@@ -40,8 +40,9 @@ use vgpu::{
 
 use crate::alloc::{AllocScheme, FrontierBufs};
 use crate::comm::{broadcast_package, split_and_package, CommStrategy, Package};
-use crate::problem::MgpuProblem;
-use crate::report::{EnactReport, SuperstepTrace};
+use crate::governor::{self, Downgrade, GovernorLog, PressurePolicy};
+use crate::problem::{MgpuProblem, Wire};
+use crate::report::{DeviceMemStats, EnactReport, SuperstepTrace};
 use crate::resilience::{
     guard, CheckpointSink, GlobalCheckpoint, RecoveryCounters, RecoveryLog, RecoveryPolicy,
 };
@@ -63,6 +64,10 @@ pub struct EnactConfig {
     /// Recovery policy (retries, checkpoints, straggler timeout). The
     /// default is fully off and adds zero simulated-time overhead.
     pub recovery: RecoveryPolicy,
+    /// Memory-pressure governor policy ([`crate::governor`]). The default is
+    /// fully off: no admission estimate, no downgrades, no spill/chunking —
+    /// every OOM propagates exactly as before.
+    pub pressure: PressurePolicy,
 }
 
 struct PerGpu<V: Id, S> {
@@ -81,6 +86,10 @@ pub struct Runner<'g, V: Id, O: Id, P: MgpuProblem<V, O>> {
     problem: P,
     config: EnactConfig,
     per_gpu: Vec<PerGpu<V, P::State>>,
+    /// Admission-control decisions taken at bind time (plus any downgrades a
+    /// driver recorded via [`Runner::note_downgrade`]); folded into every
+    /// enact's report.
+    admission: GovernorLog,
 }
 
 impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> Runner<'g, V, O, P> {
@@ -98,7 +107,11 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> Runner<'g, V, O, P> {
             dist.n_parts,
             "system device count must match partition count"
         );
-        let scheme = config.alloc_scheme.unwrap_or_else(|| problem.alloc_scheme());
+        let base_scheme = config.alloc_scheme.unwrap_or_else(|| problem.alloc_scheme());
+        let pressure = config.pressure;
+        let comm = config.comm.unwrap_or_else(|| problem.comm());
+        let host_link = system.interconnect.host_link();
+        let mut admission = GovernorLog::default();
         // Id-width bandwidth factor (Table V): baseline is 32-bit vertices
         // with 32-bit offsets; wider ids read proportionally more per edge.
         let width_factor = (V::BYTES as f64 + O::BYTES as f64 / 4.0) / 5.0;
@@ -108,16 +121,76 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> Runner<'g, V, O, P> {
             if let Some(t) = config.kernel_threads {
                 dev.set_kernel_threads(t);
             }
+            // ---- admission control: walk the scheme down the downgrade
+            // chain until the pre-flight estimate fits under the soft
+            // watermark; a floor scheme past the hard watermark is refused
+            // with a typed OOM before anything is allocated.
+            let mut scheme = base_scheme;
+            if pressure.enabled {
+                let capacity = dev.pool().capacity();
+                let budget = (capacity as f64 * pressure.soft_watermark) as u64;
+                let estimate = |scheme| {
+                    governor::estimate_footprint(
+                        scheme,
+                        comm,
+                        dist.n_parts,
+                        sub.n_vertices(),
+                        sub.n_edges(),
+                        sub.topology_bytes(),
+                        problem.state_bytes_per_vertex(),
+                        V::BYTES,
+                        <P::Msg as Wire>::BYTES,
+                    )
+                    .total()
+                };
+                let mut est = estimate(scheme);
+                while est > budget {
+                    match governor::downgrade_scheme(scheme) {
+                        Some(next) => {
+                            admission.downgrades.push(Downgrade {
+                                device: Some(dev.id()),
+                                kind: "alloc-scheme",
+                                from: scheme.label(),
+                                to: next.label(),
+                                estimated_bytes: est,
+                                budget_bytes: budget,
+                            });
+                            scheme = next;
+                            est = estimate(scheme);
+                        }
+                        None => {
+                            if est > capacity {
+                                return Err(VgpuError::OutOfMemory {
+                                    device: dev.id(),
+                                    requested: est,
+                                    live: dev.pool().live(),
+                                    capacity,
+                                });
+                            }
+                            break; // between watermarks at the floor: admit
+                        }
+                    }
+                }
+            }
             let bytes = sub.topology_bytes();
             let topology = dev.pool().reserve_external(bytes)?;
             // charge the H2D copy of the graph at memory bandwidth
             let cost = dev.profile().local_copy_us(bytes);
             dev.charge(COMPUTE_STREAM, cost, 0.0)?;
             let state = problem.init(dev, sub)?;
-            let bufs = FrontierBufs::new(dev, scheme, sub.n_vertices(), sub.n_edges())?;
+            let bufs = FrontierBufs::new(dev, scheme, sub.n_vertices(), sub.n_edges())?
+                .with_pressure(pressure, host_link);
             per_gpu.push(PerGpu { state, bufs, _topology: topology });
         }
-        Ok(Runner { system, dist, problem, config, per_gpu })
+        Ok(Runner { system, dist, problem, config, per_gpu, admission })
+    }
+
+    /// Record a downgrade decision a higher layer took before (re)binding —
+    /// e.g. a driver that re-partitioned `duplicate-all → duplicate-1-hop`
+    /// or dropped a broadcast override after an admission refusal. It shows
+    /// up in every subsequent report's governor log.
+    pub fn note_downgrade(&mut self, d: Downgrade) {
+        self.admission.downgrades.push(d);
     }
 
     /// The allocation scheme in force.
@@ -156,6 +229,11 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> Runner<'g, V, O, P> {
         sink: &CheckpointSink<V>,
     ) -> (Result<EnactReport>, RecoveryLog) {
         self.system.reset_clocks();
+        // Each enact reports its own mid-run degradation decisions (the
+        // admission log persists — it was decided once, at bind).
+        for per in &mut self.per_gpu {
+            per.bufs.reset_governor();
+        }
         let n = self.dist.n_parts;
         let located = src.map(|g| self.dist.locate(g));
         let sync = SyncPoint::new(n);
@@ -280,8 +358,21 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> Runner<'g, V, O, P> {
             peak_memory_per_device: self.system.peak_memory_per_device(),
             total_peak_memory: self.system.total_peak_memory(),
             pool_reallocs: self.system.devices.iter().map(|d| d.pool().reallocs()).sum(),
+            mem_per_device: self
+                .system
+                .devices
+                .iter()
+                .map(|d| DeviceMemStats::of(d.pool()))
+                .collect(),
             history,
             recovery: log.clone(),
+            governor: {
+                let mut gov = self.admission.clone();
+                for per in &self.per_gpu {
+                    gov.absorb(per.bufs.governor());
+                }
+                gov
+            },
         };
         (Ok(report), log)
     }

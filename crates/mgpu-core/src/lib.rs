@@ -35,6 +35,7 @@ pub mod async_enactor;
 pub mod comm;
 pub mod direction;
 pub mod enactor;
+pub mod governor;
 pub mod ops;
 pub mod problem;
 pub mod report;
@@ -45,6 +46,7 @@ pub use comm::{CommStrategy, Package, SplitScratch};
 pub use direction::{Direction, DirectionConfig, DirectionState};
 pub use async_enactor::AsyncRunner;
 pub use enactor::{EnactConfig, Runner};
+pub use governor::{Downgrade, GovernorLog, PressurePolicy};
 pub use problem::{MgpuProblem, Wire};
-pub use report::EnactReport;
+pub use report::{DeviceMemStats, EnactReport};
 pub use resilience::{CheckpointSink, GlobalCheckpoint, RecoveryLog, RecoveryPolicy, ResilientRunner};

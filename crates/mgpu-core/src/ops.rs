@@ -26,7 +26,7 @@
 
 use mgpu_graph::{Csr, Id};
 use mgpu_partition::SubGraph;
-use vgpu::{par, Device, KernelKind, Result, COMPUTE_STREAM};
+use vgpu::{par, Device, KernelKind, Result, VgpuError, COMPUTE_STREAM};
 
 use crate::alloc::FrontierBufs;
 
@@ -98,6 +98,95 @@ where
     out
 }
 
+/// Split the frontier into contiguous passes whose edge work fits `granted`
+/// intermediate slots — the memory-pressure governor's chunked multi-pass
+/// plan. `None` when a single vertex's adjacency alone exceeds the budget
+/// (hard-infeasible). A pure function of the workload and the granted
+/// budget, so the pass schedule is identical at any thread count.
+fn plan_passes<V: Id, O: Id>(
+    sub: &SubGraph<V, O>,
+    input: &[V],
+    granted: usize,
+) -> Option<Vec<(usize, usize)>> {
+    let mut passes = Vec::new();
+    let (mut start, mut acc) = (0usize, 0usize);
+    for (i, &v) in input.iter().enumerate() {
+        let d = sub.csr.degree(v);
+        if d > granted {
+            return None;
+        }
+        if acc + d > granted {
+            passes.push((start, i));
+            start = i;
+            acc = 0;
+        }
+        acc += d;
+    }
+    if start < input.len() {
+        passes.push((start, input.len()));
+    }
+    Some(passes)
+}
+
+/// A typed OOM for a frontier whose single-vertex adjacency exceeds even the
+/// degraded chunk budget.
+fn chunk_infeasible<V: Id>(dev: &Device, granted: usize) -> VgpuError {
+    VgpuError::OutOfMemory {
+        device: dev.id(),
+        requested: (granted.saturating_add(1) * std::mem::size_of::<V>()) as u64,
+        live: dev.pool().live(),
+        capacity: dev.pool().capacity(),
+    }
+}
+
+/// Run an advance whose intermediate grant fell short of `need` as multiple
+/// passes over contiguous frontier slices: each pass is its own metered
+/// kernel launch (the honest slowdown of degrading), per-pass emissions are
+/// concatenated in pass order (so the emitted frontier is bit-identical to
+/// the single-pass result) and no pass emits more than `granted` elements.
+/// Returns the full emission plus the largest per-pass emission — the actual
+/// intermediate residency to record.
+#[allow(clippy::too_many_arguments)]
+fn advance_multi_pass<V: Id, O: Id, F>(
+    dev: &mut Device,
+    sub: &SubGraph<V, O>,
+    bufs: &mut FrontierBufs<V>,
+    input: &[V],
+    granted: usize,
+    mode: AdvanceMode,
+    max_deg: usize,
+    f: &F,
+) -> Result<(Vec<V>, usize)>
+where
+    F: Fn(V, usize, V) -> Option<V> + Sync,
+{
+    let threads = dev.kernel_threads();
+    // pass planning: one more scan over the input frontier
+    let passes = dev.kernel(COMPUTE_STREAM, KernelKind::Bulk, || {
+        (plan_passes(sub, input, granted), input.len() as u64)
+    })?;
+    let passes = passes.ok_or_else(|| chunk_infeasible::<V>(dev, granted))?;
+    bufs.gov.chunked_advances += 1;
+    bufs.gov.chunk_passes += passes.len() as u64;
+    let mut out = Vec::new();
+    let mut max_emit = 0usize;
+    for &(lo, hi) in &passes {
+        let slice = &input[lo..hi];
+        let part = dev.kernel(COMPUTE_STREAM, KernelKind::Advance, || {
+            let chunks = plan_chunks(sub, slice, PAR_CHUNK_WORK);
+            let emitted = advance_chunks(threads, sub, slice, &chunks, f);
+            let items = match mode {
+                AdvanceMode::LoadBalanced => sub.csr.frontier_out_degree(slice) as u64,
+                AdvanceMode::ThreadMapped => (slice.len() * max_deg) as u64,
+            };
+            (emitted, items)
+        })?;
+        max_emit = max_emit.max(part.len());
+        out.extend(part);
+    }
+    Ok((out, max_emit))
+}
+
 /// How an advance kernel maps frontier work onto (virtual) hardware
 /// threads. Gunrock's key single-GPU optimization — inherited by the
 /// multi-GPU framework "using high-performance, extensible single-GPU
@@ -128,7 +217,7 @@ pub fn advance_with_mode<V: Id, O: Id>(
     f: impl Fn(V, usize, V) -> Option<V> + Sync,
 ) -> Result<Vec<V>> {
     let threads = dev.kernel_threads();
-    let (need, chunks, charged_items) = match mode {
+    let (need, max_deg, chunks, charged_items) = match mode {
         AdvanceMode::LoadBalanced => {
             // the load-balancing scan itself
             let (need, chunks) = dev.kernel(COMPUTE_STREAM, KernelKind::Bulk, || {
@@ -136,7 +225,7 @@ pub fn advance_with_mode<V: Id, O: Id>(
                 let chunks = plan_chunks(sub, input, PAR_CHUNK_WORK);
                 ((need, chunks), input.len() as u64)
             })?;
-            (need, chunks, need as u64)
+            (need, 0, chunks, need as u64)
         }
         AdvanceMode::ThreadMapped => {
             let (need, max_deg, chunks) = dev.kernel(COMPUTE_STREAM, KernelKind::Bulk, || {
@@ -146,14 +235,22 @@ pub fn advance_with_mode<V: Id, O: Id>(
                 ((need, max_deg, chunks), 0)
             })?;
             // every thread-slot takes as long as the slowest (hub) vertex
-            (need, chunks, (input.len() * max_deg) as u64)
+            (need, max_deg, chunks, (input.len() * max_deg) as u64)
         }
     };
-    bufs.prepare_intermediate(dev, need)?;
-    let out = dev.kernel(COMPUTE_STREAM, KernelKind::Advance, || {
-        (advance_chunks(threads, sub, input, &chunks, &f), charged_items)
-    })?;
-    bufs.record_intermediate(out.len());
+    let granted = bufs.prepare_intermediate_budget(dev, need)?;
+    let (out, resident) = if granted >= need {
+        let out = dev.kernel(COMPUTE_STREAM, KernelKind::Advance, || {
+            (advance_chunks(threads, sub, input, &chunks, &f), charged_items)
+        })?;
+        let resident = out.len();
+        (out, resident)
+    } else {
+        // memory pressure: the intermediate only holds `granted` slots at a
+        // time — run the advance as a chunked multi-pass
+        advance_multi_pass(dev, sub, bufs, input, granted, mode, max_deg, &f)?
+    };
+    bufs.record_intermediate(dev, resident)?;
     Ok(out)
 }
 
@@ -187,20 +284,54 @@ pub fn advance_seq<V: Id, O: Id>(
     let need = dev.kernel(COMPUTE_STREAM, KernelKind::Bulk, || {
         (sub.csr.frontier_out_degree(input), input.len() as u64)
     })?;
-    bufs.prepare_intermediate(dev, need)?;
-    let out = dev.kernel(COMPUTE_STREAM, KernelKind::Advance, || {
-        let mut out = Vec::new();
-        for &v in input {
-            for e in sub.csr.edge_range(v) {
-                let d = sub.csr.col_indices()[e];
-                if let Some(emit) = f(v, e, d) {
-                    out.push(emit);
+    let granted = bufs.prepare_intermediate_budget(dev, need)?;
+    let (out, resident) = if granted >= need {
+        let out = dev.kernel(COMPUTE_STREAM, KernelKind::Advance, || {
+            let mut out = Vec::new();
+            for &v in input {
+                for e in sub.csr.edge_range(v) {
+                    let d = sub.csr.col_indices()[e];
+                    if let Some(emit) = f(v, e, d) {
+                        out.push(emit);
+                    }
                 }
             }
+            (out, need as u64)
+        })?;
+        let resident = out.len();
+        (out, resident)
+    } else {
+        // memory pressure: chunked multi-pass, sequential body per pass
+        let passes = dev.kernel(COMPUTE_STREAM, KernelKind::Bulk, || {
+            (plan_passes(sub, input, granted), input.len() as u64)
+        })?;
+        let passes = passes.ok_or_else(|| chunk_infeasible::<V>(dev, granted))?;
+        bufs.gov.chunked_advances += 1;
+        bufs.gov.chunk_passes += passes.len() as u64;
+        let mut out = Vec::new();
+        let mut max_emit = 0usize;
+        for &(lo, hi) in &passes {
+            let slice = &input[lo..hi];
+            let part = dev.kernel(COMPUTE_STREAM, KernelKind::Advance, || {
+                let mut part = Vec::new();
+                let mut edges = 0u64;
+                for &v in slice {
+                    for e in sub.csr.edge_range(v) {
+                        edges += 1;
+                        let d = sub.csr.col_indices()[e];
+                        if let Some(emit) = f(v, e, d) {
+                            part.push(emit);
+                        }
+                    }
+                }
+                (part, edges)
+            })?;
+            max_emit = max_emit.max(part.len());
+            out.extend(part);
         }
-        (out, need as u64)
-    })?;
-    bufs.record_intermediate(out.len());
+        (out, max_emit)
+    };
+    bufs.record_intermediate(dev, resident)?;
     Ok(out)
 }
 
@@ -335,7 +466,12 @@ pub fn advance_accumulate<V: Id, O: Id>(
         let target = (need / ACCUM_MAX_PARTIALS + 1).max(PAR_CHUNK_WORK);
         ((need, plan_chunks(sub, input, target)), input.len() as u64)
     })?;
-    bufs.prepare_intermediate(dev, need)?;
+    // The accumulate scatter merges dense f32 partials in chunk order;
+    // splitting it into passes would change the merge order and drift the
+    // bits. The intermediate here is never materialized (`resident` is 0),
+    // so under pressure a partial grant is accepted as-is — the scatter plan
+    // stays workload-derived and the result unchanged.
+    bufs.prepare_intermediate_budget(dev, need)?;
     let n = accum.len();
     dev.kernel(COMPUTE_STREAM, KernelKind::Advance, || {
         if n > 0 && !chunks.is_empty() {
@@ -366,7 +502,7 @@ pub fn advance_accumulate<V: Id, O: Id>(
         }
         ((), need as u64)
     })?;
-    bufs.record_intermediate(0);
+    bufs.record_intermediate(dev, 0)?;
     Ok(())
 }
 
@@ -684,6 +820,94 @@ mod parallel_tests {
         assert_eq!(gp, gs);
         assert_eq!(dev_p.now().to_bits(), dev_s.now().to_bits());
         assert_eq!(dev_p.counters, dev_s.counters);
+    }
+}
+
+#[cfg(test)]
+mod pressure_tests {
+    use super::*;
+    use crate::alloc::AllocScheme;
+    use crate::governor::PressurePolicy;
+    use mgpu_graph::{Coo, Csr, GraphBuilder};
+    use mgpu_partition::{DistGraph, Duplication};
+    use vgpu::interconnect::Link;
+    use vgpu::{BspCounters, HardwareProfile};
+
+    fn part() -> DistGraph<u32, u64> {
+        const N: usize = 4000;
+        let mut edges = Vec::new();
+        for i in 0..N as u32 {
+            edges.push((i, (i + 1) % N as u32));
+            edges.push((i, (i * 31 + 7) % N as u32));
+        }
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&Coo::from_edges(N, edges, None));
+        DistGraph::build(&g, vec![0; N], 1, Duplication::All)
+    }
+
+    fn run(threads: usize, cap: Option<u64>) -> (Vec<u32>, f64, BspCounters, u64) {
+        let dg = part();
+        let sub = &dg.parts[0];
+        let frontier: Vec<u32> = (0..sub.csr.n_vertices() as u32).collect();
+        let profile = match cap {
+            Some(c) => HardwareProfile::k40().with_capacity(c),
+            None => HardwareProfile::k40(),
+        };
+        let mut dev = Device::new(0, profile);
+        dev.set_kernel_threads(threads);
+        let mut bufs = FrontierBufs::new(
+            &mut dev,
+            AllocScheme::JustEnough,
+            sub.csr.n_vertices(),
+            sub.csr.n_edges(),
+        )
+        .unwrap()
+        .with_pressure(PressurePolicy::governed(), Link { bandwidth_gb_s: 16.0, latency_us: 25.0 });
+        let out =
+            advance(&mut dev, sub, &mut bufs, &frontier, |s, _, d| (d > s).then_some(d)).unwrap();
+        (out, dev.now(), dev.counters, bufs.governor().chunk_passes)
+    }
+
+    #[test]
+    fn chunked_multi_pass_matches_unconstrained_results() {
+        let (full, t_full, _, p_full) = run(1, None);
+        assert_eq!(p_full, 0, "no pressure, no chunking");
+        let (capped, t_capped, _, passes) = run(1, Some(20_000));
+        assert!(passes >= 2, "the tight pool must force a multi-pass, got {passes}");
+        assert_eq!(full, capped, "emitted frontier bit-identical under pressure");
+        assert!(t_capped > t_full, "degrading is slower, never wrong");
+    }
+
+    #[test]
+    fn chunked_multi_pass_is_bit_identical_across_threads() {
+        let (o1, t1, c1, p1) = run(1, Some(20_000));
+        for threads in [2, 4] {
+            let (on, tn, cn, pn) = run(threads, Some(20_000));
+            assert_eq!(o1, on, "emissions at {threads} threads");
+            assert_eq!(t1.to_bits(), tn.to_bits(), "sim clock at {threads} threads");
+            assert_eq!(c1, cn, "counters at {threads} threads");
+            assert_eq!(p1, pn, "pass count at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn infeasible_chunk_budget_is_a_typed_oom() {
+        // a hub whose adjacency exceeds anything a 600-byte pool can grant
+        let mut coo = Coo::<u32>::new(300);
+        for leaf in 1..300u32 {
+            coo.push(0, leaf);
+        }
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&coo);
+        let dg = DistGraph::build(&g, vec![0; 300], 1, Duplication::All);
+        let sub = &dg.parts[0];
+        let mut dev = Device::new(0, HardwareProfile::k40().with_capacity(600));
+        let mut bufs = FrontierBufs::new(&mut dev, AllocScheme::JustEnough, 300, sub.csr.n_edges())
+            .unwrap()
+            .with_pressure(
+                PressurePolicy::governed(),
+                Link { bandwidth_gb_s: 16.0, latency_us: 25.0 },
+            );
+        let err = advance(&mut dev, sub, &mut bufs, &[0], |_, _, d| Some(d)).unwrap_err();
+        assert!(matches!(err, VgpuError::OutOfMemory { .. }), "typed, not a panic: {err:?}");
     }
 }
 

@@ -83,6 +83,16 @@ pub trait MgpuProblem<V: Id, O: Id>: Sync {
         AllocScheme::JustEnough
     }
 
+    /// Bytes of per-vertex problem state [`MgpuProblem::init`] will allocate
+    /// — the admission governor's pre-flight estimate of the `State` arrays.
+    /// Only the relative magnitude matters (it ranks downgrade candidates);
+    /// the default assumes one 8-byte word per vertex. Primitives with
+    /// leaner (BFS/SSSP: one `u32`) or heavier (BC: four arrays) state
+    /// override it.
+    fn state_bytes_per_vertex(&self) -> usize {
+        8
+    }
+
     /// Allocate per-GPU state for `sub` (called once, before any traversal).
     fn init(&self, dev: &mut Device, sub: &SubGraph<V, O>) -> Result<Self::State>;
 

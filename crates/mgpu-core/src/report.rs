@@ -1,7 +1,8 @@
 //! Traversal reports: the measurements every experiment consumes.
 
-use vgpu::BspCounters;
+use vgpu::{BspCounters, MemoryPool};
 
+use crate::governor::GovernorLog;
 use crate::resilience::RecoveryLog;
 
 /// Aggregated per-superstep statistics (summed over devices) — the frontier
@@ -16,6 +17,33 @@ pub struct SuperstepTrace {
     pub sent: u64,
     /// Vertices accepted by combiners into the next input frontier.
     pub combined: u64,
+}
+
+/// Per-device memory accounting snapshot taken when an enact finishes —
+/// the numbers the CLI summary prints per GPU and the capacity-sweep tests
+/// assert on.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DeviceMemStats {
+    /// High-water mark of live bytes on the device pool.
+    pub peak: u64,
+    /// Live bytes at snapshot time.
+    pub live: u64,
+    /// Reallocation events on the pool (cumulative since system creation).
+    pub reallocs: u64,
+    /// Bytes copied by those reallocations.
+    pub realloc_copied: u64,
+}
+
+impl DeviceMemStats {
+    /// Snapshot a device pool.
+    pub fn of(pool: &MemoryPool) -> Self {
+        DeviceMemStats {
+            peak: pool.peak(),
+            live: pool.live(),
+            reallocs: pool.reallocs(),
+            realloc_copied: pool.realloc_copied(),
+        }
+    }
 }
 
 /// The outcome of one enacted traversal.
@@ -45,11 +73,18 @@ pub struct EnactReport {
     /// (the expensive event just-enough allocation works to keep rare,
     /// §VI-B; cumulative across enacts on the same runner).
     pub pool_reallocs: u64,
+    /// Per-device memory accounting snapshots (peak/live/reallocs), indexed
+    /// by device id.
+    pub mem_per_device: Vec<DeviceMemStats>,
     /// Per-superstep frontier statistics, summed over devices.
     pub history: Vec<SuperstepTrace>,
     /// Recovery events (retries, checkpoints, failovers) — all zero/empty
     /// for a fault-free run under the default policy.
     pub recovery: RecoveryLog,
+    /// Itemized memory-pressure governor decisions (admission downgrades,
+    /// chunked passes, spills, reclaim retries) — quiet when the governor
+    /// never had to act.
+    pub governor: GovernorLog,
 }
 
 impl EnactReport {
@@ -90,8 +125,10 @@ impl EnactReport {
             && self.peak_memory_per_device == other.peak_memory_per_device
             && self.total_peak_memory == other.total_peak_memory
             && self.pool_reallocs == other.pool_reallocs
+            && self.mem_per_device == other.mem_per_device
             && self.history == other.history
             && self.recovery == other.recovery
+            && self.governor == other.governor
     }
 
     /// Serialize the report as a JSON object (flat, self-describing) for
@@ -113,7 +150,9 @@ impl EnactReport {
                 "\"kernel_retries\":{},\"transfer_retries\":{},",
                 "\"faults_injected\":{},\"checkpoints_taken\":{},",
                 "\"stragglers_detected\":{},\"failovers\":{},",
-                "\"lost_devices\":{},\"lost_time_us\":{}}}"
+                "\"lost_devices\":{},\"lost_time_us\":{},",
+                "\"downgrades\":{},\"chunked_advances\":{},\"chunk_passes\":{},",
+                "\"spill_events\":{},\"spilled_bytes\":{},\"reclaim_retries\":{}}}"
             ),
             self.primitive,
             self.n_devices,
@@ -142,6 +181,12 @@ impl EnactReport {
             self.recovery.failovers,
             self.recovery.lost_devices.len(),
             self.recovery.lost_time_us,
+            self.governor.downgrades.len(),
+            self.governor.chunked_advances,
+            self.governor.chunk_passes,
+            self.governor.spill_events,
+            self.governor.spilled_bytes,
+            self.governor.reclaim_retries,
         )
     }
 }
@@ -162,8 +207,10 @@ mod tests {
             peak_memory_per_device: 0,
             total_peak_memory: 0,
             pool_reallocs: 0,
+            mem_per_device: Vec::new(),
             history: Vec::new(),
             recovery: RecoveryLog::default(),
+            governor: GovernorLog::default(),
         }
     }
 
@@ -192,6 +239,8 @@ mod tests {
         assert!(j.contains("\"primitive\":\"test\""));
         assert!(j.contains("\"sim_time_us\":123.5"));
         assert!(j.contains("\"iterations\":3"));
+        assert!(j.contains("\"downgrades\":0"));
+        assert!(j.contains("\"spilled_bytes\":0"));
         // balanced braces and quotes
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('"').count() % 2, 0);

@@ -113,6 +113,10 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Bc {
         AllocScheme::PreallocFusion { sizing_factor: 1.0 }
     }
 
+    fn state_bytes_per_vertex(&self) -> usize {
+        16 // labels (u32) + sigma/delta/bc (f32 each)
+    }
+
     fn init(&self, dev: &mut Device, sub: &SubGraph<V, O>) -> Result<Self::State> {
         assert_eq!(
             sub.duplication,

@@ -62,6 +62,10 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Bfs {
         AllocScheme::PreallocFusion { sizing_factor: 1.0 }
     }
 
+    fn state_bytes_per_vertex(&self) -> usize {
+        4 // one u32 label per vertex
+    }
+
     fn init(&self, dev: &mut Device, sub: &SubGraph<V, O>) -> Result<Self::State> {
         Ok(BfsState { labels: dev.alloc(sub.n_vertices())? })
     }

@@ -55,6 +55,10 @@ impl<V: Id + Wire, O: Id> MgpuProblem<V, O> for Cc {
         AllocScheme::Fixed { sizing_factor: 1.0 }
     }
 
+    fn state_bytes_per_vertex(&self) -> usize {
+        <V as Id>::BYTES // one component id per vertex
+    }
+
     fn init(&self, dev: &mut Device, sub: &SubGraph<V, O>) -> Result<Self::State> {
         assert_eq!(
             sub.duplication,

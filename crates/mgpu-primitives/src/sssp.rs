@@ -63,6 +63,10 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Sssp {
         AllocScheme::PreallocFusion { sizing_factor: 1.0 }
     }
 
+    fn state_bytes_per_vertex(&self) -> usize {
+        4 // one u32 distance per vertex
+    }
+
     fn init(&self, dev: &mut Device, sub: &SubGraph<V, O>) -> Result<Self::State> {
         Ok(SsspState {
             dists: dev.alloc(sub.n_vertices())?,

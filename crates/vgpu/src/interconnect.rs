@@ -129,6 +129,13 @@ impl Interconnect {
         }
     }
 
+    /// The host-staged link parameters — the path a device uses to spill
+    /// buffers to host memory under memory pressure (D2H at the staged
+    /// bandwidth/latency, independent of any peer).
+    pub fn host_link(&self) -> Link {
+        self.host_staged
+    }
+
     /// Link parameters between `src` and `dst`.
     pub fn link(&self, src: usize, dst: usize) -> Link {
         match self.link_class(src, dst) {

@@ -97,6 +97,14 @@ impl MemoryPool {
         self.inner.live.load(Relaxed)
     }
 
+    /// Bytes still available before the capacity limit. This is what the
+    /// memory-pressure governor sizes chunked passes from: it is a pure
+    /// function of the pool's simulated accounting, so any policy derived
+    /// from it is deterministic across host thread counts.
+    pub fn free_bytes(&self) -> u64 {
+        self.inner.capacity.saturating_sub(self.inner.live.load(Relaxed))
+    }
+
     /// High-water mark of live bytes.
     pub fn peak(&self) -> u64 {
         self.inner.peak.load(Relaxed)
@@ -252,6 +260,23 @@ impl<T: Default + Clone> DeviceArray<T> {
         self.data.clear();
     }
 
+    /// Shrink the accounted capacity to `cap` elements (never below the
+    /// in-use length), releasing the freed bytes back to the pool. Returns
+    /// the number of bytes released. This is the reclaim half of a host
+    /// spill: the caller is responsible for charging the staging transfer
+    /// and for re-growing (a counted reallocation) if the capacity is
+    /// needed again.
+    pub fn shrink_to(&mut self, cap: usize) -> u64 {
+        let cap = cap.max(self.data.len());
+        if cap >= self.cap {
+            return 0;
+        }
+        let freed = ((self.cap - cap) * std::mem::size_of::<T>()) as u64;
+        self.pool.release(freed);
+        self.cap = cap;
+        freed
+    }
+
     /// Append a value; the in-use length must stay within accounted capacity.
     pub fn push(&mut self, value: T) {
         assert!(self.data.len() < self.cap, "push beyond accounted capacity {}", self.cap);
@@ -382,6 +407,26 @@ mod tests {
         let a = pool.alloc_from_slice(&[7u32, 8, 9]).unwrap();
         assert_eq!(a.as_slice(), &[7, 8, 9]);
         assert_eq!(pool.live(), 12);
+    }
+
+    #[test]
+    fn shrink_releases_bytes_and_regrow_is_a_realloc() {
+        let pool = MemoryPool::new(0, 1000);
+        let mut a = pool.alloc_with_capacity::<u32>(100).unwrap();
+        a.resize_within_capacity(10);
+        assert_eq!(pool.free_bytes(), 600);
+        let freed = a.shrink_to(20);
+        assert_eq!(freed, 320, "80 u32 slots released");
+        assert_eq!(a.capacity(), 20);
+        assert_eq!(pool.free_bytes(), 920);
+        // never shrinks below the in-use length
+        assert_eq!(a.shrink_to(5), 40, "clamped to len 10, freeing 10 slots");
+        assert_eq!(a.capacity(), 10);
+        assert_eq!(a.as_slice().len(), 10);
+        // growing back is the counted reallocation the governor reports
+        let before = pool.reallocs();
+        a.ensure_capacity(50).unwrap();
+        assert_eq!(pool.reallocs(), before + 1);
     }
 
     #[test]

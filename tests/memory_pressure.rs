@@ -1,0 +1,236 @@
+//! End-to-end tests of graceful degradation under memory pressure: the
+//! governor contract of ISSUE 3.
+//!
+//! * Capacity sweep — BFS / SSSP / CC across communication strategies, with
+//!   per-device capacity shrunk step by step: at every feasible capacity the
+//!   results are bit-equal to the unconstrained run (slower, never wrong);
+//!   below the hard-infeasible floor the run fails with a *typed*
+//!   `OutOfMemory`, never a panic or a wrong answer.
+//! * Determinism — a memory-starved, governed run is bit-identical across
+//!   `kernel_threads` (every governor decision is a function of simulated
+//!   pool accounting only).
+//! * Accounting — the report itemizes every governor decision (admission
+//!   downgrades, chunked passes, spill bytes, reclaim retries), and the
+//!   default (ungoverned) policy changes nothing at all.
+
+use mgpu_graph_analytics::core::problem::MgpuProblem;
+use mgpu_graph_analytics::core::{
+    AllocScheme, CommStrategy, EnactConfig, EnactReport, PressurePolicy, Runner,
+};
+use mgpu_graph_analytics::gen::weights::add_paper_weights;
+use mgpu_graph_analytics::gen::{gnm, preferential_attachment};
+use mgpu_graph_analytics::graph::{Csr, GraphBuilder};
+use mgpu_graph_analytics::partition::{DistGraph, Duplication, RandomPartitioner};
+use mgpu_graph_analytics::primitives::{
+    bfs::gather_labels, cc::gather_components, reference, sssp::gather_dists, Bfs, Cc, Sssp,
+};
+use mgpu_graph_analytics::vgpu::{HardwareProfile, Result, SimSystem, VgpuError};
+
+fn graph() -> Csr<u32, u64> {
+    GraphBuilder::undirected(&preferential_attachment(400, 6, 11))
+}
+
+fn weighted_graph() -> Csr<u32, u64> {
+    let mut coo = gnm(300, 1500, 23);
+    add_paper_weights(&mut coo, 5);
+    GraphBuilder::undirected(&coo)
+}
+
+/// One run: 4 devices, optionally capped at `cap` bytes each (which also
+/// arms the governor), requesting the memory-hungriest scheme (`Max`) so the
+/// admission chain has something to walk.
+fn run_one<P, R>(
+    g: &Csr<u32, u64>,
+    problem: P,
+    cap: Option<u64>,
+    threads: usize,
+    comm: Option<CommStrategy>,
+    src: Option<u32>,
+    gather: impl Fn(&Runner<u32, u64, P>, &DistGraph<u32, u64>) -> R,
+) -> Result<(EnactReport, R)>
+where
+    P: MgpuProblem<u32, u64>,
+{
+    let dist = DistGraph::partition(g, &RandomPartitioner { seed: 3 }, 4, problem.duplication());
+    let profile = match cap {
+        Some(c) => HardwareProfile::k40().with_capacity(c),
+        None => HardwareProfile::k40(),
+    };
+    let config = EnactConfig {
+        alloc_scheme: Some(AllocScheme::Max),
+        comm,
+        kernel_threads: Some(threads),
+        pressure: if cap.is_some() {
+            PressurePolicy::governed()
+        } else {
+            PressurePolicy::default()
+        },
+        ..Default::default()
+    };
+    let mut runner = Runner::new(SimSystem::homogeneous(4, profile), &dist, problem, config)?;
+    let report = runner.enact(src)?;
+    Ok((report, gather(&runner, &dist)))
+}
+
+/// Shrink per-device capacity from the unconstrained peak toward zero: every
+/// feasible capacity must reproduce the unconstrained result exactly; every
+/// infeasible one must fail with a typed `OutOfMemory`.
+fn capacity_sweep<P, R>(
+    g: &Csr<u32, u64>,
+    mk: impl Fn() -> P,
+    comm: Option<CommStrategy>,
+    src: Option<u32>,
+    gather: impl Fn(&Runner<u32, u64, P>, &DistGraph<u32, u64>) -> R + Copy,
+    label: &str,
+) where
+    P: MgpuProblem<u32, u64>,
+    R: PartialEq + std::fmt::Debug,
+{
+    let (base, expect) = run_one(g, mk(), None, 1, comm, src, gather).unwrap();
+    let full = base.peak_memory_per_device;
+    assert!(base.governor.is_quiet(), "{label}: ungoverned baseline must be quiet");
+
+    let (mut feasible, mut governed, mut infeasible) = (0u32, 0u32, 0u32);
+    let mut cap = full;
+    while cap > full / 64 {
+        match run_one(g, mk(), Some(cap), 1, comm, src, gather) {
+            Ok((r, got)) => {
+                assert_eq!(got, expect, "{label} capped at {cap}: degraded run must be exact");
+                feasible += 1;
+                if !r.governor.is_quiet() {
+                    governed += 1;
+                }
+            }
+            Err(VgpuError::OutOfMemory { .. }) => infeasible += 1,
+            Err(e) => panic!("{label} capped at {cap}: expected a typed OutOfMemory, got {e}"),
+        }
+        cap = cap * 3 / 4;
+    }
+    assert!(feasible >= 2, "{label}: the sweep should find feasible capped capacities");
+    assert!(governed >= 1, "{label}: some capacity should force the governor to act");
+    assert!(infeasible >= 1, "{label}: tiny capacities must be hard-infeasible");
+}
+
+#[test]
+fn bfs_capacity_sweep_selective_and_broadcast() {
+    let g = graph();
+    let expect = reference::bfs(&g, 0u32);
+    let (_, labels) = run_one(&g, Bfs::default(), None, 1, None, Some(0), gather_labels).unwrap();
+    assert_eq!(labels, expect, "unconstrained baseline must match the reference");
+    capacity_sweep(&g, Bfs::default, None, Some(0), gather_labels, "bfs/selective");
+    capacity_sweep(
+        &g,
+        Bfs::default,
+        Some(CommStrategy::Broadcast),
+        Some(0),
+        gather_labels,
+        "bfs/broadcast",
+    );
+}
+
+#[test]
+fn sssp_capacity_sweep() {
+    let g = weighted_graph();
+    let expect = reference::sssp(&g, 0u32);
+    let (_, dists) = run_one(&g, Sssp, None, 1, None, Some(0), gather_dists).unwrap();
+    assert_eq!(dists, expect, "unconstrained baseline must match the reference");
+    capacity_sweep(&g, || Sssp, None, Some(0), gather_dists, "sssp/selective");
+}
+
+#[test]
+fn cc_capacity_sweep() {
+    let g = graph();
+    let expect = reference::cc(&g);
+    let (_, comps) = run_one(&g, Cc, None, 1, None, None, gather_components).unwrap();
+    assert_eq!(comps, expect, "unconstrained baseline must match the reference");
+    capacity_sweep(&g, || Cc, None, None, gather_components, "cc/broadcast");
+}
+
+#[test]
+fn tight_cap_simulation_is_bit_identical_across_kernel_threads() {
+    let g = graph();
+    let (base, expect) =
+        run_one(&g, Bfs::default(), None, 1, None, Some(0), gather_labels).unwrap();
+    // Walk down until a capacity actually exercises the governor.
+    let mut cap = base.peak_memory_per_device;
+    let mut chosen = None;
+    while chosen.is_none() {
+        match run_one(&g, Bfs::default(), Some(cap), 1, None, Some(0), gather_labels) {
+            Ok((r, l)) if !r.governor.is_quiet() => chosen = Some((cap, r, l)),
+            Ok(_) => cap = cap * 3 / 4,
+            Err(e) => panic!("hit the infeasible floor before the governor acted: {e}"),
+        }
+    }
+    let (cap, r1, l1) = chosen.unwrap();
+    assert_eq!(l1, expect, "starved run must still be exact");
+    for threads in [2usize, 4] {
+        let (rn, ln) =
+            run_one(&g, Bfs::default(), Some(cap), threads, None, Some(0), gather_labels).unwrap();
+        assert_eq!(ln, l1, "labels at {threads} kernel threads");
+        assert!(
+            r1.same_simulation(&rn),
+            "a governed, memory-starved simulation must be bit-identical across kernel_threads"
+        );
+    }
+}
+
+#[test]
+fn report_itemizes_governor_decisions() {
+    let g = graph();
+    let (base, _) = run_one(&g, Bfs::default(), None, 1, None, Some(0), gather_labels).unwrap();
+    // Half the Max-scheme peak: low enough that the admission chain and/or
+    // the mid-run tiers must act, high enough to stay feasible.
+    let mut cap = base.peak_memory_per_device / 2;
+    let (report, _) = loop {
+        match run_one(&g, Bfs::default(), Some(cap), 1, None, Some(0), gather_labels) {
+            Ok(out) if !out.0.governor.is_quiet() => break out,
+            Ok(_) => cap = cap * 3 / 4,
+            Err(e) => panic!("expected a feasible governed capacity, got {e}"),
+        }
+    };
+    let gov = &report.governor;
+    for d in &gov.downgrades {
+        assert_eq!(d.kind, "alloc-scheme", "only the enactor records per-device downgrades here");
+        assert!(d.device.is_some());
+        assert!(d.estimated_bytes > d.budget_bytes, "a downgrade implies the estimate overflowed");
+    }
+    if gov.chunked_advances > 0 {
+        assert!(
+            gov.chunk_passes >= 2 * gov.chunked_advances,
+            "a chunked advance is by definition multi-pass"
+        );
+    }
+    assert_eq!(gov.spill_events > 0, gov.spilled_bytes > 0, "spill counters move together");
+    // per-device memory stats are populated and bounded by the cap
+    assert_eq!(report.mem_per_device.len(), 4);
+    for m in &report.mem_per_device {
+        assert!(m.peak > 0 && m.peak <= cap);
+        assert!(m.live <= m.peak);
+    }
+    // the JSON report carries the governor fields
+    let json = report.to_json();
+    for key in ["downgrades", "chunked_advances", "spilled_bytes", "reclaim_retries"] {
+        assert!(json.contains(&format!("\"{key}\":")), "to_json must carry {key}");
+    }
+}
+
+#[test]
+fn disabled_policy_under_a_loose_cap_changes_nothing() {
+    let g = graph();
+    let run = |pressure: PressurePolicy| {
+        let dist = DistGraph::partition(&g, &RandomPartitioner { seed: 3 }, 4, Duplication::All);
+        let config = EnactConfig { pressure, ..Default::default() };
+        let sys = SimSystem::homogeneous(4, HardwareProfile::k40());
+        let mut runner = Runner::new(sys, &dist, Bfs::default(), config).unwrap();
+        let report = runner.enact(Some(0u32)).unwrap();
+        (report, gather_labels(&runner, &dist))
+    };
+    let (off, l_off) = run(PressurePolicy::default());
+    let (on, l_on) = run(PressurePolicy::governed());
+    assert_eq!(l_off, l_on);
+    assert!(on.governor.is_quiet(), "an unconstrained governed run never has to act");
+    assert!(
+        off.same_simulation(&on),
+        "an armed but idle governor must be invisible to the simulation"
+    );
+}
