@@ -192,6 +192,7 @@ impl Bfs2d {
             history: Vec::new(),
             recovery: mgpu_core::RecoveryLog::default(),
             governor: mgpu_core::GovernorLog::default(),
+            comm: mgpu_core::CommReduction::default(),
         };
         Ok((report, labels))
     }

@@ -205,6 +205,7 @@ impl HardwiredDobfs {
             history: Vec::new(),
             recovery: mgpu_core::RecoveryLog::default(),
             governor: mgpu_core::GovernorLog::default(),
+            comm: mgpu_core::CommReduction::default(),
         };
         Ok((report, labels_out))
     }

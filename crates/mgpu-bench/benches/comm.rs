@@ -1,13 +1,18 @@
 //! Criterion micro-benchmarks of the communication hot path (wall-clock of
 //! the real execution, not the simulated clock): the count-then-scatter
 //! selective split with its reusable scratch, broadcast packaging with
-//! `Arc` fan-out vs the deep-clone fan-out it replaced, and the combine
-//! loop that appends received vertices straight into the next frontier.
+//! `Arc` fan-out vs the deep-clone fan-out it replaced, the combine
+//! loop that appends received vertices straight into the next frontier,
+//! the real wire encodings (encode and decode), and the monotone
+//! suppression cache on a re-relaxing split.
 
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mgpu_core::comm::{broadcast_package, split_and_package, Package, SplitScratch};
+use mgpu_core::comm::{
+    broadcast_package, broadcast_package_with, split_and_package, split_and_package_with, Package,
+    PackagePolicy, SplitScratch, SuppressState, WireEncoding,
+};
 use mgpu_graph::{Coo, Csr, GraphBuilder};
 use mgpu_partition::{DistGraph, Duplication};
 use vgpu::{Device, HardwareProfile};
@@ -88,7 +93,8 @@ fn bench_combine(c: &mut Criterion) {
                 let mut labels = vec![u32::MAX; n];
                 let mut next: Vec<u32> = Vec::new();
                 for pkg in &pkgs {
-                    for (&v, &msg) in pkg.vertices.iter().zip(&pkg.msgs) {
+                    let (vs, ms) = pkg.decode();
+                    for (&v, &msg) in vs.iter().zip(ms.iter()) {
                         if msg < labels[v as usize] {
                             labels[v as usize] = msg;
                             next.push(v);
@@ -102,5 +108,112 @@ fn bench_combine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_split, bench_broadcast, bench_combine);
+/// Encode + decode round trips for each real wire encoding over a sorted
+/// uniform-payload broadcast frontier — the shape DOBFS ships every
+/// superstep, and the case where DeltaVarint's shared-payload flag pays.
+fn bench_encodings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm/encodings");
+    let encodings = [
+        ("legacy", WireEncoding::Legacy),
+        ("list", WireEncoding::List),
+        ("bitmap", WireEncoding::Bitmap),
+        ("delta", WireEncoding::DeltaVarint),
+        ("auto", WireEncoding::Auto),
+    ];
+    for size in [10_000usize, 1_000_000] {
+        // every other vertex of the space: sorted, uniform label
+        let vertices: Vec<u32> = (0..size as u32).map(|v| v * 2).collect();
+        let msgs: Vec<u32> = vec![7u32; size];
+        let space = 2 * size;
+        for (name, enc) in encodings {
+            group.bench_function(BenchmarkId::new(format!("encode/{name}"), size), |b| {
+                b.iter(|| {
+                    Package::encode(vertices.clone(), msgs.clone(), enc, Some(space), Some(true))
+                })
+            });
+            let pkg = Package::encode(vertices.clone(), msgs.clone(), enc, Some(space), Some(true));
+            group.bench_function(BenchmarkId::new(format!("decode/{name}"), size), |b| {
+                b.iter(|| {
+                    let (vs, ms) = pkg.decode();
+                    (vs.len(), ms.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The monotone suppression cache on a split whose frontier re-relaxes every
+/// vertex twice with a non-improving key the second time — the SSSP
+/// duplicate-relaxation shape. The suppressed variant does strictly less
+/// packaging work; this measures the cache's own overhead against it.
+fn bench_suppression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm/suppression");
+    for size in [10_000usize, 100_000] {
+        let (dist, _) = setup(size);
+        let sub = &dist.parts[0];
+        let mut dev = Device::new(0, HardwareProfile::k40());
+        let mut scratch = SplitScratch::default();
+        // every vertex appears twice: second appearance never improves
+        let frontier: Vec<u32> = (0..size as u32).chain(0..size as u32).collect();
+        let policy =
+            PackagePolicy { encoding: WireEncoding::Auto, monotone: true, uniform_hint: None };
+        group.bench_function(BenchmarkId::new("off", size), |b| {
+            b.iter(|| {
+                split_and_package_with(
+                    &mut dev,
+                    sub,
+                    &frontier,
+                    &mut scratch,
+                    |v| v,
+                    policy,
+                    None,
+                    |&m| u64::from(m),
+                )
+                .unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("on", size), |b| {
+            b.iter(|| {
+                let mut supp = SuppressState::new(sub.n_vertices());
+                split_and_package_with(
+                    &mut dev,
+                    sub,
+                    &frontier,
+                    &mut scratch,
+                    |v| v,
+                    policy,
+                    Some(&mut supp),
+                    |&m| u64::from(m),
+                )
+                .unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("broadcast_on", size), |b| {
+            b.iter(|| {
+                let mut supp = SuppressState::new(sub.n_vertices());
+                broadcast_package_with(
+                    &mut dev,
+                    sub,
+                    &frontier,
+                    |v| v,
+                    policy,
+                    Some(&mut supp),
+                    |&m| u64::from(m),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_split,
+    bench_broadcast,
+    bench_combine,
+    bench_encodings,
+    bench_suppression
+);
 criterion_main!(benches);

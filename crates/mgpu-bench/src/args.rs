@@ -1,23 +1,27 @@
 //! Minimal flag parsing shared by the experiment binaries.
 
 /// Common experiment knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BenchArgs {
     /// Scale-down shift: datasets shrink by `2^shift` vertices relative to
     /// the paper (0 = paper scale).
     pub shift: u32,
     /// Generator seed.
     pub seed: u64,
+    /// Optional machine-readable output path (`--json-out FILE`); binaries
+    /// that support it write their results as JSON alongside the table.
+    pub json_out: Option<String>,
 }
 
 impl Default for BenchArgs {
     fn default() -> Self {
-        BenchArgs { shift: 8, seed: 42 }
+        BenchArgs { shift: 8, seed: 42, json_out: None }
     }
 }
 
 impl BenchArgs {
-    /// Parse `--shift N` / `--seed S` from `std::env::args`.
+    /// Parse `--shift N` / `--seed S` / `--json-out FILE` from
+    /// `std::env::args`.
     pub fn parse() -> Self {
         Self::parse_from(std::env::args().skip(1))
     }
@@ -36,7 +40,12 @@ impl BenchArgs {
                     out.seed =
                         args.next().and_then(|v| v.parse().ok()).expect("--seed needs an integer");
                 }
-                other => panic!("unknown flag {other}; supported: --shift N, --seed S"),
+                "--json-out" => {
+                    out.json_out = Some(args.next().expect("--json-out needs a path"));
+                }
+                other => {
+                    panic!("unknown flag {other}; supported: --shift N, --seed S, --json-out FILE")
+                }
             }
         }
         out
@@ -52,6 +61,7 @@ mod tests {
         let a = BenchArgs::parse_from(std::iter::empty());
         assert_eq!(a.shift, 8);
         assert_eq!(a.seed, 42);
+        assert!(a.json_out.is_none());
     }
 
     #[test]
@@ -60,6 +70,13 @@ mod tests {
             BenchArgs::parse_from(["--shift", "5", "--seed", "7"].iter().map(|s| s.to_string()));
         assert_eq!(a.shift, 5);
         assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn parses_json_out() {
+        let a =
+            BenchArgs::parse_from(["--json-out", "BENCH_comm.json"].iter().map(|s| s.to_string()));
+        assert_eq!(a.json_out.as_deref(), Some("BENCH_comm.json"));
     }
 
     #[test]

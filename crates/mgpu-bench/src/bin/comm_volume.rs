@@ -1,0 +1,158 @@
+//! Comm-volume study — what the wire-reduction stack buys per primitive.
+//!
+//! Runs DOBFS, SSSP, delta-stepping SSSP and CC at six GPUs on two analog
+//! datasets, comparing the default configuration against monotone send
+//! suppression + `Auto` wire encoding + the butterfly broadcast collective.
+//! Reports simulated milliseconds, total H bytes on the wire, the fraction
+//! of sends the suppression cache dropped, and the butterfly stage count.
+//!
+//! With `--json-out FILE` the same rows are written as JSON (the CI
+//! comm-reduction job archives `BENCH_comm.json`).
+
+use std::fmt::Write as _;
+
+use mgpu_bench::{pick_source, run_primitive, BenchArgs, Primitive, Table};
+use mgpu_core::{CommTopology, EnactConfig, EnactReport, Runner, WireEncoding};
+use mgpu_gen::weights::add_paper_weights;
+use mgpu_gen::Dataset;
+use mgpu_graph::{Csr, GraphBuilder};
+use mgpu_partition::{DistGraph, Duplication, RandomPartitioner};
+use mgpu_primitives::SsspDelta;
+use vgpu::HardwareProfile;
+
+const GPUS: usize = 6;
+
+fn enabled_config() -> EnactConfig {
+    EnactConfig {
+        suppression: true,
+        wire_encoding: WireEncoding::Auto,
+        comm_topology: CommTopology::Butterfly,
+        ..EnactConfig::default()
+    }
+}
+
+struct Row {
+    dataset: &'static str,
+    primitive: String,
+    config: &'static str,
+    sim_ms: f64,
+    h_bytes: u64,
+    suppressed_pct: f64,
+    collective_stages: u64,
+}
+
+fn row(dataset: &'static str, primitive: &str, config: &'static str, report: &EnactReport) -> Row {
+    let sent = report.totals.h_vertices;
+    let supp = report.comm.suppressed_vertices;
+    let denom = (sent + supp).max(1);
+    Row {
+        dataset,
+        primitive: primitive.to_string(),
+        config,
+        sim_ms: report.sim_time_us / 1000.0,
+        h_bytes: report.totals.h_bytes_sent,
+        suppressed_pct: 100.0 * supp as f64 / denom as f64,
+        collective_stages: report.comm.collective_stages,
+    }
+}
+
+/// Delta-stepping is not in the `Primitive` CLI enum (it shares SSSP's
+/// reference results), so run it directly — it is the one primitive whose
+/// sender-side suppression fires.
+fn run_sssp_delta(g: &Csr<u32, u64>, seed: u64, shift: u32, cfg: EnactConfig) -> EnactReport {
+    let dist = DistGraph::partition(g, &RandomPartitioner { seed }, GPUS, Duplication::All);
+    let sys = mgpu_bench::runners::scaled_system(GPUS, HardwareProfile::k40(), shift);
+    let mut runner = Runner::new(sys, &dist, SsspDelta::default(), cfg).expect("runner");
+    runner.enact(Some(pick_source(g))).expect("enact")
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    println!("Comm-volume study — default vs suppression+auto-encoding+butterfly at {GPUS} GPUs\n");
+
+    let datasets = ["rmat_2Mv_128Me", "soc-orkut"];
+    let prims = [Primitive::Dobfs, Primitive::Sssp, Primitive::Cc];
+    let part = RandomPartitioner { seed: args.seed };
+    let mut rows: Vec<Row> = Vec::new();
+
+    for name in datasets {
+        let ds = Dataset::by_name(name).expect("catalog dataset");
+        let mut coo = ds.generate(args.shift, args.seed);
+        add_paper_weights(&mut coo, args.seed ^ 0xabc);
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&coo);
+
+        for prim in prims {
+            for (cname, cfg) in [("default", EnactConfig::default()), ("reduced", enabled_config())]
+            {
+                let sys =
+                    mgpu_bench::runners::scaled_system(GPUS, HardwareProfile::k40(), args.shift);
+                let out = run_primitive(prim, &g, sys, &part, cfg).expect("run");
+                rows.push(row(name, prim.name(), cname, &out.report));
+            }
+        }
+        for (cname, cfg) in [("default", EnactConfig::default()), ("reduced", enabled_config())] {
+            let report = run_sssp_delta(&g, args.seed, args.shift, cfg);
+            rows.push(row(name, "SSSP(Δ)", cname, &report));
+        }
+    }
+
+    let mut t = Table::new(&[
+        "dataset",
+        "primitive",
+        "config",
+        "sim ms",
+        "H bytes",
+        "suppressed %",
+        "stages",
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.dataset.to_string(),
+            r.primitive.clone(),
+            r.config.to_string(),
+            format!("{:.2}", r.sim_ms),
+            format!("{}", r.h_bytes),
+            format!("{:.1}", r.suppressed_pct),
+            format!("{}", r.collective_stages),
+        ]);
+    }
+    t.print();
+
+    println!("\nByte reduction (default / reduced):");
+    for pair in rows.chunks(2) {
+        if let [base, opt] = pair {
+            println!(
+                "  {:>16} {:>8}: {:.2}x",
+                base.dataset,
+                base.primitive,
+                base.h_bytes as f64 / opt.h_bytes.max(1) as f64
+            );
+        }
+    }
+
+    if let Some(path) = &args.json_out {
+        let mut j = String::from("{\"gpus\":6,\"rows\":[");
+        for (i, r) in rows.iter().enumerate() {
+            if i > 0 {
+                j.push(',');
+            }
+            write!(
+                j,
+                "{{\"dataset\":\"{}\",\"primitive\":\"{}\",\"config\":\"{}\",\
+                 \"sim_ms\":{:.3},\"h_bytes\":{},\"suppressed_pct\":{:.2},\
+                 \"collective_stages\":{}}}",
+                r.dataset,
+                r.primitive,
+                r.config,
+                r.sim_ms,
+                r.h_bytes,
+                r.suppressed_pct,
+                r.collective_stages
+            )
+            .unwrap();
+        }
+        j.push_str("]}\n");
+        std::fs::write(path, j).expect("write --json-out file");
+        println!("\nwrote {path}");
+    }
+}

@@ -34,6 +34,11 @@
 //!                       override the primitive's frontier allocation scheme
 //!   --sizing-factor F   preallocation sizing factor for fixed /
 //!                       prealloc-fusion schemes                   [default 1.0]
+//!   --comm-topology {direct|butterfly}  broadcast collective shape
+//!                       (butterfly = log2(n)-stage dissemination) [default direct]
+//!   --wire-encoding {legacy|auto|list|bitmap|delta}  package wire format;
+//!                       auto picks the smallest per package       [default legacy]
+//!   --suppression       drop sends a monotone combiner would reject anyway
 //! ```
 
 use std::process::ExitCode;
@@ -56,7 +61,8 @@ fn usage() -> ExitCode {
          (--dataset <name> | --mtx <path>) [--gpus N] [--partitioner random|biased|metis|chunked]\n\
          \x20         [--profile k40|k80|p100] [--shift N] [--seed S] [--src V|auto] [--json]\n\
          \x20         [--comm selective|broadcast] [--fault-plan <spec|random:SEED:COUNT:HORIZON>] [--recovery]\n\
-         \x20         [--mem-cap BYTES] [--alloc-scheme just-enough|fixed|max|prealloc-fusion] [--sizing-factor F]"
+         \x20         [--mem-cap BYTES] [--alloc-scheme just-enough|fixed|max|prealloc-fusion] [--sizing-factor F]\n\
+         \x20         [--comm-topology direct|butterfly] [--wire-encoding legacy|auto|list|bitmap|delta] [--suppression]"
     );
     ExitCode::FAILURE
 }
@@ -119,6 +125,9 @@ struct RunArgs {
     mem_cap: Option<u64>,
     alloc_scheme: Option<String>,
     sizing_factor: f64,
+    comm_topology: Option<String>,
+    wire_encoding: Option<String>,
+    suppression: bool,
 }
 
 fn run(args: &[String]) -> ExitCode {
@@ -159,6 +168,9 @@ fn run(args: &[String]) -> ExitCode {
             "--sizing-factor" => {
                 a.sizing_factor = value("--sizing-factor").parse().expect("--sizing-factor F")
             }
+            "--comm-topology" => a.comm_topology = Some(value("--comm-topology")),
+            "--wire-encoding" => a.wire_encoding = Some(value("--wire-encoding")),
+            "--suppression" => a.suppression = true,
             other => {
                 eprintln!("unknown flag {other}");
                 return usage();
@@ -263,9 +275,31 @@ fn run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let comm_topology = match a.comm_topology.as_deref() {
+        None | Some("direct") => mgpu_core::CommTopology::Direct,
+        Some("butterfly") => mgpu_core::CommTopology::Butterfly,
+        Some(other) => {
+            eprintln!("unknown comm topology {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wire_encoding = match a.wire_encoding.as_deref() {
+        None | Some("legacy") => mgpu_core::WireEncoding::Legacy,
+        Some("auto") => mgpu_core::WireEncoding::Auto,
+        Some("list") => mgpu_core::WireEncoding::List,
+        Some("bitmap") => mgpu_core::WireEncoding::Bitmap,
+        Some("delta") => mgpu_core::WireEncoding::DeltaVarint,
+        Some(other) => {
+            eprintln!("unknown wire encoding {other}");
+            return ExitCode::FAILURE;
+        }
+    };
     let config = EnactConfig {
         alloc_scheme,
         comm,
+        comm_topology,
+        wire_encoding,
+        suppression: a.suppression,
         recovery: if a.recovery { RecoveryPolicy::resilient() } else { RecoveryPolicy::default() },
         pressure: if a.mem_cap.is_some() {
             PressurePolicy::governed()
@@ -343,6 +377,18 @@ fn run(args: &[String]) -> ExitCode {
             r.totals.h_vertices,
             r.totals.h_bytes_sent / 1024
         );
+        if r.comm != mgpu_core::CommReduction::default() {
+            let cm = &r.comm;
+            println!(
+                "wire reduction {} vertices suppressed ({} KiB), encodings {} list / {} bitmap / {} delta, {} collective stages",
+                cm.suppressed_vertices,
+                cm.suppressed_bytes / 1024,
+                cm.enc_list,
+                cm.enc_bitmap,
+                cm.enc_delta,
+                cm.collective_stages
+            );
+        }
         println!("peak mem/GPU   {} KiB", r.peak_memory_per_device / 1024);
         for (gpu, m) in r.mem_per_device.iter().enumerate() {
             println!(

@@ -37,9 +37,10 @@ use vgpu::{
 };
 
 use crate::alloc::FrontierBufs;
-use crate::comm::{split_and_package, Package};
+use crate::comm::{split_and_package_with, Package, PackagePolicy, SuppressState, WireEncoding};
+use crate::enactor::EnactConfig;
 use crate::problem::MgpuProblem;
-use crate::report::EnactReport;
+use crate::report::{CommReduction, EnactReport};
 use crate::resilience::{guard, RecoveryLog};
 
 /// An asynchronous runner for label-correcting primitives.
@@ -54,6 +55,8 @@ pub struct AsyncRunner<'g, V: Id, O: Id, P: MgpuProblem<V, O>> {
     dist: &'g DistGraph<V, O>,
     problem: P,
     per_gpu: Vec<AsyncPerGpu<V, P::State>>,
+    encoding: WireEncoding,
+    suppression: bool,
 }
 
 struct AsyncPerGpu<V: Id, S> {
@@ -64,7 +67,20 @@ struct AsyncPerGpu<V: Id, S> {
 
 impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> AsyncRunner<'g, V, O, P> {
     /// Bind `problem` to `dist` on `system` (see [`crate::Runner::new`]).
-    pub fn new(mut system: SimSystem, dist: &'g DistGraph<V, O>, problem: P) -> Result<Self> {
+    pub fn new(system: SimSystem, dist: &'g DistGraph<V, O>, problem: P) -> Result<Self> {
+        Self::with_config(system, dist, problem, &EnactConfig::default())
+    }
+
+    /// [`AsyncRunner::new`] with explicit wire-volume knobs. The async path
+    /// honours `wire_encoding` and `suppression` from the config;
+    /// `comm_topology` does not apply (there are no supersteps to stage a
+    /// collective over) and is ignored.
+    pub fn with_config(
+        mut system: SimSystem,
+        dist: &'g DistGraph<V, O>,
+        problem: P,
+        config: &EnactConfig,
+    ) -> Result<Self> {
         assert_eq!(system.n_devices(), dist.n_parts);
         let scheme = problem.alloc_scheme();
         let mut per_gpu = Vec::with_capacity(dist.n_parts);
@@ -76,7 +92,14 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> AsyncRunner<'g, V, O, P> {
             let bufs = FrontierBufs::new(dev, scheme, sub.n_vertices(), sub.n_edges())?;
             per_gpu.push(AsyncPerGpu { state, bufs, _topology: topology });
         }
-        Ok(AsyncRunner { system, dist, problem, per_gpu })
+        Ok(AsyncRunner {
+            system,
+            dist,
+            problem,
+            per_gpu,
+            encoding: config.wire_encoding,
+            suppression: config.suppression,
+        })
     }
 
     /// Run one traversal asynchronously from `src` (global id).
@@ -93,9 +116,16 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> AsyncRunner<'g, V, O, P> {
         let first_error: Mutex<Option<VgpuError>> = Mutex::new(None);
         let problem = &self.problem;
         let interconnect = std::sync::Arc::clone(&self.system.interconnect);
+        let monotone = problem.monotone();
+        let pkg_policy = PackagePolicy {
+            encoding: self.encoding,
+            monotone,
+            uniform_hint: problem.uniform_broadcast_msgs(),
+        };
+        let suppression = self.suppression && monotone && n > 1;
 
         let t0 = Instant::now();
-        let rounds: Vec<Result<usize>> = std::thread::scope(|scope| {
+        let rounds: Vec<Result<(usize, CommReduction)>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for ((dev, per), sub) in self
                 .system
@@ -127,6 +157,8 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> AsyncRunner<'g, V, O, P> {
                         abort,
                         first_error,
                         src_local,
+                        pkg_policy,
+                        suppression,
                     )
                 }));
             }
@@ -142,8 +174,11 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> AsyncRunner<'g, V, O, P> {
             return Err(first_error.lock().take().unwrap_or(VgpuError::Aborted));
         }
         let mut max_rounds = 0usize;
+        let mut comm_acc = CommReduction::default();
         for r in rounds {
-            max_rounds = max_rounds.max(r?);
+            let (rounds_done, comm_stats) = r?;
+            max_rounds = max_rounds.max(rounds_done);
+            comm_acc.merge(&comm_stats);
         }
         Ok(EnactReport {
             primitive: self.problem.name(),
@@ -165,6 +200,7 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> AsyncRunner<'g, V, O, P> {
             history: Vec::new(), // async mode has no superstep structure
             recovery: RecoveryLog::default(),
             governor: crate::governor::GovernorLog::default(),
+            comm: comm_acc,
         })
     }
 
@@ -192,12 +228,19 @@ fn run_async_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
     abort: &AtomicBool,
     first_error: &Mutex<Option<VgpuError>>,
     src_local: Option<V>,
-) -> Result<usize> {
+    pkg_policy: PackagePolicy,
+    suppression: bool,
+) -> Result<(usize, CommReduction)> {
     let gpu = dev.id();
     let fail = |e: VgpuError| {
         first_error.lock().get_or_insert(e);
         abort.store(true, SeqCst);
     };
+    // Suppression is sound here for the same reason it is in the BSP path:
+    // remote state only ever improves (async requires a monotone combiner),
+    // so a key at or above the floor would be rejected by every receiver.
+    let mut supp: Option<SuppressState> = suppression.then(|| SuppressState::new(sub.n_vertices()));
+    let mut stats = CommReduction::default();
 
     let mut pending: Vec<V> =
         match guard(gpu, || problem.reset(dev, sub, &mut per.state, src_local)) {
@@ -238,8 +281,10 @@ fn run_async_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
                 let state = &mut per.state;
                 let pending_ref = &mut pending;
                 dev.kernel(COMM_STREAM, KernelKind::Combine, || {
-                    for (i, &wire) in pkg.vertices.iter().enumerate() {
-                        if problem.combine(state, wire, &pkg.msgs[i]) {
+                    // selective wire ids are owner-local: combine directly
+                    let (vs, ms) = pkg.decode();
+                    for (i, &wire) in vs.iter().enumerate() {
+                        if problem.combine(state, wire, &ms[i]) {
                             pending_ref.push(wire);
                         }
                     }
@@ -267,7 +312,11 @@ fn run_async_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
             }
             // termination: nobody busy, nothing in flight, inbox empty
             if busy.load(SeqCst) == 0 && in_flight.load(SeqCst) == 0 && mailbox.is_empty(gpu) {
-                return Ok(rounds);
+                if let Some(s) = supp.as_ref() {
+                    stats.suppressed_vertices = s.suppressed_vertices;
+                    stats.suppressed_bytes = s.suppressed_bytes;
+                }
+                return Ok((rounds, stats));
             }
             std::thread::yield_now();
             continue;
@@ -275,19 +324,29 @@ fn run_async_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
 
         // --- relax the pending frontier ---
         let input = std::mem::take(&mut pending);
+        let supp_ref = &mut supp;
+        let stats_ref = &mut stats;
         let outcome = guard(gpu, || -> Result<Vec<V>> {
             let output =
                 problem.iteration(dev, sub, &mut per.state, &mut per.bufs, &input, rounds)?;
             let state = &per.state;
-            let (local, pkgs) = split_and_package(dev, sub, &output, &mut per.bufs.split, |v| {
-                problem.package(state, v)
-            })?;
+            let (local, pkgs) = split_and_package_with(
+                dev,
+                sub,
+                &output,
+                &mut per.bufs.split,
+                |v| problem.package(state, v),
+                pkg_policy,
+                supp_ref.as_mut(),
+                |m| problem.suppression_key(m),
+            )?;
             if pkgs.iter().any(Option::is_some) {
                 let ready = dev.record_event(COMPUTE_STREAM);
                 dev.stream_wait(COMM_STREAM, ready)?;
             }
             for (peer, pkg) in pkgs.into_iter().enumerate() {
                 let Some(pkg) = pkg else { continue };
+                stats_ref.count_package(pkg.encoding());
                 let bytes = pkg.wire_bytes();
                 let occupancy = interconnect.occupancy_us(gpu, peer, bytes);
                 let sent_at = dev.charge(COMM_STREAM, occupancy, 0.0)?;

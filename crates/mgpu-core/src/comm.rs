@@ -13,6 +13,28 @@
 //! Splitting and packaging are "communication computation" — the `C` term
 //! of the paper's cost model — and are metered as [`KernelKind::Split`]
 //! launches.
+//!
+//! # Wire volume reduction (DESIGN.md §10)
+//!
+//! Three opt-in mechanisms shrink the `H` term without changing results:
+//!
+//! * **Real encodings** ([`PackageEncoding`]): packages can be materialized
+//!   as actual wire bytes — a plain list, a dense bitmap over the broadcast
+//!   space, or delta-varint over sorted ids — with `wire_bytes` equal to the
+//!   true encoded size. Selected per package by [`WireEncoding`] policy
+//!   (smallest wins under `Auto`). The default [`WireEncoding::Legacy`]
+//!   keeps the historical *accounting-only* behaviour bit-identical.
+//! * **Monotone send suppression** ([`SuppressState`]): for primitives whose
+//!   combiner is monotone (min-combine), a per-vertex floor of everything
+//!   already pushed to (or observed from) the wire proves that a repeated
+//!   message with a key `≥ floor` would be rejected by every receiver's
+//!   combiner — so it can be dropped before it is packaged.
+//! * **Canonical packages**: under a non-legacy encoding, monotone packages
+//!   are sorted by vertex id and deduplicated (keeping the minimum key),
+//!   which both enables the sorted encodings and removes intra-package
+//!   duplicates a monotone combiner would reject anyway.
+
+use std::borrow::Cow;
 
 use mgpu_graph::Id;
 use mgpu_partition::SubGraph;
@@ -29,38 +51,329 @@ pub enum CommStrategy {
     Selective,
 }
 
+/// How broadcast traffic is routed between the devices (`EnactConfig`
+/// knob). Orthogonal to [`CommStrategy`]: the topology decides *who talks
+/// to whom*, the strategy decides *what is on the wire*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommTopology {
+    /// Every sender pushes its package directly to all n−1 peers (the
+    /// paper's model; the default).
+    #[default]
+    Direct,
+    /// A ⌈log₂ n⌉-stage butterfly (dissemination) exchange: stage k sends
+    /// the union of everything held so far to peer `(i + 2^k) mod n`,
+    /// cutting per-link traffic and the latency term. Engaged only for
+    /// broadcast supersteps of monotone primitives; other supersteps fall
+    /// back to direct.
+    Butterfly,
+}
+
+/// Wire-encoding policy (`EnactConfig` knob): how packages are turned into
+/// bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireEncoding {
+    /// Historical behaviour: packages stay in-memory parallel arrays and
+    /// `wire_bytes` is an *accounting estimate* (list, or the bitmap bound
+    /// for uniform broadcast payloads). Bit-identical to pre-encoding
+    /// builds; the default.
+    #[default]
+    Legacy,
+    /// Materialize real bytes, picking the smallest of the three encodings
+    /// per package.
+    Auto,
+    /// Force the list encoding (ids + payloads verbatim).
+    List,
+    /// Force the bitmap encoding where eligible (uniform payload, sorted
+    /// ids, known vertex space), else fall back to list.
+    Bitmap,
+    /// Force delta-varint where eligible (sorted ids), else fall back to
+    /// list.
+    DeltaVarint,
+}
+
+/// The concrete encoding a package ended up with (reported in the
+/// `EnactReport` encoding histogram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackageEncoding {
+    /// `[tag][count × (id, payload)]` — the count is implied by the
+    /// package length. Or, under [`WireEncoding::Legacy`], the
+    /// un-materialized list accounting.
+    List,
+    /// `[tag][payload][⌈space/8⌉ bitmap]` — one shared payload, membership
+    /// by bit, the bit array running to the end of the package. Requires a
+    /// uniform payload and sorted ids within a known vertex space
+    /// (broadcast packages).
+    Bitmap,
+    /// `[tag][varint count][varint first id][varint deltas][payload(s)]` —
+    /// LEB128 gaps over sorted ids; uniformity is carried by the tag and a
+    /// uniform payload is stored once, else per vertex.
+    DeltaVarint,
+}
+
+// --- LEB128 varints -------------------------------------------------------
+
+fn varint_len(mut x: u64) -> usize {
+    let mut n = 1;
+    while x >= 0x80 {
+        x >>= 7;
+        n += 1;
+    }
+    n
+}
+
+fn write_varint(out: &mut Vec<u8>, mut x: u64) {
+    while x >= 0x80 {
+        out.push((x as u8 & 0x7f) | 0x80);
+        x >>= 7;
+    }
+    out.push(x as u8);
+}
+
+fn read_varint(buf: &[u8], pos: &mut usize) -> u64 {
+    let mut x = 0u64;
+    let mut shift = 0;
+    loop {
+        let b = buf[*pos];
+        *pos += 1;
+        x |= u64::from(b & 0x7f) << shift;
+        if b < 0x80 {
+            return x;
+        }
+        shift += 7;
+    }
+}
+
+fn write_id<V: Id>(out: &mut Vec<u8>, v: V) {
+    let b = (v.idx() as u64).to_le_bytes();
+    out.extend_from_slice(&b[..V::BYTES]);
+}
+
+fn read_id<V: Id>(buf: &[u8]) -> V {
+    let mut b = [0u8; 8];
+    b[..V::BYTES].copy_from_slice(&buf[..V::BYTES]);
+    V::from_usize(u64::from_le_bytes(b) as usize)
+}
+
+// --- packages -------------------------------------------------------------
+
 /// A packaged remote sub-frontier: vertices plus their programmer-specified
-/// associated data, parallel arrays.
+/// associated data.
+///
+/// Depending on the [`WireEncoding`] in force the package either keeps the
+/// parallel arrays in memory with an accounting-only `wire_bytes` (legacy),
+/// or holds the actual encoded bytes; [`Package::decode`] yields the
+/// `(vertices, msgs)` view either way.
 #[derive(Debug, Clone)]
 pub struct Package<V, M> {
-    /// Wire vertex ids (owner-local for selective, global for broadcast).
-    pub vertices: Vec<V>,
-    /// Associated data, one per vertex.
-    pub msgs: Vec<M>,
-    /// Wire size in bytes, fixed at packaging time. Selective packages use
-    /// list encoding (`len × (id + payload)`); broadcast packages with a
-    /// *uniform* payload (every (DO)BFS message of an iteration carries the
-    /// same label) use the dense bitmap encoding over the duplicate-all
-    /// space (`|V|/8 + payload`) when that is smaller — the frontier-bitmask
-    /// representation GPU BFS implementations broadcast in practice.
+    body: Body<V, M>,
+    len: usize,
+    /// Wire size in bytes, fixed at packaging time. For legacy packages
+    /// this is the historical estimate (selective: `len × (id + payload)`;
+    /// broadcast with a *uniform* payload: the cheaper of that and the
+    /// dense-bitmap bound `⌈|V|/8⌉ + payload`). For encoded packages it is
+    /// the exact byte length of the encoding.
     wire_bytes: u64,
+    encoding: PackageEncoding,
+}
+
+#[derive(Debug, Clone)]
+enum Body<V, M> {
+    Plain { vertices: Vec<V>, msgs: Vec<M> },
+    Encoded(Vec<u8>),
 }
 
 impl<V: Id, M: Wire> Package<V, M> {
-    /// A list-encoded package.
+    /// A list-encoded package (legacy accounting; nothing materialized).
     pub fn list(vertices: Vec<V>, msgs: Vec<M>) -> Self {
         let wire_bytes = (vertices.len() * (V::BYTES + M::BYTES)) as u64;
-        Package { vertices, msgs, wire_bytes }
+        let len = vertices.len();
+        Package {
+            body: Body::Plain { vertices, msgs },
+            len,
+            wire_bytes,
+            encoding: PackageEncoding::List,
+        }
     }
 
-    /// A package with the cheaper of list and bitmap encoding, given the
-    /// broadcast vertex-space size.
+    /// A package with the cheaper of list and bitmap *accounting*, given
+    /// the broadcast vertex-space size (legacy behaviour; nothing
+    /// materialized). Scans the payload for uniformity.
     pub fn best_encoding(vertices: Vec<V>, msgs: Vec<M>, space: usize) -> Self {
+        Self::best_encoding_hinted(vertices, msgs, space, None)
+    }
+
+    /// [`Package::best_encoding`] with an optional uniformity hint from the
+    /// caller, skipping the O(n) payload scan when the primitive already
+    /// knows every message of the superstep carries the same label.
+    pub fn best_encoding_hinted(
+        vertices: Vec<V>,
+        msgs: Vec<M>,
+        space: usize,
+        uniform_hint: Option<bool>,
+    ) -> Self {
         let list = (vertices.len() * (V::BYTES + M::BYTES)) as u64;
-        let uniform = msgs.windows(2).all(|w| w[0] == w[1]);
+        let uniform = uniform_hint.unwrap_or_else(|| msgs.windows(2).all(|w| w[0] == w[1]));
+        debug_assert!(
+            uniform_hint != Some(true) || msgs.windows(2).all(|w| w[0] == w[1]),
+            "uniform_broadcast_msgs hint must be truthful"
+        );
         let bitmap = (space as u64).div_ceil(8) + M::BYTES as u64;
-        let wire_bytes = if uniform { list.min(bitmap) } else { list };
-        Package { vertices, msgs, wire_bytes }
+        let (wire_bytes, encoding) = if uniform && bitmap < list {
+            (bitmap, PackageEncoding::Bitmap)
+        } else {
+            (list, PackageEncoding::List)
+        };
+        let len = vertices.len();
+        Package { body: Body::Plain { vertices, msgs }, len, wire_bytes, encoding }
+    }
+
+    /// Build a package under an encoding policy. `Legacy` keeps the
+    /// historical accounting paths; every other choice materializes real
+    /// bytes (`Auto` picks the smallest eligible encoding; a forced
+    /// encoding that is ineligible falls back to the real list). `space` is
+    /// the broadcast vertex-space size when known (enables the bitmap).
+    pub fn encode(
+        vertices: Vec<V>,
+        msgs: Vec<M>,
+        choice: WireEncoding,
+        space: Option<usize>,
+        uniform_hint: Option<bool>,
+    ) -> Self {
+        debug_assert_eq!(vertices.len(), msgs.len());
+        match choice {
+            WireEncoding::Legacy => match space {
+                Some(s) => Self::best_encoding_hinted(vertices, msgs, s, uniform_hint),
+                None => Self::list(vertices, msgs),
+            },
+            _ => Self::encode_real(vertices, msgs, choice, space, uniform_hint),
+        }
+    }
+
+    fn encode_real(
+        vertices: Vec<V>,
+        msgs: Vec<M>,
+        choice: WireEncoding,
+        space: Option<usize>,
+        uniform_hint: Option<bool>,
+    ) -> Self {
+        let len = vertices.len();
+        let ascending = vertices.windows(2).all(|w| w[0].idx() < w[1].idx());
+        let uniform = uniform_hint.unwrap_or_else(|| msgs.windows(2).all(|w| w[0] == w[1]));
+        debug_assert!(
+            uniform_hint != Some(true) || msgs.windows(2).all(|w| w[0] == w[1]),
+            "uniform_broadcast_msgs hint must be truthful"
+        );
+        let list_bytes = (1 + len * (V::BYTES + M::BYTES)) as u64;
+        let bitmap_ok = ascending
+            && uniform
+            && len > 0
+            && space.is_some_and(|s| vertices.last().map(|v| v.idx() < s).unwrap_or(false));
+        let bitmap_bytes = space.map(|s| (1 + M::BYTES) as u64 + (s as u64).div_ceil(8));
+        let delta_bytes = ascending.then(|| {
+            let mut b = (1 + varint_len(len as u64)) as u64;
+            let mut prev = 0u64;
+            for (i, v) in vertices.iter().enumerate() {
+                let x = v.idx() as u64;
+                b += varint_len(if i == 0 { x } else { x - prev }) as u64;
+                prev = x;
+            }
+            b + if uniform {
+                if len > 0 {
+                    M::BYTES as u64
+                } else {
+                    0
+                }
+            } else {
+                (len * M::BYTES) as u64
+            }
+        });
+        let enc = match choice {
+            WireEncoding::Bitmap if bitmap_ok => PackageEncoding::Bitmap,
+            WireEncoding::DeltaVarint if ascending => PackageEncoding::DeltaVarint,
+            WireEncoding::Auto => {
+                let mut best = (list_bytes, PackageEncoding::List);
+                if let Some(db) = delta_bytes {
+                    if db < best.0 {
+                        best = (db, PackageEncoding::DeltaVarint);
+                    }
+                }
+                if bitmap_ok {
+                    let bb = bitmap_bytes.expect("bitmap_ok implies space");
+                    if bb < best.0 {
+                        best = (bb, PackageEncoding::Bitmap);
+                    }
+                }
+                best.1
+            }
+            // forced List, forced-but-ineligible Bitmap/DeltaVarint
+            _ => PackageEncoding::List,
+        };
+        let mut out: Vec<u8> = Vec::new();
+        match enc {
+            PackageEncoding::List => {
+                out.reserve(list_bytes as usize);
+                out.push(0);
+                for (v, m) in vertices.iter().zip(&msgs) {
+                    write_id(&mut out, *v);
+                    m.write_to(&mut out);
+                }
+            }
+            PackageEncoding::Bitmap => {
+                let s = space.expect("bitmap requires a vertex space");
+                out.reserve(bitmap_bytes.unwrap_or(0) as usize);
+                out.push(1);
+                msgs[0].write_to(&mut out);
+                let base = out.len();
+                out.resize(base + s.div_ceil(8), 0);
+                for v in &vertices {
+                    let i = v.idx();
+                    out[base + i / 8] |= 1 << (i % 8);
+                }
+            }
+            PackageEncoding::DeltaVarint => {
+                out.reserve(delta_bytes.unwrap_or(0) as usize);
+                out.push(if uniform { 3 } else { 2 });
+                write_varint(&mut out, len as u64);
+                let mut prev = 0u64;
+                for (i, v) in vertices.iter().enumerate() {
+                    let x = v.idx() as u64;
+                    write_varint(&mut out, if i == 0 { x } else { x - prev });
+                    prev = x;
+                }
+                if uniform {
+                    if let Some(m) = msgs.first() {
+                        m.write_to(&mut out);
+                    }
+                } else {
+                    for m in &msgs {
+                        m.write_to(&mut out);
+                    }
+                }
+            }
+        }
+        let wire_bytes = out.len() as u64;
+        Package { body: Body::Encoded(out), len, wire_bytes, encoding: enc }
+    }
+
+    /// The `(vertices, msgs)` view of the package — borrowed for legacy
+    /// (in-memory) packages, decoded from the wire bytes for encoded ones.
+    /// Decoding is exact: encoded packages round-trip bit-identically.
+    pub fn decode(&self) -> (Cow<'_, [V]>, Cow<'_, [M]>) {
+        match &self.body {
+            Body::Plain { vertices, msgs } => (Cow::Borrowed(vertices), Cow::Borrowed(msgs)),
+            Body::Encoded(bytes) => {
+                let (vs, ms) = decode_bytes::<V, M>(bytes);
+                (Cow::Owned(vs), Cow::Owned(ms))
+            }
+        }
+    }
+
+    /// The raw encoded bytes, when the package was materialized.
+    pub fn encoded_bytes(&self) -> Option<&[u8]> {
+        match &self.body {
+            Body::Plain { .. } => None,
+            Body::Encoded(b) => Some(b),
+        }
     }
 
     /// Size on the wire in bytes.
@@ -68,15 +381,182 @@ impl<V: Id, M: Wire> Package<V, M> {
         self.wire_bytes
     }
 
+    /// The encoding this package carries.
+    pub fn encoding(&self) -> PackageEncoding {
+        self.encoding
+    }
+
     /// Number of vertices in the package.
     pub fn len(&self) -> usize {
-        self.vertices.len()
+        self.len
     }
 
     /// True if the package carries nothing.
     pub fn is_empty(&self) -> bool {
-        self.vertices.is_empty()
+        self.len == 0
     }
+}
+
+fn decode_bytes<V: Id, M: Wire>(b: &[u8]) -> (Vec<V>, Vec<M>) {
+    match b[0] {
+        0 => {
+            let count = (b.len() - 1) / (V::BYTES + M::BYTES);
+            let mut vs = Vec::with_capacity(count);
+            let mut ms = Vec::with_capacity(count);
+            let mut pos = 1;
+            for _ in 0..count {
+                vs.push(read_id::<V>(&b[pos..]));
+                pos += V::BYTES;
+                ms.push(M::read_from(&b[pos..]));
+                pos += M::BYTES;
+            }
+            (vs, ms)
+        }
+        1 => {
+            let msg = M::read_from(&b[1..]);
+            let bits = &b[1 + M::BYTES..];
+            let mut vs = Vec::new();
+            for (byte_i, &byte) in bits.iter().enumerate() {
+                let mut rest = byte;
+                while rest != 0 {
+                    let bit = rest.trailing_zeros() as usize;
+                    vs.push(V::from_usize(byte_i * 8 + bit));
+                    rest &= rest - 1;
+                }
+            }
+            let ms = vec![msg; vs.len()];
+            (vs, ms)
+        }
+        2 | 3 => {
+            let uniform = b[0] == 3;
+            let mut pos = 1;
+            let count = read_varint(b, &mut pos) as usize;
+            let mut vs = Vec::with_capacity(count);
+            let mut acc = 0u64;
+            for i in 0..count {
+                let d = read_varint(b, &mut pos);
+                acc = if i == 0 { d } else { acc + d };
+                vs.push(V::from_usize(acc as usize));
+            }
+            let ms = if uniform {
+                if count > 0 {
+                    vec![M::read_from(&b[pos..]); count]
+                } else {
+                    Vec::new()
+                }
+            } else {
+                let mut ms = Vec::with_capacity(count);
+                for _ in 0..count {
+                    ms.push(M::read_from(&b[pos..]));
+                    pos += M::BYTES;
+                }
+                ms
+            };
+            (vs, ms)
+        }
+        t => unreachable!("unknown package tag {t}"),
+    }
+}
+
+// --- monotone send suppression --------------------------------------------
+
+/// Per-device suppression cache for monotone (min-combine) primitives: one
+/// floor word per local vertex recording the best (lowest) key this device
+/// has already pushed to — or observed arriving from — the wire.
+///
+/// Soundness (DESIGN.md §10): for a monotone combiner, every receiver's
+/// state for vertex `v` is at most the floor (selective: the owner combined
+/// all our previous sends; broadcast: every device received everything that
+/// contributed to the floor). `combine` accepts only strict improvements,
+/// so a message with `key ≥ floor` would be rejected by every receiver —
+/// dropping it is observationally equivalent.
+#[derive(Debug)]
+pub struct SuppressState {
+    floor: Vec<u64>,
+    /// Vertices dropped before packaging.
+    pub suppressed_vertices: u64,
+    /// Wire bytes those vertices would have cost under list accounting.
+    pub suppressed_bytes: u64,
+}
+
+impl SuppressState {
+    /// A fresh cache over `n` local vertices (no floor yet).
+    pub fn new(n: usize) -> Self {
+        SuppressState { floor: vec![u64::MAX; n], suppressed_vertices: 0, suppressed_bytes: 0 }
+    }
+
+    /// Clear the floors and counters for a fresh traversal.
+    pub fn reset(&mut self) {
+        self.floor.fill(u64::MAX);
+        self.suppressed_vertices = 0;
+        self.suppressed_bytes = 0;
+    }
+
+    /// Should a message with `key` for local vertex `idx` go on the wire?
+    /// Records the send (lowering the floor) when admitted; counts the
+    /// suppression (charging `wire_cost` bytes saved) when not.
+    pub fn admit(&mut self, idx: usize, key: u64, wire_cost: u64) -> bool {
+        if key >= self.floor[idx] {
+            self.suppressed_vertices += 1;
+            self.suppressed_bytes += wire_cost;
+            false
+        } else {
+            self.floor[idx] = key;
+            true
+        }
+    }
+
+    /// Fold an observed incoming broadcast key into the floor (everything a
+    /// device receives on a broadcast was also received by every peer).
+    pub fn observe(&mut self, idx: usize, key: u64) {
+        let f = &mut self.floor[idx];
+        if key < *f {
+            *f = key;
+        }
+    }
+}
+
+// --- packaging policy -----------------------------------------------------
+
+/// How the packaging functions should treat a primitive's packages: the
+/// wire encoding in force, whether the combiner is monotone (enables
+/// canonicalization), and the optional payload-uniformity hint.
+#[derive(Debug, Clone, Copy)]
+pub struct PackagePolicy {
+    /// Encoding policy (from `EnactConfig::wire_encoding`).
+    pub encoding: WireEncoding,
+    /// `MgpuProblem::monotone()` — the combiner is a min-combine.
+    pub monotone: bool,
+    /// `MgpuProblem::uniform_broadcast_msgs()` — every broadcast message of
+    /// a superstep carries the same payload.
+    pub uniform_hint: Option<bool>,
+}
+
+impl PackagePolicy {
+    /// The historical behaviour: legacy accounting, no canonicalization.
+    pub fn legacy() -> Self {
+        PackagePolicy { encoding: WireEncoding::Legacy, monotone: false, uniform_hint: None }
+    }
+}
+
+impl Default for PackagePolicy {
+    fn default() -> Self {
+        Self::legacy()
+    }
+}
+
+/// Sort `(vertex, msg)` pairs by (vertex id, key) and keep only the lowest
+/// key per vertex — the canonical form of a monotone package. Exposed for
+/// the butterfly stage unions.
+pub fn canonicalize_monotone<V: Id, M: Wire>(
+    vertices: Vec<V>,
+    msgs: Vec<M>,
+    key: &impl Fn(&M) -> u64,
+) -> (Vec<V>, Vec<M>) {
+    let mut pairs: Vec<(V, M)> = vertices.into_iter().zip(msgs).collect();
+    pairs.sort_by_key(|(v, m)| (v.idx(), key(m)));
+    pairs.dedup_by(|a, b| a.0.idx() == b.0.idx());
+    pairs.into_iter().unzip()
 }
 
 /// What a selective split produces: the local sub-frontier plus one
@@ -106,7 +586,34 @@ pub fn split_and_package<V: Id, O: Id, M: Wire>(
     sub: &SubGraph<V, O>,
     frontier: &[V],
     scratch: &mut SplitScratch,
+    packager: impl FnMut(V) -> M,
+) -> Result<SplitOutput<V, M>> {
+    split_and_package_with(
+        dev,
+        sub,
+        frontier,
+        scratch,
+        packager,
+        PackagePolicy::legacy(),
+        None,
+        |_| 0,
+    )
+}
+
+/// [`split_and_package`] with the wire-volume reduction layer: an encoding
+/// policy, an optional suppression cache (keyed by the *sender-local* id and
+/// the primitive's suppression key), and the key extractor. The default
+/// policy with no cache is byte-for-byte the historical split.
+#[allow(clippy::too_many_arguments)]
+pub fn split_and_package_with<V: Id, O: Id, M: Wire>(
+    dev: &mut Device,
+    sub: &SubGraph<V, O>,
+    frontier: &[V],
+    scratch: &mut SplitScratch,
     mut packager: impl FnMut(V) -> M,
+    policy: PackagePolicy,
+    mut suppress: Option<&mut SuppressState>,
+    key: impl Fn(&M) -> u64,
 ) -> Result<SplitOutput<V, M>> {
     let n_parts = sub.n_parts;
     dev.kernel(COMPUTE_STREAM, KernelKind::Split, || {
@@ -121,24 +628,41 @@ pub fn split_and_package<V: Id, O: Id, M: Wire>(
                 counts[sub.owner(v) as usize] += 1;
             }
         }
-        // pass 2: scatter into exact-capacity buffers
+        // pass 2: scatter into exact-capacity buffers (an admitted upper
+        // bound when suppression is on)
         let mut local = Vec::with_capacity(counts[n_parts]);
         let mut parts: Vec<(Vec<V>, Vec<M>)> = counts[..n_parts]
             .iter()
             .map(|&c| (Vec::with_capacity(c), Vec::with_capacity(c)))
             .collect();
+        let per_vertex = (V::BYTES + M::BYTES) as u64;
         for &v in frontier {
             if sub.is_owned(v) {
                 local.push(v);
             } else {
+                let m = packager(v);
+                if let Some(s) = suppress.as_deref_mut() {
+                    if !s.admit(v.idx(), key(&m), per_vertex) {
+                        continue;
+                    }
+                }
                 let peer = sub.owner(v) as usize;
                 parts[peer].0.push(sub.to_owner_local(v));
-                parts[peer].1.push(packager(v));
+                parts[peer].1.push(m);
             }
         }
+        let canonical = policy.monotone && policy.encoding != WireEncoding::Legacy;
         let pkgs: Vec<Option<Package<V, M>>> = parts
             .into_iter()
-            .map(|(vs, ms)| (!vs.is_empty()).then(|| Package::list(vs, ms)))
+            .map(|(vs, ms)| {
+                (!vs.is_empty()).then(|| {
+                    let (vs, ms) =
+                        if canonical { canonicalize_monotone(vs, ms, &key) } else { (vs, ms) };
+                    // selective wire ids are owner-local: no shared space for
+                    // the bitmap, and the payload is rarely uniform
+                    Package::encode(vs, ms, policy.encoding, None, None)
+                })
+            })
             .collect();
         ((local, pkgs), frontier.len() as u64)
     })
@@ -155,14 +679,51 @@ pub fn broadcast_package<V: Id, O: Id, M: Wire>(
     dev: &mut Device,
     sub: &SubGraph<V, O>,
     frontier: &[V],
+    packager: impl FnMut(V) -> M,
+) -> Result<Package<V, M>> {
+    broadcast_package_with(dev, sub, frontier, packager, PackagePolicy::legacy(), None, |_| 0)
+}
+
+/// [`broadcast_package`] with the wire-volume reduction layer. Suppression
+/// floors are keyed by the sender-local id; the enactor additionally folds
+/// *received* broadcast keys into the cache via [`SuppressState::observe`].
+pub fn broadcast_package_with<V: Id, O: Id, M: Wire>(
+    dev: &mut Device,
+    sub: &SubGraph<V, O>,
+    frontier: &[V],
     mut packager: impl FnMut(V) -> M,
+    policy: PackagePolicy,
+    mut suppress: Option<&mut SuppressState>,
+    key: impl Fn(&M) -> u64,
 ) -> Result<Package<V, M>> {
     dev.kernel(COMPUTE_STREAM, KernelKind::Split, || {
-        let vertices: Vec<V> = frontier.iter().map(|&v| sub.to_global(v)).collect();
-        let msgs: Vec<M> = frontier.iter().map(|&v| packager(v)).collect();
+        let per_vertex = (V::BYTES + M::BYTES) as u64;
+        let mut vertices: Vec<V> = Vec::with_capacity(frontier.len());
+        let mut msgs: Vec<M> = Vec::with_capacity(frontier.len());
+        for &v in frontier {
+            let m = packager(v);
+            if let Some(s) = suppress.as_deref_mut() {
+                if !s.admit(v.idx(), key(&m), per_vertex) {
+                    continue;
+                }
+            }
+            vertices.push(sub.to_global(v));
+            msgs.push(m);
+        }
+        let (vertices, msgs) = if policy.monotone && policy.encoding != WireEncoding::Legacy {
+            canonicalize_monotone(vertices, msgs, &key)
+        } else {
+            (vertices, msgs)
+        };
         // broadcast ids live in the global space; the bitmap alternative
         // spans that space
-        let pkg = Package::best_encoding(vertices, msgs, sub.n_vertices());
+        let pkg = Package::encode(
+            vertices,
+            msgs,
+            policy.encoding,
+            Some(sub.n_vertices()),
+            policy.uniform_hint,
+        );
         (pkg, frontier.len() as u64)
     })
 }
@@ -192,8 +753,9 @@ mod tests {
         assert_eq!(local, vec![1, 2]);
         assert!(pkgs[0].is_none(), "nothing to self");
         let p1 = pkgs[1].as_ref().unwrap();
-        assert_eq!(p1.vertices, vec![3, 5], "dup-all wire ids are global ids");
-        assert_eq!(p1.msgs, vec![30, 50]);
+        let (vs, ms) = p1.decode();
+        assert_eq!(vs.as_ref(), &[3, 5], "dup-all wire ids are global ids");
+        assert_eq!(ms.as_ref(), &[30, 50]);
         assert_eq!(p1.wire_bytes(), 2 * 8);
         assert_eq!(dev.counters.c_items, 4, "split is communication computation");
     }
@@ -209,8 +771,9 @@ mod tests {
             split_and_package(&mut dev, &dg.parts[0], &[2, 3, 4], &mut scratch, |v| v).unwrap();
         assert_eq!(local, vec![2]);
         let p1 = pkgs[1].as_ref().unwrap();
-        assert_eq!(p1.vertices, vec![0, 2], "owner-local ids on the wire");
-        assert_eq!(p1.msgs, vec![3, 4], "packager saw sender-local ids");
+        let (vs, ms) = p1.decode();
+        assert_eq!(vs.as_ref(), &[0, 2], "owner-local ids on the wire");
+        assert_eq!(ms.as_ref(), &[3, 4], "packager saw sender-local ids");
     }
 
     #[test]
@@ -220,12 +783,14 @@ mod tests {
         let frontier = [2u32, 4];
         let pkg = broadcast_package(&mut dev, &dg.parts[0], &frontier, |_| ()).unwrap();
         // the caller's own frontier *is* the local part — nothing is copied
-        assert_eq!(pkg.vertices, vec![2, 5], "local 4 is global 5");
+        let (vs, _) = pkg.decode();
+        assert_eq!(vs.as_ref(), &[2, 5], "local 4 is global 5");
         assert_eq!(
             pkg.wire_bytes(),
             1,
             "unit messages are uniform: the 6-vertex bitmap (1 byte) beats the 8-byte list"
         );
+        assert_eq!(pkg.encoding(), PackageEncoding::Bitmap);
     }
 
     #[test]
@@ -250,10 +815,81 @@ mod tests {
                 split_and_package(&mut dev, &dg.parts[0], &frontier, &mut scratch, |v| v).unwrap();
             let total: usize = local.len() + pkgs.iter().flatten().map(Package::len).sum::<usize>();
             assert_eq!(total, frontier.len(), "split conserves the frontier");
-            for pkg in pkgs.iter().flatten() {
-                assert_eq!(pkg.vertices.len(), pkg.vertices.capacity(), "exact-size scatter");
-            }
         }
+    }
+
+    #[test]
+    fn suppression_drops_dominated_resends_in_split() {
+        let dg = cycle6(Duplication::All);
+        let mut dev = Device::new(0, HardwareProfile::k40());
+        let mut scratch = SplitScratch::default();
+        let mut supp = SuppressState::new(dg.parts[0].n_vertices());
+        let policy = PackagePolicy { monotone: true, ..PackagePolicy::legacy() };
+        // first send of {3, 5} establishes the floor
+        let (_, pkgs) = split_and_package_with(
+            &mut dev,
+            &dg.parts[0],
+            &[3, 5],
+            &mut scratch,
+            |v| v * 10,
+            policy,
+            Some(&mut supp),
+            |m| u64::from(*m),
+        )
+        .unwrap();
+        assert_eq!(pkgs[1].as_ref().unwrap().len(), 2);
+        assert_eq!(supp.suppressed_vertices, 0);
+        // an equal re-send is provably rejected by the remote combiner
+        let (_, pkgs) = split_and_package_with(
+            &mut dev,
+            &dg.parts[0],
+            &[3, 5],
+            &mut scratch,
+            |v| v * 10,
+            policy,
+            Some(&mut supp),
+            |m| u64::from(*m),
+        )
+        .unwrap();
+        assert!(pkgs.iter().all(Option::is_none), "dominated sends are dropped");
+        assert_eq!(supp.suppressed_vertices, 2);
+        assert_eq!(supp.suppressed_bytes, 2 * 8);
+        // a strictly better key goes through again
+        let (_, pkgs) = split_and_package_with(
+            &mut dev,
+            &dg.parts[0],
+            &[3],
+            &mut scratch,
+            |_| 1u32,
+            policy,
+            Some(&mut supp),
+            |m| u64::from(*m),
+        )
+        .unwrap();
+        assert_eq!(pkgs[1].as_ref().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn broadcast_suppression_observes_incoming_floors() {
+        let dg = cycle6(Duplication::All);
+        let mut dev = Device::new(0, HardwareProfile::k40());
+        let mut supp = SuppressState::new(dg.parts[0].n_vertices());
+        let policy = PackagePolicy { monotone: true, ..PackagePolicy::legacy() };
+        // a peer broadcast delivered key 5 for vertex 2 to everyone
+        supp.observe(2, 5);
+        let pkg = broadcast_package_with(
+            &mut dev,
+            &dg.parts[0],
+            &[2u32, 4],
+            |_| 5u32,
+            policy,
+            Some(&mut supp),
+            |m| u64::from(*m),
+        )
+        .unwrap();
+        let (vs, _) = pkg.decode();
+        assert_eq!(vs.as_ref(), &[4], "vertex 2's key 5 cannot improve any peer");
+        assert_eq!(supp.suppressed_vertices, 1);
     }
 }
 
@@ -269,6 +905,7 @@ mod encoding_tests {
         let ms = vec![7u32; 1000];
         let pkg = Package::best_encoding(vs, ms, 4096);
         assert_eq!(pkg.wire_bytes(), 516);
+        assert_eq!(pkg.encoding(), PackageEncoding::Bitmap);
     }
 
     #[test]
@@ -276,6 +913,7 @@ mod encoding_tests {
         // 3 vertices of a huge space: list wins
         let pkg = Package::best_encoding(vec![1u32, 2, 3], vec![7u32; 3], 1 << 20);
         assert_eq!(pkg.wire_bytes(), 3 * 8);
+        assert_eq!(pkg.encoding(), PackageEncoding::List);
     }
 
     #[test]
@@ -290,5 +928,130 @@ mod encoding_tests {
     fn empty_uniform_package_is_free_under_list_encoding() {
         let pkg = Package::<u32, u32>::best_encoding(vec![], vec![], 4096);
         assert_eq!(pkg.wire_bytes(), 0);
+    }
+
+    #[test]
+    fn varints_round_trip_across_widths() {
+        for x in [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut out = Vec::new();
+            write_varint(&mut out, x);
+            assert_eq!(out.len(), varint_len(x));
+            let mut pos = 0;
+            assert_eq!(read_varint(&out, &mut pos), x);
+            assert_eq!(pos, out.len());
+        }
+    }
+
+    fn round_trip(pkg: &Package<u32, u32>, vs: &[u32], ms: &[u32]) {
+        let (dv, dm) = pkg.decode();
+        assert_eq!(dv.as_ref(), vs);
+        assert_eq!(dm.as_ref(), ms);
+        assert_eq!(pkg.len(), vs.len());
+        assert_eq!(
+            pkg.wire_bytes(),
+            pkg.encoded_bytes().expect("materialized").len() as u64,
+            "wire_bytes is the true encoded size"
+        );
+    }
+
+    #[test]
+    fn real_list_encoding_round_trips() {
+        let vs = vec![9u32, 3, 7, 3];
+        let ms = vec![1u32, 2, 3, 4];
+        let pkg = Package::encode(vs.clone(), ms.clone(), WireEncoding::List, None, None);
+        assert_eq!(pkg.encoding(), PackageEncoding::List);
+        round_trip(&pkg, &vs, &ms);
+    }
+
+    #[test]
+    fn real_bitmap_encoding_round_trips() {
+        let vs: Vec<u32> = vec![0, 3, 8, 62, 63];
+        let ms = vec![7u32; 5];
+        let pkg = Package::encode(vs.clone(), ms.clone(), WireEncoding::Bitmap, Some(64), None);
+        assert_eq!(pkg.encoding(), PackageEncoding::Bitmap);
+        // tag + one msg + 64 bits
+        assert_eq!(pkg.wire_bytes(), 1 + 4 + 8);
+        round_trip(&pkg, &vs, &ms);
+    }
+
+    #[test]
+    fn real_delta_varint_round_trips_uniform_and_not() {
+        let vs: Vec<u32> = vec![5, 6, 200, 100_000];
+        let uni = vec![3u32; 4];
+        let pkg = Package::encode(vs.clone(), uni.clone(), WireEncoding::DeltaVarint, None, None);
+        assert_eq!(pkg.encoding(), PackageEncoding::DeltaVarint);
+        // tag + varint count + varints (1 + 1 + 2 + 3) + one uniform payload
+        assert_eq!(pkg.wire_bytes(), 2 + 7 + 4);
+        round_trip(&pkg, &vs, &uni);
+        let distinct = vec![4u32, 3, 2, 1];
+        let pkg =
+            Package::encode(vs.clone(), distinct.clone(), WireEncoding::DeltaVarint, None, None);
+        assert_eq!(pkg.encoding(), PackageEncoding::DeltaVarint);
+        round_trip(&pkg, &vs, &distinct);
+    }
+
+    #[test]
+    fn forced_encodings_fall_back_to_list_when_ineligible() {
+        // unsorted ids: neither bitmap nor delta can encode them
+        let vs = vec![5u32, 2];
+        let ms = vec![1u32, 1];
+        for choice in [WireEncoding::Bitmap, WireEncoding::DeltaVarint] {
+            let pkg = Package::encode(vs.clone(), ms.clone(), choice, Some(64), None);
+            assert_eq!(pkg.encoding(), PackageEncoding::List, "{choice:?} must fall back");
+            round_trip(&pkg, &vs, &ms);
+        }
+    }
+
+    #[test]
+    fn auto_picks_the_smallest_eligible_encoding() {
+        // dense uniform: bitmap wins
+        let vs: Vec<u32> = (0..512).collect();
+        let pkg = Package::encode(vs.clone(), vec![1u32; 512], WireEncoding::Auto, Some(512), None);
+        assert_eq!(pkg.encoding(), PackageEncoding::Bitmap);
+        // sparse uniform in a big space: delta-varint wins
+        let vs = vec![10u32, 20, 30];
+        let pkg =
+            Package::encode(vs.clone(), vec![1u32; 3], WireEncoding::Auto, Some(1 << 20), None);
+        assert_eq!(pkg.encoding(), PackageEncoding::DeltaVarint);
+        // unsorted non-uniform: only the list is eligible
+        let pkg = Package::encode(vec![9u32, 1], vec![1u32, 2], WireEncoding::Auto, None, None);
+        assert_eq!(pkg.encoding(), PackageEncoding::List);
+    }
+
+    #[test]
+    fn empty_and_single_vertex_packages_encode_and_decode() {
+        for choice in [
+            WireEncoding::Auto,
+            WireEncoding::List,
+            WireEncoding::Bitmap,
+            WireEncoding::DeltaVarint,
+        ] {
+            let pkg = Package::<u32, u32>::encode(vec![], vec![], choice, Some(64), None);
+            let (vs, ms) = pkg.decode();
+            assert!(vs.is_empty() && ms.is_empty(), "{choice:?}");
+            let pkg = Package::encode(vec![42u32], vec![7u32], choice, Some(64), None);
+            let (vs, ms) = pkg.decode();
+            assert_eq!((vs.as_ref(), ms.as_ref()), ([42u32].as_slice(), [7u32].as_slice()));
+        }
+    }
+
+    #[test]
+    fn canonicalize_sorts_and_keeps_the_minimum_key() {
+        let (vs, ms) =
+            canonicalize_monotone(vec![7u32, 2, 7, 2, 5], vec![9u32, 4, 3, 8, 1], &|m| {
+                u64::from(*m)
+            });
+        assert_eq!(vs, vec![2, 5, 7]);
+        assert_eq!(ms, vec![4, 1, 3]);
+    }
+
+    #[test]
+    fn tuple_payloads_round_trip() {
+        let vs = vec![1u32, 4, 9];
+        let ms = vec![(1u32, 0.5f32), (2, 0.25), (3, 0.125)];
+        let pkg = Package::encode(vs.clone(), ms.clone(), WireEncoding::Auto, None, None);
+        let (dv, dm) = pkg.decode();
+        assert_eq!(dv.as_ref(), &vs);
+        assert_eq!(dm.as_ref(), &ms);
     }
 }

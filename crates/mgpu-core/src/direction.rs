@@ -162,4 +162,61 @@ mod tests {
         assert_eq!(DirectionState::forward_estimate(5, 100, 0), 0.0);
         assert!(DirectionState::backward_estimate(5, 100, 0).is_infinite());
     }
+
+    #[test]
+    fn forward_estimate_orders_by_frontier_and_average_degree() {
+        // FV = |Q|·|E|/|V| — linear in the frontier, linear in avg degree.
+        let small = DirectionState::forward_estimate(100, 3_200_000, 100_000);
+        let bigger_frontier = DirectionState::forward_estimate(1_000, 3_200_000, 100_000);
+        let denser_graph = DirectionState::forward_estimate(100, 6_400_000, 100_000);
+        assert!(small < bigger_frontier);
+        assert!(small < denser_graph);
+        assert_eq!(bigger_frontier, 10.0 * small);
+        assert_eq!(denser_graph, 2.0 * small);
+    }
+
+    #[test]
+    fn backward_estimate_shrinks_as_the_visited_set_grows() {
+        // BV = |U|·|V|/|P| — more visited vertices make the pull cheaper.
+        let early = DirectionState::backward_estimate(90_000, 100_000, 10_000);
+        let late = DirectionState::backward_estimate(10_000, 100_000, 90_000);
+        assert!(late < early);
+        // and it scales with how much is still unvisited
+        assert!(
+            DirectionState::backward_estimate(50_000, 100_000, 10_000)
+                < DirectionState::backward_estimate(90_000, 100_000, 10_000)
+        );
+    }
+
+    #[test]
+    fn hysteresis_band_keeps_the_backward_direction() {
+        // Once backward, only FV < BV·do_b flips forward: an FV between
+        // BV·do_a and BV·do_b (which would have triggered the forward→
+        // backward switch) keeps pulling instead of oscillating.
+        let mut s = DirectionState::new(DirectionConfig::default());
+        s.decide(10_000, 90_000, 10_000, 3_200_000, 100_000);
+        assert_eq!(s.current, Direction::Backward);
+        // FV = 5000·32 = 160k; BV = 50k·100k/50k = 100k; BV·do_b = 10k < FV
+        let d = s.decide(5_000, 50_000, 50_000, 3_200_000, 100_000);
+        assert_eq!(d, Direction::Backward, "FV=160k is far above BV·do_b=10k");
+    }
+
+    #[test]
+    fn threshold_boundaries_are_strict() {
+        // Forward→backward requires FV strictly greater than BV·do_a.
+        // |Q|=100, |V|=|E|=100k → FV = 100; |U|=10k, |P|=100k → BV = 10k;
+        // BV·do_a = 100 exactly → no switch.
+        let mut s = DirectionState::new(DirectionConfig::default());
+        let d = s.decide(100, 10_000, 100_000, 100_000, 100_000);
+        assert_eq!(d, Direction::Forward, "FV == BV·do_a must not switch");
+        assert!(!s.switched_to_backward);
+
+        // Backward→forward requires FV strictly less than BV·do_b.
+        let mut s = DirectionState::new(DirectionConfig::default());
+        s.decide(10_000, 90_000, 10_000, 3_200_000, 100_000); // → backward
+                                                              // |Q|=1000, |V|=|E|=100k → FV = 1000; |U|=10k, |P|=100k → BV = 10k;
+                                                              // BV·do_b = 1000 exactly → stays backward.
+        let d = s.decide(1_000, 10_000, 100_000, 100_000, 100_000);
+        assert_eq!(d, Direction::Backward, "FV == BV·do_b must not switch");
+    }
 }

@@ -32,17 +32,20 @@ use std::time::Instant;
 use mgpu_graph::Id;
 use mgpu_partition::{DistGraph, SubGraph};
 use vgpu::memory::Reservation;
-use vgpu::sync::Contribution;
+use vgpu::sync::{Contribution, Delivery};
 use vgpu::{
     harvest_device_thread, Device, Event, Interconnect, KernelKind, Mailbox, Result, SimSystem,
     SyncPoint, VgpuError, COMM_STREAM, COMPUTE_STREAM,
 };
 
 use crate::alloc::{AllocScheme, FrontierBufs};
-use crate::comm::{broadcast_package, split_and_package, CommStrategy, Package};
+use crate::comm::{
+    broadcast_package_with, canonicalize_monotone, split_and_package_with, CommStrategy,
+    CommTopology, Package, PackagePolicy, SuppressState, WireEncoding,
+};
 use crate::governor::{self, Downgrade, GovernorLog, PressurePolicy};
 use crate::problem::{MgpuProblem, Wire};
-use crate::report::{DeviceMemStats, EnactReport, SuperstepTrace};
+use crate::report::{CommReduction, DeviceMemStats, EnactReport, SuperstepTrace};
 use crate::resilience::{
     guard, CheckpointSink, GlobalCheckpoint, RecoveryCounters, RecoveryLog, RecoveryPolicy,
 };
@@ -68,6 +71,26 @@ pub struct EnactConfig {
     /// fully off: no admission estimate, no downgrades, no spill/chunking —
     /// every OOM propagates exactly as before.
     pub pressure: PressurePolicy,
+    /// Broadcast routing topology. The default `Direct` is the historical
+    /// n×(n−1) fan-out; `Butterfly` stages broadcast supersteps of monotone
+    /// primitives through a ⌈log₂ n⌉-stage dissemination exchange.
+    pub comm_topology: CommTopology,
+    /// Wire-encoding policy for packages. The default `Legacy` keeps the
+    /// historical accounting-only behaviour bit-identical; other values
+    /// materialize real encoded bytes and charge their true size.
+    pub wire_encoding: WireEncoding,
+    /// Enable monotone send suppression (only effective when the primitive
+    /// declares `monotone()`): provably dominated messages are dropped
+    /// before packaging. Off by default.
+    pub suppression: bool,
+}
+
+/// The wire-volume knobs a device thread needs, extracted from the config.
+#[derive(Debug, Clone, Copy)]
+struct CommKnobs {
+    topology: CommTopology,
+    encoding: WireEncoding,
+    suppression: bool,
 }
 
 struct PerGpu<V: Id, S> {
@@ -243,6 +266,11 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> Runner<'g, V, O, P> {
         let mailbox: Mailbox<Arc<Package<V, P::Msg>>> =
             Mailbox::with_faults(n, self.system.fault_injector());
         let comm = self.config.comm;
+        let knobs = CommKnobs {
+            topology: self.config.comm_topology,
+            encoding: self.config.wire_encoding,
+            suppression: self.config.suppression,
+        };
         let policy = self.config.recovery;
         let rec = RecoveryCounters::default();
         let fired_before = self.system.fault_injector().map_or(0, |inj| inj.fired());
@@ -252,7 +280,8 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> Runner<'g, V, O, P> {
         let problem = &self.problem;
         let interconnect = std::sync::Arc::clone(&self.system.interconnect);
         let t0 = Instant::now();
-        let outcomes: Vec<Result<(usize, Vec<SuperstepTrace>)>> = std::thread::scope(|scope| {
+        type Outcome = Result<(usize, Vec<SuperstepTrace>, CommReduction)>;
+        let outcomes: Vec<Outcome> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for ((dev, per), sub) in self
                 .system
@@ -280,6 +309,7 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> Runner<'g, V, O, P> {
                         sync,
                         mailbox,
                         comm,
+                        knobs,
                         max_iterations,
                         &policy,
                         rec,
@@ -316,10 +346,12 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> Runner<'g, V, O, P> {
         let mut root: Option<(u8, VgpuError)> = None;
         let mut iters = 0usize;
         let mut history: Vec<SuperstepTrace> = Vec::new();
+        let mut comm_acc = CommReduction::default();
         for r in &outcomes {
             match r {
-                Ok((i, local_hist)) => {
+                Ok((i, local_hist, comm_stats)) => {
                     iters = iters.max(*i);
+                    comm_acc.merge(comm_stats);
                     if history.len() < local_hist.len() {
                         history.resize(local_hist.len(), SuperstepTrace::default());
                     }
@@ -328,6 +360,7 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> Runner<'g, V, O, P> {
                         acc.output += t.output;
                         acc.sent += t.sent;
                         acc.combined += t.combined;
+                        acc.suppressed += t.suppressed;
                     }
                 }
                 Err(e) => {
@@ -373,6 +406,7 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> Runner<'g, V, O, P> {
                 }
                 gov
             },
+            comm: comm_acc,
         };
         (Ok(report), log)
     }
@@ -404,17 +438,33 @@ fn run_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
     sync: &SyncPoint,
     mailbox: &Mailbox<Arc<Package<V, P::Msg>>>,
     comm: Option<CommStrategy>,
+    knobs: CommKnobs,
     max_iterations: usize,
     policy: &RecoveryPolicy,
     rec: &RecoveryCounters,
     sink: &CheckpointSink<V>,
     resume: Option<&GlobalCheckpoint<V>>,
     src_local: Option<V>,
-) -> Result<(usize, Vec<SuperstepTrace>)> {
+) -> Result<(usize, Vec<SuperstepTrace>, CommReduction)> {
     let n = sync.n();
     let gpu = dev.id();
     let mut failed = false;
     let mut my_error: Option<VgpuError> = None;
+
+    // ---- wire-volume reduction setup (all inert under the defaults) ----
+    let monotone = problem.monotone();
+    let pkg_policy = PackagePolicy {
+        encoding: knobs.encoding,
+        monotone,
+        uniform_hint: problem.uniform_broadcast_msgs(),
+    };
+    // Fresh suppression cache per enact: floors never survive a traversal
+    // (a retried or resumed attempt starts from scratch, so a send that was
+    // lost with its device can never leave a stale floor behind).
+    let mut supp: Option<SuppressState> =
+        (knobs.suppression && monotone && n > 1).then(|| SuppressState::new(sub.n_vertices()));
+    let butterfly = knobs.topology == CommTopology::Butterfly && monotone && n > 1;
+    let mut stats = CommReduction::default();
 
     // Reset: primitive state + initial frontier ("Put tsrc into initial
     // frontier on GPU src_gpu"). The host vector drives the iteration
@@ -445,64 +495,96 @@ fn run_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
     loop {
         let mut trace = SuperstepTrace { input: input.len() as u64, ..Default::default() };
         let sent_before = dev.counters.h_vertices;
+        let supp_before = supp.as_ref().map_or(0, |s| s.suppressed_vertices);
         // Strategy for this superstep: identical on every GPU because state
         // phases evolve from the shared reduction.
         let comm_k = comm.unwrap_or_else(|| problem.comm_now(&per.state));
-        // ---- compute + split/package/push (Fig. 1's top half) ----
-        let local_part: Vec<V> = if !failed {
-            match guard(gpu, || {
-                compute_and_send(
-                    problem,
-                    dev,
-                    per,
-                    sub,
-                    interconnect,
-                    mailbox,
-                    comm_k,
-                    &input,
-                    iter,
-                    n,
-                    policy,
-                    rec,
-                )
-            }) {
-                Ok((local, output_len)) => {
-                    trace.output = output_len;
-                    local
-                }
-                Err(e) => {
-                    my_error.get_or_insert(e);
-                    failed = true;
-                    Vec::new()
-                }
-            }
+        // The butterfly engages only for broadcast supersteps of monotone
+        // primitives — a uniform decision (comm_k and the knobs are
+        // identical everywhere), so per-superstep barrier counts stay
+        // aligned across devices.
+        let next_input: Vec<V> = if butterfly && comm_k == CommStrategy::Broadcast {
+            butterfly_superstep(
+                problem,
+                dev,
+                per,
+                sub,
+                interconnect,
+                sync,
+                mailbox,
+                &input,
+                iter,
+                n,
+                policy,
+                rec,
+                pkg_policy,
+                &mut supp,
+                &mut stats,
+                &mut trace,
+                &mut failed,
+                &mut my_error,
+            )
         } else {
-            Vec::new()
-        };
-
-        // ---- rendezvous: every peer's pushes are posted ----
-        sync.barrier(dev.now(), false);
-
-        // ---- combine received sub-frontiers (Fig. 1's bottom half) ----
-        let next_input: Vec<V> = if !failed {
-            match guard(gpu, || {
-                combine_received(problem, dev, per, sub, mailbox, comm_k, local_part)
-            }) {
-                Ok(v) => v,
-                Err(e) => {
-                    my_error.get_or_insert(e);
-                    failed = true;
-                    let _ = mailbox.drain(gpu);
-                    Vec::new()
+            // ---- compute + split/package/push (Fig. 1's top half) ----
+            let local_part: Vec<V> = if !failed {
+                match guard(gpu, || {
+                    compute_and_send(
+                        problem,
+                        dev,
+                        per,
+                        sub,
+                        interconnect,
+                        mailbox,
+                        comm_k,
+                        &input,
+                        iter,
+                        n,
+                        policy,
+                        rec,
+                        pkg_policy,
+                        &mut supp,
+                        &mut stats,
+                    )
+                }) {
+                    Ok((local, output_len)) => {
+                        trace.output = output_len;
+                        local
+                    }
+                    Err(e) => {
+                        my_error.get_or_insert(e);
+                        failed = true;
+                        Vec::new()
+                    }
                 }
+            } else {
+                Vec::new()
+            };
+
+            // ---- rendezvous: every peer's pushes are posted ----
+            sync.barrier(dev.now(), false);
+
+            // ---- combine received sub-frontiers (Fig. 1's bottom half) ----
+            if !failed {
+                match guard(gpu, || {
+                    combine_received(problem, dev, per, sub, mailbox, comm_k, local_part, &mut supp)
+                }) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        my_error.get_or_insert(e);
+                        failed = true;
+                        let _ = mailbox.drain(gpu);
+                        Vec::new()
+                    }
+                }
+            } else {
+                let _ = mailbox.drain(gpu); // keep inboxes clean for peers
+                Vec::new()
             }
-        } else {
-            let _ = mailbox.drain(gpu); // keep inboxes clean for peers
-            Vec::new()
         };
 
         trace.sent = dev.counters.h_vertices - sent_before;
         trace.combined = next_input.len() as u64; // local part + combined adds
+        trace.suppressed = supp.as_ref().map_or(0, |s| s.suppressed_vertices) - supp_before;
         history.push(trace);
 
         // ---- checkpoint offer: before the reduce, so a device that failed
@@ -575,7 +657,13 @@ fn run_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
             // is not yet visible to peers — surface it here
             return match my_error.take() {
                 Some(e) => Err(e),
-                None => Ok((iter, history)),
+                None => {
+                    if let Some(s) = &supp {
+                        stats.suppressed_vertices = s.suppressed_vertices;
+                        stats.suppressed_bytes = s.suppressed_bytes;
+                    }
+                    Ok((iter, history, stats))
+                }
             };
         }
         input = next_input;
@@ -641,6 +729,51 @@ fn restore_checkpoint<V: Id, O: Id, P: MgpuProblem<V, O>>(
         .collect())
 }
 
+/// Push one package to `dst` on the communication stream with the
+/// transient-retry loop, charging occupancy, wire bytes and the H counters.
+/// Shared by the direct fan-out and the butterfly stages.
+///
+/// The sender's copy engine is occupied for the bandwidth component; the
+/// wire latency only delays arrival at the peer. A transiently failed push
+/// re-occupies the link for the full retransmission plus the policy
+/// backoff; the injector checks the fault site *before* posting, so a
+/// failed send delivered nothing and re-sending cannot duplicate a package.
+#[allow(clippy::too_many_arguments)]
+fn post_package<V: Id, M: Wire>(
+    dev: &mut Device,
+    interconnect: &Interconnect,
+    mailbox: &Mailbox<Arc<Package<V, M>>>,
+    dst: usize,
+    pkg: Arc<Package<V, M>>,
+    policy: &RecoveryPolicy,
+    rec: &RecoveryCounters,
+) -> Result<()> {
+    let gpu = dev.id();
+    let bytes = pkg.wire_bytes();
+    let occupancy = interconnect.occupancy_us(gpu, dst, bytes);
+    let mut attempts = 0u32;
+    loop {
+        let sent_at = dev.charge(COMM_STREAM, occupancy, 0.0)?;
+        dev.counters.h_time_us += occupancy;
+        let arrived_at = sent_at + interconnect.latency_us(gpu, dst);
+        match mailbox.send(gpu, dst, Event::at(arrived_at), Arc::clone(&pkg)) {
+            Ok(()) => break,
+            Err(e) if attempts < policy.max_retries && policy.is_transient(&e) => {
+                attempts += 1;
+                rec.note_transfer_retry();
+                if policy.retry_backoff_us > 0.0 {
+                    dev.charge(COMM_STREAM, policy.retry_backoff_us, 0.0)?;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    dev.counters.h_bytes_sent += interconnect.charged_bytes(bytes);
+    dev.counters.h_vertices += pkg.len() as u64;
+    dev.counters.h_messages += 1;
+    Ok(())
+}
+
 #[allow(clippy::too_many_arguments)]
 fn compute_and_send<V: Id, O: Id, P: MgpuProblem<V, O>>(
     problem: &P,
@@ -655,6 +788,9 @@ fn compute_and_send<V: Id, O: Id, P: MgpuProblem<V, O>>(
     n: usize,
     policy: &RecoveryPolicy,
     rec: &RecoveryCounters,
+    pkg_policy: PackagePolicy,
+    supp: &mut Option<SuppressState>,
+    stats: &mut CommReduction,
 ) -> Result<(Vec<V>, u64)> {
     let gpu = dev.id();
     let output = problem.iteration(dev, sub, &mut per.state, &mut per.bufs, input, iter)?;
@@ -667,24 +803,44 @@ fn compute_and_send<V: Id, O: Id, P: MgpuProblem<V, O>>(
         match comm {
             CommStrategy::Selective => {
                 let state = &per.state;
-                let (local, pkgs) =
-                    split_and_package(dev, sub, &output, &mut per.bufs.split, |v| {
-                        problem.package(state, v)
-                    })?;
+                let (local, pkgs) = split_and_package_with(
+                    dev,
+                    sub,
+                    &output,
+                    &mut per.bufs.split,
+                    |v| problem.package(state, v),
+                    pkg_policy,
+                    supp.as_mut(),
+                    |m| problem.suppression_key(m),
+                )?;
                 let sends = pkgs
                     .into_iter()
                     .enumerate()
-                    .filter_map(|(j, p)| p.map(|p| (j, Arc::new(p))))
+                    .filter_map(|(j, p)| {
+                        p.map(|p| {
+                            stats.count_package(p.encoding());
+                            (j, Arc::new(p))
+                        })
+                    })
                     .collect();
                 (local, sends)
             }
             CommStrategy::Broadcast => {
                 let state = &per.state;
-                let pkg = broadcast_package(dev, sub, &output, |v| problem.package(state, v))?;
+                let pkg = broadcast_package_with(
+                    dev,
+                    sub,
+                    &output,
+                    |v| problem.package(state, v),
+                    pkg_policy,
+                    supp.as_mut(),
+                    |m| problem.suppression_key(m),
+                )?;
                 // the output frontier itself is the local part — no copy
                 let sends = if pkg.is_empty() {
                     Vec::new()
                 } else {
+                    stats.count_package(pkg.encoding());
                     let pkg = Arc::new(pkg);
                     (0..n).filter(|&j| j != gpu).map(|j| (j, Arc::clone(&pkg))).collect()
                 };
@@ -699,39 +855,13 @@ fn compute_and_send<V: Id, O: Id, P: MgpuProblem<V, O>>(
         let ready = dev.record_event(COMPUTE_STREAM);
         dev.stream_wait(COMM_STREAM, ready)?;
         for (j, pkg) in sends {
-            let bytes = pkg.wire_bytes();
-            // The sender's copy engine is occupied for the bandwidth
-            // component; the wire latency only delays arrival at the peer.
-            // A transiently failed push re-occupies the link for the full
-            // retransmission plus the policy backoff; the injector checks
-            // the fault site *before* posting, so a failed send delivered
-            // nothing and re-sending cannot duplicate a package.
-            let occupancy = interconnect.occupancy_us(gpu, j, bytes);
-            let mut attempts = 0u32;
-            loop {
-                let sent_at = dev.charge(COMM_STREAM, occupancy, 0.0)?;
-                dev.counters.h_time_us += occupancy;
-                let arrived_at = sent_at + interconnect.latency_us(gpu, j);
-                match mailbox.send(gpu, j, Event::at(arrived_at), Arc::clone(&pkg)) {
-                    Ok(()) => break,
-                    Err(e) if attempts < policy.max_retries && policy.is_transient(&e) => {
-                        attempts += 1;
-                        rec.note_transfer_retry();
-                        if policy.retry_backoff_us > 0.0 {
-                            dev.charge(COMM_STREAM, policy.retry_backoff_us, 0.0)?;
-                        }
-                    }
-                    Err(e) => return Err(e),
-                }
-            }
-            dev.counters.h_bytes_sent += interconnect.charged_bytes(bytes);
-            dev.counters.h_vertices += pkg.len() as u64;
-            dev.counters.h_messages += 1;
+            post_package(dev, interconnect, mailbox, j, pkg, policy, rec)?;
         }
     }
     Ok((local, output_len))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn combine_received<V: Id, O: Id, P: MgpuProblem<V, O>>(
     problem: &P,
     dev: &mut Device,
@@ -740,6 +870,7 @@ fn combine_received<V: Id, O: Id, P: MgpuProblem<V, O>>(
     mailbox: &Mailbox<Arc<Package<V, P::Msg>>>,
     comm: CommStrategy,
     local_part: Vec<V>,
+    supp: &mut Option<SuppressState>,
 ) -> Result<Vec<V>> {
     let gpu = dev.id();
     let mut next = local_part;
@@ -751,14 +882,23 @@ fn combine_received<V: Id, O: Id, P: MgpuProblem<V, O>>(
         // accepted vertices append straight onto the merged frontier — the
         // per-package `added` temporary is gone
         let next_ref = &mut next;
+        let supp_ref = &mut *supp;
         dev.kernel(COMM_STREAM, KernelKind::Combine, || {
-            for (i, &wire) in pkg.vertices.iter().enumerate() {
+            let (vs, ms) = pkg.decode();
+            for (i, &wire) in vs.iter().enumerate() {
                 let v = match comm {
                     CommStrategy::Selective => Some(wire),
                     CommStrategy::Broadcast => sub.from_global(wire),
                 };
                 if let Some(v) = v {
-                    if problem.combine(state, v, &pkg.msgs[i]) {
+                    // everything arriving on a broadcast was delivered to
+                    // every peer — fold it into the suppression floor
+                    if comm == CommStrategy::Broadcast {
+                        if let Some(s) = supp_ref.as_mut() {
+                            s.observe(v.idx(), problem.suppression_key(&ms[i]));
+                        }
+                    }
+                    if problem.combine(state, v, &ms[i]) {
                         next_ref.push(v);
                     }
                 }
@@ -772,4 +912,210 @@ fn combine_received<V: Id, O: Id, P: MgpuProblem<V, O>>(
     let done = dev.record_event(COMM_STREAM);
     dev.stream_wait(COMPUTE_STREAM, done)?;
     Ok(next)
+}
+
+/// One butterfly (dissemination) superstep for a broadcast-comm monotone
+/// primitive: compute, then ⌈log₂ n⌉ exchange stages, each sending the
+/// most recent origin blocks held to peer `(i + 2^k) mod n` as one
+/// canonical merged package and combining the symmetric package received
+/// from `(i − 2^k) mod n`. Every device walks the identical stage structure
+/// and attends every stage barrier, so the superstep count and barrier
+/// schedule are deterministic; empty stage packages are elided (the barrier
+/// makes "nothing arrived" an unambiguous empty window). A device that
+/// fails mid-superstep keeps attending every stage barrier with its work
+/// skipped — exactly the failure protocol of the direct path.
+///
+/// Block accounting (DESIGN.md §10): after stage k each device holds the
+/// contiguous ring window of `have` most recent origin blocks ending at its
+/// own id. The stage sends the most recent `min(have, n − have)` blocks
+/// (rounded up to a whole prefix of held groups; early stages match
+/// exactly), which is precisely the window the receiver is missing —
+/// redundant blocks from the final-stage round-up are rejected by the
+/// monotone combiner.
+#[allow(clippy::too_many_arguments)]
+fn butterfly_superstep<V: Id, O: Id, P: MgpuProblem<V, O>>(
+    problem: &P,
+    dev: &mut Device,
+    per: &mut PerGpu<V, P::State>,
+    sub: &SubGraph<V, O>,
+    interconnect: &Interconnect,
+    sync: &SyncPoint,
+    mailbox: &Mailbox<Arc<Package<V, P::Msg>>>,
+    input: &[V],
+    iter: usize,
+    n: usize,
+    policy: &RecoveryPolicy,
+    rec: &RecoveryCounters,
+    pkg_policy: PackagePolicy,
+    supp: &mut Option<SuppressState>,
+    stats: &mut CommReduction,
+    trace: &mut SuperstepTrace,
+    failed: &mut bool,
+    my_error: &mut Option<VgpuError>,
+) -> Vec<V> {
+    let gpu = dev.id();
+    // ---- compute + canonical own block (broadcast: the output frontier
+    // itself is the local part) ----
+    let (mut next, own) = if !*failed {
+        match guard(gpu, || {
+            let output = problem.iteration(dev, sub, &mut per.state, &mut per.bufs, input, iter)?;
+            let state = &per.state;
+            let supp_ref = &mut *supp;
+            let own = dev.kernel(COMPUTE_STREAM, KernelKind::Split, || {
+                let per_vertex = (V::BYTES + <P::Msg as Wire>::BYTES) as u64;
+                let mut vs: Vec<V> = Vec::with_capacity(output.len());
+                let mut ms: Vec<P::Msg> = Vec::with_capacity(output.len());
+                for &v in &output {
+                    let m = problem.package(state, v);
+                    if let Some(s) = supp_ref.as_mut() {
+                        if !s.admit(v.idx(), problem.suppression_key(&m), per_vertex) {
+                            continue;
+                        }
+                    }
+                    vs.push(sub.to_global(v));
+                    ms.push(m);
+                }
+                let canon = canonicalize_monotone(vs, ms, &|m| problem.suppression_key(m));
+                (canon, output.len() as u64)
+            })?;
+            Ok((output, own))
+        }) {
+            Ok((output, own)) => {
+                trace.output = output.len() as u64;
+                (output, own)
+            }
+            Err(e) => {
+                my_error.get_or_insert(e);
+                *failed = true;
+                (Vec::new(), (Vec::new(), Vec::new()))
+            }
+        }
+    } else {
+        (Vec::new(), (Vec::new(), Vec::new()))
+    };
+
+    // groups[k] = the block window received at stage k (groups[0] = the own
+    // block), newest first; counts are structural and identical on every
+    // device, so no origin metadata travels on the wire.
+    let mut groups: Vec<(usize, Vec<V>, Vec<P::Msg>)> = vec![(1, own.0, own.1)];
+    let mut have = 1usize;
+    let mut hop = 1usize; // 2^k
+    type Stash<V, M> = Vec<Delivery<Arc<Package<V, M>>>>;
+    let mut stash: Stash<V, P::Msg> = Vec::new();
+    while have < n {
+        let target = have.min(n - have);
+        // smallest whole prefix of groups covering ≥ target blocks
+        let mut sel = 0usize;
+        let mut count = 0usize;
+        while count < target {
+            count += groups[sel].0;
+            sel += 1;
+        }
+        let dst = (gpu + hop) % n;
+        let src = (gpu + n - hop) % n;
+
+        // ---- merge + encode + push (one Split kernel per stage) ----
+        if !*failed {
+            if let Err(e) = guard(gpu, || {
+                let merged = dev.kernel(COMPUTE_STREAM, KernelKind::Split, || {
+                    let total: usize = groups[..sel].iter().map(|g| g.1.len()).sum();
+                    let mut vs: Vec<V> = Vec::with_capacity(total);
+                    let mut ms: Vec<P::Msg> = Vec::with_capacity(total);
+                    for (_, gv, gm) in &groups[..sel] {
+                        vs.extend_from_slice(gv);
+                        ms.extend(gm.iter().cloned());
+                    }
+                    let (vs, ms) = canonicalize_monotone(vs, ms, &|m| problem.suppression_key(m));
+                    let pkg = Package::encode(
+                        vs,
+                        ms,
+                        pkg_policy.encoding,
+                        Some(sub.n_vertices()),
+                        pkg_policy.uniform_hint,
+                    );
+                    (pkg, total as u64)
+                })?;
+                stats.collective_stages += 1;
+                // Empty stage packages are elided: the stage barrier below
+                // guarantees every posted send is drained by its receiver,
+                // so a missing delivery deterministically means an empty
+                // window — the same signature a failed sender leaves.
+                if merged.is_empty() {
+                    return Ok(());
+                }
+                stats.count_package(merged.encoding());
+                let ready = dev.record_event(COMPUTE_STREAM);
+                dev.stream_wait(COMM_STREAM, ready)?;
+                post_package(dev, interconnect, mailbox, dst, Arc::new(merged), policy, rec)
+            }) {
+                my_error.get_or_insert(e);
+                *failed = true;
+            }
+        }
+
+        // ---- stage rendezvous: the peer's push is posted ----
+        sync.barrier(dev.now(), false);
+
+        // ---- take this stage's package; early arrivals from faster peers
+        // wait in the stash, a failed sender contributes an empty window ----
+        stash.extend(mailbox.drain(gpu));
+        let got = stash.iter().position(|d| d.src == src).map(|i| stash.swap_remove(i));
+        let (rvs, rms) = match got {
+            Some(delivery) if !*failed => {
+                match guard(gpu, || {
+                    dev.stream_wait(COMM_STREAM, delivery.arrival)?;
+                    let pkg = delivery.payload;
+                    dev.counters.h_bytes_recv += pkg.wire_bytes();
+                    let state = &mut per.state;
+                    let next_ref = &mut next;
+                    let supp_ref = &mut *supp;
+                    let decoded = dev.kernel(COMM_STREAM, KernelKind::Combine, || {
+                        let (vs, ms) = pkg.decode();
+                        for (i, &wire) in vs.iter().enumerate() {
+                            if let Some(v) = sub.from_global(wire) {
+                                if let Some(s) = supp_ref.as_mut() {
+                                    s.observe(v.idx(), problem.suppression_key(&ms[i]));
+                                }
+                                if problem.combine(state, v, &ms[i]) {
+                                    next_ref.push(v);
+                                }
+                            }
+                        }
+                        ((vs.into_owned(), ms.into_owned()), pkg.len() as u64)
+                    })?;
+                    // the next stage's merge (compute stream) forwards what
+                    // this combine decoded
+                    let done = dev.record_event(COMM_STREAM);
+                    dev.stream_wait(COMPUTE_STREAM, done)?;
+                    Ok(decoded)
+                }) {
+                    Ok(decoded) => decoded,
+                    Err(e) => {
+                        my_error.get_or_insert(e);
+                        *failed = true;
+                        (Vec::new(), Vec::new())
+                    }
+                }
+            }
+            _ => (Vec::new(), Vec::new()),
+        };
+        groups.push((count, rvs, rms));
+        have += count;
+        hop <<= 1;
+    }
+
+    // ---- commit the merged frontier, as the direct combine path does ----
+    if *failed {
+        return Vec::new();
+    }
+    if let Err(e) = guard(gpu, || {
+        per.bufs.commit_output(dev, &next)?;
+        let done = dev.record_event(COMM_STREAM);
+        dev.stream_wait(COMPUTE_STREAM, done)
+    }) {
+        my_error.get_or_insert(e);
+        *failed = true;
+        return Vec::new();
+    }
+    next
 }

@@ -42,11 +42,14 @@ pub mod report;
 pub mod resilience;
 
 pub use alloc::{AllocScheme, FrontierBufs};
-pub use comm::{CommStrategy, Package, SplitScratch};
+pub use comm::{
+    CommStrategy, CommTopology, Package, PackageEncoding, PackagePolicy, SplitScratch,
+    SuppressState, WireEncoding,
+};
 pub use direction::{Direction, DirectionConfig, DirectionState};
 pub use async_enactor::AsyncRunner;
 pub use enactor::{EnactConfig, Runner};
 pub use governor::{Downgrade, GovernorLog, PressurePolicy};
 pub use problem::{MgpuProblem, Wire};
-pub use report::{DeviceMemStats, EnactReport};
+pub use report::{CommReduction, DeviceMemStats, EnactReport};
 pub use resilience::{CheckpointSink, GlobalCheckpoint, RecoveryLog, RecoveryPolicy, ResilientRunner};

@@ -34,25 +34,66 @@ use crate::comm::CommStrategy;
 pub trait Wire: Clone + PartialEq + Send + Sync + 'static {
     /// Serialized size in bytes.
     const BYTES: usize;
+
+    /// Append exactly [`Self::BYTES`] little-endian bytes to `out` — the
+    /// real wire serialization the materialized package encodings use.
+    fn write_to(&self, out: &mut Vec<u8>);
+
+    /// Read exactly [`Self::BYTES`] bytes back from the front of `buf`
+    /// (inverse of [`Self::write_to`]; round-trips bit-identically).
+    fn read_from(buf: &[u8]) -> Self;
 }
 
 impl Wire for () {
     const BYTES: usize = 0;
+    fn write_to(&self, _out: &mut Vec<u8>) {}
+    fn read_from(_buf: &[u8]) -> Self {}
 }
 impl Wire for u32 {
     const BYTES: usize = 4;
+    fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn read_from(buf: &[u8]) -> Self {
+        u32::from_le_bytes(buf[..4].try_into().expect("u32 wire bytes"))
+    }
 }
 impl Wire for u64 {
     const BYTES: usize = 8;
+    fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn read_from(buf: &[u8]) -> Self {
+        u64::from_le_bytes(buf[..8].try_into().expect("u64 wire bytes"))
+    }
 }
 impl Wire for f32 {
     const BYTES: usize = 4;
+    fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn read_from(buf: &[u8]) -> Self {
+        f32::from_le_bytes(buf[..4].try_into().expect("f32 wire bytes"))
+    }
 }
 impl Wire for f64 {
     const BYTES: usize = 8;
+    fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn read_from(buf: &[u8]) -> Self {
+        f64::from_le_bytes(buf[..8].try_into().expect("f64 wire bytes"))
+    }
 }
 impl<A: Wire, B: Wire> Wire for (A, B) {
     const BYTES: usize = A::BYTES + B::BYTES;
+    fn write_to(&self, out: &mut Vec<u8>) {
+        self.0.write_to(out);
+        self.1.write_to(out);
+    }
+    fn read_from(buf: &[u8]) -> Self {
+        (A::read_from(buf), B::read_from(&buf[A::BYTES..]))
+    }
 }
 
 /// A multi-GPU graph primitive. See the module docs for the contract.
@@ -128,6 +169,36 @@ pub trait MgpuProblem<V: Id, O: Id>: Sync {
     /// if the vertex should join the next input frontier. `v` is a local id
     /// (the framework has already resolved wire ids).
     fn combine(&self, state: &mut Self::State, v: V, msg: &Self::Msg) -> bool;
+
+    /// Is [`Self::combine`] a *monotone min-combine* under
+    /// [`Self::suppression_key`]? The contract: `combine` accepts a message
+    /// only when its key is strictly below the key currently recorded for
+    /// that vertex, and a rejected message leaves state unchanged. Label
+    /// traversals (BFS/DOBFS: depth; SSSP: distance; CC: component id)
+    /// satisfy this; additive combiners (PR rank, BC sigma) do not.
+    ///
+    /// Declaring `true` enables monotone send suppression (under
+    /// `EnactConfig::suppression`), package canonicalization, and the
+    /// butterfly collective — all observationally equivalent for a truthful
+    /// declaration, all off for the default `false`.
+    fn monotone(&self) -> bool {
+        false
+    }
+
+    /// Total order on messages for the monotone contract: lower key =
+    /// stronger message. Only meaningful when [`Self::monotone`] is `true`.
+    fn suppression_key(&self, _msg: &Self::Msg) -> u64 {
+        0
+    }
+
+    /// Does every broadcast message of one superstep carry the *same*
+    /// payload (e.g. the (DO)BFS depth label)? `Some(true)` lets the
+    /// packaging layer skip its O(n) uniformity scan; `None` (the default)
+    /// keeps the scan. The hint must be truthful — a false `Some(true)`
+    /// corrupts the bitmap/uniform-delta encodings.
+    fn uniform_broadcast_msgs(&self) -> Option<bool> {
+        None
+    }
 
     /// Is this GPU locally converged, given the next input frontier the
     /// framework assembled? Default: the frontier is empty. Primitives with
@@ -206,5 +277,23 @@ mod tests {
         assert_eq!(<u32 as Wire>::BYTES, 4);
         assert_eq!(<(u32, f32) as Wire>::BYTES, 8);
         assert_eq!(<(u32, (u32, f64)) as Wire>::BYTES, 16);
+    }
+
+    fn assert_round_trip<W: Wire + std::fmt::Debug>(w: W) {
+        let mut out = Vec::new();
+        w.write_to(&mut out);
+        assert_eq!(out.len(), W::BYTES);
+        assert_eq!(W::read_from(&out), w);
+    }
+
+    #[test]
+    fn wire_serialization_round_trips() {
+        assert_round_trip(());
+        assert_round_trip(0xdead_beefu32);
+        assert_round_trip(u64::MAX - 7);
+        assert_round_trip(-0.0f32);
+        assert_round_trip(f64::INFINITY);
+        assert_round_trip((3u32, 2.5f32));
+        assert_round_trip((1u32, (2u32, 9.0f64)));
     }
 }

@@ -17,6 +17,53 @@ pub struct SuperstepTrace {
     pub sent: u64,
     /// Vertices accepted by combiners into the next input frontier.
     pub combined: u64,
+    /// Vertices dropped by monotone send suppression before packaging
+    /// (zero under the default configuration).
+    pub suppressed: u64,
+}
+
+/// Wire-volume reduction accounting, summed over devices: what the
+/// suppression cache, the real encodings, and the butterfly collective did
+/// during the enact. All zeros under the default configuration except the
+/// encoding histogram, which also classifies legacy accounting (list vs
+/// bitmap bound) so the default wire mix is visible.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommReduction {
+    /// Vertices dropped before packaging because their key could not
+    /// improve any receiver (monotone suppression).
+    pub suppressed_vertices: u64,
+    /// Wire bytes those vertices would have cost under list accounting.
+    pub suppressed_bytes: u64,
+    /// Packages that went out list-encoded (or list-accounted).
+    pub enc_list: u64,
+    /// Packages that went out bitmap-encoded (or bitmap-accounted).
+    pub enc_bitmap: u64,
+    /// Packages that went out delta-varint-encoded.
+    pub enc_delta: u64,
+    /// Butterfly collective stages executed (summed over devices and
+    /// supersteps; zero under the direct topology).
+    pub collective_stages: u64,
+}
+
+impl CommReduction {
+    /// Fold another device's accounting into this one.
+    pub fn merge(&mut self, other: &CommReduction) {
+        self.suppressed_vertices += other.suppressed_vertices;
+        self.suppressed_bytes += other.suppressed_bytes;
+        self.enc_list += other.enc_list;
+        self.enc_bitmap += other.enc_bitmap;
+        self.enc_delta += other.enc_delta;
+        self.collective_stages += other.collective_stages;
+    }
+
+    /// Count one package into the encoding histogram.
+    pub fn count_package(&mut self, enc: crate::comm::PackageEncoding) {
+        match enc {
+            crate::comm::PackageEncoding::List => self.enc_list += 1,
+            crate::comm::PackageEncoding::Bitmap => self.enc_bitmap += 1,
+            crate::comm::PackageEncoding::DeltaVarint => self.enc_delta += 1,
+        }
+    }
 }
 
 /// Per-device memory accounting snapshot taken when an enact finishes —
@@ -85,6 +132,9 @@ pub struct EnactReport {
     /// chunked passes, spills, reclaim retries) — quiet when the governor
     /// never had to act.
     pub governor: GovernorLog,
+    /// Wire-volume reduction accounting (suppression, encoding histogram,
+    /// collective stages), summed over devices.
+    pub comm: CommReduction,
 }
 
 impl EnactReport {
@@ -129,6 +179,7 @@ impl EnactReport {
             && self.history == other.history
             && self.recovery == other.recovery
             && self.governor == other.governor
+            && self.comm == other.comm
     }
 
     /// Serialize the report as a JSON object (flat, self-describing) for
@@ -152,7 +203,10 @@ impl EnactReport {
                 "\"stragglers_detected\":{},\"failovers\":{},",
                 "\"lost_devices\":{},\"lost_time_us\":{},",
                 "\"downgrades\":{},\"chunked_advances\":{},\"chunk_passes\":{},",
-                "\"spill_events\":{},\"spilled_bytes\":{},\"reclaim_retries\":{}}}"
+                "\"spill_events\":{},\"spilled_bytes\":{},\"reclaim_retries\":{},",
+                "\"suppressed_vertices\":{},\"suppressed_bytes\":{},",
+                "\"enc_list\":{},\"enc_bitmap\":{},\"enc_delta\":{},",
+                "\"collective_stages\":{}}}"
             ),
             self.primitive,
             self.n_devices,
@@ -187,6 +241,12 @@ impl EnactReport {
             self.governor.spill_events,
             self.governor.spilled_bytes,
             self.governor.reclaim_retries,
+            self.comm.suppressed_vertices,
+            self.comm.suppressed_bytes,
+            self.comm.enc_list,
+            self.comm.enc_bitmap,
+            self.comm.enc_delta,
+            self.comm.collective_stages,
         )
     }
 }
@@ -211,6 +271,7 @@ mod tests {
             history: Vec::new(),
             recovery: RecoveryLog::default(),
             governor: GovernorLog::default(),
+            comm: CommReduction::default(),
         }
     }
 
@@ -241,6 +302,9 @@ mod tests {
         assert!(j.contains("\"iterations\":3"));
         assert!(j.contains("\"downgrades\":0"));
         assert!(j.contains("\"spilled_bytes\":0"));
+        assert!(j.contains("\"suppressed_vertices\":0"));
+        assert!(j.contains("\"enc_delta\":0"));
+        assert!(j.contains("\"collective_stages\":0"));
         // balanced braces and quotes
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('"').count() % 2, 0);

@@ -140,6 +140,18 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Bfs {
         }
     }
 
+    // Strict min-combine on the depth label: dominated re-sends are safe to
+    // suppress, and every message of a superstep carries the same depth.
+    fn monotone(&self) -> bool {
+        true
+    }
+    fn suppression_key(&self, msg: &u32) -> u64 {
+        u64::from(*msg)
+    }
+    fn uniform_broadcast_msgs(&self) -> Option<bool> {
+        Some(true)
+    }
+
     // The depth label is BFS's entire recoverable per-vertex state.
     fn supports_checkpoint(&self) -> bool {
         true

@@ -125,6 +125,16 @@ impl<V: Id + Wire, O: Id> MgpuProblem<V, O> for BfsPred {
             false
         }
     }
+
+    // Strict min-combine on the depth; the predecessor rides along and ties
+    // are broken by package order, which the stable canonicalization sort
+    // preserves.
+    fn monotone(&self) -> bool {
+        true
+    }
+    fn suppression_key(&self, msg: &(u32, V)) -> u64 {
+        u64::from(msg.0)
+    }
 }
 
 /// Gather `(label, predecessor)` pairs in global order.

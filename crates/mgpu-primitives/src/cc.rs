@@ -177,6 +177,16 @@ impl<V: Id + Wire, O: Id> MgpuProblem<V, O> for Cc {
         }
     }
 
+    // Strict min-combine on the component pointer. No uniformity hint:
+    // hooking's broadcast payloads differ per vertex (and are only
+    // coincidentally uniform on degenerate graphs).
+    fn monotone(&self) -> bool {
+        true
+    }
+    fn suppression_key(&self, msg: &V) -> u64 {
+        msg.idx() as u64
+    }
+
     // Component pointers are vertex ids, which under duplicate-all are
     // global ids already — they survive re-partitioning unchanged.
     fn supports_checkpoint(&self) -> bool {

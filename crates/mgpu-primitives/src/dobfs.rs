@@ -229,6 +229,19 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Dobfs {
             false
         }
     }
+
+    // Strict min-combine on the depth label; broadcast packages carry one
+    // depth for the whole frontier — the shape the DeltaVarint shared
+    // payload and the butterfly union both exploit.
+    fn monotone(&self) -> bool {
+        true
+    }
+    fn suppression_key(&self, msg: &u32) -> u64 {
+        u64::from(*msg)
+    }
+    fn uniform_broadcast_msgs(&self) -> Option<bool> {
+        Some(true)
+    }
 }
 
 /// Gather final labels from a finished runner into global vertex order.

@@ -161,6 +161,15 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Sssp {
         }
     }
 
+    // Strict min-combine on the tentative distance: a re-relaxation that
+    // does not improve the last value sent to the owner is pure wire waste.
+    fn monotone(&self) -> bool {
+        true
+    }
+    fn suppression_key(&self, msg: &u32) -> u64 {
+        u64::from(*msg)
+    }
+
     // Tentative distances are the recoverable state; the visit stamps are
     // per-iteration scratch a fresh reset reinitializes correctly.
     fn supports_checkpoint(&self) -> bool {

@@ -203,6 +203,16 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for SsspDelta {
         }
     }
 
+    // Strict min-combine on the tentative distance. Delta-stepping's bucket
+    // re-expansions emit the same boundary vertices repeatedly, so the
+    // suppression cache fires here more than anywhere else.
+    fn monotone(&self) -> bool {
+        true
+    }
+    fn suppression_key(&self, msg: &u32) -> u64 {
+        u64::from(*msg)
+    }
+
     fn locally_done(&self, state: &Self::State, _next_input: &[V]) -> bool {
         state.min_nonempty().is_none()
     }

@@ -177,3 +177,66 @@ fn bsp_counters_are_conserved() {
         assert!(report.sim_time_us >= report.iterations as f64);
     }
 }
+
+/// Every wire encoding round-trips every id distribution — empty packages,
+/// a single vertex, duplicates, unsorted ids, uniform and distinct payloads,
+/// and multi-field tuple payloads. Forced encodings that are ineligible for
+/// a distribution (bitmap without uniformity, delta without sorted ids) must
+/// fall back rather than corrupt.
+#[test]
+fn every_package_encoding_round_trips_arbitrary_distributions() {
+    use mgpu_graph_analytics::core::{Package, WireEncoding};
+    const ENCODINGS: [WireEncoding; 5] = [
+        WireEncoding::Legacy,
+        WireEncoding::Auto,
+        WireEncoding::List,
+        WireEncoding::Bitmap,
+        WireEncoding::DeltaVarint,
+    ];
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA19);
+    for case in 0..CASES * 4 {
+        let space = rng.gen_range(1usize..400);
+        let len = match case % 4 {
+            0 => 0, // empty package
+            1 => 1, // single vertex
+            _ => rng.gen_range(0..=space.min(64)),
+        };
+        let mut ids: Vec<u32> = (0..len).map(|_| rng.gen_range(0..space as u32)).collect();
+        match case % 3 {
+            0 => {
+                // sorted + deduplicated (the canonical monotone shape)
+                ids.sort_unstable();
+                ids.dedup();
+            }
+            1 => {
+                // sorted with duplicates kept
+                ids.sort_unstable();
+            }
+            _ => {} // arbitrary order, duplicates possible
+        }
+        let n = ids.len();
+        let uniform_label = rng.gen_range(0u32..1000);
+        let labels: Vec<u32> = if case % 2 == 0 {
+            vec![uniform_label; n]
+        } else {
+            (0..n).map(|_| rng.gen_range(0u32..1000)).collect()
+        };
+        let pairs: Vec<(u32, u32)> =
+            labels.iter().map(|&l| (l, rng.gen_range(0u32..space as u32))).collect();
+        for enc in ENCODINGS {
+            for space_arg in [Some(space), None] {
+                let p = Package::encode(ids.clone(), labels.clone(), enc, space_arg, None);
+                let (vs, ms) = p.decode();
+                assert_eq!(vs.as_ref(), &ids[..], "{enc:?} ids, case {case}, space {space_arg:?}");
+                assert_eq!(ms.as_ref(), &labels[..], "{enc:?} msgs, case {case}");
+                assert_eq!(p.len(), n, "{enc:?} len, case {case}");
+                assert!(p.wire_bytes() > 0 || n == 0, "{enc:?} must charge bytes, case {case}");
+
+                let p = Package::encode(ids.clone(), pairs.clone(), enc, space_arg, None);
+                let (vs, ms) = p.decode();
+                assert_eq!(vs.as_ref(), &ids[..], "{enc:?} tuple ids, case {case}");
+                assert_eq!(ms.as_ref(), &pairs[..], "{enc:?} tuple msgs, case {case}");
+            }
+        }
+    }
+}

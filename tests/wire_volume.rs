@@ -1,0 +1,292 @@
+//! Wire-volume reduction acceptance suite.
+//!
+//! The comm-reduction stack — monotone send suppression, real package
+//! encodings, and the butterfly broadcast collective — must be *invisible*
+//! in results: every enabled configuration produces bit-identical labels,
+//! distances and components, and the default configuration produces
+//! bit-identical reports to the pre-reduction code. On top of that this
+//! suite pins the headline wins: DOBFS broadcast bytes drop ≥2× at six
+//! GPUs on an rmat analog, and delta-stepping SSSP sends measurably fewer
+//! vertices with suppression on.
+
+use mgpu_graph_analytics::core::{CommTopology, EnactConfig, EnactReport, Runner, WireEncoding};
+use mgpu_graph_analytics::gen::weights::add_paper_weights;
+use mgpu_graph_analytics::gen::{gnm, Dataset};
+use mgpu_graph_analytics::graph::{Csr, GraphBuilder};
+use mgpu_graph_analytics::partition::{DistGraph, Duplication, RandomPartitioner};
+use mgpu_graph_analytics::primitives::{
+    cc, dobfs, reference, sssp, sssp_delta, Cc, Dobfs, Sssp, SsspDelta,
+};
+use mgpu_graph_analytics::vgpu::{HardwareProfile, SimSystem};
+
+/// All wire-reduction configurations worth checking, defaults first.
+fn configs() -> Vec<(&'static str, EnactConfig)> {
+    let base = EnactConfig::default();
+    vec![
+        ("default", base),
+        ("suppression", EnactConfig { suppression: true, ..base }),
+        ("auto-encoding", EnactConfig { wire_encoding: WireEncoding::Auto, ..base }),
+        ("butterfly", EnactConfig { comm_topology: CommTopology::Butterfly, ..base }),
+        (
+            "all-enabled",
+            EnactConfig {
+                suppression: true,
+                wire_encoding: WireEncoding::Auto,
+                comm_topology: CommTopology::Butterfly,
+                ..base
+            },
+        ),
+    ]
+}
+
+fn with_threads(cfg: &EnactConfig, threads: usize) -> EnactConfig {
+    EnactConfig { kernel_threads: Some(threads), ..*cfg }
+}
+
+fn dist_for(g: &Csr<u32, u64>, n: usize, csc: bool) -> DistGraph<u32, u64> {
+    let owner: Vec<u32> = (0..g.n_vertices()).map(|v| (v % n) as u32).collect();
+    let mut dist = DistGraph::build(g, owner, n, Duplication::All);
+    if csc {
+        dist.build_cscs();
+    }
+    dist
+}
+
+fn sys(n: usize) -> SimSystem {
+    SimSystem::homogeneous(n, HardwareProfile::k40())
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity across the configuration matrix
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dobfs_is_bit_identical_in_every_configuration() {
+    let g: Csr<u32, u64> = GraphBuilder::undirected(&gnm(400, 2400, 11));
+    let expect = reference::bfs(&g, 0u32);
+    for n in [2usize, 4, 6] {
+        let dist = dist_for(&g, n, true);
+        for (name, cfg) in configs() {
+            let mut per_thread: Vec<EnactReport> = Vec::new();
+            for threads in [1usize, 4] {
+                let mut runner =
+                    Runner::new(sys(n), &dist, Dobfs::default(), with_threads(&cfg, threads))
+                        .unwrap();
+                let report = runner.enact(Some(0)).unwrap();
+                assert_eq!(
+                    dobfs::gather_labels(&runner, &dist),
+                    expect,
+                    "{name}, {n} GPUs, {threads} threads"
+                );
+                per_thread.push(report);
+            }
+            assert!(
+                per_thread[0].same_simulation(&per_thread[1]),
+                "{name} at {n} GPUs must be bit-identical across kernel thread counts"
+            );
+        }
+    }
+}
+
+#[test]
+fn cc_is_bit_identical_in_every_configuration() {
+    let g: Csr<u32, u64> = GraphBuilder::undirected(&gnm(300, 420, 23));
+    let expect = reference::cc(&g);
+    for n in [2usize, 4, 8] {
+        let dist = dist_for(&g, n, false);
+        for (name, cfg) in configs() {
+            let mut per_thread: Vec<EnactReport> = Vec::new();
+            for threads in [1usize, 4] {
+                let mut runner =
+                    Runner::new(sys(n), &dist, Cc, with_threads(&cfg, threads)).unwrap();
+                let report = runner.enact(None).unwrap();
+                assert_eq!(
+                    cc::gather_components(&runner, &dist),
+                    expect,
+                    "{name}, {n} GPUs, {threads} threads"
+                );
+                per_thread.push(report);
+            }
+            assert!(
+                per_thread[0].same_simulation(&per_thread[1]),
+                "{name} at {n} GPUs must be bit-identical across kernel thread counts"
+            );
+        }
+    }
+}
+
+#[test]
+fn sssp_variants_are_bit_identical_in_every_configuration() {
+    let mut coo = gnm(250, 1200, 31);
+    add_paper_weights(&mut coo, 32);
+    let g: Csr<u32, u64> = GraphBuilder::undirected(&coo);
+    let expect = reference::sssp(&g, 0u32);
+    for n in [2usize, 4, 6] {
+        let dist = dist_for(&g, n, false);
+        for (name, cfg) in configs() {
+            for threads in [1usize, 4] {
+                let mut runner =
+                    Runner::new(sys(n), &dist, Sssp, with_threads(&cfg, threads)).unwrap();
+                runner.enact(Some(0)).unwrap();
+                assert_eq!(
+                    sssp::gather_dists(&runner, &dist),
+                    expect,
+                    "Sssp {name}, {n} GPUs, {threads} threads"
+                );
+
+                let mut runner =
+                    Runner::new(sys(n), &dist, SsspDelta::default(), with_threads(&cfg, threads))
+                        .unwrap();
+                runner.enact(Some(0)).unwrap();
+                assert_eq!(
+                    sssp_delta::gather_dists(&runner, &dist),
+                    expect,
+                    "SsspDelta {name}, {n} GPUs, {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn butterfly_handles_non_power_of_two_gpu_counts() {
+    // n=7: the final dissemination stage overshoots (sends a prefix covering
+    // more blocks than strictly missing); redundant blocks must be absorbed
+    // by the monotone combine without changing any result.
+    let g: Csr<u32, u64> = GraphBuilder::undirected(&gnm(350, 2000, 47));
+    let dist = dist_for(&g, 7, true);
+    let cfg = EnactConfig {
+        comm_topology: CommTopology::Butterfly,
+        wire_encoding: WireEncoding::Auto,
+        suppression: true,
+        ..EnactConfig::default()
+    };
+    let mut runner = Runner::new(sys(7), &dist, Dobfs::default(), cfg).unwrap();
+    let report = runner.enact(Some(0)).unwrap();
+    assert_eq!(dobfs::gather_labels(&runner, &dist), reference::bfs(&g, 0u32));
+    assert!(report.comm.collective_stages > 0, "butterfly path must have been taken");
+
+    let dist = dist_for(&g, 7, false);
+    let cfg = EnactConfig {
+        comm_topology: CommTopology::Butterfly,
+        wire_encoding: WireEncoding::Auto,
+        ..EnactConfig::default()
+    };
+    let mut runner = Runner::new(sys(7), &dist, Cc, cfg).unwrap();
+    runner.enact(None).unwrap();
+    assert_eq!(cc::gather_components(&runner, &dist), reference::cc(&g));
+}
+
+// ---------------------------------------------------------------------------
+// Defaults stay inert
+// ---------------------------------------------------------------------------
+
+#[test]
+fn default_config_reports_no_reduction_activity() {
+    let g: Csr<u32, u64> = GraphBuilder::undirected(&gnm(200, 900, 5));
+    let dist = dist_for(&g, 4, true);
+    let mut runner = Runner::new(sys(4), &dist, Dobfs::default(), EnactConfig::default()).unwrap();
+    let report = runner.enact(Some(0)).unwrap();
+    // The encoding histogram always runs (Legacy's accounting cap registers
+    // as list/bitmap); suppression and collective counters must stay zero
+    // under the default configuration.
+    assert_eq!(report.comm.suppressed_vertices, 0);
+    assert_eq!(report.comm.suppressed_bytes, 0);
+    assert_eq!(report.comm.enc_delta, 0);
+    assert_eq!(report.comm.collective_stages, 0);
+    assert!(report.history.iter().all(|s| s.suppressed == 0));
+}
+
+#[test]
+fn default_selective_accounting_is_unchanged() {
+    // The historical invariant pinned by bsp_counters_are_conserved: under
+    // Legacy encoding a selective-push vertex costs id + label = 8 bytes.
+    let mut coo = gnm(150, 700, 71);
+    add_paper_weights(&mut coo, 72);
+    let g: Csr<u32, u64> = GraphBuilder::undirected(&coo);
+    let dist = dist_for(&g, 3, false);
+    let mut runner = Runner::new(sys(3), &dist, Sssp, EnactConfig::default()).unwrap();
+    let report = runner.enact(Some(0)).unwrap();
+    assert_eq!(report.totals.h_bytes_sent, report.totals.h_vertices * 8);
+    assert_eq!(report.comm.suppressed_vertices, 0);
+    assert_eq!(report.comm.collective_stages, 0);
+}
+
+// ---------------------------------------------------------------------------
+// The headline reductions
+// ---------------------------------------------------------------------------
+
+/// The rmat_2Mv_128Me analog the CLI acceptance run uses (shift 8, seed 42).
+fn rmat_analog() -> Csr<u32, u64> {
+    let ds = Dataset::by_name("rmat_2Mv_128Me").expect("catalog entry");
+    GraphBuilder::undirected(&ds.generate(8, 42))
+}
+
+#[test]
+fn dobfs_broadcast_bytes_drop_at_least_2x_at_six_gpus() {
+    let g = rmat_analog();
+    let src = (0..g.n_vertices() as u32).max_by_key(|&v| g.degree(v)).unwrap();
+    let dist = DistGraph::partition(&g, &RandomPartitioner { seed: 42 }, 6, Duplication::All);
+    let mut dist = dist;
+    dist.build_cscs();
+
+    let run = |cfg: EnactConfig| -> (Vec<u32>, EnactReport) {
+        let mut runner = Runner::new(sys(6), &dist, Dobfs::default(), cfg).unwrap();
+        let report = runner.enact(Some(src)).unwrap();
+        (dobfs::gather_labels(&runner, &dist), report)
+    };
+
+    let (labels_base, base) = run(EnactConfig::default());
+    let (labels_opt, opt) = run(EnactConfig {
+        suppression: true,
+        wire_encoding: WireEncoding::Auto,
+        comm_topology: CommTopology::Butterfly,
+        ..EnactConfig::default()
+    });
+
+    assert_eq!(labels_base, labels_opt, "reductions must not change BFS labels");
+    assert_eq!(labels_base, reference::bfs(&g, src));
+    let ratio = base.totals.h_bytes_sent as f64 / opt.totals.h_bytes_sent as f64;
+    assert!(
+        ratio >= 2.0,
+        "expected ≥2× broadcast byte reduction at 6 GPUs, got {ratio:.3}× \
+         ({} → {} bytes)",
+        base.totals.h_bytes_sent,
+        opt.totals.h_bytes_sent
+    );
+    assert!(opt.comm.collective_stages > 0);
+    assert!(opt.comm.enc_bitmap + opt.comm.enc_delta > 0, "Auto must pick compressed encodings");
+}
+
+#[test]
+fn sssp_delta_suppression_cuts_sent_vertices() {
+    // Delta-stepping re-expands boundary buckets, emitting the same vertex
+    // with the same final distance across supersteps — exactly what the
+    // sender-side floor cache catches.
+    let mut coo = gnm(2000, 16000, 91);
+    add_paper_weights(&mut coo, 92);
+    let g: Csr<u32, u64> = GraphBuilder::undirected(&coo);
+    let dist = dist_for(&g, 4, false);
+
+    let run = |cfg: EnactConfig| -> (Vec<u32>, EnactReport) {
+        let mut runner = Runner::new(sys(4), &dist, SsspDelta::default(), cfg).unwrap();
+        let report = runner.enact(Some(0)).unwrap();
+        (sssp_delta::gather_dists(&runner, &dist), report)
+    };
+
+    let (dists_base, base) = run(EnactConfig::default());
+    let (dists_supp, supp) = run(EnactConfig { suppression: true, ..EnactConfig::default() });
+
+    assert_eq!(dists_base, dists_supp, "suppression must not change distances");
+    assert_eq!(dists_base, reference::sssp(&g, 0u32));
+    assert!(
+        supp.comm.suppressed_vertices > 0,
+        "delta-stepping re-expansions should trip the suppression cache"
+    );
+    assert!(
+        supp.totals.h_vertices < base.totals.h_vertices,
+        "suppression should cut sent vertices: {} vs {}",
+        supp.totals.h_vertices,
+        base.totals.h_vertices
+    );
+}
