@@ -193,6 +193,7 @@ impl Bfs2d {
             recovery: mgpu_core::RecoveryLog::default(),
             governor: mgpu_core::GovernorLog::default(),
             comm: mgpu_core::CommReduction::default(),
+            trace: None,
         };
         Ok((report, labels))
     }

@@ -206,6 +206,7 @@ impl HardwiredDobfs {
             recovery: mgpu_core::RecoveryLog::default(),
             governor: mgpu_core::GovernorLog::default(),
             comm: mgpu_core::CommReduction::default(),
+            trace: None,
         };
         Ok((report, labels_out))
     }

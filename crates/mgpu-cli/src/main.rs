@@ -39,7 +39,16 @@
 //!   --wire-encoding {legacy|auto|list|bitmap|delta}  package wire format;
 //!                       auto picks the smallest per package       [default legacy]
 //!   --suppression       drop sends a monotone combiner would reject anyway
+//!   --trace-out PATH    record a structured trace and write it to PATH
+//!                       (`.jsonl` → compact JSONL, anything else → Chrome
+//!                       trace_event JSON for chrome://tracing / Perfetto)
+//!   --profile           (no value) record a trace, print the per-superstep
+//!                       BSP cost attribution table (W, H·g, S·l, waits) and
+//!                       verify it reconciles exactly with the report
 //! ```
+//!
+//! Both tracing flags verify the trace↔report reconciliation invariant and
+//! exit non-zero on any mismatch.
 
 use std::process::ExitCode;
 
@@ -62,7 +71,8 @@ fn usage() -> ExitCode {
          \x20         [--profile k40|k80|p100] [--shift N] [--seed S] [--src V|auto] [--json]\n\
          \x20         [--comm selective|broadcast] [--fault-plan <spec|random:SEED:COUNT:HORIZON>] [--recovery]\n\
          \x20         [--mem-cap BYTES] [--alloc-scheme just-enough|fixed|max|prealloc-fusion] [--sizing-factor F]\n\
-         \x20         [--comm-topology direct|butterfly] [--wire-encoding legacy|auto|list|bitmap|delta] [--suppression]"
+         \x20         [--comm-topology direct|butterfly] [--wire-encoding legacy|auto|list|bitmap|delta] [--suppression]\n\
+         \x20         [--trace-out PATH.jsonl|PATH.json] [--profile]"
     );
     ExitCode::FAILURE
 }
@@ -128,6 +138,8 @@ struct RunArgs {
     comm_topology: Option<String>,
     wire_encoding: Option<String>,
     suppression: bool,
+    trace_out: Option<String>,
+    bsp_profile: bool,
 }
 
 fn run(args: &[String]) -> ExitCode {
@@ -141,7 +153,7 @@ fn run(args: &[String]) -> ExitCode {
         sizing_factor: 1.0,
         ..Default::default()
     };
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
             it.next().map(|s| s.to_string()).unwrap_or_else(|| {
@@ -155,7 +167,12 @@ fn run(args: &[String]) -> ExitCode {
             "--mtx" => a.mtx = Some(value("--mtx")),
             "--gpus" => a.gpus = value("--gpus").parse().expect("--gpus N"),
             "--partitioner" => a.partitioner = value("--partitioner"),
-            "--profile" => a.profile = value("--profile"),
+            // `--profile <k40|k80|p100>` selects hardware (historic form);
+            // bare `--profile` enables the BSP cost attribution output.
+            "--profile" => match it.peek().map(|s| s.as_str()) {
+                Some("k40" | "k80" | "p100") => a.profile = it.next().cloned().unwrap_or_default(),
+                _ => a.bsp_profile = true,
+            },
             "--shift" => a.shift = value("--shift").parse().expect("--shift N"),
             "--seed" => a.seed = value("--seed").parse().expect("--seed S"),
             "--src" => a.src = value("--src"),
@@ -171,6 +188,7 @@ fn run(args: &[String]) -> ExitCode {
             "--comm-topology" => a.comm_topology = Some(value("--comm-topology")),
             "--wire-encoding" => a.wire_encoding = Some(value("--wire-encoding")),
             "--suppression" => a.suppression = true,
+            "--trace-out" => a.trace_out = Some(value("--trace-out")),
             other => {
                 eprintln!("unknown flag {other}");
                 return usage();
@@ -300,6 +318,7 @@ fn run(args: &[String]) -> ExitCode {
         comm_topology,
         wire_encoding,
         suppression: a.suppression,
+        tracing: a.trace_out.is_some() || a.bsp_profile,
         recovery: if a.recovery { RecoveryPolicy::resilient() } else { RecoveryPolicy::default() },
         pressure: if a.mem_cap.is_some() {
             PressurePolicy::governed()
@@ -350,6 +369,27 @@ fn run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // --- trace export + BSP cost attribution ---
+    if let Some(trace) = &outcome.report.trace {
+        let profile = mgpu_core::Profile::from_trace(trace);
+        if let Err(e) = profile.reconcile(&outcome.report) {
+            eprintln!("trace reconciliation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Some(path) = &a.trace_out {
+            let body =
+                if path.ends_with(".jsonl") { trace.to_jsonl() } else { trace.to_chrome_json() };
+            if let Err(e) = std::fs::write(path, body) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("trace written to {path} ({} events)", trace.n_events());
+        }
+        if a.bsp_profile {
+            print!("{}", profile.format_table());
+        }
+    }
 
     // `--src` is accepted for interface completeness; the dispatcher picks
     // the highest-degree source, which `auto` names explicitly.

@@ -265,7 +265,13 @@ impl<V: Id> FrontierBufs<V> {
         }
         if let Some(link) = self.host_link {
             let occupancy = freed as f64 / (link.bandwidth_gb_s * 1e3);
-            dev.charge(COMPUTE_STREAM, occupancy + link.latency_us, 0.0)?;
+            // one enqueue of occupancy+latency (splitting it would shift the
+            // clock); the span's `h_us` carries the occupancy portion that
+            // lands in the H counter
+            let meta = vgpu::SpanMeta::new(vgpu::TraceKind::Spill, "host-spill")
+                .bytes(freed)
+                .h_us(occupancy);
+            dev.charge_as(COMPUTE_STREAM, occupancy + link.latency_us, 0.0, meta)?;
             dev.counters.h_time_us += occupancy;
         }
         self.gov.spill_events += 1;

@@ -57,6 +57,7 @@ pub struct AsyncRunner<'g, V: Id, O: Id, P: MgpuProblem<V, O>> {
     per_gpu: Vec<AsyncPerGpu<V, P::State>>,
     encoding: WireEncoding,
     suppression: bool,
+    tracing: bool,
 }
 
 struct AsyncPerGpu<V: Id, S> {
@@ -99,12 +100,22 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> AsyncRunner<'g, V, O, P> {
             per_gpu,
             encoding: config.wire_encoding,
             suppression: config.suppression,
+            tracing: config.tracing,
         })
     }
 
     /// Run one traversal asynchronously from `src` (global id).
     pub fn enact(&mut self, src: Option<V>) -> Result<EnactReport> {
         self.system.reset_clocks();
+        if self.tracing {
+            // Async mode has no supersteps: every span stays stamped 0 and
+            // no sync spans are recorded (the profiler skips its makespan
+            // reconstruction accordingly).
+            for dev in &mut self.system.devices {
+                dev.timeline.enable();
+                dev.timeline.clear();
+            }
+        }
         let n = self.dist.n_parts;
         let located = src.map(|g| self.dist.locate(g));
         let mailbox: Mailbox<Arc<Package<V, P::Msg>>> =
@@ -201,6 +212,7 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> AsyncRunner<'g, V, O, P> {
             recovery: RecoveryLog::default(),
             governor: crate::governor::GovernorLog::default(),
             comm: comm_acc,
+            trace: self.tracing.then(|| crate::trace::Trace::collect(&self.system)),
         })
     }
 
@@ -276,8 +288,23 @@ fn run_async_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
             // otherwise a failing device would wedge termination detection.
             let combined = guard(gpu, || {
                 dev.stream_wait(COMM_STREAM, delivery.arrival)?;
+                let src = delivery.src;
                 let pkg = delivery.payload;
                 dev.counters.h_bytes_recv += pkg.wire_bytes();
+                if dev.timeline.is_enabled() {
+                    let at = dev.stream_time(COMM_STREAM);
+                    dev.timeline.record(vgpu::TraceEvent {
+                        device: dev.id(),
+                        stream: COMM_STREAM.0,
+                        kind: vgpu::TraceKind::Recv,
+                        name: "recv",
+                        start_us: at,
+                        items: pkg.len() as u64,
+                        bytes: pkg.wire_bytes(),
+                        peer: src as i64,
+                        ..vgpu::TraceEvent::default()
+                    });
+                }
                 let state = &mut per.state;
                 let pending_ref = &mut pending;
                 dev.kernel(COMM_STREAM, KernelKind::Combine, || {
@@ -349,7 +376,12 @@ fn run_async_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
                 stats_ref.count_package(pkg.encoding());
                 let bytes = pkg.wire_bytes();
                 let occupancy = interconnect.occupancy_us(gpu, peer, bytes);
-                let sent_at = dev.charge(COMM_STREAM, occupancy, 0.0)?;
+                let meta = vgpu::SpanMeta::new(vgpu::TraceKind::Send, "send")
+                    .items(pkg.len() as u64)
+                    .bytes(interconnect.charged_bytes(bytes))
+                    .h_us(occupancy)
+                    .peer(peer);
+                let sent_at = dev.charge_as(COMM_STREAM, occupancy, 0.0, meta)?;
                 let arrival = sent_at + interconnect.latency_us(gpu, peer);
                 dev.counters.h_bytes_sent += interconnect.charged_bytes(bytes);
                 dev.counters.h_vertices += pkg.len() as u64;

@@ -35,7 +35,7 @@ use vgpu::memory::Reservation;
 use vgpu::sync::{Contribution, Delivery};
 use vgpu::{
     harvest_device_thread, Device, Event, Interconnect, KernelKind, Mailbox, Result, SimSystem,
-    SyncPoint, VgpuError, COMM_STREAM, COMPUTE_STREAM,
+    SpanMeta, SyncPoint, TraceEvent, TraceKind, VgpuError, COMM_STREAM, COMPUTE_STREAM,
 };
 
 use crate::alloc::{AllocScheme, FrontierBufs};
@@ -83,6 +83,12 @@ pub struct EnactConfig {
     /// declares `monotone()`): provably dominated messages are dropped
     /// before packaging. Off by default.
     pub suppression: bool,
+    /// Record a structured [`crate::trace::Trace`] of the run (every kernel,
+    /// send/receive, barrier, retry, spill, collective stage and checkpoint
+    /// as a typed span) into `EnactReport::trace`. Off by default and free
+    /// when off: no allocation and no clock perturbation — `same_simulation`
+    /// holds between traced and untraced runs.
+    pub tracing: bool,
 }
 
 /// The wire-volume knobs a device thread needs, extracted from the config.
@@ -252,6 +258,32 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> Runner<'g, V, O, P> {
         sink: &CheckpointSink<V>,
     ) -> (Result<EnactReport>, RecoveryLog) {
         self.system.reset_clocks();
+        if self.config.tracing {
+            // Fresh trace per enact, superstep cursor positioned so resumed
+            // attempts stamp absolute superstep numbers. When tracing is off
+            // the timelines are left untouched — a caller may still drive
+            // them manually (see `examples/profile_trace.rs`).
+            let resume_iter = resume.map_or(0, |ck| ck.iter) as u32;
+            for dev in &mut self.system.devices {
+                dev.timeline.enable();
+                dev.timeline.clear();
+                dev.timeline.set_superstep(resume_iter);
+            }
+            // Downgrades were decided once at bind time, before any trace
+            // existed; replay them as instant markers at t=0 so every
+            // governor decision in the report is paired with a trace event.
+            for d in &self.admission.downgrades {
+                let id = d.device.unwrap_or(0).min(self.system.devices.len() - 1);
+                let dev = &mut self.system.devices[id];
+                dev.timeline.record(TraceEvent {
+                    device: id,
+                    kind: TraceKind::Downgrade,
+                    name: d.kind,
+                    bytes: d.estimated_bytes,
+                    ..TraceEvent::default()
+                });
+            }
+        }
         // Each enact reports its own mid-run degradation decisions (the
         // admission log persists — it was decided once, at bind).
         for per in &mut self.per_gpu {
@@ -407,6 +439,7 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> Runner<'g, V, O, P> {
                 gov
             },
             comm: comm_acc,
+            trace: self.config.tracing.then(|| crate::trace::Trace::collect(&self.system)),
         };
         (Ok(report), log)
     }
@@ -491,7 +524,11 @@ fn run_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
     };
 
     let mut iter = resume.map_or(0, |ck| ck.iter);
-    let mut history: Vec<SuperstepTrace> = Vec::new();
+    // History indices are *dense absolute superstep numbers*: a resumed
+    // attempt pads the supersteps it skipped with defaults so entry `i`
+    // always describes superstep `i` and `history.len() == iterations`,
+    // whether or not stages were elided or a checkpoint was replayed.
+    let mut history: Vec<SuperstepTrace> = vec![SuperstepTrace::default(); iter];
     loop {
         let mut trace = SuperstepTrace { input: input.len() as u64, ..Default::default() };
         let sent_before = dev.counters.h_vertices;
@@ -696,6 +733,18 @@ fn offer_checkpoint<V: Id, O: Id, P: MgpuProblem<V, O>>(
     })?;
     let frontier: Vec<V> =
         next_input.iter().copied().filter(|&v| sub.is_owned(v)).map(|v| sub.to_global(v)).collect();
+    if dev.timeline.is_enabled() {
+        let at = dev.stream_time(COMPUTE_STREAM);
+        dev.timeline.record(TraceEvent {
+            device: dev.id(),
+            stream: COMPUTE_STREAM.0,
+            kind: TraceKind::Checkpoint,
+            name: "checkpoint",
+            start_us: at,
+            items: words.len() as u64,
+            ..TraceEvent::default()
+        });
+    }
     sink.offer(iter, words, frontier);
     Ok(())
 }
@@ -750,10 +799,19 @@ fn post_package<V: Id, M: Wire>(
 ) -> Result<()> {
     let gpu = dev.id();
     let bytes = pkg.wire_bytes();
+    let charged = interconnect.charged_bytes(bytes);
     let occupancy = interconnect.occupancy_us(gpu, dst, bytes);
+    let send_meta = SpanMeta::new(TraceKind::Send, "send")
+        .items(pkg.len() as u64)
+        .bytes(charged)
+        .h_us(occupancy)
+        .peer(dst);
     let mut attempts = 0u32;
     loop {
-        let sent_at = dev.charge(COMM_STREAM, occupancy, 0.0)?;
+        // every attempt (including ones whose post fails) occupies the link
+        // and counts toward H — the trace mirrors that with one Send span
+        // per attempt, a failed one immediately followed by its Retry span
+        let sent_at = dev.charge_as(COMM_STREAM, occupancy, 0.0, send_meta)?;
         dev.counters.h_time_us += occupancy;
         let arrived_at = sent_at + interconnect.latency_us(gpu, dst);
         match mailbox.send(gpu, dst, Event::at(arrived_at), Arc::clone(&pkg)) {
@@ -761,17 +819,35 @@ fn post_package<V: Id, M: Wire>(
             Err(e) if attempts < policy.max_retries && policy.is_transient(&e) => {
                 attempts += 1;
                 rec.note_transfer_retry();
-                if policy.retry_backoff_us > 0.0 {
-                    dev.charge(COMM_STREAM, policy.retry_backoff_us, 0.0)?;
-                }
+                let meta = SpanMeta::new(TraceKind::Retry, "transfer-retry").peer(dst);
+                dev.charge_as(COMM_STREAM, policy.retry_backoff_us, 0.0, meta)?;
             }
             Err(e) => return Err(e),
         }
     }
-    dev.counters.h_bytes_sent += interconnect.charged_bytes(bytes);
+    dev.counters.h_bytes_sent += charged;
     dev.counters.h_vertices += pkg.len() as u64;
     dev.counters.h_messages += 1;
     Ok(())
+}
+
+/// Record a package arrival as an instant span on the communication stream
+/// (no clock effect — the arrival wait has already been applied).
+fn record_recv(dev: &mut Device, src: usize, wire_bytes: u64, items: u64) {
+    if dev.timeline.is_enabled() {
+        let at = dev.stream_time(COMM_STREAM);
+        dev.timeline.record(TraceEvent {
+            device: dev.id(),
+            stream: COMM_STREAM.0,
+            kind: TraceKind::Recv,
+            name: "recv",
+            start_us: at,
+            items,
+            bytes: wire_bytes,
+            peer: src as i64,
+            ..TraceEvent::default()
+        });
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -876,8 +952,10 @@ fn combine_received<V: Id, O: Id, P: MgpuProblem<V, O>>(
     let mut next = local_part;
     for delivery in mailbox.drain(gpu) {
         dev.stream_wait(COMM_STREAM, delivery.arrival)?;
+        let src = delivery.src;
         let pkg = delivery.payload;
         dev.counters.h_bytes_recv += pkg.wire_bytes();
+        record_recv(dev, src, pkg.wire_bytes(), pkg.len() as u64);
         let state = &mut per.state;
         // accepted vertices append straight onto the merged frontier — the
         // per-package `added` temporary is gone
@@ -1036,6 +1114,19 @@ fn butterfly_superstep<V: Id, O: Id, P: MgpuProblem<V, O>>(
                     (pkg, total as u64)
                 })?;
                 stats.collective_stages += 1;
+                if dev.timeline.is_enabled() {
+                    let at = dev.stream_time(COMPUTE_STREAM);
+                    dev.timeline.record(TraceEvent {
+                        device: dev.id(),
+                        stream: COMPUTE_STREAM.0,
+                        kind: TraceKind::Stage,
+                        name: "butterfly-stage",
+                        start_us: at,
+                        items: merged.len() as u64,
+                        peer: dst as i64,
+                        ..TraceEvent::default()
+                    });
+                }
                 // Empty stage packages are elided: the stage barrier below
                 // guarantees every posted send is drained by its receiver,
                 // so a missing delivery deterministically means an empty
@@ -1066,6 +1157,7 @@ fn butterfly_superstep<V: Id, O: Id, P: MgpuProblem<V, O>>(
                     dev.stream_wait(COMM_STREAM, delivery.arrival)?;
                     let pkg = delivery.payload;
                     dev.counters.h_bytes_recv += pkg.wire_bytes();
+                    record_recv(dev, src, pkg.wire_bytes(), pkg.len() as u64);
                     let state = &mut per.state;
                     let next_ref = &mut next;
                     let supp_ref = &mut *supp;

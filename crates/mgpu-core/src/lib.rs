@@ -40,6 +40,7 @@ pub mod ops;
 pub mod problem;
 pub mod report;
 pub mod resilience;
+pub mod trace;
 
 pub use alloc::{AllocScheme, FrontierBufs};
 pub use comm::{
@@ -53,3 +54,4 @@ pub use governor::{Downgrade, GovernorLog, PressurePolicy};
 pub use problem::{MgpuProblem, Wire};
 pub use report::{CommReduction, DeviceMemStats, EnactReport};
 pub use resilience::{CheckpointSink, GlobalCheckpoint, RecoveryLog, RecoveryPolicy, ResilientRunner};
+pub use trace::{BspRow, Profile, Trace};

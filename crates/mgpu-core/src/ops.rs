@@ -128,6 +128,23 @@ fn plan_passes<V: Id, O: Id>(
     Some(passes)
 }
 
+/// Record a chunked multi-pass advance as an instant span on the compute
+/// stream (`items` = pass count; no clock effect).
+fn record_chunk(dev: &mut Device, passes: usize) {
+    if dev.timeline.is_enabled() {
+        let at = dev.stream_time(COMPUTE_STREAM);
+        dev.timeline.record(vgpu::TraceEvent {
+            device: dev.id(),
+            stream: COMPUTE_STREAM.0,
+            kind: vgpu::TraceKind::Chunk,
+            name: "chunked-advance",
+            start_us: at,
+            items: passes as u64,
+            ..vgpu::TraceEvent::default()
+        });
+    }
+}
+
 /// A typed OOM for a frontier whose single-vertex adjacency exceeds even the
 /// degraded chunk budget.
 fn chunk_infeasible<V: Id>(dev: &Device, granted: usize) -> VgpuError {
@@ -168,6 +185,7 @@ where
     let passes = passes.ok_or_else(|| chunk_infeasible::<V>(dev, granted))?;
     bufs.gov.chunked_advances += 1;
     bufs.gov.chunk_passes += passes.len() as u64;
+    record_chunk(dev, passes.len());
     let mut out = Vec::new();
     let mut max_emit = 0usize;
     for &(lo, hi) in &passes {
@@ -308,6 +326,7 @@ pub fn advance_seq<V: Id, O: Id>(
         let passes = passes.ok_or_else(|| chunk_infeasible::<V>(dev, granted))?;
         bufs.gov.chunked_advances += 1;
         bufs.gov.chunk_passes += passes.len() as u64;
+        record_chunk(dev, passes.len());
         let mut out = Vec::new();
         let mut max_emit = 0usize;
         for &(lo, hi) in &passes {

@@ -135,6 +135,12 @@ pub struct EnactReport {
     /// Wire-volume reduction accounting (suppression, encoding histogram,
     /// collective stages), summed over devices.
     pub comm: CommReduction,
+    /// The structured event trace of the run, present when
+    /// `EnactConfig::tracing` was on (see [`crate::trace`]). Deliberately
+    /// excluded from [`Self::same_simulation`]: the trace *describes* the
+    /// simulation, it is not part of it — a traced and an untraced run of
+    /// the same workload must compare equal.
+    pub trace: Option<crate::trace::Trace>,
 }
 
 impl EnactReport {
@@ -272,6 +278,7 @@ mod tests {
             recovery: RecoveryLog::default(),
             governor: GovernorLog::default(),
             comm: CommReduction::default(),
+            trace: None,
         }
     }
 

@@ -8,6 +8,7 @@ use crate::fault::{FaultInjector, KernelFault};
 use crate::memory::{DeviceArray, MemoryPool};
 use crate::profile::HardwareProfile;
 use crate::stream::{Event, Stream, StreamId};
+use crate::timeline::{SpanMeta, TraceEvent, TraceKind};
 
 /// The kind of kernel being launched; selects which calibrated throughput of
 /// the [`HardwareProfile`] meters the work.
@@ -253,7 +254,8 @@ impl Device {
                     if attempts < self.retry_max {
                         attempts += 1;
                         self.kernel_retries += 1;
-                        self.charge(s, self.retry_backoff_us, 0.0)?;
+                        let meta = SpanMeta::new(TraceKind::Retry, "kernel-retry");
+                        self.charge_as(s, self.retry_backoff_us, 0.0, meta)?;
                         continue;
                     }
                     return Err(VgpuError::KernelFailed { device: self.id });
@@ -262,7 +264,8 @@ impl Device {
                     if attempts < self.retry_max {
                         attempts += 1;
                         self.kernel_retries += 1;
-                        self.charge(s, self.retry_backoff_us, 0.0)?;
+                        let meta = SpanMeta::new(TraceKind::Retry, "kernel-retry");
+                        self.charge_as(s, self.retry_backoff_us, 0.0, meta)?;
                         continue;
                     }
                     return Err(VgpuError::OutOfMemory {
@@ -290,14 +293,23 @@ impl Device {
         let cost =
             self.profile.kernel_launch_us + items as f64 * self.width_factor / per_us + straggle_us;
         let end = self.stream_mut(s)?.enqueue(cost, 0.0);
-        self.timeline.record(crate::timeline::TraceEvent {
-            device: self.id,
-            stream: s.0,
-            name: kind.name(),
-            start_us: end - cost,
-            dur_us: cost,
-            items,
-        });
+        if self.timeline.is_enabled() {
+            let tk = if kind.is_communication_computation() {
+                TraceKind::CommKernel
+            } else {
+                TraceKind::Kernel
+            };
+            self.timeline.record(TraceEvent {
+                device: self.id,
+                stream: s.0,
+                kind: tk,
+                name: kind.name(),
+                start_us: end - cost,
+                dur_us: cost,
+                items,
+                ..TraceEvent::default()
+            });
+        }
         self.counters.kernel_launches += 1;
         if kind.is_communication_computation() {
             self.counters.c_items += items;
@@ -314,13 +326,45 @@ impl Device {
     pub fn charge(&mut self, s: StreamId, cost_us: f64, not_before: f64) -> Result<f64> {
         let end = self.stream_mut(s)?.enqueue(cost_us, not_before);
         if self.timeline.is_enabled() && cost_us > 0.0 {
-            self.timeline.record(crate::timeline::TraceEvent {
+            self.timeline.record(TraceEvent {
                 device: self.id,
                 stream: s.0,
+                kind: TraceKind::Charge,
                 name: "charge",
                 start_us: end - cost_us,
                 dur_us: cost_us,
-                items: 0,
+                ..TraceEvent::default()
+            });
+        }
+        Ok(end)
+    }
+
+    /// Charge an explicit duration to a stream and record it as a typed
+    /// span. The clock effect is identical to [`Self::charge`] (one enqueue
+    /// of `cost_us`); the only difference is the recorded event — which is
+    /// emitted even for zero-cost spans so that e.g. zero-backoff retries
+    /// still appear in the trace paired with their fault-log entries.
+    pub fn charge_as(
+        &mut self,
+        s: StreamId,
+        cost_us: f64,
+        not_before: f64,
+        meta: SpanMeta,
+    ) -> Result<f64> {
+        let end = self.stream_mut(s)?.enqueue(cost_us, not_before);
+        if self.timeline.is_enabled() {
+            self.timeline.record(TraceEvent {
+                device: self.id,
+                stream: s.0,
+                kind: meta.kind,
+                name: meta.name,
+                start_us: end - cost_us,
+                dur_us: cost_us,
+                items: meta.items,
+                bytes: meta.bytes,
+                h_us: meta.h_us,
+                peer: meta.peer,
+                ..TraceEvent::default()
             });
         }
         Ok(end)
@@ -377,7 +421,38 @@ impl Device {
     /// at the barrier (BSP global synchronization).
     pub fn end_superstep(&mut self, n_devices: usize, global_time: f64) -> f64 {
         let l = self.profile.superstep_sync_us(n_devices);
-        let t = self.now().max(global_time) + l;
+        let local = self.now();
+        let aligned = local.max(global_time);
+        let t = aligned + l;
+        if self.timeline.is_enabled() {
+            // The wait span is the barrier skew (idle time behind the
+            // slowest peer); the sync span is the `S·l` charge. Recording
+            // `start = aligned` keeps `start + dur` bit-equal to the
+            // post-barrier clock, which the profiler's exact makespan
+            // reconciliation depends on.
+            if global_time > local {
+                self.timeline.record(TraceEvent {
+                    device: self.id,
+                    stream: COMPUTE_STREAM.0,
+                    kind: TraceKind::BarrierWait,
+                    name: "barrier-wait",
+                    start_us: local,
+                    dur_us: global_time - local,
+                    ..TraceEvent::default()
+                });
+            }
+            self.timeline.record(TraceEvent {
+                device: self.id,
+                stream: COMPUTE_STREAM.0,
+                kind: TraceKind::Sync,
+                name: "superstep-sync",
+                start_us: aligned,
+                dur_us: l,
+                items: n_devices as u64,
+                ..TraceEvent::default()
+            });
+            self.timeline.advance_superstep();
+        }
         for s in &mut self.streams {
             s.advance_to(t);
         }

@@ -49,5 +49,5 @@ pub use memory::{DeviceArray, MemoryPool};
 pub use profile::HardwareProfile;
 pub use stream::{Event, Stream, StreamId};
 pub use sync::{harvest_device_thread, Contribution, GlobalReduce, Mailbox, SyncPoint};
-pub use timeline::{Timeline, TraceEvent};
+pub use timeline::{SpanMeta, Timeline, TraceEvent, TraceKind};
 pub use system::SimSystem;

@@ -234,3 +234,68 @@ fn disabled_policy_under_a_loose_cap_changes_nothing() {
         "an armed but idle governor must be invisible to the simulation"
     );
 }
+
+#[test]
+fn traced_pressure_run_charges_spills_and_chunks_in_the_trace() {
+    use mgpu_graph_analytics::core::Profile;
+    let g = graph();
+    let traced_run = |cap: Option<u64>, threads: usize, tracing: bool| {
+        let dist = DistGraph::partition(&g, &RandomPartitioner { seed: 3 }, 4, Duplication::All);
+        let profile = match cap {
+            Some(c) => HardwareProfile::k40().with_capacity(c),
+            None => HardwareProfile::k40(),
+        };
+        let config = EnactConfig {
+            alloc_scheme: Some(AllocScheme::Max),
+            kernel_threads: Some(threads),
+            tracing,
+            pressure: if cap.is_some() {
+                PressurePolicy::governed()
+            } else {
+                PressurePolicy::default()
+            },
+            ..Default::default()
+        };
+        let mut runner =
+            Runner::new(SimSystem::homogeneous(4, profile), &dist, Bfs::default(), config).unwrap();
+        let report = runner.enact(Some(0u32)).unwrap();
+        let labels = gather_labels(&runner, &dist);
+        (report, labels)
+    };
+    let (base, expect) = traced_run(None, 1, true);
+    assert!(base.trace.is_some());
+    // Walk the cap down to a capacity where the governor acts mid-run.
+    let mut cap = base.peak_memory_per_device / 2;
+    let (report, labels) = loop {
+        let out = traced_run(Some(cap), 1, true);
+        if !out.0.governor.is_quiet() {
+            break out;
+        }
+        cap = cap * 3 / 4;
+    };
+    assert_eq!(labels, expect, "starved traced run must still be exact");
+
+    let trace = report.trace.as_ref().unwrap();
+    let p = Profile::from_trace(trace);
+    p.reconcile(&report).unwrap();
+    // Every governor decision in the log is paired with a typed event.
+    let gov = &report.governor;
+    assert_eq!(p.total.spills, gov.spill_events, "spill charges in trace");
+    assert_eq!(p.total.spilled_bytes, gov.spilled_bytes, "spilled bytes in trace");
+    assert_eq!(p.total.chunks, gov.chunked_advances, "chunked advances in trace");
+    assert_eq!(p.total.downgrades, gov.downgrades.len() as u64, "admission downgrades in trace");
+    assert!(
+        p.total.spills + p.total.chunks + p.total.downgrades > 0,
+        "the governor acted, so the trace must show it"
+    );
+
+    // Deterministic across kernel threads, and free when off.
+    let (r4, l4) = traced_run(Some(cap), 4, true);
+    assert_eq!(l4, labels);
+    assert!(report.same_simulation(&r4));
+    assert_eq!(trace.to_jsonl(), r4.trace.as_ref().unwrap().to_jsonl());
+    let (off, l_off) = traced_run(Some(cap), 1, false);
+    assert_eq!(l_off, labels);
+    assert!(off.trace.is_none());
+    assert!(off.same_simulation(&report), "tracing must not perturb a governed run");
+}

@@ -240,3 +240,86 @@ fn every_package_encoding_round_trips_arbitrary_distributions() {
         }
     }
 }
+
+/// Arbitrary graphs and configurations produce *well-formed* traces: spans
+/// on one device stream never overlap and start monotonically (the stream
+/// clock only moves forward), COMM span bytes reconcile with the device
+/// counters, and every retry / spill / chunk / downgrade in the report's
+/// logs is paired with a trace event of the matching kind.
+#[test]
+fn arbitrary_traced_runs_are_well_formed() {
+    use mgpu_graph_analytics::core::{CommTopology, Profile};
+    use mgpu_graph_analytics::vgpu::TraceKind;
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA1A);
+    for case in 0..CASES {
+        let (n, edges, weights) = arb_graph(&mut rng);
+        let n_gpus = rng.gen_range(1usize..5);
+        let seed = rng.gen_range(0u64..1000);
+        let src = (rng.gen_range(0usize..100) % n) as u32;
+        let g = build(n, &edges, &weights);
+        let dist = DistGraph::partition(&g, &RandomPartitioner { seed }, n_gpus, Duplication::All);
+        let cfg = EnactConfig {
+            tracing: true,
+            comm_topology: if case % 2 == 0 {
+                CommTopology::Direct
+            } else {
+                CommTopology::Butterfly
+            },
+            kernel_threads: Some(1 + case % 4),
+            suppression: case % 3 == 0,
+            ..Default::default()
+        };
+        let system = SimSystem::homogeneous(n_gpus, HardwareProfile::k40());
+        let mut runner = Runner::new(system, &dist, Sssp, cfg).unwrap();
+        let report = runner.enact(Some(src)).unwrap();
+        let trace = report.trace.as_ref().expect("tracing was on");
+        assert_eq!(trace.n_devices(), n_gpus, "case {case}");
+
+        for (dev, events) in trace.per_device.iter().enumerate() {
+            // Per-stream clocks: monotone starts, no overlapping spans.
+            let mut stream_clock = std::collections::HashMap::new();
+            let mut last_step = 0u32;
+            for e in events {
+                assert!(e.dur_us >= 0.0, "case {case}: negative span");
+                assert!(e.start_us >= 0.0, "case {case}: span before t=0");
+                let clock = stream_clock.entry(e.stream).or_insert(0.0f64);
+                // BarrierWait spans describe idle gaps *behind* the stream
+                // clock; everything else occupies the stream.
+                if e.kind != TraceKind::BarrierWait {
+                    assert!(
+                        e.start_us >= *clock - 1e-9,
+                        "case {case} dev {dev}: span {:?} at {} overlaps clock {}",
+                        e.kind,
+                        e.start_us,
+                        clock
+                    );
+                    *clock = clock.max(e.start_us + e.dur_us);
+                }
+                assert!(e.superstep >= last_step, "case {case}: superstep went backwards");
+                last_step = e.superstep;
+            }
+        }
+
+        // COMM spans reconcile with the device counters (and everything
+        // else — reconcile checks all buckets bitwise).
+        let profile = Profile::from_trace(trace);
+        profile.reconcile(&report).unwrap_or_else(|e| panic!("case {case}: {e}"));
+
+        // Log ↔ event pairing.
+        let rec = &report.recovery;
+        assert_eq!(
+            profile.total.retries,
+            rec.kernel_retries + rec.transfer_retries,
+            "case {case}: retries unpaired"
+        );
+        let gov = &report.governor;
+        assert_eq!(profile.total.spills, gov.spill_events, "case {case}: spills unpaired");
+        assert_eq!(profile.total.chunks, gov.chunked_advances, "case {case}: chunks unpaired");
+        assert_eq!(
+            profile.total.downgrades,
+            gov.downgrades.len() as u64,
+            "case {case}: downgrades unpaired"
+        );
+        assert_eq!(profile.total.spilled_bytes, gov.spilled_bytes, "case {case}");
+    }
+}

@@ -384,3 +384,75 @@ fn random_plans_are_seed_deterministic_and_recoverable() {
         assert!(report.recovery.lost_devices.is_empty(), "seed {seed}");
     }
 }
+
+// ---------------------------------------------------------------------------
+// traced variants: recovery machinery shows up in the structured trace
+// ---------------------------------------------------------------------------
+
+#[test]
+fn traced_transient_recovery_pairs_retries_and_checkpoints_with_events() {
+    use mgpu_graph_analytics::core::Profile;
+    let g = weighted_graph();
+    let run = |threads: usize| {
+        let config =
+            EnactConfig { tracing: true, kernel_threads: Some(threads), ..resilient_config() };
+        ResilientRunner::homogeneous(&g, Sssp, 4, HardwareProfile::k40(), config)
+            .with_fault_plan(
+                FaultPlan::new().kernel_fail(0, 2).transient_oom(1, 4).transfer_fail(0, 1, 1),
+            )
+            .enact_with(Some(0u32), gather_dists)
+            .unwrap()
+    };
+    let (r1, d1) = run(1);
+    let (r4, d4) = run(4);
+    assert_eq!(d1, d4, "recovered distances must not depend on kernel_threads");
+    assert!(r1.same_simulation(&r4));
+    let trace = r1.trace.as_ref().unwrap();
+    assert_eq!(
+        trace.to_jsonl(),
+        r4.trace.as_ref().unwrap().to_jsonl(),
+        "faulty traces must be byte-identical across kernel-thread counts"
+    );
+    let p = Profile::from_trace(trace);
+    p.reconcile(&r1).unwrap();
+    // All three transients survive in place — one attempt, so every retry
+    // the recovery log counted has a span in the trace.
+    assert_eq!(p.total.retries, r1.recovery.kernel_retries + r1.recovery.transfer_retries);
+    assert!(p.total.retries >= 3, "all three injected transients retried");
+    assert!(p.total.checkpoints > 0, "checkpoint offers appear in the trace");
+}
+
+#[test]
+fn traced_failover_trace_is_deterministic_and_reconciles_with_lost_time() {
+    use mgpu_graph_analytics::core::Profile;
+    let g = graph();
+    let run = |threads: usize| {
+        let config =
+            EnactConfig { tracing: true, kernel_threads: Some(threads), ..resilient_config() };
+        ResilientRunner::homogeneous(&g, Bfs::default(), 4, HardwareProfile::k40(), config)
+            .with_fault_plan(loss_plan())
+            .enact_with(Some(0u32), gather_labels)
+            .unwrap()
+    };
+    let (r1, l1) = run(1);
+    let (r4, l4) = run(4);
+    assert_eq!(l1, l4);
+    assert!(r1.same_simulation(&r4));
+    let trace = r1.trace.as_ref().unwrap();
+    assert_eq!(
+        trace.to_jsonl(),
+        r4.trace.as_ref().unwrap().to_jsonl(),
+        "a failover run's trace must be byte-identical across kernel-thread counts"
+    );
+    // The trace describes the surviving attempt; its makespan plus the
+    // recorded lost time reproduces sim_time_us bitwise — reconcile checks
+    // exactly that.
+    let p = Profile::from_trace(trace);
+    p.reconcile(&r1).unwrap();
+    assert!(r1.recovery.lost_time_us > 0.0, "the loss must have discarded work");
+    assert!(p.makespan_us < r1.sim_time_us, "lost time is outside the surviving trace");
+    assert!(p.total.checkpoints > 0, "checkpoints that bounded the recomputation are in the trace");
+    // Dense superstep history survives the checkpoint resume: one entry per
+    // superstep, with absolute indices.
+    assert_eq!(r1.history.len(), r1.iterations, "resumed-run history must stay dense");
+}
