@@ -45,9 +45,12 @@ fn bench_operators(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("fused", "rmat13"), |b| {
         b.iter(|| {
             let mut dev = Device::new(0, HardwareProfile::k40());
+            let bufs =
+                FrontierBufs::new(&mut dev, AllocScheme::Max, sub.n_vertices(), sub.n_edges())
+                    .unwrap();
             let mut seen = vec![0u32; sub.n_vertices()];
             let seen = vgpu::par::as_atomic_u32(&mut seen);
-            ops::advance_filter_fused(&mut dev, sub, &frontier, |_, _, d| {
+            ops::advance_filter_fused(&mut dev, sub, &bufs, &frontier, |_, _, d| {
                 seen[d as usize].compare_exchange(0, 1, Relaxed, Relaxed).is_ok().then_some(d)
             })
             .unwrap()

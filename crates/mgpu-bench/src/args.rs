@@ -11,11 +11,17 @@ pub struct BenchArgs {
     /// Optional machine-readable output path (`--json-out FILE`); binaries
     /// that support it write their results as JSON alongside the table.
     pub json_out: Option<String>,
+    /// Optional committed baseline to compare against (`--baseline FILE`);
+    /// the binary exits non-zero when a metric regresses past tolerance.
+    pub baseline: Option<String>,
+    /// Gate tolerance override (`--tolerance F`, a relative fraction);
+    /// each binary picks its own default when unset.
+    pub tolerance: Option<f64>,
 }
 
 impl Default for BenchArgs {
     fn default() -> Self {
-        BenchArgs { shift: 8, seed: 42, json_out: None }
+        BenchArgs { shift: 8, seed: 42, json_out: None, baseline: None, tolerance: None }
     }
 }
 
@@ -43,8 +49,21 @@ impl BenchArgs {
                 "--json-out" => {
                     out.json_out = Some(args.next().expect("--json-out needs a path"));
                 }
+                "--baseline" => {
+                    out.baseline = Some(args.next().expect("--baseline needs a path"));
+                }
+                "--tolerance" => {
+                    let v: f64 = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--tolerance needs a fraction (e.g. 0.005)");
+                    out.tolerance = Some(v);
+                }
                 other => {
-                    panic!("unknown flag {other}; supported: --shift N, --seed S, --json-out FILE")
+                    panic!(
+                        "unknown flag {other}; supported: --shift N, --seed S, \
+                         --json-out FILE, --baseline FILE, --tolerance F"
+                    )
                 }
             }
         }
@@ -83,5 +102,14 @@ mod tests {
     #[should_panic(expected = "unknown flag")]
     fn rejects_unknown() {
         BenchArgs::parse_from(["--bogus"].iter().map(|s| s.to_string()));
+    }
+
+    #[test]
+    fn parses_baseline_and_tolerance() {
+        let a = BenchArgs::parse_from(
+            ["--baseline", "BENCH_comm.json", "--tolerance", "0.01"].iter().map(|s| s.to_string()),
+        );
+        assert_eq!(a.baseline.as_deref(), Some("BENCH_comm.json"));
+        assert_eq!(a.tolerance, Some(0.01));
     }
 }

@@ -113,33 +113,55 @@ fn main() {
     t.print();
     println!("\nall {} configurations reconciled exactly", rows.len());
 
-    if let Some(path) = &args.json_out {
-        let mut j = String::from("{\"rows\":[");
-        for (i, r) in rows.iter().enumerate() {
-            if i > 0 {
-                j.push(',');
-            }
-            write!(
-                j,
-                "{{\"primitive\":\"{}\",\"gpus\":{},\"topology\":\"{}\",\
-                 \"supersteps\":{},\"sim_ms\":{:.4},\"w_ms\":{:.4},\"c_ms\":{:.4},\
-                 \"h_ms\":{:.4},\"sync_ms\":{:.4},\"wait_ms\":{:.4},\"events\":{}}}",
-                r.primitive,
-                r.gpus,
-                r.topology,
-                r.supersteps,
-                r.sim_ms,
-                r.w_ms,
-                r.c_ms,
-                r.h_ms,
-                r.sync_ms,
-                r.wait_ms,
-                r.events
-            )
-            .unwrap();
+    let mut j = String::from("{\"rows\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            j.push(',');
         }
-        j.push_str("],\"reconciled\":true}\n");
-        std::fs::write(path, j).expect("write --json-out file");
+        write!(
+            j,
+            "{{\"primitive\":\"{}\",\"gpus\":{},\"topology\":\"{}\",\
+             \"supersteps\":{},\"sim_ms\":{:.4},\"w_ms\":{:.4},\"c_ms\":{:.4},\
+             \"h_ms\":{:.4},\"sync_ms\":{:.4},\"wait_ms\":{:.4},\"events\":{}}}",
+            r.primitive,
+            r.gpus,
+            r.topology,
+            r.supersteps,
+            r.sim_ms,
+            r.w_ms,
+            r.c_ms,
+            r.h_ms,
+            r.sync_ms,
+            r.wait_ms,
+            r.events
+        )
+        .unwrap();
+    }
+    j.push_str("],\"reconciled\":true}\n");
+
+    if let Some(path) = &args.json_out {
+        std::fs::write(path, &j).expect("write --json-out file");
         println!("wrote {path}");
+    }
+
+    // The regression gate: every bucket of the W/C/H/S attribution (and the
+    // superstep/event counts) must match the committed baseline exactly up
+    // to a tight tolerance — these are deterministic simulated costs, so
+    // drift in either direction means the substrate changed behavior.
+    if let Some(path) = &args.baseline {
+        let tol = args.tolerance.unwrap_or(0.005);
+        let text = std::fs::read_to_string(path).expect("read --baseline file");
+        let result = mgpu_bench::Json::parse(&text).and_then(|base| {
+            let cur = mgpu_bench::Json::parse(&j)?;
+            mgpu_bench::compare_rows(
+                &cur,
+                &base,
+                &["primitive", "gpus", "topology"],
+                &["supersteps", "sim_ms", "w_ms", "c_ms", "h_ms", "sync_ms", "wait_ms", "events"],
+                tol,
+            )
+        });
+        let code = mgpu_bench::gate_report("bsp_profile", result);
+        std::process::exit(code);
     }
 }

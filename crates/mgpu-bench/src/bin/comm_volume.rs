@@ -130,29 +130,51 @@ fn main() {
         }
     }
 
-    if let Some(path) = &args.json_out {
-        let mut j = String::from("{\"gpus\":6,\"rows\":[");
-        for (i, r) in rows.iter().enumerate() {
-            if i > 0 {
-                j.push(',');
-            }
-            write!(
-                j,
-                "{{\"dataset\":\"{}\",\"primitive\":\"{}\",\"config\":\"{}\",\
-                 \"sim_ms\":{:.3},\"h_bytes\":{},\"suppressed_pct\":{:.2},\
-                 \"collective_stages\":{}}}",
-                r.dataset,
-                r.primitive,
-                r.config,
-                r.sim_ms,
-                r.h_bytes,
-                r.suppressed_pct,
-                r.collective_stages
-            )
-            .unwrap();
+    let mut j = String::from("{\"gpus\":6,\"rows\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            j.push(',');
         }
-        j.push_str("]}\n");
-        std::fs::write(path, j).expect("write --json-out file");
+        write!(
+            j,
+            "{{\"dataset\":\"{}\",\"primitive\":\"{}\",\"config\":\"{}\",\
+             \"sim_ms\":{:.3},\"h_bytes\":{},\"suppressed_pct\":{:.2},\
+             \"collective_stages\":{}}}",
+            r.dataset,
+            r.primitive,
+            r.config,
+            r.sim_ms,
+            r.h_bytes,
+            r.suppressed_pct,
+            r.collective_stages
+        )
+        .unwrap();
+    }
+    j.push_str("]}\n");
+
+    if let Some(path) = &args.json_out {
+        std::fs::write(path, &j).expect("write --json-out file");
         println!("\nwrote {path}");
+    }
+
+    // The regression gate: simulated costs are pure f64 arithmetic and
+    // reproduce exactly across machines, so the tolerance is tight — any
+    // drift means the cost model's behavior changed and the committed
+    // baseline must be refreshed on purpose.
+    if let Some(path) = &args.baseline {
+        let tol = args.tolerance.unwrap_or(0.005);
+        let text = std::fs::read_to_string(path).expect("read --baseline file");
+        let result = mgpu_bench::Json::parse(&text).and_then(|base| {
+            let cur = mgpu_bench::Json::parse(&j)?;
+            mgpu_bench::compare_rows(
+                &cur,
+                &base,
+                &["dataset", "primitive", "config"],
+                &["sim_ms", "h_bytes", "suppressed_pct", "collective_stages"],
+                tol,
+            )
+        });
+        let code = mgpu_bench::gate_report("comm_volume", result);
+        std::process::exit(code);
     }
 }

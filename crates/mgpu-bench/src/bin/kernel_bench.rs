@@ -1,0 +1,494 @@
+//! Wall-clock kernel benchmark — the host-side cost of the cache-conscious
+//! backend, measured for real (no simulated clocks).
+//!
+//! Five benches, each pitting the legacy kernel shape (replicated in this
+//! binary exactly as the old operators ran it) against the current one:
+//!
+//! * `backward_maintenance` — the per-superstep unvisited-set work of the
+//!   DOBFS backward pass in its dense regime, at a fixed 2M-vertex universe
+//!   (shift-independent, so the memory traffic is real): the legacy sorted
+//!   `Vec<usize>` (filter into a fresh vec, re-materialize `Vec<V>`, then
+//!   iterate) vs the bitmap [`Frontier`]'s fused `retain_visit`. This row
+//!   deliberately measures the bitmap's *worst* case — trivial per-vertex
+//!   work, where sequential vec streaming is bandwidth-competitive with
+//!   bit decode on a host CPU — so the gate pins the known tradeoff (the
+//!   bitmap buys a 64x footprint reduction, not wall clock, here).
+//! * `record_intermediate` — the per-superstep intermediate-frontier
+//!   residency recording: the legacy `clear()` + full refill vs the
+//!   length-only resize `FrontierBufs` does now.
+//! * `dobfs_backward` — the backward pass end to end (maintenance + pull)
+//!   on the rmat analog; pull scans dominate here, so this row mostly
+//!   checks the bitmap never *loses*.
+//! * `advance` — push-advance emission with the legacy 4096-edge chunk
+//!   target and fresh per-chunk `Vec`s vs cache-blocked chunks
+//!   (`par::cache_block_items`) with arena-leased buffers.
+//! * `csr_width` — the same advance over `Csr<u32, u64>` vs `Csr<u32, u32>`
+//!   offsets (the Table V experiment, wall-clock edition).
+//!
+//! Every arm computes a checksum and the binary aborts if legacy and
+//! optimized disagree — a speedup that changes results is a bug, not a win.
+//!
+//! With `--json-out FILE` the rows are written as JSON; with `--baseline
+//! FILE` the measured speedups are gated against the committed baseline
+//! (failing only on drops past tolerance or below the floor — wall clocks
+//! are noisy, so the tolerance is wide where the sim gates are tight).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mgpu_bench::{BenchArgs, Table};
+use mgpu_core::{Frontier, FrontierMode};
+use mgpu_gen::Dataset;
+use mgpu_graph::{Csr, GraphBuilder, Id};
+use vgpu::{par, Arena};
+
+const INF: u32 = u32::MAX;
+/// Independent timing repetitions; the minimum is reported (standard
+/// practice for wall-clock microbenches — the minimum is the least noisy
+/// estimator of the true cost).
+const REPS: usize = 3;
+/// Supersteps per advance measurement, enough for arena reuse to reach
+/// steady state.
+const ADVANCE_SUPERSTEPS: usize = 12;
+
+struct Row {
+    bench: &'static str,
+    base_ms: f64,
+    opt_ms: f64,
+    speedup: f64,
+    note: String,
+}
+
+/// Min-of-reps wall time of `work`, in milliseconds.
+fn time_ms(mut work: impl FnMut() -> u64, expect: u64, label: &str) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let got = work();
+        let el = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(got, expect, "{label}: checksum diverged between reps");
+        best = best.min(el);
+    }
+    best
+}
+
+/// Universe for the shift-independent maintenance/recording benches: big
+/// enough that the working sets live in memory, not cache.
+const MAINT_N: usize = 1 << 21;
+const MAINT_ROUNDS: u32 = 8;
+
+/// Synthetic discovery labels: vertex `v` is discovered at superstep
+/// `labels[v]` (uniform over rounds). The maintenance predicate reads this
+/// array exactly like the real backward pass reads its depth labels.
+fn maint_labels() -> Vec<u32> {
+    (0..MAINT_N)
+        .map(|v| {
+            (((v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) % MAINT_ROUNDS as u64) as u32
+        })
+        .collect()
+}
+
+/// Legacy unvisited-set maintenance: one filter into a fresh `Vec<usize>`,
+/// one `Vec<V>` materialization, one iteration per superstep — the exact
+/// shape the old backward pass ran between pulls.
+#[allow(clippy::manual_retain)] // deliberately replicates the legacy shape
+fn maintenance_legacy(labels: &[u32]) -> u64 {
+    let mut unvisited: Vec<usize> = (0..MAINT_N).collect();
+    let mut acc = 0u64;
+    for r in 0..MAINT_ROUNDS {
+        unvisited = unvisited.into_iter().filter(|&v| labels[v] > r).collect();
+        let as_ids: Vec<u32> = unvisited.iter().map(|&v| v as u32).collect();
+        for &v in &as_ids {
+            acc = acc.wrapping_add(v as u64);
+        }
+    }
+    acc
+}
+
+/// Current maintenance: fused in-place bitmap shrink + traversal — one
+/// decode pass per superstep where the legacy shape streams three vectors.
+fn maintenance_frontier(labels: &[u32]) -> u64 {
+    let mut fr: Frontier<u32> = Frontier::from_fn(MAINT_N, FrontierMode::Auto, |_| true);
+    let mut acc = 0u64;
+    for r in 0..MAINT_ROUNDS {
+        fr.retain_visit(|v: u32| labels[v.idx()] > r, |v: u32| acc = acc.wrapping_add(v as u64));
+    }
+    acc
+}
+
+/// Intermediate-frontier lengths over a superstep sequence: ramp up, decay.
+fn intermediate_lens() -> Vec<usize> {
+    (0..ADVANCE_SUPERSTEPS)
+        .map(|s| if s < 3 { MAINT_N >> (3 - s) } else { MAINT_N >> (s - 2).min(4) })
+        .collect()
+}
+
+/// Legacy `record_intermediate`: clear + resize refills the whole buffer
+/// with zeros every superstep.
+fn record_legacy(lens: &[usize]) -> u64 {
+    let mut buf: Vec<u32> = Vec::new();
+    let mut acc = 0u64;
+    for &len in lens {
+        buf.clear();
+        buf.resize(len, 0);
+        acc = acc.wrapping_add(buf.len() as u64);
+    }
+    acc
+}
+
+/// Current `record_intermediate`: length-only resize — the contents are
+/// residency modeling, never read, so only the length delta is touched.
+fn record_current(lens: &[usize]) -> u64 {
+    let mut buf: Vec<u32> = Vec::new();
+    let mut acc = 0u64;
+    for &len in lens {
+        buf.resize(len, 0);
+        acc = acc.wrapping_add(buf.len() as u64);
+    }
+    acc
+}
+
+/// Plain host BFS for the ground-truth depth array the backward bench
+/// starts from.
+fn host_bfs(g: &Csr<u32, u64>, src: u32) -> Vec<u32> {
+    let mut depth = vec![INF; g.n_vertices()];
+    depth[src as usize] = 0;
+    let mut queue = vec![src];
+    let mut d = 0u32;
+    while !queue.is_empty() {
+        let mut next = Vec::new();
+        for &u in &queue {
+            for &v in g.neighbors(u) {
+                if depth[v as usize] == INF {
+                    depth[v as usize] = d + 1;
+                    next.push(v);
+                }
+            }
+        }
+        queue = next;
+        d += 1;
+    }
+    depth
+}
+
+/// The legacy backward pass: unvisited as a sorted `Vec<usize>`, filtered
+/// into a fresh vec and re-materialized as `Vec<u32>` every superstep —
+/// exactly the shape the old DOBFS operator ran.
+#[allow(clippy::manual_retain)] // deliberately replicates the legacy shape
+fn backward_legacy(csc: &Csr<u32, u64>, labels: &mut [u32], cur0: u32) -> u64 {
+    let mut unvisited: Vec<usize> = (0..labels.len()).filter(|&v| labels[v] == INF).collect();
+    let mut cur = cur0;
+    let mut found = 0u64;
+    loop {
+        let unvisited_v: Vec<u32> = unvisited.iter().map(|&v| v as u32).collect();
+        let mut newly = Vec::new();
+        for &v in &unvisited_v {
+            for &p in csc.neighbors(v) {
+                if labels[p as usize] == cur {
+                    newly.push(v);
+                    break;
+                }
+            }
+        }
+        if newly.is_empty() {
+            break;
+        }
+        found += newly.len() as u64;
+        for &v in &newly {
+            labels[v as usize] = cur + 1;
+        }
+        cur += 1;
+        unvisited = unvisited.into_iter().filter(|&v| labels[v] == INF).collect();
+        if unvisited.is_empty() {
+            break;
+        }
+    }
+    found
+}
+
+/// The current backward pass: bitmap frontier with the fused shrink + pull
+/// (one decode pass per superstep), no per-superstep materialization —
+/// the shape `ops::retain_pull_frontier` runs.
+fn backward_frontier(csc: &Csr<u32, u64>, labels: &mut [u32], cur0: u32) -> u64 {
+    let mut fr: Frontier<u32> =
+        Frontier::from_fn(labels.len(), FrontierMode::Auto, |v| labels[v] == INF);
+    let mut cur = cur0;
+    let mut found = 0u64;
+    let mut first = true;
+    loop {
+        let mut newly = Vec::new();
+        {
+            let labels = &*labels;
+            let pull = |v: u32| {
+                for &p in csc.neighbors(v) {
+                    if labels[p as usize] == cur {
+                        newly.push(v);
+                        break;
+                    }
+                }
+            };
+            if first {
+                first = false;
+                fr.for_each(pull);
+            } else {
+                fr.retain_visit(|v: u32| labels[v.idx()] == INF, pull);
+            }
+        }
+        if newly.is_empty() {
+            break;
+        }
+        found += newly.len() as u64;
+        for &v in &newly {
+            labels[v as usize] = cur + 1;
+        }
+        cur += 1;
+    }
+    found
+}
+
+/// Legacy push-advance: degree-weighted chunks at the old 4096-edge target,
+/// a fresh `Vec` per chunk per superstep.
+fn advance_legacy<O: Id>(g: &Csr<u32, O>, frontier: &[u32], dist: &[u32], threads: usize) -> u64 {
+    let mut total = 0u64;
+    for _ in 0..ADVANCE_SUPERSTEPS {
+        let chunks = par::plan_weighted_chunks(frontier.len(), 4096, |i| g.degree(frontier[i]) + 1);
+        let parts = par::run_chunks(threads, chunks.len(), |c| {
+            let (lo, hi) = chunks[c];
+            let mut out = Vec::new();
+            for &u in &frontier[lo..hi] {
+                for &v in g.neighbors(u) {
+                    if dist[v as usize] == INF {
+                        out.push(v);
+                    }
+                }
+            }
+            out
+        });
+        let n: usize = parts.iter().map(Vec::len).sum();
+        let mut all = Vec::with_capacity(n);
+        for p in parts {
+            all.extend(p);
+        }
+        total += all.len() as u64;
+    }
+    total
+}
+
+/// Current push-advance: cache-blocked chunk target, arena-leased buffers
+/// reused across supersteps.
+fn advance_cache_blocked<O: Id>(
+    g: &Csr<u32, O>,
+    frontier: &[u32],
+    dist: &[u32],
+    threads: usize,
+) -> u64 {
+    let arena: Arena<u32> = Arena::new();
+    let target = par::cache_block_items(2 * 4).max(4096);
+    let mut total = 0u64;
+    for _ in 0..ADVANCE_SUPERSTEPS {
+        let chunks =
+            par::plan_weighted_chunks(frontier.len(), target, |i| g.degree(frontier[i]) + 1);
+        let parts = par::run_chunks(threads, chunks.len(), |c| {
+            let (lo, hi) = chunks[c];
+            let mut out = arena.lease();
+            for &u in &frontier[lo..hi] {
+                for &v in g.neighbors(u) {
+                    if dist[v as usize] == INF {
+                        out.push(v);
+                    }
+                }
+            }
+            out
+        });
+        let mut all = arena.lease();
+        for p in parts {
+            all.extend_from_slice(&p);
+            arena.reclaim(p);
+        }
+        total += all.len() as u64;
+        arena.reclaim(all);
+    }
+    total
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let threads = par::default_kernel_threads();
+    println!("Wall-clock kernel bench — rmat analog, shift {}, {threads} threads\n", args.shift);
+
+    let ds = Dataset::by_name("rmat_2Mv_128Me").expect("catalog dataset");
+    let coo = ds.generate(args.shift, args.seed);
+    let wide: Csr<u32, u64> = GraphBuilder::undirected(&coo);
+    let narrow: Csr<u32, u32> = GraphBuilder::undirected(&coo);
+    let n = wide.n_vertices();
+    let mut rows: Vec<Row> = Vec::new();
+
+    // --- backward_maintenance: the dense-superstep set work, full scale --
+    {
+        let labels = maint_labels();
+        let expect = maintenance_legacy(&labels);
+        let base_ms = time_ms(|| maintenance_legacy(&labels), expect, "maintenance legacy");
+        let opt_ms = time_ms(|| maintenance_frontier(&labels), expect, "maintenance frontier");
+        rows.push(Row {
+            bench: "backward_maintenance",
+            base_ms,
+            opt_ms,
+            speedup: base_ms / opt_ms.max(1e-9),
+            note: format!("{MAINT_N} vertices x {MAINT_ROUNDS} dense supersteps"),
+        });
+    }
+
+    // --- record_intermediate: length-only resize vs clear + refill -------
+    {
+        let lens = intermediate_lens();
+        let expect = record_legacy(&lens);
+        let base_ms = time_ms(|| record_legacy(&lens), expect, "record legacy");
+        let opt_ms = time_ms(|| record_current(&lens), expect, "record current");
+        rows.push(Row {
+            bench: "record_intermediate",
+            base_ms,
+            opt_ms,
+            speedup: base_ms / opt_ms.max(1e-9),
+            note: format!("peak {} entries x {} supersteps", MAINT_N >> 1, lens.len()),
+        });
+    }
+
+    // --- dobfs_backward: bitmap frontier vs legacy vec maintenance -------
+    {
+        let src = mgpu_bench::pick_source(&wide);
+        let depth = host_bfs(&wide, src);
+        // Switch to backward at the first depth where the traversal has a
+        // real foothold (>= 5% visited): from there the unvisited set is
+        // dense — the regime the bitmap representation targets — and the
+        // visited side is large enough that pulls early-exit quickly.
+        let mut d0 = 1u32;
+        loop {
+            let visited = depth.iter().filter(|&&d| d < d0).count();
+            if visited * 20 >= n || d0 > 64 {
+                break;
+            }
+            d0 += 1;
+        }
+        let init: Vec<u32> = depth.iter().map(|&d| if d < d0 { d } else { INF }).collect();
+        let unvisited0 = init.iter().filter(|&&l| l == INF).count();
+        let csc = wide.transpose();
+        // The pass itself is fast at analog scale, so each measurement runs
+        // it several times — keeps the row well above timer noise on CI.
+        let inner = 10u64;
+        let expect = inner * {
+            let mut l = init.clone();
+            backward_legacy(&csc, &mut l, d0 - 1)
+        };
+        let base_ms = time_ms(
+            || (0..inner).map(|_| backward_legacy(&csc, &mut init.clone(), d0 - 1)).sum(),
+            expect,
+            "dobfs_backward legacy",
+        );
+        let opt_ms = time_ms(
+            || (0..inner).map(|_| backward_frontier(&csc, &mut init.clone(), d0 - 1)).sum(),
+            expect,
+            "dobfs_backward frontier",
+        );
+        rows.push(Row {
+            bench: "dobfs_backward",
+            base_ms,
+            opt_ms,
+            speedup: base_ms / opt_ms.max(1e-9),
+            note: format!(
+                "{unvisited0}/{n} unvisited at switch ({:.0}% dense)",
+                100.0 * unvisited0 as f64 / n as f64
+            ),
+        });
+    }
+
+    // --- advance: cache-blocked + arena vs legacy chunking ---------------
+    // Full frontier, everything unvisited: the max-emission superstep where
+    // per-superstep buffer churn is at its worst (every edge emits).
+    let frontier: Vec<u32> = (0..n as u32).collect();
+    let dist: Vec<u32> = vec![INF; n];
+    {
+        let expect = advance_legacy(&wide, &frontier, &dist, threads);
+        let base_ms =
+            time_ms(|| advance_legacy(&wide, &frontier, &dist, threads), expect, "advance legacy");
+        let opt_ms = time_ms(
+            || advance_cache_blocked(&wide, &frontier, &dist, threads),
+            expect,
+            "advance cache-blocked",
+        );
+        rows.push(Row {
+            bench: "advance",
+            base_ms,
+            opt_ms,
+            speedup: base_ms / opt_ms.max(1e-9),
+            note: format!("{} frontier vertices x {ADVANCE_SUPERSTEPS} supersteps", frontier.len()),
+        });
+    }
+
+    // --- csr_width: u32 vs u64 offsets, same cache-blocked kernel --------
+    {
+        let expect = advance_cache_blocked(&wide, &frontier, &dist, threads);
+        let base_ms = time_ms(
+            || advance_cache_blocked(&wide, &frontier, &dist, threads),
+            expect,
+            "csr_width u64",
+        );
+        let opt_ms = time_ms(
+            || advance_cache_blocked(&narrow, &frontier, &dist, threads),
+            expect,
+            "csr_width u32",
+        );
+        rows.push(Row {
+            bench: "csr_width",
+            base_ms,
+            opt_ms,
+            speedup: base_ms / opt_ms.max(1e-9),
+            note: format!("offsets {} KiB -> {} KiB", (n + 1) * 8 / 1024, (n + 1) * 4 / 1024),
+        });
+    }
+
+    let mut t = Table::new(&["bench", "legacy ms", "optimized ms", "speedup", "note"]);
+    for r in &rows {
+        t.row(&[
+            r.bench.to_string(),
+            format!("{:.2}", r.base_ms),
+            format!("{:.2}", r.opt_ms),
+            format!("{:.2}x", r.speedup),
+            r.note.clone(),
+        ]);
+    }
+    t.print();
+
+    let mut j = String::from("{\"rows\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            j.push(',');
+        }
+        write!(
+            j,
+            "{{\"bench\":\"{}\",\"base_ms\":{:.3},\"opt_ms\":{:.3},\"speedup\":{:.3}}}",
+            r.bench, r.base_ms, r.opt_ms, r.speedup
+        )
+        .unwrap();
+    }
+    j.push_str("]}\n");
+
+    if let Some(path) = &args.json_out {
+        std::fs::write(path, &j).expect("write --json-out file");
+        println!("\nwrote {path}");
+    }
+
+    // The wall-clock gate: only a *drop* in speedup is a regression, and
+    // the tolerance is wide (these are real clocks on shared CI machines).
+    // The floor catches the catastrophic case where an "optimization" has
+    // become a slowdown, whatever the baseline says.
+    if let Some(path) = &args.baseline {
+        let tol = args.tolerance.unwrap_or(0.35);
+        let text = std::fs::read_to_string(path).expect("read --baseline file");
+        let result = mgpu_bench::Json::parse(&text).and_then(|base| {
+            let cur = mgpu_bench::Json::parse(&j)?;
+            mgpu_bench::compare_speedups(&cur, &base, &["bench"], "speedup", tol, 0.4)
+        });
+        let code = mgpu_bench::gate_report("kernel_bench", result);
+        std::process::exit(code);
+    }
+}

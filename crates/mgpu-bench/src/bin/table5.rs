@@ -44,7 +44,7 @@ fn main() {
         ("sk-2005", "BFS", "2717 ms"),
         ("sk-2005", "PR (per iter)", "154 ms/iter"),
     ] {
-        let g = GraphBuilder::undirected(
+        let g: Csr<u32, u64> = GraphBuilder::undirected(
             &Dataset::by_name(name).unwrap().generate(args.shift, args.seed),
         );
         let (us, suffix) = if algo == "BFS" {

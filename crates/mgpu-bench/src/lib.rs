@@ -24,9 +24,11 @@
 //! default 8) and `--seed S`.
 
 pub mod args;
+pub mod baseline;
 pub mod fmt;
 pub mod runners;
 
 pub use args::BenchArgs;
+pub use baseline::{compare_rows, compare_speedups, gate_report, Json};
 pub use fmt::{geomean, Table};
 pub use runners::{pick_source, run_on_k, run_primitive, Primitive, RunOutcome};

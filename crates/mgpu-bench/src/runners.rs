@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use mgpu_core::{CommStrategy, Downgrade, EnactConfig, EnactReport, ResilientRunner, Runner};
-use mgpu_graph::{Csr, Id};
+use mgpu_graph::{Csr, CsrAuto, Id};
 use mgpu_partition::{DistGraph, Duplication, Partitioner};
 use mgpu_primitives::{Bc, Bfs, Cc, Dobfs, Pagerank, Sssp};
 use mgpu_core::problem::MgpuProblem;
@@ -100,10 +100,10 @@ pub fn pick_source<V: Id, O: Id>(g: &Csr<V, O>) -> V {
 
 /// Bind + enact one attempt, recording any global downgrade `notes` the
 /// caller already took so they show up in the report's governor log.
-fn dispatch(
+fn dispatch<O: Id>(
     prim: Primitive,
     system: SimSystem,
-    dist: &DistGraph<u32, u64>,
+    dist: &DistGraph<u32, O>,
     config: EnactConfig,
     src: Option<u32>,
     notes: &[Downgrade],
@@ -144,9 +144,9 @@ fn prefers_selective(prim: Primitive) -> bool {
 /// duplicate-1-hop` (BFS supports both). Each step is recorded in the
 /// report's governor log; only when the chain is exhausted does the typed
 /// OOM reach the caller.
-pub fn run_primitive(
+pub fn run_primitive<O: Id>(
     prim: Primitive,
-    g: &Csr<u32, u64>,
+    g: &Csr<u32, O>,
     system: SimSystem,
     partitioner: &impl Partitioner,
     config: EnactConfig,
@@ -256,10 +256,27 @@ pub fn run_primitive_resilient(
     Ok(RunOutcome { report, edges: g.n_edges() })
 }
 
-/// Convenience: run on `n` homogeneous devices of `profile`.
-pub fn run_on_k(
+/// Run at the offset width [`mgpu_graph::GraphBuilder::build_auto`] chose:
+/// the narrow (u32) layout when the graph fits — `Runner::new` credits its
+/// halved index bandwidth in the cost model (paper Table V) — or the u64
+/// fallback otherwise.
+pub fn run_primitive_auto(
     prim: Primitive,
-    g: &Csr<u32, u64>,
+    g: &CsrAuto<u32>,
+    system: SimSystem,
+    partitioner: &impl Partitioner,
+    config: EnactConfig,
+) -> Result<RunOutcome> {
+    match g {
+        CsrAuto::Narrow(g) => run_primitive(prim, g, system, partitioner, config),
+        CsrAuto::Wide(g) => run_primitive(prim, g, system, partitioner, config),
+    }
+}
+
+/// Convenience: run on `n` homogeneous devices of `profile`.
+pub fn run_on_k<O: Id>(
+    prim: Primitive,
+    g: &Csr<u32, O>,
     n: usize,
     profile: vgpu::HardwareProfile,
     partitioner: &impl Partitioner,
@@ -279,9 +296,9 @@ pub fn scaled_system(n: usize, profile: vgpu::HardwareProfile, shift: u32) -> Si
 }
 
 /// Run on `n` overhead-scaled devices (the standard figure configuration).
-pub fn run_scaled(
+pub fn run_scaled<O: Id>(
     prim: Primitive,
-    g: &Csr<u32, u64>,
+    g: &Csr<u32, O>,
     n: usize,
     profile: vgpu::HardwareProfile,
     partitioner: &impl Partitioner,
@@ -346,7 +363,7 @@ mod tests {
     fn every_primitive_runs_through_the_dispatcher() {
         let mut coo = preferential_attachment(200, 6, 1);
         add_paper_weights(&mut coo, 2);
-        let g = GraphBuilder::undirected(&coo);
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&coo);
         for prim in Primitive::all() {
             let out = run_on_k(prim, &g, 2, HardwareProfile::k40(), &RandomPartitioner::default())
                 .unwrap_or_else(|e| panic!("{}: {e}", prim.name()));
@@ -360,7 +377,7 @@ mod tests {
         // A grid cut into contiguous strips: duplicate-all replicates the
         // whole vertex space on every device, while duplicate-1-hop keeps a
         // strip plus two boundary rows — a large, certain memory gap.
-        let g = GraphBuilder::undirected(&grid2d(32, 32, 1.0, 1));
+        let g: Csr<u32, u64> = GraphBuilder::undirected(&grid2d(32, 32, 1.0, 1));
         let n = 4;
         let all = DistGraph::<u32, u64>::partition(&g, &ChunkedPartitioner, n, Duplication::All);
         let hop = DistGraph::<u32, u64>::partition(&g, &ChunkedPartitioner, n, Duplication::OneHop);
@@ -440,6 +457,32 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.report.iterations, selective.report.iterations);
+    }
+
+    #[test]
+    fn auto_width_runs_narrow_and_matches_wide_results() {
+        let coo = preferential_attachment(200, 6, 1);
+        let auto = GraphBuilder::undirected_auto(&coo);
+        assert_eq!(auto.label(), "u32", "a 200-vertex graph fits narrow offsets");
+        let part = RandomPartitioner::default();
+        let narrow = run_primitive_auto(
+            Primitive::Bfs,
+            &auto,
+            SimSystem::homogeneous(2, HardwareProfile::k40()),
+            &part,
+            EnactConfig::default(),
+        )
+        .unwrap();
+        let wide: Csr<u32, u64> = GraphBuilder::undirected(&coo);
+        let wide = run_on_k(Primitive::Bfs, &wide, 2, HardwareProfile::k40(), &part).unwrap();
+        assert_eq!(narrow.report.iterations, wide.report.iterations);
+        assert!(
+            narrow.ms() < wide.ms(),
+            "the cost model must credit narrow offsets with less index bandwidth \
+             (narrow {} ms vs wide {} ms)",
+            narrow.ms(),
+            wide.ms()
+        );
     }
 
     #[test]

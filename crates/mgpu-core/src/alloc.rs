@@ -94,6 +94,10 @@ pub struct FrontierBufs<V: Id> {
     host_link: Option<Link>,
     /// Mid-run governor decisions (spills, reclaim retries, chunked passes).
     pub(crate) gov: GovernorLog,
+    /// Recycling pool for per-chunk kernel scratch (host-side only, never
+    /// accounted against the device pool — see `vgpu::arena`). Trimmed at
+    /// every output commit, i.e. at each superstep barrier.
+    pub arena: vgpu::Arena<V>,
 }
 
 impl<V: Id> FrontierBufs<V> {
@@ -134,6 +138,7 @@ impl<V: Id> FrontierBufs<V> {
             pressure: PressurePolicy::default(),
             host_link: None,
             gov: GovernorLog::default(),
+            arena: vgpu::Arena::new(),
         })
     }
 
@@ -237,6 +242,8 @@ impl<V: Id> FrontierBufs<V> {
         self.output.clear();
         self.output.extend_from_slice(frontier);
         std::mem::swap(&mut self.input, &mut self.output);
+        // superstep barrier: bound the host footprint the arena carries over
+        self.arena.trim(vgpu::arena::ARENA_RETAIN);
         Ok(())
     }
 
@@ -244,13 +251,15 @@ impl<V: Id> FrontierBufs<V> {
     /// An under-prepared buffer *grows* — a counted backstop reallocation
     /// that can fail with a typed `OutOfMemory` — instead of silently
     /// truncating the frontier, which was a wrong-answer bug in release
-    /// builds.
+    /// builds. The resize is length-only: the residency model never reads
+    /// the intermediate's contents, so steady-state supersteps must not
+    /// re-zero `len` elements every iteration (they used to `clear()` first,
+    /// which made `resize` rewrite the whole buffer each superstep).
     pub fn record_intermediate(&mut self, dev: &mut Device, len: usize) -> Result<()> {
         if let Some(buf) = &mut self.intermediate {
             if len > buf.capacity() {
                 dev.ensure_capacity(buf, len)?;
             }
-            buf.clear();
             buf.resize_within_capacity(len);
         }
         Ok(())
@@ -371,6 +380,30 @@ mod tests {
         bufs.record_intermediate(&mut d, 640).unwrap();
         assert_eq!(bufs.intermediate.as_ref().unwrap().len(), 640);
         assert!(d.pool().reallocs() >= 1);
+    }
+
+    #[test]
+    fn record_intermediate_reuses_capacity_across_supersteps() {
+        let mut d = dev();
+        let mut bufs =
+            FrontierBufs::<u32>::new(&mut d, AllocScheme::JustEnough, 100, 5000).unwrap();
+        bufs.record_intermediate(&mut d, 640).unwrap();
+        let (allocs, reallocs) = (d.pool().allocs(), d.pool().reallocs());
+        // poison the contents: a steady-state re-record must not rewrite them
+        bufs.intermediate.as_mut().unwrap().as_mut_slice().fill(0xDEAD_BEEF);
+        for _ in 0..100 {
+            bufs.record_intermediate(&mut d, 640).unwrap();
+        }
+        assert_eq!(d.pool().allocs(), allocs, "steady state allocates nothing");
+        assert_eq!(d.pool().reallocs(), reallocs, "steady state never re-grows");
+        assert!(
+            bufs.intermediate.as_ref().unwrap().as_slice().iter().all(|&x| x == 0xDEAD_BEEF),
+            "same-length re-records are length-only (no clear+refill churn)"
+        );
+        // shrinking then growing back within capacity also stays quiet
+        bufs.record_intermediate(&mut d, 10).unwrap();
+        bufs.record_intermediate(&mut d, 640).unwrap();
+        assert_eq!(d.pool().reallocs(), reallocs);
     }
 
     #[test]

@@ -1,0 +1,392 @@
+//! Frontier representations: sparse sorted vectors vs dense bitmaps.
+//!
+//! Gunrock and the paper both treat the frontier data structure as a
+//! first-class performance decision: a sparse frontier (a compacted vector
+//! of vertex ids) is ideal when few vertices are active, but the backward
+//! pass of direction-optimizing BFS iterates a set that starts as *almost
+//! every vertex* — there a bitmap costs 1 bit per vertex of bandwidth
+//! instead of 32, and membership updates are single-word stores.
+//!
+//! [`Frontier`] abstracts over both representations while preserving the
+//! substrate's determinism contract: **iteration order is ascending vertex
+//! id in both representations**, and the active count is maintained
+//! incrementally, so any charge derived from a frontier (its length, its
+//! out-degree sum, its scan cost) is bit-identical regardless of
+//! representation. The density-based auto switch is a pure function of
+//! `(len, universe)` — never of thread count or timing — so representation
+//! choices replay identically too.
+//!
+//! The representations only make sense for *sorted* vertex sets (the DOBFS
+//! unvisited set, filter outputs over ascending inputs). Push-mode frontiers
+//! arrive in emission order and stay plain `Vec<V>`.
+
+use mgpu_graph::Id;
+
+/// Dense-switch threshold: go to a bitmap at density ≥ 1/16 (a sorted `u32`
+/// vec costs 32 bits/element; the bitmap costs `universe` bits total, so the
+/// bitmap is strictly smaller from 1/32 — the extra factor 2 is hysteresis
+/// headroom so iteration-heavy sparse sets do not flap).
+const DENSE_AT: usize = 16;
+/// Sparse-switch threshold: a dense frontier falls back to the sorted vec
+/// below density 1/64 (word-scan overhead dominates once most words are
+/// empty; staggered against [`DENSE_AT`] so shrinking sets switch once).
+const SPARSE_AT: usize = 64;
+
+/// Which frontier representation to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrontierMode {
+    /// Pick by density: bitmap at ≥ 1/16, sorted vec below 1/64, with
+    /// hysteresis in between. The choice depends only on `(len, universe)`.
+    #[default]
+    Auto,
+    /// Always the sorted-vec representation (the legacy behavior).
+    Sparse,
+    /// Always the bitmap representation.
+    Dense,
+}
+
+impl FrontierMode {
+    /// Short label for reports and bench rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FrontierMode::Auto => "auto",
+            FrontierMode::Sparse => "sparse",
+            FrontierMode::Dense => "dense",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Repr<V> {
+    /// Strictly ascending vertex ids.
+    Sparse(Vec<V>),
+    /// Bit `v` set ⇔ `v` is in the frontier; `count` is maintained.
+    Dense { words: Vec<u64>, count: usize },
+}
+
+/// A set of vertex ids over a fixed universe `0..universe`, iterated in
+/// ascending order by both representations.
+#[derive(Debug, Clone)]
+pub struct Frontier<V: Id> {
+    repr: Repr<V>,
+    universe: usize,
+    mode: FrontierMode,
+}
+
+impl<V: Id> Frontier<V> {
+    /// Build from a vertex-space scan: contains every `v` in `0..universe`
+    /// with `pred(v)`. The dense path never materializes the id list.
+    pub fn from_fn(universe: usize, mode: FrontierMode, pred: impl Fn(usize) -> bool) -> Self {
+        let dense = match mode {
+            FrontierMode::Sparse => false,
+            FrontierMode::Dense => true,
+            // estimate nothing: build dense (one bit per scanned vertex),
+            // then rebalance on the exact count — still O(universe).
+            FrontierMode::Auto => true,
+        };
+        let mut f = if dense {
+            let mut words = vec![0u64; universe.div_ceil(64)];
+            let mut count = 0usize;
+            for v in 0..universe {
+                if pred(v) {
+                    words[v / 64] |= 1u64 << (v % 64);
+                    count += 1;
+                }
+            }
+            Frontier { repr: Repr::Dense { words, count }, universe, mode }
+        } else {
+            let ids: Vec<V> = (0..universe).filter(|&v| pred(v)).map(V::from_usize).collect();
+            Frontier { repr: Repr::Sparse(ids), universe, mode }
+        };
+        f.rebalance();
+        f
+    }
+
+    /// Build from a strictly ascending id list.
+    pub fn from_sorted(ids: Vec<V>, universe: usize, mode: FrontierMode) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be strictly ascending");
+        debug_assert!(ids.last().is_none_or(|v| v.idx() < universe));
+        let mut f = Frontier { repr: Repr::Sparse(ids), universe, mode };
+        f.rebalance();
+        f
+    }
+
+    /// The empty frontier over `0..universe`.
+    pub fn empty(universe: usize, mode: FrontierMode) -> Self {
+        Frontier { repr: Repr::Sparse(Vec::new()), universe, mode }
+    }
+
+    /// Number of active vertices. O(1) in both representations.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Sparse(ids) => ids.len(),
+            Repr::Dense { count, .. } => *count,
+        }
+    }
+
+    /// True when no vertex is active.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of the vertex space this frontier ranges over.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Active fraction of the universe.
+    pub fn density(&self) -> f64 {
+        if self.universe == 0 {
+            0.0
+        } else {
+            self.len() as f64 / self.universe as f64
+        }
+    }
+
+    /// Is the current representation the bitmap?
+    pub fn is_dense(&self) -> bool {
+        matches!(self.repr, Repr::Dense { .. })
+    }
+
+    /// The mode this frontier rebalances under.
+    pub fn mode(&self) -> FrontierMode {
+        self.mode
+    }
+
+    /// Visit every active vertex in ascending id order.
+    pub fn for_each(&self, mut f: impl FnMut(V)) {
+        match &self.repr {
+            Repr::Sparse(ids) => {
+                for &v in ids {
+                    f(v);
+                }
+            }
+            Repr::Dense { words, .. } => {
+                for (w, &word) in words.iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let b = bits.trailing_zeros() as usize;
+                        f(V::from_usize(w * 64 + b));
+                        bits &= bits - 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The active ids as an ascending vector.
+    pub fn to_vec(&self) -> Vec<V> {
+        match &self.repr {
+            Repr::Sparse(ids) => ids.clone(),
+            Repr::Dense { count, .. } => {
+                let mut out = Vec::with_capacity(*count);
+                self.for_each(|v| out.push(v));
+                out
+            }
+        }
+    }
+
+    /// Drop every vertex failing `pred`, preserving ascending order, then
+    /// rebalance the representation under the frontier's mode.
+    pub fn retain(&mut self, pred: impl Fn(V) -> bool) {
+        match &mut self.repr {
+            Repr::Sparse(ids) => ids.retain(|&v| pred(v)),
+            Repr::Dense { words, count } => {
+                for (w, word) in words.iter_mut().enumerate() {
+                    let mut bits = *word;
+                    let mut kept = *word;
+                    while bits != 0 {
+                        let b = bits.trailing_zeros() as usize;
+                        if !pred(V::from_usize(w * 64 + b)) {
+                            kept &= !(1u64 << b);
+                        }
+                        bits &= bits - 1;
+                    }
+                    *count -= (word.count_ones() - kept.count_ones()) as usize;
+                    *word = kept;
+                }
+            }
+        }
+        self.rebalance();
+    }
+
+    /// Fused shrink + traversal: equivalent to `retain(pred)` followed by
+    /// `for_each(visit)` — `visit` runs, in ascending order, on exactly the
+    /// vertices that survive `pred` — but in a single pass over the
+    /// representation. In the dense regime that halves the bit-decode work,
+    /// which is the dominant host cost of the backward pass's per-superstep
+    /// maintenance. `pred` must not depend on `visit`'s side effects.
+    pub fn retain_visit(&mut self, pred: impl Fn(V) -> bool, mut visit: impl FnMut(V)) {
+        match &mut self.repr {
+            Repr::Sparse(ids) => ids.retain(|&v| {
+                let keep = pred(v);
+                if keep {
+                    visit(v);
+                }
+                keep
+            }),
+            Repr::Dense { words, count } => {
+                for (w, word) in words.iter_mut().enumerate() {
+                    let mut bits = *word;
+                    let mut kept = *word;
+                    while bits != 0 {
+                        let b = bits.trailing_zeros() as usize;
+                        let v = V::from_usize(w * 64 + b);
+                        if pred(v) {
+                            visit(v);
+                        } else {
+                            kept &= !(1u64 << b);
+                        }
+                        bits &= bits - 1;
+                    }
+                    *count -= (word.count_ones() - kept.count_ones()) as usize;
+                    *word = kept;
+                }
+            }
+        }
+        self.rebalance();
+    }
+
+    /// The bitmap words (dense representation only).
+    pub(crate) fn words(&self) -> Option<&[u64]> {
+        match &self.repr {
+            Repr::Dense { words, .. } => Some(words),
+            Repr::Sparse(_) => None,
+        }
+    }
+
+    /// The sorted id slice (sparse representation only).
+    pub(crate) fn ids(&self) -> Option<&[V]> {
+        match &self.repr {
+            Repr::Sparse(ids) => Some(ids),
+            Repr::Dense { .. } => None,
+        }
+    }
+
+    /// Convert to whatever representation the mode and density dictate.
+    /// Purely a function of `(len, universe, mode)` — deterministic.
+    fn rebalance(&mut self) {
+        let want_dense = match self.mode {
+            FrontierMode::Sparse => false,
+            FrontierMode::Dense => true,
+            FrontierMode::Auto => {
+                let len = self.len();
+                if self.is_dense() {
+                    // keep dense until density drops below 1/SPARSE_AT
+                    len * SPARSE_AT >= self.universe
+                } else {
+                    len * DENSE_AT >= self.universe
+                }
+            }
+        };
+        match (&self.repr, want_dense) {
+            (Repr::Sparse(_), true) => {
+                let mut words = vec![0u64; self.universe.div_ceil(64)];
+                let mut count = 0usize;
+                if let Repr::Sparse(ids) = &self.repr {
+                    for &v in ids {
+                        words[v.idx() / 64] |= 1u64 << (v.idx() % 64);
+                        count += 1;
+                    }
+                }
+                self.repr = Repr::Dense { words, count };
+            }
+            (Repr::Dense { .. }, false) => {
+                let mut ids = Vec::with_capacity(self.len());
+                self.for_each(|v| ids.push(v));
+                self.repr = Repr::Sparse(ids);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids_of(f: &Frontier<u32>) -> Vec<u32> {
+        let mut out = Vec::new();
+        f.for_each(|v| out.push(v));
+        out
+    }
+
+    #[test]
+    fn from_fn_matches_filter_in_both_modes() {
+        for mode in [FrontierMode::Sparse, FrontierMode::Dense, FrontierMode::Auto] {
+            let f = Frontier::<u32>::from_fn(200, mode, |v| v % 3 == 0);
+            let expect: Vec<u32> = (0..200).filter(|v| v % 3 == 0).collect();
+            assert_eq!(ids_of(&f), expect, "{mode:?}");
+            assert_eq!(f.len(), expect.len(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn dense_iteration_is_ascending() {
+        let f =
+            Frontier::<u32>::from_sorted(vec![0, 63, 64, 65, 127, 199], 200, FrontierMode::Dense);
+        assert!(f.is_dense());
+        assert_eq!(ids_of(&f), vec![0, 63, 64, 65, 127, 199]);
+    }
+
+    #[test]
+    fn retain_preserves_order_and_count_in_both_modes() {
+        for mode in [FrontierMode::Sparse, FrontierMode::Dense] {
+            let mut f = Frontier::<u32>::from_fn(128, mode, |_| true);
+            f.retain(|v| v % 2 == 1);
+            assert_eq!(f.len(), 64, "{mode:?}");
+            assert_eq!(ids_of(&f), (0..128u32).filter(|v| v % 2 == 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn auto_mode_switches_dense_to_sparse_as_density_drops() {
+        let mut f = Frontier::<u32>::from_fn(6400, FrontierMode::Auto, |_| true);
+        assert!(f.is_dense(), "full frontier is dense");
+        f.retain(|v| v < 10);
+        assert!(!f.is_dense(), "density 10/6400 < 1/64 falls back to sparse");
+        assert_eq!(f.len(), 10);
+    }
+
+    #[test]
+    fn auto_mode_has_hysteresis() {
+        // density 1/32: dense stays dense, a fresh sparse build stays sparse
+        let n = 3200usize;
+        let mut dense = Frontier::<u32>::from_fn(n, FrontierMode::Auto, |_| true);
+        dense.retain(|v| (v as usize).is_multiple_of(32));
+        assert!(dense.is_dense(), "1/32 ≥ 1/64 keeps the bitmap");
+        let sparse = Frontier::<u32>::from_sorted(
+            (0..n as u32).step_by(32).collect(),
+            n,
+            FrontierMode::Auto,
+        );
+        assert!(!sparse.is_dense(), "1/32 < 1/16 builds sparse");
+    }
+
+    #[test]
+    fn forced_modes_pin_the_representation() {
+        let f = Frontier::<u32>::from_sorted(vec![5], 1_000_000, FrontierMode::Dense);
+        assert!(f.is_dense());
+        let g = Frontier::<u32>::from_fn(64, FrontierMode::Sparse, |_| true);
+        assert!(!g.is_dense());
+    }
+
+    #[test]
+    fn empty_and_edge_universes() {
+        let f = Frontier::<u32>::empty(0, FrontierMode::Auto);
+        assert!(f.is_empty());
+        assert_eq!(f.density(), 0.0);
+        let g = Frontier::<u32>::from_fn(1, FrontierMode::Auto, |_| true);
+        assert_eq!(g.len(), 1);
+        assert_eq!(ids_of(&g), vec![0]);
+    }
+
+    #[test]
+    fn to_vec_round_trips() {
+        let ids = vec![1u32, 7, 8, 40, 41, 42];
+        for mode in [FrontierMode::Sparse, FrontierMode::Dense] {
+            let f = Frontier::from_sorted(ids.clone(), 64, mode);
+            assert_eq!(f.to_vec(), ids, "{mode:?}");
+        }
+    }
+}

@@ -35,6 +35,7 @@ pub mod async_enactor;
 pub mod comm;
 pub mod direction;
 pub mod enactor;
+pub mod frontier;
 pub mod governor;
 pub mod ops;
 pub mod problem;
@@ -50,6 +51,7 @@ pub use comm::{
 pub use direction::{Direction, DirectionConfig, DirectionState};
 pub use async_enactor::AsyncRunner;
 pub use enactor::{EnactConfig, Runner};
+pub use frontier::{Frontier, FrontierMode};
 pub use governor::{Downgrade, GovernorLog, PressurePolicy};
 pub use problem::{MgpuProblem, Wire};
 pub use report::{CommReduction, DeviceMemStats, EnactReport};

@@ -26,14 +26,23 @@
 
 use mgpu_graph::{Csr, Id};
 use mgpu_partition::SubGraph;
-use vgpu::{par, Device, KernelKind, Result, VgpuError, COMPUTE_STREAM};
+use vgpu::{par, Arena, Device, KernelKind, Result, VgpuError, COMPUTE_STREAM};
 
 use crate::alloc::FrontierBufs;
+use crate::frontier::Frontier;
+pub use crate::frontier::FrontierMode;
 
-/// Edge-work per parallel chunk. Small frontiers plan a single chunk and run
-/// inline (no worker spawn); the threshold depends only on the workload, so
-/// the sequential cutoff is itself thread-count-independent.
+/// Legacy edge-work per parallel chunk. Still the floor for
+/// [`advance_accumulate`], whose chunk plan is part of its result (dense f32
+/// partials merge in chunk order, so its target must never change).
 const PAR_CHUNK_WORK: usize = 4096;
+
+/// Edge-work per cache-blocked chunk: sized so one chunk's column reads and
+/// emission slots stay inside [`par::CACHE_BLOCK_BYTES`]. A pure function of
+/// the id type, so plans remain workload-only.
+fn chunk_target<V: Id>() -> usize {
+    par::cache_block_items(2 * V::BYTES).max(PAR_CHUNK_WORK)
+}
 
 /// Upper bound on dense partial buffers for [`advance_accumulate`] (the
 /// per-block partial-reduction idiom: more partials costs memory and merge
@@ -49,29 +58,30 @@ fn plan_chunks<V: Id, O: Id>(
     input: &[V],
     target: usize,
 ) -> Vec<(usize, usize)> {
-    let mut chunks = Vec::new();
-    let (mut start, mut acc) = (0usize, 0usize);
-    for (i, &v) in input.iter().enumerate() {
-        acc += sub.csr.degree(v) + 1;
-        if acc >= target {
-            chunks.push((start, i + 1));
-            start = i + 1;
-            acc = 0;
-        }
+    par::plan_weighted_chunks(input.len(), target, |i| sub.csr.degree(input[i]) + 1)
+}
+
+/// Concatenate per-chunk emission buffers in chunk order and hand the spent
+/// buffers back to the arena for the next launch.
+fn concat_reclaim<V: Id>(arena: &Arena<V>, parts: Vec<Vec<V>>) -> Vec<V> {
+    let total = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in parts {
+        out.extend_from_slice(&p);
+        arena.reclaim(p);
     }
-    if start < input.len() {
-        chunks.push((start, input.len()));
-    }
-    chunks
+    out
 }
 
 /// Run the push-advance body over the planned chunks and concatenate the
-/// per-chunk emissions in chunk order.
+/// per-chunk emissions in chunk order. Per-chunk buffers are leased from the
+/// arena, so steady-state supersteps reuse capacity instead of re-growing.
 fn advance_chunks<V: Id, O: Id, F>(
     threads: usize,
     sub: &SubGraph<V, O>,
     input: &[V],
     chunks: &[(usize, usize)],
+    arena: &Arena<V>,
     f: &F,
 ) -> Vec<V>
 where
@@ -79,7 +89,7 @@ where
 {
     let parts = par::run_chunks(threads, chunks.len(), |c| {
         let (lo, hi) = chunks[c];
-        let mut out = Vec::new();
+        let mut out = arena.lease();
         for &v in &input[lo..hi] {
             for e in sub.csr.edge_range(v) {
                 let d = sub.csr.col_indices()[e];
@@ -90,12 +100,7 @@ where
         }
         out
     });
-    let total = parts.iter().map(Vec::len).sum();
-    let mut out = Vec::with_capacity(total);
-    for p in parts {
-        out.extend(p);
-    }
-    out
+    concat_reclaim(arena, parts)
 }
 
 /// Split the frontier into contiguous passes whose edge work fits `granted`
@@ -191,8 +196,8 @@ where
     for &(lo, hi) in &passes {
         let slice = &input[lo..hi];
         let part = dev.kernel(COMPUTE_STREAM, KernelKind::Advance, || {
-            let chunks = plan_chunks(sub, slice, PAR_CHUNK_WORK);
-            let emitted = advance_chunks(threads, sub, slice, &chunks, f);
+            let chunks = plan_chunks(sub, slice, chunk_target::<V>());
+            let emitted = advance_chunks(threads, sub, slice, &chunks, &bufs.arena, f);
             let items = match mode {
                 AdvanceMode::LoadBalanced => sub.csr.frontier_out_degree(slice) as u64,
                 AdvanceMode::ThreadMapped => (slice.len() * max_deg) as u64,
@@ -240,7 +245,7 @@ pub fn advance_with_mode<V: Id, O: Id>(
             // the load-balancing scan itself
             let (need, chunks) = dev.kernel(COMPUTE_STREAM, KernelKind::Bulk, || {
                 let need = sub.csr.frontier_out_degree(input);
-                let chunks = plan_chunks(sub, input, PAR_CHUNK_WORK);
+                let chunks = plan_chunks(sub, input, chunk_target::<V>());
                 ((need, chunks), input.len() as u64)
             })?;
             (need, 0, chunks, need as u64)
@@ -249,7 +254,7 @@ pub fn advance_with_mode<V: Id, O: Id>(
             let (need, max_deg, chunks) = dev.kernel(COMPUTE_STREAM, KernelKind::Bulk, || {
                 let need = sub.csr.frontier_out_degree(input);
                 let max_deg = input.iter().map(|&v| sub.csr.degree(v)).max().unwrap_or(0);
-                let chunks = plan_chunks(sub, input, PAR_CHUNK_WORK);
+                let chunks = plan_chunks(sub, input, chunk_target::<V>());
                 ((need, max_deg, chunks), 0)
             })?;
             // every thread-slot takes as long as the slowest (hub) vertex
@@ -259,7 +264,7 @@ pub fn advance_with_mode<V: Id, O: Id>(
     let granted = bufs.prepare_intermediate_budget(dev, need)?;
     let (out, resident) = if granted >= need {
         let out = dev.kernel(COMPUTE_STREAM, KernelKind::Advance, || {
-            (advance_chunks(threads, sub, input, &chunks, &f), charged_items)
+            (advance_chunks(threads, sub, input, &chunks, &bufs.arena, &f), charged_items)
         })?;
         let resident = out.len();
         (out, resident)
@@ -367,11 +372,12 @@ pub fn filter<V: Id>(
     pred: impl Fn(V) -> bool + Sync,
 ) -> Result<Vec<V>> {
     let threads = dev.kernel_threads();
+    let target = chunk_target::<V>();
     dev.kernel(COMPUTE_STREAM, KernelKind::Filter, || {
-        let n_chunks = input.len().div_ceil(PAR_CHUNK_WORK);
+        let n_chunks = input.len().div_ceil(target);
         let parts = par::run_chunks(threads, n_chunks, |c| {
-            let lo = c * PAR_CHUNK_WORK;
-            let hi = (lo + PAR_CHUNK_WORK).min(input.len());
+            let lo = c * target;
+            let hi = (lo + target).min(input.len());
             input[lo..hi].iter().copied().filter(|&v| pred(v)).collect::<Vec<V>>()
         });
         let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
@@ -405,15 +411,16 @@ pub fn filter_seq<V: Id>(
 pub fn advance_filter_fused<V: Id, O: Id>(
     dev: &mut Device,
     sub: &SubGraph<V, O>,
+    bufs: &FrontierBufs<V>,
     input: &[V],
     f: impl Fn(V, usize, V) -> Option<V> + Sync,
 ) -> Result<Vec<V>> {
     let threads = dev.kernel_threads();
     dev.kernel(COMPUTE_STREAM, KernelKind::FusedAdvanceFilter, || {
-        let chunks = plan_chunks(sub, input, PAR_CHUNK_WORK);
+        let chunks = plan_chunks(sub, input, chunk_target::<V>());
         let parts = par::run_chunks(threads, chunks.len(), |c| {
             let (lo, hi) = chunks[c];
-            let mut out = Vec::new();
+            let mut out = bufs.arena.lease();
             let mut edges = 0u64;
             for &v in &input[lo..hi] {
                 for e in sub.csr.edge_range(v) {
@@ -429,7 +436,8 @@ pub fn advance_filter_fused<V: Id, O: Id>(
         let edges: u64 = parts.iter().map(|(_, e)| e).sum();
         let mut out = Vec::with_capacity(parts.iter().map(|(p, _)| p.len()).sum());
         for (p, _) in parts {
-            out.extend(p);
+            out.extend_from_slice(&p);
+            bufs.arena.reclaim(p);
         }
         (out, edges)
     })
@@ -559,6 +567,235 @@ pub fn advance_pull<V: Id, O: Id>(
         }
         ((found, scanned), scanned)
     })?;
+    Ok((found, scanned))
+}
+
+// ---------------------------------------------------------------------------
+// Frontier-typed operators
+//
+// Each of these charges *exactly* what its slice-typed counterpart charges:
+// every item count is derived from the frontier's length or its out-degree
+// sum, both of which are representation-independent, and iteration order is
+// ascending in both representations (see `crate::frontier`). The dense
+// bodies plan word-granular cache-blocked chunks, which the determinism
+// contract of `vgpu::par` makes simulation-invisible.
+// ---------------------------------------------------------------------------
+
+/// Visit the set bits of `words[lo..hi]` as ascending vertex ids.
+fn for_word_bits<V: Id>(words: &[u64], lo: usize, hi: usize, mut f: impl FnMut(V)) {
+    for (w, &word) in words.iter().enumerate().take(hi).skip(lo) {
+        let mut bits = word;
+        while bits != 0 {
+            let b = bits.trailing_zeros() as usize;
+            f(V::from_usize(w * 64 + b));
+            bits &= bits - 1;
+        }
+    }
+}
+
+/// Cache-blocked chunk plan over bitmap words: the degree-prefix walk of
+/// [`plan_chunks`] at word granularity. Workload-only, thread-invariant.
+fn plan_dense_chunks<V: Id, O: Id>(
+    sub: &SubGraph<V, O>,
+    words: &[u64],
+    target: usize,
+) -> Vec<(usize, usize)> {
+    par::plan_weighted_chunks(words.len(), target, |w| {
+        let mut acc = 0usize;
+        let mut bits = words[w];
+        while bits != 0 {
+            let b = bits.trailing_zeros() as usize;
+            acc += sub.csr.degree(V::from_usize(w * 64 + b)) + 1;
+            bits &= bits - 1;
+        }
+        acc
+    })
+}
+
+/// Build a [`Frontier`] from a full vertex-space scan — one Bulk launch
+/// charging `universe` items, exactly like the scan it replaces (the DOBFS
+/// backward-switch "collect the unvisited" step).
+pub fn frontier_scan<V: Id>(
+    dev: &mut Device,
+    universe: usize,
+    mode: FrontierMode,
+    pred: impl Fn(usize) -> bool,
+) -> Result<Frontier<V>> {
+    dev.kernel(COMPUTE_STREAM, KernelKind::Bulk, || {
+        (Frontier::from_fn(universe, mode, pred), universe as u64)
+    })
+}
+
+/// Shrink a frontier in place — one Filter launch charging the pre-shrink
+/// length, exactly like filtering the equivalent sorted id vector.
+pub fn frontier_retain<V: Id>(
+    dev: &mut Device,
+    frontier: &mut Frontier<V>,
+    pred: impl Fn(V) -> bool,
+) -> Result<()> {
+    let before = frontier.len() as u64;
+    dev.kernel(COMPUTE_STREAM, KernelKind::Filter, || {
+        frontier.retain(pred);
+        ((), before)
+    })
+}
+
+/// [`advance`] over a [`Frontier`] input. The sparse representation
+/// delegates to the slice advance outright; the dense representation runs
+/// the same body over word-granular cache-blocked chunks. Charges, emission
+/// order, and the memory-pressure path are bit-identical to
+/// `advance(dev, sub, bufs, &input.to_vec(), f)`.
+pub fn advance_frontier<V: Id, O: Id>(
+    dev: &mut Device,
+    sub: &SubGraph<V, O>,
+    bufs: &mut FrontierBufs<V>,
+    input: &Frontier<V>,
+    f: impl Fn(V, usize, V) -> Option<V> + Sync,
+) -> Result<Vec<V>> {
+    if let Some(ids) = input.ids() {
+        return advance(dev, sub, bufs, ids, f);
+    }
+    let words = input.words().expect("frontier is sparse or dense");
+    let threads = dev.kernel_threads();
+    // the load-balancing scan, charged on the frontier length as always
+    let (need, chunks) = dev.kernel(COMPUTE_STREAM, KernelKind::Bulk, || {
+        let mut need = 0usize;
+        input.for_each(|v| need += sub.csr.degree(v));
+        let chunks = plan_dense_chunks(sub, words, chunk_target::<V>());
+        ((need, chunks), input.len() as u64)
+    })?;
+    let granted = bufs.prepare_intermediate_budget(dev, need)?;
+    if granted >= need {
+        let out = dev.kernel(COMPUTE_STREAM, KernelKind::Advance, || {
+            let parts = par::run_chunks(threads, chunks.len(), |c| {
+                let (lo, hi) = chunks[c];
+                let mut out = bufs.arena.lease();
+                for_word_bits::<V>(words, lo, hi, |v| {
+                    for e in sub.csr.edge_range(v) {
+                        let d = sub.csr.col_indices()[e];
+                        if let Some(emit) = f(v, e, d) {
+                            out.push(emit);
+                        }
+                    }
+                });
+                out
+            });
+            (concat_reclaim(&bufs.arena, parts), need as u64)
+        })?;
+        let resident = out.len();
+        bufs.record_intermediate(dev, resident)?;
+        Ok(out)
+    } else {
+        // memory pressure: materialize the ascending ids (host-side, not
+        // metered — same as the legacy materialization) and run the standard
+        // chunked multi-pass, which plans and charges identically
+        let ids = input.to_vec();
+        let (out, resident) =
+            advance_multi_pass(dev, sub, bufs, &ids, granted, AdvanceMode::LoadBalanced, 0, &f)?;
+        bufs.record_intermediate(dev, resident)?;
+        Ok(out)
+    }
+}
+
+/// [`advance_filter_fused`] over a [`Frontier`] input — one fused kernel
+/// charging the edges actually visited, bit-identical to the slice variant
+/// on `input.to_vec()`.
+pub fn advance_filter_fused_frontier<V: Id, O: Id>(
+    dev: &mut Device,
+    sub: &SubGraph<V, O>,
+    bufs: &FrontierBufs<V>,
+    input: &Frontier<V>,
+    f: impl Fn(V, usize, V) -> Option<V> + Sync,
+) -> Result<Vec<V>> {
+    if let Some(ids) = input.ids() {
+        return advance_filter_fused(dev, sub, bufs, ids, f);
+    }
+    let words = input.words().expect("frontier is sparse or dense");
+    let threads = dev.kernel_threads();
+    dev.kernel(COMPUTE_STREAM, KernelKind::FusedAdvanceFilter, || {
+        let chunks = plan_dense_chunks(sub, words, chunk_target::<V>());
+        let parts = par::run_chunks(threads, chunks.len(), |c| {
+            let (lo, hi) = chunks[c];
+            let mut out = bufs.arena.lease();
+            let mut edges = 0u64;
+            for_word_bits::<V>(words, lo, hi, |v| {
+                for e in sub.csr.edge_range(v) {
+                    edges += 1;
+                    let d = sub.csr.col_indices()[e];
+                    if let Some(emit) = f(v, e, d) {
+                        out.push(emit);
+                    }
+                }
+            });
+            (out, edges)
+        });
+        let edges: u64 = parts.iter().map(|(_, e)| e).sum();
+        let mut out = Vec::with_capacity(parts.iter().map(|(p, _)| p.len()).sum());
+        for (p, _) in parts {
+            out.extend_from_slice(&p);
+            bufs.arena.reclaim(p);
+        }
+        (out, edges)
+    })
+}
+
+/// [`advance_pull`] over a [`Frontier`] unvisited set — iterates ascending
+/// in both representations, so the edge-skipping scan count (and therefore
+/// the charge) is bit-identical to the slice variant on `unvisited.to_vec()`.
+pub fn advance_pull_frontier<V: Id, O: Id>(
+    dev: &mut Device,
+    csc: &Csr<V, O>,
+    unvisited: &Frontier<V>,
+    mut find_parent: impl FnMut(V, V) -> bool,
+) -> Result<(Vec<V>, u64)> {
+    let (found, scanned) = dev.kernel(COMPUTE_STREAM, KernelKind::Advance, || {
+        let mut found = Vec::new();
+        let mut scanned = 0u64;
+        unvisited.for_each(|v| {
+            for &p in csc.neighbors(v) {
+                scanned += 1;
+                if find_parent(v, p) {
+                    found.push(v);
+                    break; // edge skipping: remaining parents are not visited
+                }
+            }
+        });
+        ((found, scanned), scanned)
+    })?;
+    Ok((found, scanned))
+}
+
+/// Fused [`frontier_retain`] + [`advance_pull_frontier`]: one decode pass
+/// over the unvisited set serves both the shrink and the pull, valid
+/// whenever both read the same immutable label state (as the DOBFS backward
+/// superstep does). Launches the same two kernels with the same charges as
+/// the unfused pair — a Filter on the pre-shrink length, then an Advance on
+/// the scanned-edge count — so simulated clocks, counters, and traces are
+/// bit-identical; only the host wall clock improves (the second launch
+/// reuses the results the first already computed).
+pub fn retain_pull_frontier<V: Id, O: Id>(
+    dev: &mut Device,
+    csc: &Csr<V, O>,
+    unvisited: &mut Frontier<V>,
+    keep: impl Fn(V) -> bool,
+    mut find_parent: impl FnMut(V, V) -> bool,
+) -> Result<(Vec<V>, u64)> {
+    let before = unvisited.len() as u64;
+    let (found, scanned) = dev.kernel(COMPUTE_STREAM, KernelKind::Filter, || {
+        let mut found = Vec::new();
+        let mut scanned = 0u64;
+        unvisited.retain_visit(&keep, |v| {
+            for &p in csc.neighbors(v) {
+                scanned += 1;
+                if find_parent(v, p) {
+                    found.push(v);
+                    break; // edge skipping, as in the unfused pull
+                }
+            }
+        });
+        ((found, scanned), before)
+    })?;
+    dev.kernel(COMPUTE_STREAM, KernelKind::Advance, || ((), scanned))?;
     Ok((found, scanned))
 }
 
@@ -744,11 +981,18 @@ mod parallel_tests {
         let run = |threads| {
             let mut dev = Device::new(0, HardwareProfile::k40());
             dev.set_kernel_threads(threads);
+            let bufs = FrontierBufs::new(
+                &mut dev,
+                AllocScheme::Max,
+                sub.csr.n_vertices(),
+                sub.csr.n_edges(),
+            )
+            .unwrap();
             let mut labels = vec![u32::MAX; sub.csr.n_vertices()];
             labels[0] = 0;
             let out = {
                 let atoms = par::as_atomic_u32(&mut labels);
-                advance_filter_fused(&mut dev, sub, &frontier, |_, _, d| {
+                advance_filter_fused(&mut dev, sub, &bufs, &frontier, |_, _, d| {
                     atoms[d as usize]
                         .compare_exchange(u32::MAX, 1, Relaxed, Relaxed)
                         .is_ok()
@@ -831,8 +1075,10 @@ mod parallel_tests {
         assert_eq!(fp, fs);
         assert_eq!(dev_p.now().to_bits(), dev_s.now().to_bits());
 
-        let gp = advance_filter_fused(&mut dev_p, sub, &frontier, |s, _, d| (d > s).then_some(d))
-            .unwrap();
+        let gp = advance_filter_fused(&mut dev_p, sub, &bufs_p, &frontier, |s, _, d| {
+            (d > s).then_some(d)
+        })
+        .unwrap();
         let gs =
             advance_filter_fused_seq(&mut dev_s, sub, &frontier, |s, _, d| (d > s).then_some(d))
                 .unwrap();
@@ -971,6 +1217,87 @@ mod advance_mode_tests {
         let (tm, t_tm) = run(AdvanceMode::ThreadMapped);
         assert_eq!(lb, tm, "identical emitted frontiers");
         assert!(t_tm > 2.0 * t_lb, "hub skew must penalize thread-mapped: {t_tm} vs {t_lb}");
+    }
+
+    #[test]
+    fn frontier_ops_charge_identically_to_slice_ops() {
+        use crate::frontier::{Frontier, FrontierMode};
+        let dg = skewed();
+        let sub = &dg.parts[0];
+        let ids: Vec<u32> = (0..8192u32).filter(|v| v % 3 != 0).collect();
+        let slice_run = || {
+            let mut dev = Device::new(0, HardwareProfile::k40());
+            let mut bufs = FrontierBufs::new(&mut dev, AllocScheme::Max, 8192, 16384).unwrap();
+            let a = advance(&mut dev, sub, &mut bufs, &ids, |_, _, d| Some(d)).unwrap();
+            let g =
+                advance_filter_fused(&mut dev, sub, &bufs, &ids, |s, _, d| (d > s).then_some(d))
+                    .unwrap();
+            (a, g, dev.now(), dev.counters)
+        };
+        let (a0, g0, t0, c0) = slice_run();
+        for mode in [FrontierMode::Sparse, FrontierMode::Dense, FrontierMode::Auto] {
+            let fr = Frontier::from_sorted(ids.clone(), 8192, mode);
+            let mut dev = Device::new(0, HardwareProfile::k40());
+            let mut bufs = FrontierBufs::new(&mut dev, AllocScheme::Max, 8192, 16384).unwrap();
+            let a = advance_frontier(&mut dev, sub, &mut bufs, &fr, |_, _, d| Some(d)).unwrap();
+            let g = advance_filter_fused_frontier(&mut dev, sub, &bufs, &fr, |s, _, d| {
+                (d > s).then_some(d)
+            })
+            .unwrap();
+            assert_eq!(a, a0, "{mode:?} advance emissions");
+            assert_eq!(g, g0, "{mode:?} fused emissions");
+            assert_eq!(dev.now().to_bits(), t0.to_bits(), "{mode:?} sim clock");
+            assert_eq!(dev.counters, c0, "{mode:?} counters");
+        }
+    }
+
+    #[test]
+    fn frontier_pull_matches_slice_pull() {
+        use crate::frontier::{Frontier, FrontierMode};
+        let mut dg = skewed();
+        dg.parts[0].build_csc();
+        let sub = &dg.parts[0];
+        let csc = sub.csc.as_ref().unwrap();
+        let visited: Vec<bool> = (0..8192).map(|v| v % 5 == 0).collect();
+        let unvisited: Vec<u32> = (0..8192u32).filter(|&v| !visited[v as usize]).collect();
+        let mut dev0 = Device::new(0, HardwareProfile::k40());
+        let (f0, s0) =
+            advance_pull(&mut dev0, csc, &unvisited, |_, p| visited[p as usize]).unwrap();
+        for mode in [FrontierMode::Sparse, FrontierMode::Dense, FrontierMode::Auto] {
+            let fr = Frontier::from_sorted(unvisited.clone(), 8192, mode);
+            let mut dev = Device::new(0, HardwareProfile::k40());
+            let (f, s) =
+                advance_pull_frontier(&mut dev, csc, &fr, |_, p| visited[p as usize]).unwrap();
+            assert_eq!(f, f0, "{mode:?} found");
+            assert_eq!(s, s0, "{mode:?} scanned");
+            assert_eq!(dev.now().to_bits(), dev0.now().to_bits(), "{mode:?} sim clock");
+            assert_eq!(dev.counters, dev0.counters, "{mode:?} counters");
+        }
+    }
+
+    #[test]
+    fn frontier_scan_and_retain_charge_like_bulk_and_filter() {
+        use crate::frontier::{Frontier, FrontierMode};
+        const N: usize = 10_000;
+        let keep = |v: usize| !v.is_multiple_of(7);
+        let shrink = |v: u32| v.is_multiple_of(2);
+        // reference: the legacy scan-into-vec + filter on another device
+        let mut dev0 = Device::new(0, HardwareProfile::k40());
+        let ids0: Vec<u32> = dev0
+            .kernel(COMPUTE_STREAM, KernelKind::Bulk, || {
+                ((0..N as u32).filter(|&v| keep(v as usize)).collect(), N as u64)
+            })
+            .unwrap();
+        let kept0 = filter_seq(&mut dev0, &ids0, &shrink).unwrap();
+        for mode in [FrontierMode::Sparse, FrontierMode::Dense, FrontierMode::Auto] {
+            let mut dev = Device::new(0, HardwareProfile::k40());
+            let mut fr: Frontier<u32> = frontier_scan(&mut dev, N, mode, keep).unwrap();
+            assert_eq!(fr.to_vec(), ids0, "{mode:?} scan result");
+            frontier_retain(&mut dev, &mut fr, shrink).unwrap();
+            assert_eq!(fr.to_vec(), kept0, "{mode:?} retain result");
+            assert_eq!(dev.now().to_bits(), dev0.now().to_bits(), "{mode:?} sim clock");
+            assert_eq!(dev.counters, dev0.counters, "{mode:?} counters");
+        }
     }
 
     #[test]

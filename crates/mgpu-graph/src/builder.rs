@@ -8,7 +8,7 @@
 use rayon::prelude::*;
 
 use crate::coo::Coo;
-use crate::csr::Csr;
+use crate::csr::{Csr, CsrError};
 use crate::ids::Id;
 
 /// Preprocessing switches.
@@ -43,12 +43,77 @@ impl BuildOptions {
     }
 }
 
+/// A CSR at whichever offset width the graph needs: the narrow (u32) layout
+/// when the final edge count fits 32 bits — the paper's fast path, whose
+/// per-device cost model rewards the halved index bandwidth — widened to
+/// u64 offsets otherwise. Built by [`GraphBuilder::build_auto`]; the check
+/// is on the *post-preprocessing* edge count, and overflow always widens,
+/// never truncates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsrAuto<V: Id> {
+    /// `Csr<V, u32>` — edge count fits 32-bit offsets.
+    Narrow(Csr<V, u32>),
+    /// `Csr<V, u64>` — the checked widening fallback.
+    Wide(Csr<V, u64>),
+}
+
+impl<V: Id> CsrAuto<V> {
+    /// Number of vertices.
+    pub fn n_vertices(&self) -> usize {
+        match self {
+            CsrAuto::Narrow(g) => g.n_vertices(),
+            CsrAuto::Wide(g) => g.n_vertices(),
+        }
+    }
+
+    /// Number of directed edges.
+    pub fn n_edges(&self) -> usize {
+        match self {
+            CsrAuto::Narrow(g) => g.n_edges(),
+            CsrAuto::Wide(g) => g.n_edges(),
+        }
+    }
+
+    /// Bytes per edge offset in the chosen layout.
+    pub fn offset_bytes(&self) -> usize {
+        match self {
+            CsrAuto::Narrow(_) => 4,
+            CsrAuto::Wide(_) => 8,
+        }
+    }
+
+    /// Short label for reports ("u32" / "u64").
+    pub fn label(&self) -> &'static str {
+        match self {
+            CsrAuto::Narrow(_) => "u32",
+            CsrAuto::Wide(_) => "u64",
+        }
+    }
+
+    /// The narrow graph, if that is what was built.
+    pub fn narrow(&self) -> Option<&Csr<V, u32>> {
+        match self {
+            CsrAuto::Narrow(g) => Some(g),
+            CsrAuto::Wide(_) => None,
+        }
+    }
+
+    /// The wide graph, if the fallback engaged.
+    pub fn wide(&self) -> Option<&Csr<V, u64>> {
+        match self {
+            CsrAuto::Wide(g) => Some(g),
+            CsrAuto::Narrow(_) => None,
+        }
+    }
+}
+
 /// Stateless builder entry points.
 pub struct GraphBuilder;
 
 impl GraphBuilder {
-    /// Apply `options` to `coo` and produce a CSR graph.
-    pub fn build<V: Id, O: Id>(coo: &Coo<V>, options: BuildOptions) -> Csr<V, O> {
+    /// The shared preprocessing pipeline: symmetrize / clean / sort / dedup
+    /// into a canonical edge list.
+    fn preprocess<V: Id>(coo: &Coo<V>, options: BuildOptions) -> Coo<V> {
         let mut triples: Vec<(V, V, u32)> = coo.iter_weighted().collect();
 
         if options.symmetrize {
@@ -70,12 +135,46 @@ impl GraphBuilder {
         let weighted = coo.weights.is_some();
         let edges: Vec<(V, V)> = triples.iter().map(|&(s, d, _)| (s, d)).collect();
         let weights = weighted.then(|| triples.iter().map(|&(_, _, w)| w).collect());
-        Csr::from_coo(&Coo::from_edges(coo.n_vertices, edges, weights))
+        Coo::from_edges(coo.n_vertices, edges, weights)
+    }
+
+    /// Apply `options` to `coo` and produce a CSR graph.
+    pub fn build<V: Id, O: Id>(coo: &Coo<V>, options: BuildOptions) -> Csr<V, O> {
+        Csr::from_coo(&Self::preprocess(coo, options))
     }
 
     /// The paper's default preprocessing.
     pub fn undirected<V: Id, O: Id>(coo: &Coo<V>) -> Csr<V, O> {
         Self::build(coo, BuildOptions::default())
+    }
+
+    /// The widening decision, generic over the narrow offset type `N` so
+    /// tests can exercise the fallback with `u16` (a genuine u32 overflow
+    /// would need a >4-billion-edge graph). `Ok` is the narrow build, `Err`
+    /// the u64 fallback; a vertex-width overflow is not recoverable by
+    /// widening offsets and panics with the typed error's message.
+    fn narrow_or_widen<V: Id, N: Id>(clean: &Coo<V>) -> Result<Csr<V, N>, Csr<V, u64>> {
+        match Csr::<V, N>::try_from_coo(clean) {
+            Ok(g) => Ok(g),
+            Err(CsrError::OffsetOverflow { .. }) => Err(Csr::from_coo(clean)),
+            Err(e @ CsrError::VertexOverflow { .. }) => panic!("{e}"),
+        }
+    }
+
+    /// [`GraphBuilder::build`] at the automatically chosen offset width:
+    /// narrow (u32) when the preprocessed edge count fits, else the checked
+    /// u64 fallback.
+    pub fn build_auto<V: Id>(coo: &Coo<V>, options: BuildOptions) -> CsrAuto<V> {
+        let clean = Self::preprocess(coo, options);
+        match Self::narrow_or_widen::<V, u32>(&clean) {
+            Ok(g) => CsrAuto::Narrow(g),
+            Err(g) => CsrAuto::Wide(g),
+        }
+    }
+
+    /// [`GraphBuilder::undirected`] at the automatically chosen offset width.
+    pub fn undirected_auto<V: Id>(coo: &Coo<V>) -> CsrAuto<V> {
+        Self::build_auto(coo, BuildOptions::default())
     }
 }
 
@@ -135,5 +234,45 @@ mod tests {
         let g: Csr<u32, u64> =
             GraphBuilder::build(&coo, BuildOptions { symmetrize: false, ..Default::default() });
         assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn auto_build_is_narrow_when_edges_fit() {
+        let auto = GraphBuilder::undirected_auto(&messy());
+        let expected: Csr<u32, u32> = GraphBuilder::undirected(&messy());
+        assert_eq!(auto.label(), "u32");
+        assert_eq!(auto.offset_bytes(), 4);
+        assert_eq!(auto.n_vertices(), 4);
+        assert_eq!(auto.n_edges(), 4);
+        assert_eq!(auto.narrow(), Some(&expected));
+        assert!(auto.wide().is_none());
+    }
+
+    #[test]
+    fn widening_fallback_preserves_every_edge() {
+        // A star too big for u16 offsets exercises the fallback arm; the
+        // widened build must match a direct u64 build edge for edge — the
+        // overflow may never truncate.
+        let edges: Vec<(u32, u32)> = (1..=70_000).map(|d| (0, d)).collect();
+        let coo = Coo::from_edges(70_001, edges, None);
+        assert!(matches!(
+            Csr::<u32, u16>::try_from_coo(&coo),
+            Err(CsrError::OffsetOverflow { edges: 70_000, .. })
+        ));
+        let wide = GraphBuilder::narrow_or_widen::<u32, u16>(&coo)
+            .expect_err("70k edges must not fit u16 offsets");
+        let direct: Csr<u32, u64> = Csr::from_coo(&coo);
+        assert_eq!(wide, direct);
+        assert_eq!(wide.n_edges(), 70_000);
+        assert_eq!(wide.degree(0), 70_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex count")]
+    fn vertex_overflow_panics_rather_than_widening() {
+        // 70k vertices cannot be addressed by u16 ids; widening the offset
+        // type cannot fix that, so the builder refuses loudly.
+        let coo = Coo::<u16>::from_edges(70_000, vec![], None);
+        let _ = GraphBuilder::narrow_or_widen::<u16, u16>(&coo);
     }
 }

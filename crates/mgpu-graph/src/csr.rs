@@ -3,6 +3,46 @@
 use crate::coo::Coo;
 use crate::ids::Id;
 
+/// Why a graph cannot be represented at the requested index widths. The
+/// narrow (u32) CSR is the paper's fast path (Table V: 64-bit ids "double
+/// bandwidth requirements and our performance drops accordingly"); when a
+/// graph exceeds the 32-bit range the builder must *widen*, never silently
+/// truncate — these errors are how the checked fallback is driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsrError {
+    /// The edge count does not fit the offset type `O`.
+    OffsetOverflow {
+        /// Edges the graph has.
+        edges: usize,
+        /// Largest count the offset type can address.
+        max: usize,
+    },
+    /// The vertex count does not fit the vertex-id type `V` (the last vertex
+    /// id would be unaddressable). Widening the *offset* type cannot fix
+    /// this; the vertex type itself is too narrow.
+    VertexOverflow {
+        /// Vertices the graph has.
+        vertices: usize,
+        /// Largest vertex count the id type can address.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for CsrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsrError::OffsetOverflow { edges, max } => {
+                write!(f, "edge count {edges} does not fit in the offset type (max {max})")
+            }
+            CsrError::VertexOverflow { vertices, max } => {
+                write!(f, "vertex count {vertices} does not fit in the vertex id type (max {max})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsrError {}
+
 /// A CSR graph with vertex ids of type `V` and edge offsets of type `O`.
 ///
 /// `O` must be wide enough for `n_edges`; the builder checks this. The
@@ -39,14 +79,27 @@ impl<V: Id, O: Id> Csr<V, O> {
     }
 
     /// Build from an edge list by counting sort (stable: preserves the input
-    /// order of parallel edges within a row). `O(|V| + |E|)`.
+    /// order of parallel edges within a row). `O(|V| + |E|)`. Panics on
+    /// index-width overflow; [`Csr::try_from_coo`] is the checked variant
+    /// the auto-widening builder uses.
     pub fn from_coo(coo: &Coo<V>) -> Self {
+        Self::try_from_coo(coo).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Csr::from_coo`] with a typed width check: errors (never truncates)
+    /// when the edge count overflows `O` or the vertex count overflows `V`.
+    pub fn try_from_coo(coo: &Coo<V>) -> Result<Self, CsrError> {
         let n = coo.n_vertices;
-        assert!(
-            coo.n_edges() <= O::MAX_AS_USIZE,
-            "edge count {} does not fit in the offset type",
-            coo.n_edges()
-        );
+        if coo.n_edges() > O::MAX_AS_USIZE {
+            return Err(CsrError::OffsetOverflow { edges: coo.n_edges(), max: O::MAX_AS_USIZE });
+        }
+        // ids run 0..n, so the largest id is n-1; MAX_AS_USIZE+1 vertices fit
+        if n > 0 && n - 1 > V::MAX_AS_USIZE {
+            return Err(CsrError::VertexOverflow {
+                vertices: n,
+                max: V::MAX_AS_USIZE.saturating_add(1),
+            });
+        }
         let mut degree = vec![0usize; n];
         for &(s, _) in &coo.edges {
             degree[s.idx()] += 1;
@@ -69,7 +122,7 @@ impl<V: Id, O: Id> Csr<V, O> {
             }
             cursor[s.idx()] += 1;
         }
-        Csr { row_offsets: offsets, col_indices: cols, weights: wout }
+        Ok(Csr { row_offsets: offsets, col_indices: cols, weights: wout })
     }
 
     /// Number of vertices.
@@ -233,6 +286,50 @@ mod tests {
         assert_eq!(g.n_vertices(), 3);
         assert_eq!(g.n_edges(), 0);
         assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn offset_overflow_is_typed() {
+        let edges: Vec<(u32, u32)> = (1..=70_000).map(|d| (0, d)).collect();
+        let coo = Coo::from_edges(70_001, edges, None);
+        match Csr::<u32, u16>::try_from_coo(&coo) {
+            Err(CsrError::OffsetOverflow { edges, max }) => {
+                assert_eq!(edges, 70_000);
+                assert_eq!(max, u16::MAX as usize);
+            }
+            other => panic!("expected OffsetOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vertex_overflow_is_typed() {
+        let coo = Coo::<u16>::from_edges(70_000, vec![], None);
+        match Csr::<u16, u64>::try_from_coo(&coo) {
+            Err(CsrError::VertexOverflow { vertices, max }) => {
+                assert_eq!(vertices, 70_000);
+                assert_eq!(max, 65_536);
+            }
+            other => panic!("expected VertexOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn width_boundaries_fit_exactly() {
+        // 65535 edges is the largest count u16 offsets can terminate.
+        let edges: Vec<(u32, u32)> = (1..=65_535).map(|d| (0, d)).collect();
+        let g = Csr::<u32, u16>::try_from_coo(&Coo::from_edges(65_536, edges, None)).unwrap();
+        assert_eq!(g.n_edges(), 65_535);
+        assert_eq!(g.degree(0), 65_535);
+        // 65536 vertices is the largest population u16 ids can address.
+        let coo = Coo::<u16>::from_edges(65_536, vec![(0, 65_535)], None);
+        assert!(Csr::<u16, u64>::try_from_coo(&coo).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit in the offset type")]
+    fn from_coo_panics_with_typed_message_on_overflow() {
+        let edges: Vec<(u32, u32)> = (1..=70_000).map(|d| (0, d)).collect();
+        let _ = Csr::<u32, u16>::from_coo(&Coo::from_edges(70_001, edges, None));
     }
 
     #[test]

@@ -29,6 +29,22 @@ pub trait Id:
     }
 }
 
+impl Id for u16 {
+    const BYTES: usize = 2;
+    const MAX_AS_USIZE: usize = u16::MAX as usize;
+
+    #[inline(always)]
+    fn from_usize(v: usize) -> Self {
+        debug_assert!(v <= u16::MAX as usize, "id {v} does not fit in u16");
+        v as u16
+    }
+
+    #[inline(always)]
+    fn idx(self) -> usize {
+        self as usize
+    }
+}
+
 impl Id for u32 {
     const BYTES: usize = 4;
     const MAX_AS_USIZE: usize = u32::MAX as usize;

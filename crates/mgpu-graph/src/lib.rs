@@ -22,9 +22,9 @@ pub mod ids;
 pub mod io;
 pub mod stats;
 
-pub use builder::{BuildOptions, GraphBuilder};
+pub use builder::{BuildOptions, CsrAuto, GraphBuilder};
 pub use coo::Coo;
-pub use csr::Csr;
+pub use csr::{Csr, CsrError};
 pub use ids::Id;
 pub use io::{read_mtx, write_mtx, MtxError};
 pub use stats::{degree_stats, estimate_diameter, DegreeStats};

@@ -110,7 +110,7 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Bfs {
         let labels = vgpu::par::as_atomic_u32(state.labels.as_mut_slice());
         if bufs.scheme().fused() {
             // §VI-C: one kernel, no intermediate frontier.
-            ops::advance_filter_fused(dev, sub, input, |_, _, d| {
+            ops::advance_filter_fused(dev, sub, bufs, input, |_, _, d| {
                 labels[d.idx()]
                     .compare_exchange(INF, next_label, Relaxed, Relaxed)
                     .is_ok()

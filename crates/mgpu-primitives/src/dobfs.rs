@@ -27,6 +27,7 @@
 use mgpu_core::alloc::{AllocScheme, FrontierBufs};
 use mgpu_core::comm::CommStrategy;
 use mgpu_core::direction::{Direction, DirectionConfig, DirectionState};
+use mgpu_core::frontier::{Frontier, FrontierMode};
 use mgpu_core::ops;
 use mgpu_core::problem::MgpuProblem;
 use mgpu_core::Runner;
@@ -43,18 +44,23 @@ pub struct Dobfs {
     /// Switch thresholds (`do_a`, `do_b`); the defaults are the paper's
     /// social-graph values 0.01 / 0.1.
     pub direction: DirectionConfig,
+    /// Unvisited-set representation for the backward pass. `Auto` (the
+    /// default) holds the near-full set as a bitmap and falls back to the
+    /// sorted vec as it drains; all modes are charge- and result-identical
+    /// (the frontier iterates ascending either way).
+    pub frontier: FrontierMode,
 }
 
 /// Per-GPU DOBFS state.
 #[derive(Debug)]
-pub struct DobfsState {
+pub struct DobfsState<V: Id> {
     /// Depth labels over the (duplicate-all) local vertex space.
     pub labels: DeviceArray<u32>,
     /// Direction machinery.
     pub dir: DirectionState,
     /// Unvisited-vertex frontier for pull mode (rebuilt on the one
     /// forward→backward switch, then shrunk incrementally).
-    unvisited: Vec<usize>,
+    unvisited: Frontier<V>,
     /// Number of visited vertices in the local space (`|P|`).
     visited: usize,
     /// True once `unvisited` has been materialized.
@@ -65,7 +71,7 @@ pub struct DobfsState {
 }
 
 impl<V: Id, O: Id> MgpuProblem<V, O> for Dobfs {
-    type State = DobfsState;
+    type State = DobfsState<V>;
     type Msg = u32;
 
     fn name(&self) -> &'static str {
@@ -97,7 +103,7 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Dobfs {
         Ok(DobfsState {
             labels: dev.alloc(sub.n_vertices())?,
             dir: DirectionState::new(self.direction),
-            unvisited: Vec::new(),
+            unvisited: Frontier::empty(sub.n_vertices(), self.frontier),
             visited: 0,
             unvisited_built: false,
             pull_edges_scanned: 0,
@@ -118,7 +124,7 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Dobfs {
             ((), n as u64)
         })?;
         state.dir = DirectionState::new(self.direction);
-        state.unvisited.clear();
+        state.unvisited = Frontier::empty(state.labels.len(), self.frontier);
         state.unvisited_built = false;
         state.visited = 0;
         state.pull_edges_scanned = 0;
@@ -157,7 +163,7 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Dobfs {
                 // (its scanned-edge charge is early-exit order dependent).
                 let labels = vgpu::par::as_atomic_u32(state.labels.as_mut_slice());
                 if bufs.scheme().fused() {
-                    ops::advance_filter_fused(dev, sub, input, |_, _, d| {
+                    ops::advance_filter_fused(dev, sub, bufs, input, |_, _, d| {
                         labels[d.idx()]
                             .compare_exchange(INF, next_label, Relaxed, Relaxed)
                             .is_ok()
@@ -173,31 +179,31 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Dobfs {
                 }
             }
             Direction::Backward => {
-                if !state.unvisited_built {
+                let csc = sub.csc.as_ref().expect("checked at init");
+                let (newly, scanned) = if !state.unvisited_built {
                     // The one full vertex scan the switch is charged for.
                     let labels = &state.labels;
-                    state.unvisited = dev.kernel(COMPUTE_STREAM, KernelKind::Bulk, || {
-                        let list: Vec<usize> = (0..n_vi).filter(|&v| labels[v] == INF).collect();
-                        (list, n_vi as u64)
-                    })?;
+                    state.unvisited =
+                        ops::frontier_scan(dev, n_vi, self.frontier, |v| labels[v] == INF)?;
                     state.unvisited_built = true;
+                    ops::advance_pull_frontier(dev, csc, &state.unvisited, |_, p| {
+                        labels[p.idx()] == cur_label
+                    })?
                 } else {
-                    // Shrink: drop vertices discovered since the last pull.
+                    // Fused shrink + pull: one decode pass drops the
+                    // vertices discovered since the last superstep and
+                    // scans parents for the rest — both read the same
+                    // label snapshot, so results and charges match the
+                    // unfused retain-then-pull exactly.
                     let labels = &state.labels;
-                    let list = std::mem::take(&mut state.unvisited);
-                    let before = list.len() as u64;
-                    state.unvisited = dev.kernel(COMPUTE_STREAM, KernelKind::Filter, || {
-                        let kept: Vec<usize> =
-                            list.into_iter().filter(|&v| labels[v] == INF).collect();
-                        (kept, before)
-                    })?;
-                }
-                let unvisited_v: Vec<V> =
-                    state.unvisited.iter().map(|&v| V::from_usize(v)).collect();
-                let csc = sub.csc.as_ref().expect("checked at init");
-                let labels = &state.labels;
-                let (newly, scanned) =
-                    ops::advance_pull(dev, csc, &unvisited_v, |_, p| labels[p.idx()] == cur_label)?;
+                    ops::retain_pull_frontier(
+                        dev,
+                        csc,
+                        &mut state.unvisited,
+                        |v: V| labels[v.idx()] == INF,
+                        |_, p| labels[p.idx()] == cur_label,
+                    )?
+                };
                 state.pull_edges_scanned += scanned;
                 let labels = &mut state.labels;
                 let count = newly.len() as u64;
@@ -274,8 +280,13 @@ mod tests {
         let mut dist = DistGraph::build(g, owner, n_gpus, Duplication::All);
         dist.build_cscs();
         let system = SimSystem::homogeneous(n_gpus, HardwareProfile::k40());
-        let mut runner =
-            Runner::new(system, &dist, Dobfs { direction: cfg }, EnactConfig::default()).unwrap();
+        let mut runner = Runner::new(
+            system,
+            &dist,
+            Dobfs { direction: cfg, ..Dobfs::default() },
+            EnactConfig::default(),
+        )
+        .unwrap();
         let report = runner.enact(Some(src)).unwrap();
         let switched: Vec<bool> =
             (0..n_gpus).map(|g| runner.state(g).dir.switched_to_backward).collect();

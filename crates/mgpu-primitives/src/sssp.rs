@@ -125,7 +125,7 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Sssp {
         let dists_a = vgpu::par::as_atomic_u32(dists.as_mut_slice());
         let stamp_a = vgpu::par::as_atomic_u32(stamp.as_mut_slice());
         if bufs.scheme().fused() {
-            ops::advance_filter_fused(dev, sub, input, |s, e, d| {
+            ops::advance_filter_fused(dev, sub, bufs, input, |s, e, d| {
                 let nd = snap[s.idx()].saturating_add(sub.csr.edge_weight(e));
                 if nd < snap[d.idx()] {
                     dists_a[d.idx()].fetch_min(nd, Relaxed);

@@ -1,0 +1,173 @@
+//! Superstep arenas: recycling pools for host-side kernel scratch.
+//!
+//! Every parallel operator launch materializes per-chunk emission buffers
+//! (the per-block output idiom of `par::run_chunks`). Allocating those
+//! `Vec`s fresh on every launch made each superstep pay the full
+//! grow-by-doubling realloc ladder again — pure host-side churn that the
+//! simulated clock never sees but the wall clock very much does. An
+//! [`Arena`] keeps the buffers between launches: a chunk *leases* a buffer
+//! (reusing the retained capacity of a previous superstep's buffer when one
+//! is free) and *reclaims* it after its contents were merged, so steady
+//! state runs allocation-free.
+//!
+//! The arena is deliberately invisible to the simulation: it holds host
+//! memory only, is never accounted against a [`crate::MemoryPool`], and
+//! leasing order cannot influence results because chunk outputs are merged
+//! in chunk order regardless of which buffer backed them. At each BSP
+//! barrier the enactor trims the free list back to a bounded retained set
+//! ([`Arena::trim`]) so a one-off giant superstep does not pin its peak
+//! footprint for the rest of the run.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+
+/// How many free buffers a barrier-time [`Arena::trim`] retains by default.
+/// Sized for the common case (a few hundred chunks per superstep at the
+/// cache-blocked chunk granularity); larger supersteps simply allocate
+/// their tail chunks fresh.
+pub const ARENA_RETAIN: usize = 256;
+
+/// Usage statistics: how often leases were served from retained buffers.
+#[derive(Debug, Default)]
+pub struct ArenaStats {
+    leases: AtomicU64,
+    hits: AtomicU64,
+    trimmed: AtomicU64,
+}
+
+impl ArenaStats {
+    /// Total buffers handed out.
+    pub fn leases(&self) -> u64 {
+        self.leases.load(Relaxed)
+    }
+
+    /// Leases served by reusing a retained buffer (no host allocation).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Relaxed)
+    }
+
+    /// Leases that had to allocate a fresh buffer.
+    pub fn misses(&self) -> u64 {
+        self.leases() - self.hits()
+    }
+
+    /// Buffers dropped by barrier-time trims.
+    pub fn trimmed(&self) -> u64 {
+        self.trimmed.load(Relaxed)
+    }
+}
+
+/// A recycling pool of `Vec<T>` scratch buffers shared by the chunk workers
+/// of one device's kernel launches.
+#[derive(Debug, Default)]
+pub struct Arena<T> {
+    free: Mutex<Vec<Vec<T>>>,
+    stats: ArenaStats,
+}
+
+impl<T> Arena<T> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Arena { free: Mutex::new(Vec::new()), stats: ArenaStats::default() }
+    }
+
+    /// Lease a cleared buffer, reusing retained capacity when available.
+    pub fn lease(&self) -> Vec<T> {
+        self.stats.leases.fetch_add(1, Relaxed);
+        if let Some(buf) = self.free.lock().expect("arena poisoned").pop() {
+            self.stats.hits.fetch_add(1, Relaxed);
+            buf
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Return a leased buffer; its capacity is retained for future leases.
+    pub fn reclaim(&self, mut buf: Vec<T>) {
+        buf.clear();
+        if buf.capacity() > 0 {
+            self.free.lock().expect("arena poisoned").push(buf);
+        }
+    }
+
+    /// Barrier-time reset: retain at most `keep` free buffers (largest
+    /// capacities first) and drop the rest, bounding the host footprint the
+    /// arena carries across supersteps.
+    pub fn trim(&self, keep: usize) {
+        let mut free = self.free.lock().expect("arena poisoned");
+        if free.len() > keep {
+            free.sort_unstable_by_key(|b| std::cmp::Reverse(b.capacity()));
+            self.stats.trimmed.fetch_add((free.len() - keep) as u64, Relaxed);
+            free.truncate(keep);
+        }
+    }
+
+    /// Number of buffers currently retained.
+    pub fn retained(&self) -> usize {
+        self.free.lock().expect("arena poisoned").len()
+    }
+
+    /// Usage statistics.
+    pub fn stats(&self) -> &ArenaStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_reclaim_reuses_capacity() {
+        let arena = Arena::<u32>::new();
+        let mut a = arena.lease();
+        a.extend(0..1000);
+        let ptr = a.as_ptr();
+        arena.reclaim(a);
+        let b = arena.lease();
+        assert_eq!(b.as_ptr(), ptr, "retained buffer is reused");
+        assert!(b.is_empty(), "leased buffers come back cleared");
+        assert!(b.capacity() >= 1000);
+        assert_eq!(arena.stats().leases(), 2);
+        assert_eq!(arena.stats().hits(), 1);
+        assert_eq!(arena.stats().misses(), 1);
+    }
+
+    #[test]
+    fn empty_buffers_are_not_retained() {
+        let arena = Arena::<u32>::new();
+        arena.reclaim(Vec::new());
+        assert_eq!(arena.retained(), 0);
+    }
+
+    #[test]
+    fn trim_keeps_the_largest_buffers() {
+        let arena = Arena::<u8>::new();
+        for cap in [10, 500, 50, 200] {
+            arena.reclaim(Vec::with_capacity(cap));
+        }
+        arena.trim(2);
+        assert_eq!(arena.retained(), 2);
+        assert_eq!(arena.stats().trimmed(), 2);
+        let kept: Vec<usize> = (0..2).map(|_| arena.lease().capacity()).collect();
+        assert!(kept.contains(&500) && kept.contains(&200), "largest survive: {kept:?}");
+    }
+
+    #[test]
+    fn concurrent_lease_reclaim_is_safe() {
+        let arena = Arena::<u64>::new();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let arena = &arena;
+                s.spawn(move || {
+                    for i in 0..200 {
+                        let mut b = arena.lease();
+                        b.push(t * 1000 + i);
+                        arena.reclaim(b);
+                    }
+                });
+            }
+        });
+        assert_eq!(arena.stats().leases(), 1600);
+    }
+}

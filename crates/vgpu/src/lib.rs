@@ -27,6 +27,7 @@
 //! BSP model `T = W + H·g + S·l` that the paper itself uses for its
 //! scalability analysis (§V).
 
+pub mod arena;
 pub mod counters;
 pub mod device;
 pub mod error;
@@ -40,6 +41,7 @@ pub mod sync;
 pub mod system;
 pub mod timeline;
 
+pub use arena::{Arena, ArenaStats};
 pub use counters::BspCounters;
 pub use device::{Device, KernelKind, COMM_STREAM, COMPUTE_STREAM};
 pub use error::{Result, VgpuError};

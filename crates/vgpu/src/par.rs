@@ -24,6 +24,53 @@
 
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
+/// Cache budget one chunk's working set should stay inside: roughly half a
+/// core-private L2 so the frontier slice, its adjacency columns and the
+/// emission buffer all stay resident while the chunk runs. Chunk *plans*
+/// remain pure functions of the workload; this constant only sizes them.
+pub const CACHE_BLOCK_BYTES: usize = 128 * 1024;
+
+/// Edge-work target for a cache-blocked chunk over items whose unit work
+/// touches `bytes_per_item` bytes (column index + emission slot for an
+/// advance over `V`-typed ids). Never below 1.
+pub const fn cache_block_items(bytes_per_item: usize) -> usize {
+    let b = if bytes_per_item == 0 { 1 } else { bytes_per_item };
+    let items = CACHE_BLOCK_BYTES / b;
+    if items == 0 {
+        1
+    } else {
+        items
+    }
+}
+
+/// Partition `n_items` positions into contiguous chunks of roughly
+/// `target` accumulated `weight` each — the degree-prefix walk that
+/// cache-blocks an edge workload instead of slicing flat vertex ranges.
+/// The plan sees only the workload (`weight` per item), never the thread
+/// count, so it is safe under the determinism contract of [`run_chunks`]:
+/// chunk boundaries may change results only if the caller's merge is
+/// order-dependent, which chunk-order concatenation never is.
+pub fn plan_weighted_chunks(
+    n_items: usize,
+    target: usize,
+    weight: impl Fn(usize) -> usize,
+) -> Vec<(usize, usize)> {
+    let mut chunks = Vec::new();
+    let (mut start, mut acc) = (0usize, 0usize);
+    for i in 0..n_items {
+        acc += weight(i);
+        if acc >= target {
+            chunks.push((start, i + 1));
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < n_items {
+        chunks.push((start, n_items));
+    }
+    chunks
+}
+
 /// Default worker count for kernel bodies: `MGPU_KERNEL_THREADS` if set to a
 /// positive integer, otherwise the machine's available parallelism capped at
 /// 8 (beyond that the per-launch spawn cost outweighs the win for the kernel
@@ -184,6 +231,33 @@ mod tests {
             won
         });
         assert_eq!(wins.iter().sum::<usize>(), 512, "every entry claimed exactly once");
+    }
+
+    #[test]
+    fn weighted_plan_blocks_on_accumulated_weight() {
+        // uniform weight 3, target 10: chunks close at >=10 accumulated
+        let chunks = plan_weighted_chunks(10, 10, |_| 3);
+        assert_eq!(chunks, vec![(0, 4), (4, 8), (8, 10)]);
+        // a single heavy item still closes its own chunk
+        let heavy = plan_weighted_chunks(4, 10, |i| if i == 1 { 100 } else { 1 });
+        assert_eq!(heavy, vec![(0, 2), (2, 4)]);
+        assert!(plan_weighted_chunks(0, 10, |_| 1).is_empty());
+        // plan covers every position exactly once, in order
+        let plan = plan_weighted_chunks(137, 7, |i| i % 5);
+        let mut pos = 0;
+        for &(lo, hi) in &plan {
+            assert_eq!(lo, pos);
+            assert!(hi > lo);
+            pos = hi;
+        }
+        assert_eq!(pos, 137);
+    }
+
+    #[test]
+    fn cache_block_items_is_positive_and_scales() {
+        assert_eq!(cache_block_items(8), CACHE_BLOCK_BYTES / 8);
+        assert!(cache_block_items(usize::MAX) >= 1);
+        assert!(cache_block_items(0) >= 1);
     }
 
     #[test]

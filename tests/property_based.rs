@@ -323,3 +323,66 @@ fn arbitrary_traced_runs_are_well_formed() {
         assert_eq!(profile.total.spilled_bytes, gov.spilled_bytes, "case {case}");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Frontier-representation equivalence (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+/// The unvisited-set representation is a wall-clock concern only: DOBFS
+/// under `Sparse`, `Dense` and `Auto` frontiers must produce the same
+/// labels, `same_simulation` reports, and byte-identical traces, at every
+/// GPU count and kernel thread count. Charge identity is what makes the
+/// bitmap backend safe to ship — any divergence here is a cost-model leak.
+#[test]
+fn frontier_representations_are_simulation_invisible() {
+    use mgpu_graph_analytics::core::FrontierMode;
+    use mgpu_graph_analytics::primitives::{dobfs::gather_labels as dobfs_labels, Dobfs};
+
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF40);
+    for case in 0..6 {
+        let (n, edges, weights) = arb_graph(&mut rng);
+        let src = (rng.gen_range(0usize..100) % n) as u32;
+        let g = build(n, &edges, &weights);
+        let expect = reference::bfs(&g, src);
+
+        for n_gpus in [2usize, 4, 8] {
+            let mut dist =
+                DistGraph::partition(&g, &RandomPartitioner { seed: 7 }, n_gpus, Duplication::All);
+            dist.build_cscs();
+
+            // (report, trace-jsonl, labels) per (mode, threads) run.
+            let mut runs = Vec::new();
+            for mode in [FrontierMode::Sparse, FrontierMode::Dense, FrontierMode::Auto] {
+                for threads in [1usize, 4] {
+                    let cfg = EnactConfig {
+                        tracing: true,
+                        kernel_threads: Some(threads),
+                        ..EnactConfig::default()
+                    };
+                    let prim = Dobfs { frontier: mode, ..Dobfs::default() };
+                    let sys = SimSystem::homogeneous(n_gpus, HardwareProfile::k40());
+                    let mut runner = Runner::new(sys, &dist, prim, cfg).unwrap();
+                    let report = runner.enact(Some(src)).unwrap();
+                    let labels = dobfs_labels(&runner, &dist);
+                    assert_eq!(
+                        labels, expect,
+                        "case {case}: {mode:?} x{n_gpus} t{threads} wrong labels"
+                    );
+                    let jsonl = report.trace.as_ref().unwrap().to_jsonl();
+                    runs.push((format!("{mode:?} t{threads}"), report, jsonl));
+                }
+            }
+            let (ref name0, ref rep0, ref trace0) = runs[0];
+            for (name, rep, trace) in &runs[1..] {
+                assert!(
+                    rep0.same_simulation(rep),
+                    "case {case} x{n_gpus}: {name} diverges from {name0} in sim report"
+                );
+                assert_eq!(
+                    trace0, trace,
+                    "case {case} x{n_gpus}: {name} trace not byte-identical to {name0}"
+                );
+            }
+        }
+    }
+}
