@@ -24,7 +24,10 @@
 //!   --fault-plan SPEC   deterministic fault injection; SPEC is either a
 //!                       comma-separated event list (`kfail:D@N`, `oom:D@N`,
 //!                       `slow:D@N:US`, `lose:D@N`, `tfail:S>D@N`,
-//!                       `ttimeout:S>D@N`) or `random:SEED:COUNT:HORIZON`
+//!                       `ttimeout:S>D@N`, `spill:D@N`, `pass:D@N`,
+//!                       `lease:D@N`), the shorthand `random:SEED:COUNT:HORIZON`
+//!                       (transient-only), or `randomp:SEED:COUNT:HORIZON`
+//!                       (transients plus pressure-path sites)
 //!   --recovery          enact through the resilient runner: bounded retry,
 //!                       superstep checkpoints, degrade on device loss
 //!   --mem-cap BYTES     cap each device's memory pool at BYTES and enable
@@ -98,22 +101,32 @@ fn main() -> ExitCode {
     }
 }
 
-/// Parse `--fault-plan`: either the event grammar understood by
-/// [`FaultPlan::parse`] or the shorthand `random:SEED:COUNT:HORIZON` for a
-/// seed-derived transient-only plan.
+/// Parse `--fault-plan`: the event grammar understood by
+/// [`FaultPlan::parse`], the shorthand `random:SEED:COUNT:HORIZON` for a
+/// seed-derived transient-only plan, or `randomp:SEED:COUNT:HORIZON` for a
+/// seed-derived plan that also targets the pressure paths (spill transfers,
+/// chunked-advance passes, arena leases).
 fn parse_fault_plan(spec: &str, n_devices: usize) -> Result<FaultPlan, String> {
-    match spec.strip_prefix("random:") {
-        Some(rest) => {
-            let parts: Vec<&str> = rest.split(':').collect();
-            let [seed, count, horizon] = parts.as_slice() else {
-                return Err(format!("expected random:SEED:COUNT:HORIZON, got {spec}"));
-            };
-            let seed = seed.parse::<u64>().map_err(|e| format!("seed: {e}"))?;
-            let count = count.parse::<usize>().map_err(|e| format!("count: {e}"))?;
-            let horizon = horizon.parse::<u64>().map_err(|e| format!("horizon: {e}"))?;
-            Ok(FaultPlan::random(seed, n_devices, count, horizon))
-        }
-        None => FaultPlan::parse(spec),
+    let random = |rest: &str, pressure: bool| -> Result<FaultPlan, String> {
+        let parts: Vec<&str> = rest.split(':').collect();
+        let [seed, count, horizon] = parts.as_slice() else {
+            return Err(format!("expected SEED:COUNT:HORIZON after the prefix, got {spec}"));
+        };
+        let seed = seed.parse::<u64>().map_err(|e| format!("seed: {e}"))?;
+        let count = count.parse::<usize>().map_err(|e| format!("count: {e}"))?;
+        let horizon = horizon.parse::<u64>().map_err(|e| format!("horizon: {e}"))?;
+        Ok(if pressure {
+            FaultPlan::random_with_pressure(seed, n_devices, count, horizon)
+        } else {
+            FaultPlan::random(seed, n_devices, count, horizon)
+        })
+    };
+    if let Some(rest) = spec.strip_prefix("randomp:") {
+        random(rest, true)
+    } else if let Some(rest) = spec.strip_prefix("random:") {
+        random(rest, false)
+    } else {
+        FaultPlan::parse(spec)
     }
 }
 
@@ -472,6 +485,12 @@ fn run(args: &[String]) -> ExitCode {
                 "recovery       {} kernel + {} transfer retries, {} checkpoints, {} failovers",
                 rec.kernel_retries, rec.transfer_retries, rec.checkpoints_taken, rec.failovers
             );
+            if rec.butterfly_fallbacks > 0 {
+                println!(
+                    "               {} butterfly superstep(s) fell back to direct broadcast",
+                    rec.butterfly_fallbacks
+                );
+            }
             if !rec.lost_devices.is_empty() {
                 println!(
                     "lost devices   {:?} ({:.3} ms of work discarded)",

@@ -272,6 +272,12 @@ impl<V: Id> FrontierBufs<V> {
         if freed == 0 {
             return Ok(());
         }
+        // Injected spill-transfer faults fire here, at the k-th spill on
+        // this device: the failed attempt still occupies the staged link
+        // (charged below, exactly like a failed peer send), then the spill
+        // fails typed. There is no in-place retry — recovery is owned by
+        // the resilience layer's attempt restart.
+        let faulted = dev.fault_injector().is_some_and(|inj| inj.on_spill(dev.id()));
         if let Some(link) = self.host_link {
             let occupancy = freed as f64 / (link.bandwidth_gb_s * 1e3);
             // one enqueue of occupancy+latency (splitting it would shift the
@@ -282,6 +288,9 @@ impl<V: Id> FrontierBufs<V> {
                 .h_us(occupancy);
             dev.charge_as(COMPUTE_STREAM, occupancy + link.latency_us, 0.0, meta)?;
             dev.counters.h_time_us += occupancy;
+        }
+        if faulted {
+            return Err(VgpuError::TransferFailed { from: dev.id(), to: dev.id() });
         }
         self.gov.spill_events += 1;
         self.gov.spilled_bytes += freed;

@@ -41,7 +41,7 @@ use crate::comm::{split_and_package_with, Package, PackagePolicy, SuppressState,
 use crate::enactor::EnactConfig;
 use crate::problem::MgpuProblem;
 use crate::report::{CommReduction, EnactReport};
-use crate::resilience::{guard, RecoveryLog};
+use crate::resilience::{guard, RecoveryCounters, RecoveryLog, RecoveryPolicy};
 
 /// An asynchronous runner for label-correcting primitives.
 ///
@@ -58,6 +58,7 @@ pub struct AsyncRunner<'g, V: Id, O: Id, P: MgpuProblem<V, O>> {
     encoding: WireEncoding,
     suppression: bool,
     tracing: bool,
+    recovery: RecoveryPolicy,
 }
 
 struct AsyncPerGpu<V: Id, S> {
@@ -73,9 +74,9 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> AsyncRunner<'g, V, O, P> {
     }
 
     /// [`AsyncRunner::new`] with explicit wire-volume knobs. The async path
-    /// honours `wire_encoding` and `suppression` from the config;
-    /// `comm_topology` does not apply (there are no supersteps to stage a
-    /// collective over) and is ignored.
+    /// honours `wire_encoding`, `suppression`, `recovery` and `pressure`
+    /// from the config; `comm_topology` does not apply (there are no
+    /// supersteps to stage a collective over) and is ignored.
     pub fn with_config(
         mut system: SimSystem,
         dist: &'g DistGraph<V, O>,
@@ -84,13 +85,15 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> AsyncRunner<'g, V, O, P> {
     ) -> Result<Self> {
         assert_eq!(system.n_devices(), dist.n_parts);
         let scheme = problem.alloc_scheme();
+        let host_link = system.interconnect.host_link();
         let mut per_gpu = Vec::with_capacity(dist.n_parts);
         for (dev, sub) in system.devices.iter_mut().zip(dist.parts.iter()) {
             let topology = dev.pool().reserve_external(sub.topology_bytes())?;
             let cost = dev.profile().local_copy_us(sub.topology_bytes());
             dev.charge(COMPUTE_STREAM, cost, 0.0)?;
             let state = problem.init(dev, sub)?;
-            let bufs = FrontierBufs::new(dev, scheme, sub.n_vertices(), sub.n_edges())?;
+            let bufs = FrontierBufs::new(dev, scheme, sub.n_vertices(), sub.n_edges())?
+                .with_pressure(config.pressure, host_link);
             per_gpu.push(AsyncPerGpu { state, bufs, _topology: topology });
         }
         Ok(AsyncRunner {
@@ -101,6 +104,7 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> AsyncRunner<'g, V, O, P> {
             encoding: config.wire_encoding,
             suppression: config.suppression,
             tracing: config.tracing,
+            recovery: config.recovery,
         })
     }
 
@@ -116,6 +120,10 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> AsyncRunner<'g, V, O, P> {
                 dev.timeline.clear();
             }
         }
+        // Fresh mid-run governor decisions per enact (mirrors the BSP path).
+        for per in &mut self.per_gpu {
+            per.bufs.reset_governor();
+        }
         let n = self.dist.n_parts;
         let located = src.map(|g| self.dist.locate(g));
         let mailbox: Mailbox<Arc<Package<V, P::Msg>>> =
@@ -125,6 +133,9 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> AsyncRunner<'g, V, O, P> {
         let busy = AtomicUsize::new(n);
         let abort = AtomicBool::new(false);
         let first_error: Mutex<Option<VgpuError>> = Mutex::new(None);
+        let policy = self.recovery;
+        let rec = RecoveryCounters::default();
+        let fired_before = self.system.fault_injector().map_or(0, |inj| inj.fired());
         let problem = &self.problem;
         let interconnect = std::sync::Arc::clone(&self.system.interconnect);
         let monotone = problem.monotone();
@@ -149,11 +160,14 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> AsyncRunner<'g, V, O, P> {
                     Some((gpu, local)) if gpu == dev.id() => Some(local),
                     _ => None,
                 };
+                dev.set_retry_policy(policy.max_retries, policy.retry_backoff_us);
                 let mailbox = &mailbox;
                 let in_flight = &in_flight;
                 let busy = &busy;
                 let abort = &abort;
                 let first_error = &first_error;
+                let policy = &policy;
+                let rec = &rec;
                 let interconnect = std::sync::Arc::clone(&interconnect);
                 handles.push(scope.spawn(move || {
                     run_async_gpu(
@@ -170,6 +184,8 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> AsyncRunner<'g, V, O, P> {
                         src_local,
                         pkg_policy,
                         suppression,
+                        policy,
+                        rec,
                     )
                 }));
             }
@@ -180,6 +196,17 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> AsyncRunner<'g, V, O, P> {
                 .collect()
         });
         let wall_time_us = t0.elapsed().as_secs_f64() * 1e6;
+
+        let fired_after = self.system.fault_injector().map_or(0, |inj| inj.fired());
+        let kernel_retries: u64 = self.system.devices.iter().map(|d| d.kernel_retries()).sum();
+        let transfer_retries = rec.transfer_retries.load(SeqCst);
+        let recovery = RecoveryLog {
+            kernel_retries,
+            transfer_retries,
+            faults_injected: fired_after - fired_before,
+            backoff_us: (kernel_retries + transfer_retries) as f64 * policy.retry_backoff_us,
+            ..RecoveryLog::default()
+        };
 
         if abort.load(SeqCst) {
             return Err(first_error.lock().take().unwrap_or(VgpuError::Aborted));
@@ -209,8 +236,14 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> AsyncRunner<'g, V, O, P> {
                 .map(|d| crate::report::DeviceMemStats::of(d.pool()))
                 .collect(),
             history: Vec::new(), // async mode has no superstep structure
-            recovery: RecoveryLog::default(),
-            governor: crate::governor::GovernorLog::default(),
+            recovery,
+            governor: {
+                let mut gov = crate::governor::GovernorLog::default();
+                for per in &self.per_gpu {
+                    gov.absorb(per.bufs.governor());
+                }
+                gov
+            },
             comm: comm_acc,
             trace: self.tracing.then(|| crate::trace::Trace::collect(&self.system)),
         })
@@ -242,6 +275,8 @@ fn run_async_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
     src_local: Option<V>,
     pkg_policy: PackagePolicy,
     suppression: bool,
+    policy: &RecoveryPolicy,
+    rec: &RecoveryCounters,
 ) -> Result<(usize, CommReduction)> {
     let gpu = dev.id();
     let fail = |e: VgpuError| {
@@ -374,22 +409,43 @@ fn run_async_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
             for (peer, pkg) in pkgs.into_iter().enumerate() {
                 let Some(pkg) = pkg else { continue };
                 stats_ref.count_package(pkg.encoding());
+                let pkg = Arc::new(pkg);
                 let bytes = pkg.wire_bytes();
+                let charged = interconnect.charged_bytes(bytes);
                 let occupancy = interconnect.occupancy_us(gpu, peer, bytes);
                 let meta = vgpu::SpanMeta::new(vgpu::TraceKind::Send, "send")
                     .items(pkg.len() as u64)
-                    .bytes(interconnect.charged_bytes(bytes))
+                    .bytes(charged)
                     .h_us(occupancy)
                     .peer(peer);
-                let sent_at = dev.charge_as(COMM_STREAM, occupancy, 0.0, meta)?;
-                let arrival = sent_at + interconnect.latency_us(gpu, peer);
-                dev.counters.h_bytes_sent += interconnect.charged_bytes(bytes);
+                // Transient-retry loop mirroring the BSP `post_package`:
+                // every attempt occupies the link and counts toward H (one
+                // Send span per attempt, a failed one followed by its Retry
+                // span); the injector fires *before* the post, so a failed
+                // send delivered nothing and retrying cannot duplicate.
+                let mut attempts = 0u32;
+                loop {
+                    let sent_at = dev.charge_as(COMM_STREAM, occupancy, 0.0, meta)?;
+                    dev.counters.h_time_us += occupancy;
+                    let arrival = sent_at + interconnect.latency_us(gpu, peer);
+                    match mailbox.send(gpu, peer, Event::at(arrival), Arc::clone(&pkg)) {
+                        Ok(()) => break,
+                        Err(e) if attempts < policy.max_retries && policy.is_transient(&e) => {
+                            attempts += 1;
+                            rec.note_transfer_retry();
+                            let meta =
+                                vgpu::SpanMeta::new(vgpu::TraceKind::Retry, "transfer-retry")
+                                    .peer(peer);
+                            dev.charge_as(COMM_STREAM, policy.retry_backoff_us, 0.0, meta)?;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                dev.counters.h_bytes_sent += charged;
                 dev.counters.h_vertices += pkg.len() as u64;
                 dev.counters.h_messages += 1;
-                dev.counters.h_time_us += occupancy;
                 // Count the message in flight only once it is actually
                 // posted; a faulted send must not wedge termination.
-                mailbox.send(gpu, peer, Event::at(arrival), Arc::new(pkg))?;
                 in_flight.fetch_add(1, SeqCst);
             }
             Ok(local)

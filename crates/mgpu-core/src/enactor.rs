@@ -368,6 +368,7 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> Runner<'g, V, O, P> {
             faults_injected: fired_after - fired_before,
             checkpoints_taken: sink.taken(),
             stragglers_detected: rec.stragglers.load(std::sync::atomic::Ordering::Relaxed),
+            butterfly_fallbacks: rec.butterfly_fallbacks.load(std::sync::atomic::Ordering::Relaxed),
             backoff_us: (kernel_retries + transfer_retries) as f64 * policy.retry_backoff_us,
             resumed_at: resume.map(|ck| ck.iter),
             ..RecoveryLog::default()
@@ -1010,6 +1011,9 @@ fn combine_received<V: Id, O: Id, P: MgpuProblem<V, O>>(
 /// exactly), which is precisely the window the receiver is missing —
 /// redundant blocks from the final-stage round-up are rejected by the
 /// monotone combiner.
+/// Undelivered stage packages a device is holding between butterfly stages.
+type Stash<V, M> = Vec<Delivery<Arc<Package<V, M>>>>;
+
 #[allow(clippy::too_many_arguments)]
 fn butterfly_superstep<V: Id, O: Id, P: MgpuProblem<V, O>>(
     problem: &P,
@@ -1078,7 +1082,6 @@ fn butterfly_superstep<V: Id, O: Id, P: MgpuProblem<V, O>>(
     let mut groups: Vec<(usize, Vec<V>, Vec<P::Msg>)> = vec![(1, own.0, own.1)];
     let mut have = 1usize;
     let mut hop = 1usize; // 2^k
-    type Stash<V, M> = Vec<Delivery<Arc<Package<V, M>>>>;
     let mut stash: Stash<V, P::Msg> = Vec::new();
     while have < n {
         let target = have.min(n - have);
@@ -1093,6 +1096,12 @@ fn butterfly_superstep<V: Id, O: Id, P: MgpuProblem<V, O>>(
         let src = (gpu + n - hop) % n;
 
         // ---- merge + encode + push (one Split kernel per stage) ----
+        // A push whose transient retries are exhausted does not doom the
+        // attempt when the policy allows degrading: the device votes for a
+        // uniform fall-back to direct broadcast at the stage rendezvous
+        // below. Non-transient errors keep the direct path's failure
+        // protocol (attend every barrier, abort at the superstep reduce).
+        let mut stage_fault = false;
         if !*failed {
             if let Err(e) = guard(gpu, || {
                 let merged = dev.kernel(COMPUTE_STREAM, KernelKind::Split, || {
@@ -1139,13 +1148,49 @@ fn butterfly_superstep<V: Id, O: Id, P: MgpuProblem<V, O>>(
                 dev.stream_wait(COMM_STREAM, ready)?;
                 post_package(dev, interconnect, mailbox, dst, Arc::new(merged), policy, rec)
             }) {
-                my_error.get_or_insert(e);
-                *failed = true;
+                if policy.fallback_to_direct && policy.is_transient(&e) {
+                    stage_fault = true;
+                } else {
+                    my_error.get_or_insert(e);
+                    *failed = true;
+                }
             }
         }
 
-        // ---- stage rendezvous: the peer's push is posted ----
-        sync.barrier(dev.now(), false);
+        // ---- stage rendezvous: the peer's push is posted. The rendezvous
+        // doubles as the fall-back vote: the u64 reduction is identical on
+        // every device, so the decision to degrade this superstep to direct
+        // broadcast is uniform and costs no extra barrier. ----
+        let reduce = sync.superstep(
+            dev.now(),
+            false,
+            Contribution { u64_add: stage_fault as u64, ..Contribution::default() },
+        );
+        if reduce.u64_sum > 0 {
+            if gpu == 0 {
+                rec.note_butterfly_fallback();
+            }
+            return butterfly_fallback(
+                problem,
+                dev,
+                per,
+                sub,
+                interconnect,
+                sync,
+                mailbox,
+                n,
+                policy,
+                rec,
+                pkg_policy,
+                supp,
+                stats,
+                &groups[0],
+                stash,
+                next,
+                failed,
+                my_error,
+            );
+        }
 
         // ---- take this stage's package; early arrivals from faster peers
         // wait in the stash, a failed sender contributes an empty window ----
@@ -1200,6 +1245,144 @@ fn butterfly_superstep<V: Id, O: Id, P: MgpuProblem<V, O>>(
     if *failed {
         return Vec::new();
     }
+    if let Err(e) = guard(gpu, || {
+        per.bufs.commit_output(dev, &next)?;
+        let done = dev.record_event(COMM_STREAM);
+        dev.stream_wait(COMPUTE_STREAM, done)
+    }) {
+        my_error.get_or_insert(e);
+        *failed = true;
+        return Vec::new();
+    }
+    next
+}
+
+/// Degraded completion of a butterfly superstep after a mid-stage fault
+/// survived its transient retries: every device re-broadcasts its *own*
+/// canonical block directly to all peers, then combines everything that
+/// arrived — the interrupted stage's packages plus the direct
+/// re-broadcasts. Every origin block reaches every device without relying
+/// on forwarding, and the monotone combiner rejects whatever the completed
+/// stages already applied, so the superstep's result is identical to a
+/// fault-free exchange. The degradation costs one extra rendezvous
+/// (uniform: every device attends it) and direct-broadcast wire charges on
+/// top of the stages already paid — all visible in the trace.
+#[allow(clippy::too_many_arguments)]
+fn butterfly_fallback<V: Id, O: Id, P: MgpuProblem<V, O>>(
+    problem: &P,
+    dev: &mut Device,
+    per: &mut PerGpu<V, P::State>,
+    sub: &SubGraph<V, O>,
+    interconnect: &Interconnect,
+    sync: &SyncPoint,
+    mailbox: &Mailbox<Arc<Package<V, P::Msg>>>,
+    n: usize,
+    policy: &RecoveryPolicy,
+    rec: &RecoveryCounters,
+    pkg_policy: PackagePolicy,
+    supp: &mut Option<SuppressState>,
+    stats: &mut CommReduction,
+    own: &(usize, Vec<V>, Vec<P::Msg>),
+    mut stash: Stash<V, P::Msg>,
+    mut next: Vec<V>,
+    failed: &mut bool,
+    my_error: &mut Option<VgpuError>,
+) -> Vec<V> {
+    let gpu = dev.id();
+    // ---- re-encode the own block and push it directly to every peer; a
+    // failure here is terminal for the attempt (the resilience layer owns
+    // the next level of recovery) ----
+    if !*failed {
+        if let Err(e) = guard(gpu, || {
+            let pkg = dev.kernel(COMPUTE_STREAM, KernelKind::Split, || {
+                let items = own.1.len() as u64;
+                let pkg = Package::encode(
+                    own.1.clone(),
+                    own.2.clone(),
+                    pkg_policy.encoding,
+                    Some(sub.n_vertices()),
+                    pkg_policy.uniform_hint,
+                );
+                (pkg, items)
+            })?;
+            if dev.timeline.is_enabled() {
+                let at = dev.stream_time(COMPUTE_STREAM);
+                dev.timeline.record(TraceEvent {
+                    device: dev.id(),
+                    stream: COMPUTE_STREAM.0,
+                    kind: TraceKind::Stage,
+                    name: "butterfly-fallback",
+                    start_us: at,
+                    items: pkg.len() as u64,
+                    ..TraceEvent::default()
+                });
+            }
+            // empty own blocks are elided exactly as empty stage windows are
+            if pkg.is_empty() {
+                return Ok(());
+            }
+            let ready = dev.record_event(COMPUTE_STREAM);
+            dev.stream_wait(COMM_STREAM, ready)?;
+            let pkg = Arc::new(pkg);
+            for peer in 0..n {
+                if peer == gpu {
+                    continue;
+                }
+                stats.count_package(pkg.encoding());
+                post_package(dev, interconnect, mailbox, peer, Arc::clone(&pkg), policy, rec)?;
+            }
+            Ok(())
+        }) {
+            my_error.get_or_insert(e);
+            *failed = true;
+        }
+    }
+
+    // ---- one extra rendezvous: every surviving peer's direct push (and
+    // any package from the interrupted stage) is posted ----
+    sync.barrier(dev.now(), false);
+
+    // ---- drain & combine; a stable sort by sender keeps combine order
+    // independent of thread scheduling (stash entries from one sender were
+    // posted in that sender's program order) ----
+    stash.extend(mailbox.drain(gpu));
+    if *failed {
+        return Vec::new();
+    }
+    stash.sort_by_key(|d| d.src);
+    for delivery in stash {
+        if let Err(e) = guard(gpu, || {
+            dev.stream_wait(COMM_STREAM, delivery.arrival)?;
+            let src = delivery.src;
+            let pkg = delivery.payload;
+            dev.counters.h_bytes_recv += pkg.wire_bytes();
+            record_recv(dev, src, pkg.wire_bytes(), pkg.len() as u64);
+            let state = &mut per.state;
+            let next_ref = &mut next;
+            let supp_ref = &mut *supp;
+            dev.kernel(COMM_STREAM, KernelKind::Combine, || {
+                let (vs, ms) = pkg.decode();
+                for (i, &wire) in vs.iter().enumerate() {
+                    if let Some(v) = sub.from_global(wire) {
+                        if let Some(s) = supp_ref.as_mut() {
+                            s.observe(v.idx(), problem.suppression_key(&ms[i]));
+                        }
+                        if problem.combine(state, v, &ms[i]) {
+                            next_ref.push(v);
+                        }
+                    }
+                }
+                ((), pkg.len() as u64)
+            })?;
+            Ok(())
+        }) {
+            my_error.get_or_insert(e);
+            *failed = true;
+            return Vec::new();
+        }
+    }
+
+    // ---- commit the merged frontier, as the stage path does ----
     if let Err(e) = guard(gpu, || {
         per.bufs.commit_output(dev, &next)?;
         let done = dev.record_event(COMM_STREAM);

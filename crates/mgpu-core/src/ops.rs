@@ -26,7 +26,7 @@
 
 use mgpu_graph::{Csr, Id};
 use mgpu_partition::SubGraph;
-use vgpu::{par, Arena, Device, KernelKind, Result, VgpuError, COMPUTE_STREAM};
+use vgpu::{par, Arena, Device, KernelFault, KernelKind, Result, VgpuError, COMPUTE_STREAM};
 
 use crate::alloc::FrontierBufs;
 use crate::frontier::Frontier;
@@ -150,6 +150,30 @@ fn record_chunk(dev: &mut Device, passes: usize) {
     }
 }
 
+/// Consult the injector's pressure-machinery sites and arm the device's
+/// one-shot launch fault for the upcoming advance launch. `chunk_pass`
+/// advances the chunked-pass counter (fires a transient `Fail`); `lease`
+/// advances the arena-lease counter (fires a `TransientOom`). Arena leases
+/// are taken *inside* the parallel kernel body, thread-nondeterministically,
+/// so lease faults are modeled at launch granularity — the deterministic
+/// site the in-place retry machinery can replay. When both sites fire on
+/// the same launch the pass fault wins.
+fn arm_pressure_faults(dev: &mut Device, chunk_pass: bool, lease: bool) {
+    let gpu = dev.id();
+    let mut armed: Option<KernelFault> = None;
+    if let Some(inj) = dev.fault_injector() {
+        if lease && inj.on_lease(gpu) {
+            armed = Some(KernelFault::TransientOom);
+        }
+        if chunk_pass && inj.on_chunk_pass(gpu) {
+            armed = Some(KernelFault::Fail);
+        }
+    }
+    if let Some(f) = armed {
+        dev.inject_fault(f);
+    }
+}
+
 /// A typed OOM for a frontier whose single-vertex adjacency exceeds even the
 /// degraded chunk budget.
 fn chunk_infeasible<V: Id>(dev: &Device, granted: usize) -> VgpuError {
@@ -195,6 +219,7 @@ where
     let mut max_emit = 0usize;
     for &(lo, hi) in &passes {
         let slice = &input[lo..hi];
+        arm_pressure_faults(dev, true, true);
         let part = dev.kernel(COMPUTE_STREAM, KernelKind::Advance, || {
             let chunks = plan_chunks(sub, slice, chunk_target::<V>());
             let emitted = advance_chunks(threads, sub, slice, &chunks, &bufs.arena, f);
@@ -263,6 +288,7 @@ pub fn advance_with_mode<V: Id, O: Id>(
     };
     let granted = bufs.prepare_intermediate_budget(dev, need)?;
     let (out, resident) = if granted >= need {
+        arm_pressure_faults(dev, false, true);
         let out = dev.kernel(COMPUTE_STREAM, KernelKind::Advance, || {
             (advance_chunks(threads, sub, input, &chunks, &bufs.arena, &f), charged_items)
         })?;
@@ -336,6 +362,7 @@ pub fn advance_seq<V: Id, O: Id>(
         let mut max_emit = 0usize;
         for &(lo, hi) in &passes {
             let slice = &input[lo..hi];
+            arm_pressure_faults(dev, true, false);
             let part = dev.kernel(COMPUTE_STREAM, KernelKind::Advance, || {
                 let mut part = Vec::new();
                 let mut edges = 0u64;

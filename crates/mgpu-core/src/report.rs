@@ -206,7 +206,7 @@ impl EnactReport {
                 "\"pool_reallocs\":{},",
                 "\"kernel_retries\":{},\"transfer_retries\":{},",
                 "\"faults_injected\":{},\"checkpoints_taken\":{},",
-                "\"stragglers_detected\":{},\"failovers\":{},",
+                "\"stragglers_detected\":{},\"butterfly_fallbacks\":{},\"failovers\":{},",
                 "\"lost_devices\":{},\"lost_time_us\":{},",
                 "\"downgrades\":{},\"chunked_advances\":{},\"chunk_passes\":{},",
                 "\"spill_events\":{},\"spilled_bytes\":{},\"reclaim_retries\":{},",
@@ -238,6 +238,7 @@ impl EnactReport {
             self.recovery.faults_injected,
             self.recovery.checkpoints_taken,
             self.recovery.stragglers_detected,
+            self.recovery.butterfly_fallbacks,
             self.recovery.failovers,
             self.recovery.lost_devices.len(),
             self.recovery.lost_time_us,
@@ -308,6 +309,7 @@ mod tests {
         assert!(j.contains("\"sim_time_us\":123.5"));
         assert!(j.contains("\"iterations\":3"));
         assert!(j.contains("\"downgrades\":0"));
+        assert!(j.contains("\"butterfly_fallbacks\":0"));
         assert!(j.contains("\"spilled_bytes\":0"));
         assert!(j.contains("\"suppressed_vertices\":0"));
         assert!(j.contains("\"enc_delta\":0"));

@@ -69,6 +69,11 @@ pub struct RecoveryPolicy {
     /// On permanent device loss, re-home the lost device's subgraph onto
     /// the survivors and continue on N−1 GPUs instead of failing.
     pub degrade_on_loss: bool,
+    /// When a butterfly collective stage hits a transient transfer fault
+    /// that exhausts its per-send retries, fall back to a direct broadcast
+    /// for that superstep (recorded as [`RecoveryLog::butterfly_fallbacks`]
+    /// and charged honestly in the trace) instead of failing the enact.
+    pub fallback_to_direct: bool,
 }
 
 impl Default for RecoveryPolicy {
@@ -80,19 +85,22 @@ impl Default for RecoveryPolicy {
             straggler_timeout_us: f64::INFINITY,
             evict_stragglers: false,
             degrade_on_loss: false,
+            fallback_to_direct: false,
         }
     }
 }
 
 impl RecoveryPolicy {
     /// A sensible everything-on preset: 3 retries with 25 µs backoff, a
-    /// checkpoint every 4 supersteps, degradation on loss.
+    /// checkpoint every 4 supersteps, degradation on loss, and butterfly
+    /// fallback to direct broadcast.
     pub fn resilient() -> Self {
         RecoveryPolicy {
             max_retries: 3,
             retry_backoff_us: 25.0,
             checkpoint_interval: 4,
             degrade_on_loss: true,
+            fallback_to_direct: true,
             ..RecoveryPolicy::default()
         }
     }
@@ -127,6 +135,10 @@ pub struct RecoveryLog {
     /// Superstep barriers whose fast–slow spread exceeded the rendezvous
     /// timeout.
     pub stragglers_detected: u64,
+    /// Supersteps where the butterfly collective fell back to a direct
+    /// broadcast after an unrecoverable mid-stage transfer fault (counted
+    /// once per superstep, not per device).
+    pub butterfly_fallbacks: u64,
     /// Total simulated backoff charged across retries, in microseconds.
     pub backoff_us: f64,
     /// Devices permanently lost, by *original* device id, in loss order.
@@ -149,6 +161,7 @@ impl RecoveryLog {
         self.faults_injected += other.faults_injected;
         self.checkpoints_taken += other.checkpoints_taken;
         self.stragglers_detected += other.stragglers_detected;
+        self.butterfly_fallbacks += other.butterfly_fallbacks;
         self.backoff_us += other.backoff_us;
         self.lost_devices.extend(&other.lost_devices);
         self.failovers += other.failovers;
@@ -169,6 +182,7 @@ impl RecoveryLog {
 pub(crate) struct RecoveryCounters {
     pub(crate) transfer_retries: AtomicU64,
     pub(crate) stragglers: AtomicU64,
+    pub(crate) butterfly_fallbacks: AtomicU64,
 }
 
 impl RecoveryCounters {
@@ -178,6 +192,10 @@ impl RecoveryCounters {
 
     pub(crate) fn note_straggler(&self) {
         self.stragglers.fetch_add(1, Relaxed);
+    }
+
+    pub(crate) fn note_butterfly_fallback(&self) {
+        self.butterfly_fallbacks.fetch_add(1, Relaxed);
     }
 }
 

@@ -81,6 +81,11 @@ pub struct Device {
     /// default) leaves the launch path exactly as fast and exactly as
     /// metered as a fault-free build.
     fault: Option<Arc<FaultInjector>>,
+    /// A one-shot fault armed by the framework for the *next* launch (how
+    /// pressure-machinery faults — chunked-advance passes, arena leases —
+    /// reach the launch site; see [`crate::fault::PressureSite`]). Consumed
+    /// by the launch whether or not it also retries.
+    pending_fault: Option<KernelFault>,
     /// Transient launch faults are retried in place up to this many times
     /// (the fault fired *before* the body, so the failed launch had no side
     /// effects and an immediate relaunch is always safe).
@@ -108,6 +113,7 @@ impl Device {
             width_factor: 1.0,
             kernel_threads: crate::par::default_kernel_threads(),
             fault: None,
+            pending_fault: None,
             retry_max: 0,
             retry_backoff_us: 0.0,
             kernel_retries: 0,
@@ -151,6 +157,15 @@ impl Device {
     /// The attached fault injector, if any.
     pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
         self.fault.as_ref()
+    }
+
+    /// Arm a one-shot fault for the next kernel launch on this device. The
+    /// framework uses this to surface faults whose deterministic site lives
+    /// above the launch layer (chunked-advance passes, arena leases): the
+    /// site is decided where it is counted, then delivered here so the
+    /// normal retry/backoff machinery applies unchanged.
+    pub fn inject_fault(&mut self, fault: KernelFault) {
+        self.pending_fault = Some(fault);
     }
 
     /// Bound in-place relaunches of transiently failing kernels: up to
@@ -244,7 +259,14 @@ impl Device {
         }
         let mut attempts = 0u32;
         loop {
-            let injected = self.fault.as_ref().and_then(|inj| inj.on_kernel(self.id));
+            // The injector keeps its launch-index semantics even when a
+            // pending fault is armed; `take()` makes the armed fault
+            // one-shot, so the relaunch after a retry runs clean.
+            let injected = self
+                .fault
+                .as_ref()
+                .and_then(|inj| inj.on_kernel(self.id))
+                .or_else(|| self.pending_fault.take());
             match injected {
                 None => {}
                 Some(KernelFault::Straggle { delay_us }) => straggle_us = delay_us,
@@ -469,6 +491,7 @@ impl Device {
         }
         self.counters.reset();
         self.kernel_retries = 0;
+        self.pending_fault = None;
     }
 }
 
@@ -635,6 +658,33 @@ mod tests {
         e.set_retry_policy(1, 0.0);
         let err = e.kernel(COMPUTE_STREAM, KernelKind::Filter, || ((), 0)).unwrap_err();
         assert!(matches!(err, VgpuError::KernelFailed { device: 0 }));
+    }
+
+    #[test]
+    fn an_armed_fault_is_one_shot_and_goes_through_the_retry_machinery() {
+        let mut d = dev();
+        d.set_retry_policy(2, 5.0);
+        d.inject_fault(KernelFault::Fail);
+        let mut ran = 0u32;
+        d.kernel(COMPUTE_STREAM, KernelKind::Filter, || {
+            ran += 1;
+            ((), 0)
+        })
+        .unwrap();
+        assert_eq!(ran, 1, "the relaunch after the armed fault runs clean");
+        assert_eq!(d.kernel_retries(), 1);
+        // without a retry budget the armed fault surfaces typed
+        let mut e = dev();
+        e.inject_fault(KernelFault::TransientOom);
+        let err = e.kernel(COMPUTE_STREAM, KernelKind::Filter, || ((), 0)).unwrap_err();
+        assert!(matches!(err, VgpuError::OutOfMemory { device: 0, .. }));
+        // consumed: the next launch is clean
+        e.kernel(COMPUTE_STREAM, KernelKind::Filter, || ((), 0)).unwrap();
+        // reset_clock disarms a never-consumed fault
+        let mut f = dev();
+        f.inject_fault(KernelFault::Fail);
+        f.reset_clock();
+        f.kernel(COMPUTE_STREAM, KernelKind::Filter, || ((), 0)).unwrap();
     }
 
     #[test]

@@ -31,8 +31,15 @@
 //!   [`crate::VgpuError::DeviceLost`].
 //! * **Transfer failure / timeout** ([`TransferFault`]) — a peer-to-peer
 //!   push fails; transient.
+//! * **Pressure faults** ([`PressureSite`]) — the memory-pressure machinery
+//!   itself fails: the k-th host spill on a device aborts mid-copy, the
+//!   k-th chunked-advance pass fails at launch, or the k-th arena-leasing
+//!   advance hits an allocation spike. These compose governor downgrade
+//!   chains with recovery, so the two subsystems are tested together
+//!   instead of in isolation.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 
 /// What goes wrong at a kernel-launch fault site.
@@ -61,6 +68,23 @@ pub enum TransferFault {
     Timeout,
 }
 
+/// Which memory-pressure mechanism a [`FaultEvent::Pressure`] targets.
+/// Sites are counted per device in the order the governor reaches them —
+/// logical progress indices, like launches and transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PressureSite {
+    /// The k-th host-spill transfer on the device fails mid-copy
+    /// (surfaces as a transient [`crate::VgpuError::TransferFailed`] on the
+    /// device's host link).
+    Spill,
+    /// The k-th chunked-advance pass on the device fails at launch
+    /// (surfaces as a transient [`crate::VgpuError::KernelFailed`]).
+    ChunkPass,
+    /// The k-th arena-leasing advance on the device hits an allocation
+    /// spike (surfaces as a transient [`crate::VgpuError::OutOfMemory`]).
+    ArenaLease,
+}
+
 /// One planned fault, keyed by its deterministic site index.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultEvent {
@@ -84,6 +108,16 @@ pub enum FaultEvent {
         /// What happens.
         fault: TransferFault,
     },
+    /// Fires at the `index`-th time `device`'s pressure machinery reaches
+    /// `site` (0-based, counted per device per site kind).
+    Pressure {
+        /// Target device id.
+        device: usize,
+        /// 0-based site index on that device (per site kind).
+        index: u64,
+        /// Which pressure mechanism fails.
+        site: PressureSite,
+    },
 }
 
 impl FaultEvent {
@@ -92,7 +126,48 @@ impl FaultEvent {
         match *self {
             FaultEvent::Kernel { device, .. } => (device, None),
             FaultEvent::Transfer { from, to, .. } => (from, Some(to)),
+            FaultEvent::Pressure { device, .. } => (device, None),
         }
+    }
+}
+
+impl fmt::Display for FaultEvent {
+    /// The exact textual form [`FaultPlan::parse`] reads back.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultEvent::Kernel { device, launch, fault } => match fault {
+                KernelFault::Fail => write!(f, "kfail:{device}@{launch}"),
+                KernelFault::TransientOom => write!(f, "oom:{device}@{launch}"),
+                KernelFault::Straggle { delay_us } => {
+                    write!(f, "slow:{device}@{launch}:{delay_us}")
+                }
+                KernelFault::DeviceLoss => write!(f, "lose:{device}@{launch}"),
+            },
+            FaultEvent::Transfer { from, to, index, fault } => match fault {
+                TransferFault::Fail => write!(f, "tfail:{from}>{to}@{index}"),
+                TransferFault::Timeout => write!(f, "ttimeout:{from}>{to}@{index}"),
+            },
+            FaultEvent::Pressure { device, index, site } => match site {
+                PressureSite::Spill => write!(f, "spill:{device}@{index}"),
+                PressureSite::ChunkPass => write!(f, "pass:{device}@{index}"),
+                PressureSite::ArenaLease => write!(f, "lease:{device}@{index}"),
+            },
+        }
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    /// The exact inverse of [`FaultPlan::parse`]: a comma-separated event
+    /// list in plan order, so any chaos-soak failure prints a spec that
+    /// replays verbatim via `--fault-plan`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{ev}")?;
+        }
+        Ok(())
     }
 }
 
@@ -156,6 +231,25 @@ impl FaultPlan {
         self
     }
 
+    /// Plan a failure of `device`'s `index`-th host-spill transfer.
+    pub fn spill_fail(mut self, device: usize, index: u64) -> Self {
+        self.events.push(FaultEvent::Pressure { device, index, site: PressureSite::Spill });
+        self
+    }
+
+    /// Plan a launch failure of `device`'s `index`-th chunked-advance pass.
+    pub fn chunk_pass_fail(mut self, device: usize, index: u64) -> Self {
+        self.events.push(FaultEvent::Pressure { device, index, site: PressureSite::ChunkPass });
+        self
+    }
+
+    /// Plan an allocation spike on `device`'s `index`-th arena-leasing
+    /// advance.
+    pub fn arena_lease_oom(mut self, device: usize, index: u64) -> Self {
+        self.events.push(FaultEvent::Pressure { device, index, site: PressureSite::ArenaLease });
+        self
+    }
+
     /// A seed-driven random plan of `n_faults` *transient* faults (kernel
     /// failures, OOM spikes, straggler delays, transfer failures/timeouts)
     /// spread over `n_devices` devices with site indices below `horizon`.
@@ -190,6 +284,51 @@ impl FaultPlan {
         plan
     }
 
+    /// Like [`FaultPlan::random`] but the draw also covers the pressure
+    /// sites (spill transfers, chunked-advance passes, arena leases), so a
+    /// seeded chaos sweep exercises governor machinery and recovery
+    /// together. Still transient-only. A distinct function rather than a
+    /// flag so existing `random:` seed banks keep their exact plans.
+    pub fn random_with_pressure(
+        seed: u64,
+        n_devices: usize,
+        n_faults: usize,
+        horizon: u64,
+    ) -> Self {
+        assert!(n_devices > 0 && horizon > 0, "need at least one device and a nonzero horizon");
+        let mut s = seed ^ 0x51ed_270b_d4d2_5f84;
+        let mut next = move || splitmix64(&mut s);
+        let mut plan = FaultPlan::new();
+        for _ in 0..n_faults {
+            let device = (next() % n_devices as u64) as usize;
+            let site = next() % horizon;
+            match next() % 8 {
+                0 => plan = plan.kernel_fail(device, site),
+                1 => plan = plan.transient_oom(device, site),
+                2 => {
+                    let delay_us = 10.0 + (next() % 90) as f64;
+                    plan = plan.straggle(device, site, delay_us);
+                }
+                3 if n_devices > 1 => {
+                    let to = (device + 1 + (next() % (n_devices as u64 - 1)) as usize) % n_devices;
+                    plan = plan.transfer_fail(device, to, site);
+                }
+                4 if n_devices > 1 => {
+                    let to = (device + 1 + (next() % (n_devices as u64 - 1)) as usize) % n_devices;
+                    plan = plan.transfer_timeout(device, to, site);
+                }
+                // Pressure sites are rare in a run (a handful per enact at
+                // most), so key them to a compressed horizon where they
+                // have a realistic chance of firing.
+                5 => plan = plan.spill_fail(device, site % 4),
+                6 => plan = plan.chunk_pass_fail(device, site % 8),
+                7 => plan = plan.arena_lease_oom(device, site % 8),
+                _ => plan = plan.kernel_fail(device, site),
+            }
+        }
+        plan
+    }
+
     /// Parse a textual plan. Grammar (comma-separated events):
     ///
     /// ```text
@@ -199,7 +338,13 @@ impl FaultPlan {
     /// lose:D@N         permanent loss of device D at launch N
     /// tfail:S>D@N      transfer failure on link S→D, transfer N
     /// ttimeout:S>D@N   transfer timeout on link S→D, transfer N
+    /// spill:D@N        host-spill transfer N on device D fails
+    /// pass:D@N         chunked-advance pass N on device D fails
+    /// lease:D@N        arena-leasing advance N on device D OOMs
     /// ```
+    ///
+    /// [`FaultPlan`]'s `Display` impl is the exact inverse: for any plan
+    /// `p`, `FaultPlan::parse(&p.to_string())` reproduces `p`.
     pub fn parse(spec: &str) -> std::result::Result<Self, String> {
         let mut plan = FaultPlan::new();
         for raw in spec.split(',') {
@@ -257,6 +402,18 @@ impl FaultPlan {
                     let (f, t, n) = link(rest)?;
                     plan.transfer_timeout(f, t, n)
                 }
+                "spill" => {
+                    let (d, n) = site(rest)?;
+                    plan.spill_fail(d, n)
+                }
+                "pass" => {
+                    let (d, n) = site(rest)?;
+                    plan.chunk_pass_fail(d, n)
+                }
+                "lease" => {
+                    let (d, n) = site(rest)?;
+                    plan.arena_lease_oom(d, n)
+                }
                 other => return Err(format!("unknown fault kind `{other}` in `{ev}`")),
             };
         }
@@ -290,6 +447,9 @@ impl FaultPlan {
                         index,
                         fault,
                     },
+                    FaultEvent::Pressure { index, site, .. } => {
+                        FaultEvent::Pressure { device: ra, index, site }
+                    }
                 })
             })
             .collect();
@@ -312,8 +472,12 @@ pub struct FaultInjector {
     n_devices: usize,
     kernel: HashMap<(usize, u64), KernelFault>,
     transfer: HashMap<(usize, usize, u64), TransferFault>,
+    pressure: HashSet<(usize, u64, PressureSite)>,
     launches: Vec<AtomicU64>,
     transfers: Vec<AtomicU64>,
+    spills: Vec<AtomicU64>,
+    passes: Vec<AtomicU64>,
+    leases: Vec<AtomicU64>,
     lost: Vec<AtomicBool>,
     fired: AtomicU64,
 }
@@ -324,6 +488,7 @@ impl FaultInjector {
     pub fn new(plan: &FaultPlan, n_devices: usize) -> Self {
         let mut kernel = HashMap::new();
         let mut transfer = HashMap::new();
+        let mut pressure = HashSet::new();
         for ev in &plan.events {
             match *ev {
                 FaultEvent::Kernel { device, launch, fault } if device < n_devices => {
@@ -334,6 +499,9 @@ impl FaultInjector {
                 {
                     transfer.insert((from, to, index), fault);
                 }
+                FaultEvent::Pressure { device, index, site } if device < n_devices => {
+                    pressure.insert((device, index, site));
+                }
                 _ => {}
             }
         }
@@ -341,8 +509,12 @@ impl FaultInjector {
             n_devices,
             kernel,
             transfer,
+            pressure,
             launches: (0..n_devices).map(|_| AtomicU64::new(0)).collect(),
             transfers: (0..n_devices * n_devices).map(|_| AtomicU64::new(0)).collect(),
+            spills: (0..n_devices).map(|_| AtomicU64::new(0)).collect(),
+            passes: (0..n_devices).map(|_| AtomicU64::new(0)).collect(),
+            leases: (0..n_devices).map(|_| AtomicU64::new(0)).collect(),
             lost: (0..n_devices).map(|_| AtomicBool::new(false)).collect(),
             fired: AtomicU64::new(0),
         }
@@ -373,6 +545,35 @@ impl FaultInjector {
         let fault = self.transfer.get(&(from, to, idx)).copied()?;
         self.fired.fetch_add(1, Relaxed);
         Some(fault)
+    }
+
+    /// Consume `device`'s next `site` index and report whether a pressure
+    /// fault was planned there.
+    fn on_pressure(&self, counters: &[AtomicU64], device: usize, site: PressureSite) -> bool {
+        let idx = counters[device].fetch_add(1, Relaxed);
+        let hit = self.pressure.contains(&(device, idx, site));
+        if hit {
+            self.fired.fetch_add(1, Relaxed);
+        }
+        hit
+    }
+
+    /// Consume `device`'s next host-spill index; true if that spill is
+    /// planned to fail.
+    pub fn on_spill(&self, device: usize) -> bool {
+        self.on_pressure(&self.spills, device, PressureSite::Spill)
+    }
+
+    /// Consume `device`'s next chunked-advance-pass index; true if that
+    /// pass is planned to fail at launch.
+    pub fn on_chunk_pass(&self, device: usize) -> bool {
+        self.on_pressure(&self.passes, device, PressureSite::ChunkPass)
+    }
+
+    /// Consume `device`'s next arena-leasing-advance index; true if that
+    /// launch is planned to hit an allocation spike.
+    pub fn on_lease(&self, device: usize) -> bool {
+        self.on_pressure(&self.leases, device, PressureSite::ArenaLease)
     }
 
     /// Has `device` been permanently lost?

@@ -45,7 +45,7 @@ pub use arena::{Arena, ArenaStats};
 pub use counters::BspCounters;
 pub use device::{Device, KernelKind, COMM_STREAM, COMPUTE_STREAM};
 pub use error::{Result, VgpuError};
-pub use fault::{FaultEvent, FaultInjector, FaultPlan, KernelFault, TransferFault};
+pub use fault::{FaultEvent, FaultInjector, FaultPlan, KernelFault, PressureSite, TransferFault};
 pub use interconnect::{Interconnect, LinkClass};
 pub use memory::{DeviceArray, MemoryPool};
 pub use profile::HardwareProfile;

@@ -386,3 +386,57 @@ fn frontier_representations_are_simulation_invisible() {
         }
     }
 }
+
+/// `Display for FaultPlan` is the exact inverse of `FaultPlan::parse`:
+/// any plan — seeded-random (transient-only and with pressure sites) or
+/// hand-built over every event kind — survives a display → parse round
+/// trip event-for-event, and the re-displayed string is byte-identical.
+/// This is the contract the chaos-soak shrinker relies on when it
+/// minimizes failing plans through their textual form.
+#[test]
+fn fault_plan_display_parse_round_trips() {
+    use mgpu_graph_analytics::vgpu::FaultPlan;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(0x7a15_0d15);
+    for case in 0..CASES {
+        let seed: u64 = rng.gen();
+        let n_devices = rng.gen_range(1usize..9);
+        let n_faults = rng.gen_range(0usize..12);
+        let horizon = rng.gen_range(1u64..64);
+        for plan in [
+            FaultPlan::random(seed, n_devices, n_faults, horizon),
+            FaultPlan::random_with_pressure(seed, n_devices, n_faults, horizon),
+        ] {
+            let spec = plan.to_string();
+            let parsed = FaultPlan::parse(&spec)
+                .unwrap_or_else(|e| panic!("case {case}: `{spec}` failed to parse: {e}"));
+            assert_eq!(parsed, plan, "case {case}: `{spec}` round-trips to a different plan");
+            assert_eq!(parsed.to_string(), spec, "case {case}: re-display of `{spec}` differs");
+        }
+    }
+
+    // One constructed plan covering every event kind the grammar knows,
+    // including a fractional straggler delay (f64 display path).
+    let plan = FaultPlan::new()
+        .kernel_fail(0, 3)
+        .transient_oom(1, 7)
+        .straggle(2, 1, 12.5)
+        .device_loss(3, 9)
+        .transfer_fail(0, 1, 4)
+        .transfer_timeout(2, 3, 6)
+        .spill_fail(1, 0)
+        .chunk_pass_fail(2, 5)
+        .arena_lease_oom(3, 2);
+    let spec = plan.to_string();
+    let parsed = FaultPlan::parse(&spec).expect("constructed plan must parse");
+    assert_eq!(parsed, plan);
+    assert_eq!(parsed.to_string(), spec);
+
+    // Whitespace-tolerant parsing still displays canonically.
+    let padded: String = spec.split(',').map(|ev| format!(" {ev} ")).collect::<Vec<_>>().join(",");
+    assert_eq!(FaultPlan::parse(&padded).expect("padded spec must parse"), plan);
+
+    // The empty plan displays as the empty string and parses back empty.
+    assert_eq!(FaultPlan::new().to_string(), "");
+    assert!(FaultPlan::parse("").expect("empty spec is valid").is_empty());
+}
