@@ -156,8 +156,11 @@ fn bench_suppression(c: &mut Criterion) {
         let mut scratch = SplitScratch::default();
         // every vertex appears twice: second appearance never improves
         let frontier: Vec<u32> = (0..size as u32).chain(0..size as u32).collect();
-        let policy =
-            PackagePolicy { encoding: WireEncoding::Auto, monotone: true, uniform_hint: None };
+        let policy = PackagePolicy {
+            encoding: WireEncoding::Auto,
+            monotone: true,
+            ..PackagePolicy::legacy()
+        };
         group.bench_function(BenchmarkId::new("off", size), |b| {
             b.iter(|| {
                 split_and_package_with(
@@ -169,6 +172,7 @@ fn bench_suppression(c: &mut Criterion) {
                     policy,
                     None,
                     |&m| u64::from(m),
+                    |a, _| *a,
                 )
                 .unwrap()
             })
@@ -185,6 +189,7 @@ fn bench_suppression(c: &mut Criterion) {
                     policy,
                     Some(&mut supp),
                     |&m| u64::from(m),
+                    |a, _| *a,
                 )
                 .unwrap()
             })
@@ -200,6 +205,7 @@ fn bench_suppression(c: &mut Criterion) {
                     policy,
                     Some(&mut supp),
                     |&m| u64::from(m),
+                    |a, _| *a,
                 )
                 .unwrap()
             })

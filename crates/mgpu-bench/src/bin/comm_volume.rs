@@ -11,13 +11,15 @@
 
 use std::fmt::Write as _;
 
-use mgpu_bench::{pick_source, run_primitive, BenchArgs, Primitive, Table};
+use mgpu_bench::{
+    pick_source, run_multi_source, run_primitive, BenchArgs, MultiSourceMode, Primitive, Table,
+};
 use mgpu_core::{CommTopology, EnactConfig, EnactReport, Runner, WireEncoding};
 use mgpu_gen::weights::add_paper_weights;
 use mgpu_gen::Dataset;
 use mgpu_graph::{Csr, GraphBuilder};
 use mgpu_partition::{DistGraph, Duplication, RandomPartitioner};
-use mgpu_primitives::SsspDelta;
+use mgpu_primitives::{MsBfs, SsspDelta};
 use vgpu::HardwareProfile;
 
 const GPUS: usize = 6;
@@ -36,6 +38,7 @@ struct Row {
     primitive: String,
     config: &'static str,
     sim_ms: f64,
+    supersteps: u64,
     h_bytes: u64,
     suppressed_pct: f64,
     collective_stages: u64,
@@ -50,6 +53,7 @@ fn row(dataset: &'static str, primitive: &str, config: &'static str, report: &En
         primitive: primitive.to_string(),
         config,
         sim_ms: report.sim_time_us / 1000.0,
+        supersteps: report.iterations as u64,
         h_bytes: report.totals.h_bytes_sent,
         suppressed_pct: 100.0 * supp as f64 / denom as f64,
         collective_stages: report.comm.collective_stages,
@@ -64,6 +68,23 @@ fn run_sssp_delta(g: &Csr<u32, u64>, seed: u64, shift: u32, cfg: EnactConfig) ->
     let sys = mgpu_bench::runners::scaled_system(GPUS, HardwareProfile::k40(), shift);
     let mut runner = Runner::new(sys, &dist, SsspDelta::default(), cfg).expect("runner");
     runner.enact(Some(pick_source(g))).expect("enact")
+}
+
+/// The batched multi-source engine against the 64-sequential-enact shape it
+/// replaces, on the same partition (one `DistGraph`, both modes): the
+/// committed rows carry the superstep/byte economics of 8-byte bitfield
+/// payloads vs 64 rounds of 4-byte labels.
+fn run_ms_bfs(
+    g: &Csr<u32, u64>,
+    seed: u64,
+    shift: u32,
+    cfg: EnactConfig,
+    mode: MultiSourceMode,
+) -> EnactReport {
+    let part = RandomPartitioner { seed };
+    let sys = mgpu_bench::runners::scaled_system(GPUS, HardwareProfile::k40(), shift);
+    let sources = MsBfs::spread_sources(64, g.n_vertices());
+    run_multi_source(Primitive::Bfs, g, sys, &part, cfg, &sources, mode).expect("run").report
 }
 
 fn main() {
@@ -94,6 +115,16 @@ fn main() {
             let report = run_sssp_delta(&g, args.seed, args.shift, cfg);
             rows.push(row(name, "SSSP(Δ)", cname, &report));
         }
+        // The multi-source pair: same partition, same 64 spread sources —
+        // "repeated" pays 64 sequential enacts of 4-byte labels, "batched"
+        // pays one bitfield sweep of 8-byte lane masks. The pair prints in
+        // the byte-reduction summary like every (default, reduced) pair.
+        for (cname, mode) in
+            [("repeated", MultiSourceMode::Repeated), ("batched", MultiSourceMode::Batched)]
+        {
+            let report = run_ms_bfs(&g, args.seed, args.shift, EnactConfig::default(), mode);
+            rows.push(row(name, "MS-BFS(64)", cname, &report));
+        }
     }
 
     let mut t = Table::new(&[
@@ -101,6 +132,7 @@ fn main() {
         "primitive",
         "config",
         "sim ms",
+        "supersteps",
         "H bytes",
         "suppressed %",
         "stages",
@@ -111,6 +143,7 @@ fn main() {
             r.primitive.clone(),
             r.config.to_string(),
             format!("{:.2}", r.sim_ms),
+            format!("{}", r.supersteps),
             format!("{}", r.h_bytes),
             format!("{:.1}", r.suppressed_pct),
             format!("{}", r.collective_stages),
@@ -138,12 +171,13 @@ fn main() {
         write!(
             j,
             "{{\"dataset\":\"{}\",\"primitive\":\"{}\",\"config\":\"{}\",\
-             \"sim_ms\":{:.3},\"h_bytes\":{},\"suppressed_pct\":{:.2},\
+             \"sim_ms\":{:.3},\"supersteps\":{},\"h_bytes\":{},\"suppressed_pct\":{:.2},\
              \"collective_stages\":{}}}",
             r.dataset,
             r.primitive,
             r.config,
             r.sim_ms,
+            r.supersteps,
             r.h_bytes,
             r.suppressed_pct,
             r.collective_stages
@@ -170,7 +204,7 @@ fn main() {
                 &cur,
                 &base,
                 &["dataset", "primitive", "config"],
-                &["sim_ms", "h_bytes", "suppressed_pct", "collective_stages"],
+                &["sim_ms", "supersteps", "h_bytes", "suppressed_pct", "collective_stages"],
                 tol,
             )
         });

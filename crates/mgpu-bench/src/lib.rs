@@ -31,4 +31,6 @@ pub mod runners;
 pub use args::BenchArgs;
 pub use baseline::{compare_rows, compare_speedups, gate_report, Json};
 pub use fmt::{geomean, Table};
-pub use runners::{pick_source, run_on_k, run_primitive, Primitive, RunOutcome};
+pub use runners::{
+    pick_source, run_multi_source, run_on_k, run_primitive, MultiSourceMode, Primitive, RunOutcome,
+};

@@ -18,6 +18,10 @@
 //!   --shift N           dataset scale-down exponent    [default 8]
 //!   --seed S            generator/partitioner seed     [default 42]
 //!   --src V             source vertex ("auto" = highest degree) [auto]
+//!   --sources N|id,..   batched multi-source traversal (bfs and bc only):
+//!                       a bare count N spreads N sources evenly over the
+//!                       vertex space, a comma list names them; all sources
+//!                       ride one enact, one u64 bitfield lane each (max 64)
 //!   --json              emit the report as JSON instead of text
 //!   --comm {selective|broadcast}  override the primitive's communication
 //!                       strategy
@@ -55,8 +59,8 @@
 
 use std::process::ExitCode;
 
-use mgpu_bench::runners::{run_primitive_resilient, scaled_system, Primitive};
-use mgpu_bench::{pick_source, run_primitive};
+use mgpu_bench::runners::{run_primitive_resilient, scaled_system, MultiSourceMode, Primitive};
+use mgpu_bench::{pick_source, run_multi_source, run_primitive};
 use mgpu_core::{AllocScheme, EnactConfig, PressurePolicy, RecoveryPolicy};
 use mgpu_gen::catalog::{COMPARISON, TABLE2};
 use mgpu_gen::weights::add_paper_weights;
@@ -71,7 +75,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  mgpu datasets\n  mgpu run --primitive <bfs|dobfs|sssp|bc|cc|pr> \
          (--dataset <name> | --mtx <path>) [--gpus N] [--partitioner random|biased|metis|chunked]\n\
-         \x20         [--profile k40|k80|p100] [--shift N] [--seed S] [--src V|auto] [--json]\n\
+         \x20         [--profile k40|k80|p100] [--shift N] [--seed S] [--src V|auto] [--sources N|id,id,...] [--json]\n\
          \x20         [--comm selective|broadcast] [--fault-plan <spec|random:SEED:COUNT:HORIZON>] [--recovery]\n\
          \x20         [--mem-cap BYTES] [--alloc-scheme just-enough|fixed|max|prealloc-fusion] [--sizing-factor F]\n\
          \x20         [--comm-topology direct|butterfly] [--wire-encoding legacy|auto|list|bitmap|delta] [--suppression]\n\
@@ -141,6 +145,7 @@ struct RunArgs {
     shift: u32,
     seed: u64,
     src: String,
+    sources: Option<String>,
     json: bool,
     comm: Option<String>,
     fault_plan: Option<String>,
@@ -189,6 +194,7 @@ fn run(args: &[String]) -> ExitCode {
             "--shift" => a.shift = value("--shift").parse().expect("--shift N"),
             "--seed" => a.seed = value("--seed").parse().expect("--seed S"),
             "--src" => a.src = value("--src"),
+            "--sources" => a.sources = Some(value("--sources")),
             "--json" => a.json = true,
             "--comm" => a.comm = Some(value("--comm")),
             "--fault-plan" => a.fault_plan = Some(value("--fault-plan")),
@@ -346,10 +352,65 @@ fn run(args: &[String]) -> ExitCode {
         system.attach_fault_plan(p);
     }
 
+    // --- multi-source batch (--sources) ---
+    let sources: Option<Vec<usize>> = match a.sources.as_deref() {
+        None => None,
+        Some(spec) => {
+            if !matches!(prim, Primitive::Bfs | Primitive::Bc) {
+                eprintln!("--sources needs a source-parallel primitive (bfs or bc)");
+                return ExitCode::FAILURE;
+            }
+            if a.recovery {
+                eprintln!("--sources does not combine with --recovery");
+                return ExitCode::FAILURE;
+            }
+            let parsed = if spec.contains(',') {
+                spec.split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .ok()
+            } else {
+                // A bare count spreads that many sources evenly (clamped to
+                // the 64 bitfield lanes and the vertex count).
+                spec.parse::<usize>()
+                    .ok()
+                    .filter(|&k| k > 0)
+                    .map(|k| mgpu_primitives::MsBfs::spread_sources(k, graph.n_vertices()))
+            };
+            match parsed {
+                Some(v)
+                    if !v.is_empty()
+                        && v.len() <= mgpu_primitives::ms_bfs::LANES
+                        && v.iter().all(|&s| s < graph.n_vertices()) =>
+                {
+                    Some(v)
+                }
+                _ => {
+                    eprintln!(
+                        "bad --sources {spec}: want a count >= 1 or a comma list of at most {} \
+                         in-range vertex ids",
+                        mgpu_primitives::ms_bfs::LANES
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
     // --- partition + run (partitioners are statically dispatched) ---
     macro_rules! dispatch {
         ($partitioner:expr) => {
-            if let (Some(p), true) = (&plan, a.recovery) {
+            if let Some(srcs) = &sources {
+                run_multi_source(
+                    prim,
+                    &graph,
+                    system,
+                    $partitioner,
+                    config,
+                    srcs,
+                    MultiSourceMode::Batched,
+                )
+            } else if let (Some(p), true) = (&plan, a.recovery) {
                 let s = (1u64 << a.shift.min(40)) as f64;
                 run_primitive_resilient(
                     prim,
@@ -418,6 +479,9 @@ fn run(args: &[String]) -> ExitCode {
     } else {
         let r = &outcome.report;
         println!("primitive      {}", r.primitive);
+        if let Some(srcs) = &sources {
+            println!("sources        {} (one u64 bitfield lane each, one enact)", srcs.len());
+        }
         println!("graph          |V|={} |E|={}", graph.n_vertices(), graph.n_edges());
         println!("devices        {} × {}", a.gpus, a.profile);
         println!("partitioner    {}", a.partitioner);

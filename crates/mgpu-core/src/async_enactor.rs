@@ -143,6 +143,7 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> AsyncRunner<'g, V, O, P> {
             encoding: self.encoding,
             monotone,
             uniform_hint: problem.uniform_broadcast_msgs(),
+            order: problem.monotone_order(),
         };
         let suppression = self.suppression && monotone && n > 1;
 
@@ -286,7 +287,8 @@ fn run_async_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
     // Suppression is sound here for the same reason it is in the BSP path:
     // remote state only ever improves (async requires a monotone combiner),
     // so a key at or above the floor would be rejected by every receiver.
-    let mut supp: Option<SuppressState> = suppression.then(|| SuppressState::new(sub.n_vertices()));
+    let mut supp: Option<SuppressState> =
+        suppression.then(|| SuppressState::with_order(sub.n_vertices(), pkg_policy.order));
     let mut stats = CommReduction::default();
 
     let mut pending: Vec<V> =
@@ -401,6 +403,7 @@ fn run_async_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
                 pkg_policy,
                 supp_ref.as_mut(),
                 |m| problem.suppression_key(m),
+                |a, b| problem.merge_msgs(a, b),
             )?;
             if pkgs.iter().any(Option::is_some) {
                 let ready = dev.record_event(COMPUTE_STREAM);

@@ -460,18 +460,37 @@ fn decode_bytes<V: Id, M: Wire>(b: &[u8]) -> (Vec<V>, Vec<M>) {
 
 // --- monotone send suppression --------------------------------------------
 
-/// Per-device suppression cache for monotone (min-combine) primitives: one
-/// floor word per local vertex recording the best (lowest) key this device
-/// has already pushed to — or observed arriving from — the wire.
+/// The partial order a monotone combiner improves under. Suppression and
+/// canonicalization are lattice operations; this names which lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MonotoneOrder {
+    /// Total order on `u64` keys, lower = better (BFS depth, SSSP distance).
+    /// The floor is the minimum key sent; duplicates keep the lowest key.
+    #[default]
+    MinKey,
+    /// Bitfield lattice: keys are `u64` bit sets, combined by OR, larger =
+    /// better (MS-BFS reached sets). The floor is the union of bits sent; a
+    /// message is dominated iff it carries no bit outside the floor.
+    /// Duplicates merge by a problem-supplied OR-style merge.
+    OrBits,
+}
+
+/// Per-device suppression cache for monotone primitives: one floor word per
+/// local vertex recording the best key this device has already pushed to —
+/// or observed arriving from — the wire. "Best" is lattice-dependent: the
+/// minimum key under [`MonotoneOrder::MinKey`], the union of bits under
+/// [`MonotoneOrder::OrBits`].
 ///
-/// Soundness (DESIGN.md §10): for a monotone combiner, every receiver's
-/// state for vertex `v` is at most the floor (selective: the owner combined
-/// all our previous sends; broadcast: every device received everything that
-/// contributed to the floor). `combine` accepts only strict improvements,
-/// so a message with `key ≥ floor` would be rejected by every receiver —
+/// Soundness (DESIGN.md §10, §14): for a monotone combiner, every
+/// receiver's state for vertex `v` is at least as good as the floor
+/// (selective: the owner combined all our previous sends; broadcast: every
+/// device received everything that contributed to the floor). `combine`
+/// accepts only strict improvements, so a message dominated by the floor
+/// (key ≥ floor, or no new bits) would be rejected by every receiver —
 /// dropping it is observationally equivalent.
 #[derive(Debug)]
 pub struct SuppressState {
+    order: MonotoneOrder,
     floor: Vec<u64>,
     /// Vertices dropped before packaging.
     pub suppressed_vertices: u64,
@@ -480,28 +499,50 @@ pub struct SuppressState {
 }
 
 impl SuppressState {
-    /// A fresh cache over `n` local vertices (no floor yet).
+    /// A fresh min-key cache over `n` local vertices (no floor yet).
     pub fn new(n: usize) -> Self {
-        SuppressState { floor: vec![u64::MAX; n], suppressed_vertices: 0, suppressed_bytes: 0 }
+        Self::with_order(n, MonotoneOrder::MinKey)
+    }
+
+    /// A fresh cache over `n` local vertices for the given lattice. The
+    /// empty floor is the lattice bottom: `u64::MAX` for min-key (nothing
+    /// sent yet beats any key), `0` for or-bits (no bits sent yet).
+    pub fn with_order(n: usize, order: MonotoneOrder) -> Self {
+        let empty = match order {
+            MonotoneOrder::MinKey => u64::MAX,
+            MonotoneOrder::OrBits => 0,
+        };
+        SuppressState { order, floor: vec![empty; n], suppressed_vertices: 0, suppressed_bytes: 0 }
     }
 
     /// Clear the floors and counters for a fresh traversal.
     pub fn reset(&mut self) {
-        self.floor.fill(u64::MAX);
+        let empty = match self.order {
+            MonotoneOrder::MinKey => u64::MAX,
+            MonotoneOrder::OrBits => 0,
+        };
+        self.floor.fill(empty);
         self.suppressed_vertices = 0;
         self.suppressed_bytes = 0;
     }
 
     /// Should a message with `key` for local vertex `idx` go on the wire?
-    /// Records the send (lowering the floor) when admitted; counts the
+    /// Records the send (improving the floor) when admitted; counts the
     /// suppression (charging `wire_cost` bytes saved) when not.
     pub fn admit(&mut self, idx: usize, key: u64, wire_cost: u64) -> bool {
-        if key >= self.floor[idx] {
+        let dominated = match self.order {
+            MonotoneOrder::MinKey => key >= self.floor[idx],
+            MonotoneOrder::OrBits => key & !self.floor[idx] == 0,
+        };
+        if dominated {
             self.suppressed_vertices += 1;
             self.suppressed_bytes += wire_cost;
             false
         } else {
-            self.floor[idx] = key;
+            match self.order {
+                MonotoneOrder::MinKey => self.floor[idx] = key,
+                MonotoneOrder::OrBits => self.floor[idx] |= key,
+            }
             true
         }
     }
@@ -510,8 +551,13 @@ impl SuppressState {
     /// device receives on a broadcast was also received by every peer).
     pub fn observe(&mut self, idx: usize, key: u64) {
         let f = &mut self.floor[idx];
-        if key < *f {
-            *f = key;
+        match self.order {
+            MonotoneOrder::MinKey => {
+                if key < *f {
+                    *f = key;
+                }
+            }
+            MonotoneOrder::OrBits => *f |= key,
         }
     }
 }
@@ -530,12 +576,20 @@ pub struct PackagePolicy {
     /// `MgpuProblem::uniform_broadcast_msgs()` — every broadcast message of
     /// a superstep carries the same payload.
     pub uniform_hint: Option<bool>,
+    /// `MgpuProblem::monotone_order()` — which lattice the combiner
+    /// improves under (decides suppression floors and duplicate handling).
+    pub order: MonotoneOrder,
 }
 
 impl PackagePolicy {
     /// The historical behaviour: legacy accounting, no canonicalization.
     pub fn legacy() -> Self {
-        PackagePolicy { encoding: WireEncoding::Legacy, monotone: false, uniform_hint: None }
+        PackagePolicy {
+            encoding: WireEncoding::Legacy,
+            monotone: false,
+            uniform_hint: None,
+            order: MonotoneOrder::MinKey,
+        }
     }
 }
 
@@ -557,6 +611,51 @@ pub fn canonicalize_monotone<V: Id, M: Wire>(
     pairs.sort_by_key(|(v, m)| (v.idx(), key(m)));
     pairs.dedup_by(|a, b| a.0.idx() == b.0.idx());
     pairs.into_iter().unzip()
+}
+
+/// Or-bits sibling of [`canonicalize_monotone`]: sort by vertex id and
+/// *merge* duplicate vertices into one message carrying the combined bits
+/// (OR has no "lowest key to keep" — the canonical form is the union). The
+/// sort is stable and the merge folds left-to-right, so the result is a
+/// pure function of the input multiset order.
+pub fn canonicalize_or_merge<V: Id, M: Wire>(
+    vertices: Vec<V>,
+    msgs: Vec<M>,
+    merge: &impl Fn(&M, &M) -> M,
+) -> (Vec<V>, Vec<M>) {
+    let mut pairs: Vec<(V, M)> = vertices.into_iter().zip(msgs).collect();
+    pairs.sort_by_key(|(v, _)| v.idx());
+    let mut out_v: Vec<V> = Vec::with_capacity(pairs.len());
+    let mut out_m: Vec<M> = Vec::with_capacity(pairs.len());
+    for (v, m) in pairs {
+        match out_v.last() {
+            Some(last) if last.idx() == v.idx() => {
+                let lm = out_m.last_mut().expect("out_v and out_m move in lockstep");
+                *lm = merge(lm, &m);
+            }
+            _ => {
+                out_v.push(v);
+                out_m.push(m);
+            }
+        }
+    }
+    (out_v, out_m)
+}
+
+/// Canonicalize per the policy's lattice: min-keep under `MinKey`, OR-merge
+/// under `OrBits`. The shared entry point for the packaging functions and
+/// the butterfly stage unions.
+pub fn canonicalize_ordered<V: Id, M: Wire>(
+    vertices: Vec<V>,
+    msgs: Vec<M>,
+    order: MonotoneOrder,
+    key: &impl Fn(&M) -> u64,
+    merge: &impl Fn(&M, &M) -> M,
+) -> (Vec<V>, Vec<M>) {
+    match order {
+        MonotoneOrder::MinKey => canonicalize_monotone(vertices, msgs, key),
+        MonotoneOrder::OrBits => canonicalize_or_merge(vertices, msgs, merge),
+    }
 }
 
 /// What a selective split produces: the local sub-frontier plus one
@@ -597,13 +696,15 @@ pub fn split_and_package<V: Id, O: Id, M: Wire>(
         PackagePolicy::legacy(),
         None,
         |_| 0,
+        |a, _| a.clone(),
     )
 }
 
 /// [`split_and_package`] with the wire-volume reduction layer: an encoding
 /// policy, an optional suppression cache (keyed by the *sender-local* id and
-/// the primitive's suppression key), and the key extractor. The default
-/// policy with no cache is byte-for-byte the historical split.
+/// the primitive's suppression key), the key extractor, and the duplicate
+/// merge used by or-bits canonicalization (ignored under min-key). The
+/// default policy with no cache is byte-for-byte the historical split.
 #[allow(clippy::too_many_arguments)]
 pub fn split_and_package_with<V: Id, O: Id, M: Wire>(
     dev: &mut Device,
@@ -614,6 +715,7 @@ pub fn split_and_package_with<V: Id, O: Id, M: Wire>(
     policy: PackagePolicy,
     mut suppress: Option<&mut SuppressState>,
     key: impl Fn(&M) -> u64,
+    merge: impl Fn(&M, &M) -> M,
 ) -> Result<SplitOutput<V, M>> {
     let n_parts = sub.n_parts;
     dev.kernel(COMPUTE_STREAM, KernelKind::Split, || {
@@ -656,8 +758,11 @@ pub fn split_and_package_with<V: Id, O: Id, M: Wire>(
             .into_iter()
             .map(|(vs, ms)| {
                 (!vs.is_empty()).then(|| {
-                    let (vs, ms) =
-                        if canonical { canonicalize_monotone(vs, ms, &key) } else { (vs, ms) };
+                    let (vs, ms) = if canonical {
+                        canonicalize_ordered(vs, ms, policy.order, &key, &merge)
+                    } else {
+                        (vs, ms)
+                    };
                     // selective wire ids are owner-local: no shared space for
                     // the bitmap, and the payload is rarely uniform
                     Package::encode(vs, ms, policy.encoding, None, None)
@@ -681,12 +786,22 @@ pub fn broadcast_package<V: Id, O: Id, M: Wire>(
     frontier: &[V],
     packager: impl FnMut(V) -> M,
 ) -> Result<Package<V, M>> {
-    broadcast_package_with(dev, sub, frontier, packager, PackagePolicy::legacy(), None, |_| 0)
+    broadcast_package_with(
+        dev,
+        sub,
+        frontier,
+        packager,
+        PackagePolicy::legacy(),
+        None,
+        |_| 0,
+        |a, _| a.clone(),
+    )
 }
 
 /// [`broadcast_package`] with the wire-volume reduction layer. Suppression
 /// floors are keyed by the sender-local id; the enactor additionally folds
 /// *received* broadcast keys into the cache via [`SuppressState::observe`].
+#[allow(clippy::too_many_arguments)]
 pub fn broadcast_package_with<V: Id, O: Id, M: Wire>(
     dev: &mut Device,
     sub: &SubGraph<V, O>,
@@ -695,6 +810,7 @@ pub fn broadcast_package_with<V: Id, O: Id, M: Wire>(
     policy: PackagePolicy,
     mut suppress: Option<&mut SuppressState>,
     key: impl Fn(&M) -> u64,
+    merge: impl Fn(&M, &M) -> M,
 ) -> Result<Package<V, M>> {
     dev.kernel(COMPUTE_STREAM, KernelKind::Split, || {
         let per_vertex = (V::BYTES + M::BYTES) as u64;
@@ -711,7 +827,7 @@ pub fn broadcast_package_with<V: Id, O: Id, M: Wire>(
             msgs.push(m);
         }
         let (vertices, msgs) = if policy.monotone && policy.encoding != WireEncoding::Legacy {
-            canonicalize_monotone(vertices, msgs, &key)
+            canonicalize_ordered(vertices, msgs, policy.order, &key, &merge)
         } else {
             (vertices, msgs)
         };
@@ -835,6 +951,7 @@ mod tests {
             policy,
             Some(&mut supp),
             |m| u64::from(*m),
+            |a, _| *a,
         )
         .unwrap();
         assert_eq!(pkgs[1].as_ref().unwrap().len(), 2);
@@ -849,6 +966,7 @@ mod tests {
             policy,
             Some(&mut supp),
             |m| u64::from(*m),
+            |a, _| *a,
         )
         .unwrap();
         assert!(pkgs.iter().all(Option::is_none), "dominated sends are dropped");
@@ -864,6 +982,7 @@ mod tests {
             policy,
             Some(&mut supp),
             |m| u64::from(*m),
+            |a, _| *a,
         )
         .unwrap();
         assert_eq!(pkgs[1].as_ref().unwrap().len(), 1);
@@ -885,11 +1004,39 @@ mod tests {
             policy,
             Some(&mut supp),
             |m| u64::from(*m),
+            |a, _| *a,
         )
         .unwrap();
         let (vs, _) = pkg.decode();
         assert_eq!(vs.as_ref(), &[4], "vertex 2's key 5 cannot improve any peer");
         assert_eq!(supp.suppressed_vertices, 1);
+    }
+
+    #[test]
+    fn orbits_floor_admits_only_new_bits() {
+        let mut supp = SuppressState::with_order(4, MonotoneOrder::OrBits);
+        assert!(supp.admit(0, 0b0011, 8), "fresh bits go through");
+        assert!(!supp.admit(0, 0b0001, 8), "subset of the floor is dominated");
+        assert!(supp.admit(0, 0b0101, 8), "one new bit is enough");
+        assert!(!supp.admit(0, 0b0111, 8), "floor is now the union 0b0111");
+        assert_eq!(supp.suppressed_vertices, 2);
+        assert_eq!(supp.suppressed_bytes, 2 * 8);
+        // observed broadcast bits fold into the floor by union
+        supp.observe(1, 0b1000);
+        assert!(!supp.admit(1, 0b1000, 8));
+        supp.reset();
+        assert!(supp.admit(0, 0b0001, 8), "reset returns the floor to bottom");
+    }
+
+    #[test]
+    fn or_merge_canonicalization_unions_duplicates() {
+        let (vs, ms) = canonicalize_or_merge(
+            vec![7u32, 2, 7, 2, 5],
+            vec![0b001u64, 0b010, 0b100, 0b100, 0b1],
+            &|a, b| a | b,
+        );
+        assert_eq!(vs, vec![2, 5, 7], "sorted by vertex id, one entry each");
+        assert_eq!(ms, vec![0b110, 0b1, 0b101], "duplicate payloads merged by OR");
     }
 }
 

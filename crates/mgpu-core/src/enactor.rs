@@ -40,7 +40,7 @@ use vgpu::{
 
 use crate::alloc::{AllocScheme, FrontierBufs};
 use crate::comm::{
-    broadcast_package_with, canonicalize_monotone, split_and_package_with, CommStrategy,
+    broadcast_package_with, canonicalize_ordered, split_and_package_with, CommStrategy,
     CommTopology, Package, PackagePolicy, SuppressState, WireEncoding,
 };
 use crate::governor::{self, Downgrade, GovernorLog, PressurePolicy};
@@ -487,16 +487,18 @@ fn run_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
 
     // ---- wire-volume reduction setup (all inert under the defaults) ----
     let monotone = problem.monotone();
+    let order = problem.monotone_order();
     let pkg_policy = PackagePolicy {
         encoding: knobs.encoding,
         monotone,
         uniform_hint: problem.uniform_broadcast_msgs(),
+        order,
     };
     // Fresh suppression cache per enact: floors never survive a traversal
     // (a retried or resumed attempt starts from scratch, so a send that was
     // lost with its device can never leave a stale floor behind).
-    let mut supp: Option<SuppressState> =
-        (knobs.suppression && monotone && n > 1).then(|| SuppressState::new(sub.n_vertices()));
+    let mut supp: Option<SuppressState> = (knobs.suppression && monotone && n > 1)
+        .then(|| SuppressState::with_order(sub.n_vertices(), order));
     let butterfly = knobs.topology == CommTopology::Butterfly && monotone && n > 1;
     let mut stats = CommReduction::default();
 
@@ -889,6 +891,7 @@ fn compute_and_send<V: Id, O: Id, P: MgpuProblem<V, O>>(
                     pkg_policy,
                     supp.as_mut(),
                     |m| problem.suppression_key(m),
+                    |a, b| problem.merge_msgs(a, b),
                 )?;
                 let sends = pkgs
                     .into_iter()
@@ -912,6 +915,7 @@ fn compute_and_send<V: Id, O: Id, P: MgpuProblem<V, O>>(
                     pkg_policy,
                     supp.as_mut(),
                     |m| problem.suppression_key(m),
+                    |a, b| problem.merge_msgs(a, b),
                 )?;
                 // the output frontier itself is the local part — no copy
                 let sends = if pkg.is_empty() {
@@ -1057,7 +1061,13 @@ fn butterfly_superstep<V: Id, O: Id, P: MgpuProblem<V, O>>(
                     vs.push(sub.to_global(v));
                     ms.push(m);
                 }
-                let canon = canonicalize_monotone(vs, ms, &|m| problem.suppression_key(m));
+                let canon = canonicalize_ordered(
+                    vs,
+                    ms,
+                    pkg_policy.order,
+                    &|m| problem.suppression_key(m),
+                    &|a, b| problem.merge_msgs(a, b),
+                );
                 (canon, output.len() as u64)
             })?;
             Ok((output, own))
@@ -1112,7 +1122,13 @@ fn butterfly_superstep<V: Id, O: Id, P: MgpuProblem<V, O>>(
                         vs.extend_from_slice(gv);
                         ms.extend(gm.iter().cloned());
                     }
-                    let (vs, ms) = canonicalize_monotone(vs, ms, &|m| problem.suppression_key(m));
+                    let (vs, ms) = canonicalize_ordered(
+                        vs,
+                        ms,
+                        pkg_policy.order,
+                        &|m| problem.suppression_key(m),
+                        &|a, b| problem.merge_msgs(a, b),
+                    );
                     let pkg = Package::encode(
                         vs,
                         ms,

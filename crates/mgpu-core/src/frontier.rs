@@ -163,11 +163,22 @@ impl<V: Id> Frontier<V> {
             }
             Repr::Dense { words, .. } => {
                 for (w, &word) in words.iter().enumerate() {
-                    let mut bits = word;
-                    while bits != 0 {
-                        let b = bits.trailing_zeros() as usize;
-                        f(V::from_usize(w * 64 + b));
-                        bits &= bits - 1;
+                    let base = w * 64;
+                    if word == u64::MAX {
+                        // Word-at-a-time fast path: a saturated word (the
+                        // common case while the DOBFS unvisited set is still
+                        // near-full) decodes as a plain counted loop with no
+                        // loop-carried bit-clear dependency.
+                        for b in 0..64 {
+                            f(V::from_usize(base + b));
+                        }
+                    } else {
+                        let mut bits = word;
+                        while bits != 0 {
+                            let b = bits.trailing_zeros() as usize;
+                            f(V::from_usize(base + b));
+                            bits &= bits - 1;
+                        }
                     }
                 }
             }
@@ -193,16 +204,29 @@ impl<V: Id> Frontier<V> {
             Repr::Sparse(ids) => ids.retain(|&v| pred(v)),
             Repr::Dense { words, count } => {
                 for (w, word) in words.iter_mut().enumerate() {
-                    let mut bits = *word;
+                    let base = w * 64;
                     let mut kept = *word;
-                    while bits != 0 {
-                        let b = bits.trailing_zeros() as usize;
-                        if !pred(V::from_usize(w * 64 + b)) {
-                            kept &= !(1u64 << b);
+                    let mut removed = 0usize;
+                    if *word == u64::MAX {
+                        // saturated-word fast path, see `for_each`
+                        for b in 0..64 {
+                            if !pred(V::from_usize(base + b)) {
+                                kept &= !(1u64 << b);
+                                removed += 1;
+                            }
                         }
-                        bits &= bits - 1;
+                    } else {
+                        let mut bits = *word;
+                        while bits != 0 {
+                            let b = bits.trailing_zeros() as usize;
+                            if !pred(V::from_usize(base + b)) {
+                                kept &= !(1u64 << b);
+                                removed += 1;
+                            }
+                            bits &= bits - 1;
+                        }
                     }
-                    *count -= (word.count_ones() - kept.count_ones()) as usize;
+                    *count -= removed;
                     *word = kept;
                 }
             }
@@ -227,19 +251,35 @@ impl<V: Id> Frontier<V> {
             }),
             Repr::Dense { words, count } => {
                 for (w, word) in words.iter_mut().enumerate() {
-                    let mut bits = *word;
+                    let base = w * 64;
                     let mut kept = *word;
-                    while bits != 0 {
-                        let b = bits.trailing_zeros() as usize;
-                        let v = V::from_usize(w * 64 + b);
-                        if pred(v) {
-                            visit(v);
-                        } else {
-                            kept &= !(1u64 << b);
+                    let mut removed = 0usize;
+                    if *word == u64::MAX {
+                        // saturated-word fast path, see `for_each`
+                        for b in 0..64 {
+                            let v = V::from_usize(base + b);
+                            if pred(v) {
+                                visit(v);
+                            } else {
+                                kept &= !(1u64 << b);
+                                removed += 1;
+                            }
                         }
-                        bits &= bits - 1;
+                    } else {
+                        let mut bits = *word;
+                        while bits != 0 {
+                            let b = bits.trailing_zeros() as usize;
+                            let v = V::from_usize(base + b);
+                            if pred(v) {
+                                visit(v);
+                            } else {
+                                kept &= !(1u64 << b);
+                                removed += 1;
+                            }
+                            bits &= bits - 1;
+                        }
                     }
-                    *count -= (word.count_ones() - kept.count_ones()) as usize;
+                    *count -= removed;
                     *word = kept;
                 }
             }

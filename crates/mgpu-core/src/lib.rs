@@ -45,8 +45,8 @@ pub mod trace;
 
 pub use alloc::{AllocScheme, FrontierBufs};
 pub use comm::{
-    CommStrategy, CommTopology, Package, PackageEncoding, PackagePolicy, SplitScratch,
-    SuppressState, WireEncoding,
+    CommStrategy, CommTopology, MonotoneOrder, Package, PackageEncoding, PackagePolicy,
+    SplitScratch, SuppressState, WireEncoding,
 };
 pub use direction::{Direction, DirectionConfig, DirectionState};
 pub use async_enactor::AsyncRunner;

@@ -428,6 +428,51 @@ pub fn filter_seq<V: Id>(
     })
 }
 
+/// **Bitfield consume** — the frontier-ingest pass of a batched
+/// (multi-source) traversal whose per-vertex state is a `u64` lane
+/// bitfield. Two sequential sweeps in one Filter-class kernel charging one
+/// item per touched vertex:
+///
+/// * `flushed` — vertices whose pending bits left on the wire last
+///   superstep (remote copies already packaged): their `visit` word is
+///   cleared so a later superstep's new bits trigger a fresh emission.
+/// * `input` — this superstep's frontier: each vertex's pending `visit`
+///   bits move into its `prop` slot (the snapshot the advance reads), and
+///   `visit` is cleared so the advance's 0→nonzero transition test can
+///   detect first emission. Duplicate frontier entries are harmless: the
+///   first occurrence takes the bits, later ones see zero and leave the
+///   snapshot untouched.
+///
+/// Returns the union of all propagated bits — the superstep's active-lane
+/// mask (free to compute inside the same sweep; the tracing layer records
+/// its popcount as lane occupancy) — and the deduplicated active frontier
+/// (entries whose snapshot is non-empty, first occurrence only), so the
+/// advance never scans a vertex's edges twice for one superstep.
+pub fn consume_bits<V: Id>(
+    dev: &mut Device,
+    flushed: &[V],
+    input: &[V],
+    visit: &mut [u64],
+    prop: &mut [u64],
+) -> Result<(u64, Vec<V>)> {
+    dev.kernel(COMPUTE_STREAM, KernelKind::Filter, || {
+        for &v in flushed {
+            visit[v.idx()] = 0;
+        }
+        let mut active = 0u64;
+        let mut act: Vec<V> = Vec::with_capacity(input.len());
+        for &v in input {
+            let bits = std::mem::take(&mut visit[v.idx()]);
+            if bits != 0 {
+                prop[v.idx()] = bits;
+                active |= bits;
+                act.push(v);
+            }
+        }
+        ((active, act), (flushed.len() + input.len()) as u64)
+    })
+}
+
 /// **Fused advance+filter** (§VI-C): one kernel, no intermediate frontier in
 /// memory. `f` plays both roles: it is the advance functor and its `None`
 /// results are the filtered-out elements.
@@ -608,14 +653,24 @@ pub fn advance_pull<V: Id, O: Id>(
 // contract of `vgpu::par` makes simulation-invisible.
 // ---------------------------------------------------------------------------
 
-/// Visit the set bits of `words[lo..hi]` as ascending vertex ids.
+/// Visit the set bits of `words[lo..hi]` as ascending vertex ids. A
+/// saturated word (ubiquitous while the DOBFS unvisited set is near-full)
+/// decodes word-at-a-time: a plain counted loop with no loop-carried
+/// bit-clear dependency, instead of 64 `trailing_zeros` probes.
 fn for_word_bits<V: Id>(words: &[u64], lo: usize, hi: usize, mut f: impl FnMut(V)) {
     for (w, &word) in words.iter().enumerate().take(hi).skip(lo) {
-        let mut bits = word;
-        while bits != 0 {
-            let b = bits.trailing_zeros() as usize;
-            f(V::from_usize(w * 64 + b));
-            bits &= bits - 1;
+        let base = w * 64;
+        if word == u64::MAX {
+            for b in 0..64 {
+                f(V::from_usize(base + b));
+            }
+        } else {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                f(V::from_usize(base + b));
+                bits &= bits - 1;
+            }
         }
     }
 }
@@ -629,12 +684,7 @@ fn plan_dense_chunks<V: Id, O: Id>(
 ) -> Vec<(usize, usize)> {
     par::plan_weighted_chunks(words.len(), target, |w| {
         let mut acc = 0usize;
-        let mut bits = words[w];
-        while bits != 0 {
-            let b = bits.trailing_zeros() as usize;
-            acc += sub.csr.degree(V::from_usize(w * 64 + b)) + 1;
-            bits &= bits - 1;
-        }
+        for_word_bits::<V>(words, w, w + 1, |v| acc += sub.csr.degree(v) + 1);
         acc
     })
 }

@@ -186,9 +186,29 @@ pub trait MgpuProblem<V: Id, O: Id>: Sync {
     }
 
     /// Total order on messages for the monotone contract: lower key =
-    /// stronger message. Only meaningful when [`Self::monotone`] is `true`.
+    /// stronger message under [`MonotoneOrder::MinKey`]; the message's bit
+    /// set under [`MonotoneOrder::OrBits`]. Only meaningful when
+    /// [`Self::monotone`] is `true`.
     fn suppression_key(&self, _msg: &Self::Msg) -> u64 {
         0
+    }
+
+    /// Which lattice the monotone combiner improves under. The default
+    /// `MinKey` is the label-traversal total order; bitfield OR-combiners
+    /// (MS-BFS reached sets) declare `OrBits`, switching suppression floors
+    /// to bit unions and duplicate canonicalization to [`Self::merge_msgs`].
+    /// Only meaningful when [`Self::monotone`] is `true`.
+    fn monotone_order(&self) -> crate::comm::MonotoneOrder {
+        crate::comm::MonotoneOrder::MinKey
+    }
+
+    /// Merge two messages destined for the same vertex into one message
+    /// carrying their combined information — the or-bits canonical form of
+    /// a duplicate pair. The contract: combining the merged message must be
+    /// observationally equivalent to combining both originals. Unused under
+    /// `MinKey` (canonicalization keeps the lowest key instead).
+    fn merge_msgs(&self, a: &Self::Msg, _b: &Self::Msg) -> Self::Msg {
+        a.clone()
     }
 
     /// Does every broadcast message of one superstep carry the *same*

@@ -166,6 +166,41 @@ impl EnactReport {
         baseline.sim_time_us / self.sim_time_us
     }
 
+    /// Fold a subsequent enact on the same runner into this report — the
+    /// aggregate a repeated single-source campaign pays, which is what the
+    /// batched multi-source engine is priced against. Supersteps, simulated
+    /// time, and traffic accumulate; memory high-water marks and cumulative
+    /// pool counters take the max (the pool persists across enacts, so its
+    /// numbers are already cumulative, not per-enact).
+    pub fn absorb(&mut self, other: &EnactReport) {
+        self.iterations += other.iterations;
+        self.sim_time_us += other.sim_time_us;
+        self.wall_time_us += other.wall_time_us;
+        // BspCounters::merge takes the max of supersteps (its callers merge
+        // concurrent devices); sequential enacts add theirs end to end.
+        let steps = self.totals.supersteps + other.totals.supersteps;
+        self.totals.merge(&other.totals);
+        self.totals.supersteps = steps;
+        for (mine, theirs) in self.per_device.iter_mut().zip(&other.per_device) {
+            let s = mine.supersteps + theirs.supersteps;
+            mine.merge(theirs);
+            mine.supersteps = s;
+        }
+        self.peak_memory_per_device = self.peak_memory_per_device.max(other.peak_memory_per_device);
+        self.total_peak_memory = self.total_peak_memory.max(other.total_peak_memory);
+        self.pool_reallocs = self.pool_reallocs.max(other.pool_reallocs);
+        for (mine, theirs) in self.mem_per_device.iter_mut().zip(&other.mem_per_device) {
+            mine.peak = mine.peak.max(theirs.peak);
+            mine.live = theirs.live;
+            mine.reallocs = mine.reallocs.max(theirs.reallocs);
+            mine.realloc_copied = mine.realloc_copied.max(theirs.realloc_copied);
+        }
+        self.history.extend(other.history.iter().copied());
+        self.recovery.absorb(&other.recovery);
+        self.governor.absorb(&other.governor);
+        self.comm.merge(&other.comm);
+    }
+
     /// Bit-identical *simulation* equality: everything except host
     /// wall-clock, with simulated times compared by bit pattern. Two runs of
     /// the same workload under the same fault plan and policy must satisfy
@@ -299,6 +334,24 @@ mod tests {
     #[test]
     fn zero_time_gives_zero_gteps() {
         assert_eq!(report(0.0).gteps(100), 0.0);
+    }
+
+    #[test]
+    fn absorb_accumulates_sequential_enacts() {
+        let mut a = report(100.0);
+        a.totals.supersteps = 3;
+        a.totals.h_vertices = 10;
+        a.peak_memory_per_device = 50;
+        let mut b = report(50.0);
+        b.totals.supersteps = 2;
+        b.totals.h_vertices = 4;
+        b.peak_memory_per_device = 80;
+        a.absorb(&b);
+        assert_eq!(a.iterations, 6);
+        assert_eq!(a.totals.supersteps, 5, "sequential supersteps add, not max");
+        assert_eq!(a.totals.h_vertices, 14);
+        assert!((a.sim_time_us - 150.0).abs() < 1e-12);
+        assert_eq!(a.peak_memory_per_device, 80, "peaks take the max");
     }
 
     #[test]

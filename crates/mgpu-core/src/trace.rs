@@ -183,6 +183,9 @@ pub struct BspRow {
     pub chunks: u64,
     /// Checkpoint offers.
     pub checkpoints: u64,
+    /// Peak batched-traversal lane occupancy (max active lanes across the
+    /// row's lane markers; 0 when the primitive is single-source).
+    pub lanes: u64,
     /// Wire bytes successfully sent (failed attempts excluded).
     pub bytes_sent: u64,
     /// Wire bytes received.
@@ -254,6 +257,7 @@ impl BspRow {
             }
             TraceKind::Chunk => self.chunks += 1,
             TraceKind::Checkpoint => self.checkpoints += 1,
+            TraceKind::Lanes => self.lanes = self.lanes.max(e.items),
         }
     }
 }
@@ -318,6 +322,7 @@ impl Profile {
             total.spills += row.spills;
             total.chunks += row.chunks;
             total.checkpoints += row.checkpoints;
+            total.lanes = total.lanes.max(row.lanes);
             total.bytes_sent += row.bytes_sent;
             total.bytes_recv += row.bytes_recv;
             total.vertices_sent += row.vertices_sent;
@@ -408,7 +413,7 @@ impl Profile {
                     "\"wait_us\":{},\"other_us\":{},\"kernels\":{},\"syncs\":{},",
                     "\"sends\":{},\"recvs\":{},\"retries\":{},\"downgrades\":{},",
                     "\"stages\":{},\"spills\":{},\"chunks\":{},\"checkpoints\":{},",
-                    "\"bytes_sent\":{},\"bytes_recv\":{},\"vertices_sent\":{},",
+                    "\"lanes\":{},\"bytes_sent\":{},\"bytes_recv\":{},\"vertices_sent\":{},",
                     "\"messages\":{},\"spilled_bytes\":{}}}"
                 ),
                 fmt_f64(r.w_us),
@@ -427,6 +432,7 @@ impl Profile {
                 r.spills,
                 r.chunks,
                 r.checkpoints,
+                r.lanes,
                 r.bytes_sent,
                 r.bytes_recv,
                 r.vertices_sent,
@@ -582,6 +588,20 @@ mod tests {
         assert!(j.contains("\"makespan_us\":6"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert!(p.format_table().contains("makespan"));
+    }
+
+    #[test]
+    fn lane_markers_fold_to_peak_occupancy() {
+        let events = vec![
+            TraceEvent { items: 3, bytes: 0b111, ..span(TraceKind::Lanes, 0.0, 0.0) },
+            TraceEvent { superstep: 1, items: 7, bytes: 0x7f, ..span(TraceKind::Lanes, 1.0, 0.0) },
+            TraceEvent { superstep: 2, items: 2, bytes: 0b11, ..span(TraceKind::Lanes, 2.0, 0.0) },
+        ];
+        let p = Profile::from_trace(&Trace { per_device: vec![events] });
+        assert_eq!(p.per_device[0].lanes, 7, "device row keeps the peak");
+        assert_eq!(p.total.lanes, 7, "totals take the max, not the sum");
+        assert_eq!(p.per_superstep[1].lanes, 7);
+        assert_eq!(p.per_superstep[2].lanes, 2, "per-superstep rows keep their own occupancy");
     }
 
     #[test]

@@ -16,19 +16,23 @@
 //! the test suites validate multi-GPU results against them exactly.
 
 pub mod bc;
+pub mod bc_batch;
 pub mod bfs;
 pub mod bfs_pred;
 pub mod cc;
 pub mod dobfs;
+pub mod ms_bfs;
 pub mod pr;
 pub mod reference;
 pub mod sssp;
 pub mod sssp_delta;
 
 pub use bc::Bc;
+pub use bc_batch::BcBatch;
 pub use bfs::Bfs;
 pub use cc::Cc;
 pub use dobfs::Dobfs;
+pub use ms_bfs::MsBfs;
 pub use bfs_pred::BfsPred;
 pub use pr::Pagerank;
 pub use sssp::Sssp;

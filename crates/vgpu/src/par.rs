@@ -22,7 +22,7 @@
 //! overhead for small workloads by planning a single chunk (the plan, being
 //! workload-only, makes that cutoff thread-count-independent too).
 
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 /// Cache budget one chunk's working set should stay inside: roughly half a
 /// core-private L2 so the frontier slice, its adjacency columns and the
@@ -174,6 +174,14 @@ pub fn as_atomic_u32(xs: &mut [u32]) -> &[AtomicU32] {
     unsafe { &*(xs as *mut [u32] as *const [AtomicU32]) }
 }
 
+/// `u64` sibling of [`as_atomic_u32`], for bitfield state advanced with
+/// `fetch_or` (the `atomicOr` idiom of batched multi-source traversals).
+/// Same soundness argument: identical layout and bit validity, exclusive
+/// `&mut` borrow for the lifetime of the view.
+pub fn as_atomic_u64(xs: &mut [u64]) -> &[AtomicU64] {
+    unsafe { &*(xs as *mut [u64] as *const [AtomicU64]) }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +223,18 @@ mod tests {
             assert_eq!(a[2].compare_exchange(7, 70, Relaxed, Relaxed), Ok(7));
         }
         assert_eq!(xs, vec![5, 60, 70]);
+    }
+
+    #[test]
+    fn atomic_u64_view_or_accumulates() {
+        let mut xs = vec![0u64; 3];
+        {
+            let a = as_atomic_u64(&mut xs);
+            a[0].fetch_or(0b101, Relaxed);
+            a[0].fetch_or(0b010, Relaxed);
+            assert_eq!(a[2].fetch_or(1 << 63, Relaxed), 0);
+        }
+        assert_eq!(xs, vec![0b111, 0, 1 << 63]);
     }
 
     #[test]

@@ -55,6 +55,9 @@ pub enum TraceKind {
     Chunk,
     /// A recovery checkpoint offer (instant marker; `items` = words).
     Checkpoint,
+    /// Batched-traversal lane occupancy (instant marker; `items` = active
+    /// lanes this superstep, `bytes` = the lane bitmask).
+    Lanes,
 }
 
 impl TraceKind {
@@ -74,6 +77,7 @@ impl TraceKind {
             TraceKind::Spill => "spill",
             TraceKind::Chunk => "chunk",
             TraceKind::Checkpoint => "checkpoint",
+            TraceKind::Lanes => "lanes",
         }
     }
 }
