@@ -27,6 +27,7 @@ pub mod args;
 pub mod baseline;
 pub mod fmt;
 pub mod runners;
+pub mod service;
 
 pub use args::BenchArgs;
 pub use baseline::{compare_rows, compare_speedups, gate_report, Json};
@@ -34,3 +35,4 @@ pub use fmt::{geomean, Table};
 pub use runners::{
     pick_source, run_multi_source, run_on_k, run_primitive, MultiSourceMode, Primitive, RunOutcome,
 };
+pub use service::{build_query_specs, parse_query_list, residency_bytes, ExecMode, QueryDesc};

@@ -56,18 +56,57 @@
 //!
 //! Both tracing flags verify the trace↔report reconciliation invariant and
 //! exit non-zero on any mismatch.
+//!
+//! `serve` runs a multi-tenant query mix against one shared residency
+//! through the deterministic [`mgpu_core::service`] scheduler:
+//!
+//! ```text
+//! mgpu serve --dataset soc-orkut --queries "bfs:0,sssp:5@resilient,cc,pr" --gpus 4
+//! ```
+//!
+//! Flags for `serve`:
+//!
+//! ```text
+//!   --queries LIST      comma list of `prim[:source][@mode]` entries;
+//!                       prim ∈ {bfs|dobfs|sssp|bc|cc|pr}, mode ∈
+//!                       {bsp|async|resilient} (default bsp; async is
+//!                       bfs/sssp/cc only)              (required)
+//!   --dataset <name> | --mtx <path>                    (one required)
+//!   --gpus N            virtual GPU count              [default 4]
+//!   --partitioner {random|biased|metis|chunked}        [default random]
+//!   --profile {k40|k80|p100}                           [default k40]
+//!   --shift N           dataset scale-down exponent    [default 8]
+//!   --seed S            generator/partitioner seed     [default 42]
+//!   --sched-seed S      dispatch-permutation seed      [default --seed]
+//!   --lanes N           concurrent queries per wave (0 = unbounded)
+//!                                                      [default 4]
+//!   --workers N         host threads per wave (wall-clock only; results
+//!                       and reports are identical at every value)
+//!                                                      [default 1]
+//!   --mem-cap BYTES     per-device capacity: the admission ledger queues
+//!                       queries past the soft watermark and rejects with
+//!                       a typed OOM only those that cannot fit alone
+//!   --comm-topology {direct|butterfly}                 [default direct]
+//!   --json              emit the service report as JSON
+//! ```
+//!
+//! The scheduler is deterministic given `(--sched-seed, submission order)`:
+//! per-query reports and result words are bit-equal to one-at-a-time runs
+//! at any `--workers` and `--lanes` value.
 
 use std::process::ExitCode;
 
 use mgpu_bench::runners::{run_primitive_resilient, scaled_system, MultiSourceMode, Primitive};
+use mgpu_bench::service::{build_query_specs, parse_query_list, residency_bytes};
 use mgpu_bench::{pick_source, run_multi_source, run_primitive};
-use mgpu_core::{AllocScheme, EnactConfig, PressurePolicy, RecoveryPolicy};
+use mgpu_core::{AllocScheme, EnactConfig, PressurePolicy, RecoveryPolicy, Service, ServicePolicy};
 use mgpu_gen::catalog::{COMPARISON, TABLE2};
 use mgpu_gen::weights::add_paper_weights;
 use mgpu_gen::Dataset;
 use mgpu_graph::{read_mtx, Csr, GraphBuilder};
 use mgpu_partition::{
-    BiasedRandomPartitioner, ChunkedPartitioner, MultilevelPartitioner, RandomPartitioner,
+    BiasedRandomPartitioner, ChunkedPartitioner, DistGraph, Duplication, MultilevelPartitioner,
+    Partitioner, RandomPartitioner,
 };
 use vgpu::{FaultPlan, HardwareProfile};
 
@@ -79,7 +118,11 @@ fn usage() -> ExitCode {
          \x20         [--comm selective|broadcast] [--fault-plan <spec|random:SEED:COUNT:HORIZON>] [--recovery]\n\
          \x20         [--mem-cap BYTES] [--alloc-scheme just-enough|fixed|max|prealloc-fusion] [--sizing-factor F]\n\
          \x20         [--comm-topology direct|butterfly] [--wire-encoding legacy|auto|list|bitmap|delta] [--suppression]\n\
-         \x20         [--trace-out PATH.jsonl|PATH.json] [--profile]"
+         \x20         [--trace-out PATH.jsonl|PATH.json] [--profile]\n\
+         \x20 mgpu serve --queries \"bfs:0,sssp:5@resilient,cc\" (--dataset <name> | --mtx <path>)\n\
+         \x20         [--gpus N] [--partitioner random|biased|metis|chunked] [--profile k40|k80|p100]\n\
+         \x20         [--shift N] [--seed S] [--sched-seed S] [--lanes N] [--workers N]\n\
+         \x20         [--mem-cap BYTES] [--comm-topology direct|butterfly] [--json]"
     );
     ExitCode::FAILURE
 }
@@ -101,6 +144,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("run") => run(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         _ => usage(),
     }
 }
@@ -565,4 +609,269 @@ fn run(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+#[derive(Default)]
+struct ServeArgs {
+    dataset: Option<String>,
+    mtx: Option<String>,
+    queries: Option<String>,
+    gpus: usize,
+    partitioner: String,
+    profile: String,
+    shift: u32,
+    seed: u64,
+    sched_seed: Option<u64>,
+    lanes: usize,
+    workers: usize,
+    mem_cap: Option<u64>,
+    comm_topology: Option<String>,
+    json: bool,
+}
+
+/// `mgpu serve` — admit a `--queries` mix through the deterministic
+/// multi-tenant scheduler over one shared partitioned residency.
+fn serve(args: &[String]) -> ExitCode {
+    let mut a = ServeArgs {
+        gpus: 4,
+        partitioner: "random".into(),
+        profile: "k40".into(),
+        shift: 8,
+        seed: 42,
+        lanes: 4,
+        workers: 1,
+        ..Default::default()
+    };
+    let mut it = args.iter().peekable();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().map(|s| s.to_string()).unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--dataset" => a.dataset = Some(value("--dataset")),
+            "--mtx" => a.mtx = Some(value("--mtx")),
+            "--queries" => a.queries = Some(value("--queries")),
+            "--gpus" => a.gpus = value("--gpus").parse().expect("--gpus N"),
+            "--partitioner" => a.partitioner = value("--partitioner"),
+            "--profile" => a.profile = value("--profile"),
+            "--shift" => a.shift = value("--shift").parse().expect("--shift N"),
+            "--seed" => a.seed = value("--seed").parse().expect("--seed S"),
+            "--sched-seed" => {
+                a.sched_seed = Some(value("--sched-seed").parse().expect("--sched-seed S"))
+            }
+            "--lanes" => a.lanes = value("--lanes").parse().expect("--lanes N"),
+            "--workers" => a.workers = value("--workers").parse().expect("--workers N"),
+            "--mem-cap" => a.mem_cap = Some(value("--mem-cap").parse().expect("--mem-cap BYTES")),
+            "--comm-topology" => a.comm_topology = Some(value("--comm-topology")),
+            "--json" => a.json = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                return usage();
+            }
+        }
+    }
+
+    let Some(spec) = &a.queries else {
+        eprintln!("serve needs --queries");
+        return usage();
+    };
+    let descs = match parse_query_list(spec) {
+        Ok(d) if !d.is_empty() => d,
+        Ok(_) => {
+            eprintln!("--queries is empty");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("bad --queries: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wants_weights = descs.iter().any(|d| d.prim == Primitive::Sssp);
+    let wants_csc = descs.iter().any(|d| d.prim == Primitive::Dobfs);
+
+    // --- graph (weights whenever the mix contains SSSP) ---
+    let graph: Csr<u32, u64> = match (&a.dataset, &a.mtx) {
+        (Some(name), None) => {
+            let Some(ds) = Dataset::by_name(name) else {
+                eprintln!("unknown dataset {name}; try `mgpu datasets`");
+                return ExitCode::FAILURE;
+            };
+            let mut coo = ds.generate(a.shift, a.seed);
+            if wants_weights {
+                add_paper_weights(&mut coo, a.seed ^ 0x77);
+            }
+            GraphBuilder::undirected(&coo)
+        }
+        (None, Some(path)) => {
+            let file = match std::fs::File::open(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot open {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match read_mtx::<u32, _>(std::io::BufReader::new(file)) {
+                Ok(mut coo) => {
+                    if wants_weights && coo.weights.is_none() {
+                        add_paper_weights(&mut coo, a.seed ^ 0x77);
+                    }
+                    GraphBuilder::undirected(&coo)
+                }
+                Err(e) => {
+                    eprintln!("cannot parse {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        _ => return usage(),
+    };
+
+    let profile = match a.profile.as_str() {
+        "k40" => HardwareProfile::k40(),
+        "k80" => HardwareProfile::k80_gpu(),
+        "p100" => HardwareProfile::p100(),
+        other => {
+            eprintln!("unknown profile {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // --mem-cap shrinks the per-query device pools too: admitted queries
+    // that outgrow their estimate hit the runtime pressure machinery
+    // (spill, chunking) rather than silently exceeding the cap.
+    let profile = match a.mem_cap {
+        Some(cap) => profile.with_capacity(cap),
+        None => profile,
+    };
+    let comm_topology = match a.comm_topology.as_deref() {
+        None | Some("direct") => mgpu_core::CommTopology::Direct,
+        Some("butterfly") => mgpu_core::CommTopology::Butterfly,
+        Some(other) => {
+            eprintln!("unknown comm topology {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = EnactConfig {
+        comm_topology,
+        pressure: if a.mem_cap.is_some() {
+            PressurePolicy::governed()
+        } else {
+            PressurePolicy::default()
+        },
+        ..Default::default()
+    };
+
+    // --- one shared residency for every query ---
+    macro_rules! build {
+        ($p:expr) => {{
+            let p = $p;
+            (DistGraph::partition(&graph, &p, a.gpus, Duplication::All), p.assign(&graph, a.gpus))
+        }};
+    }
+    let (mut dist, owner) = match a.partitioner.as_str() {
+        "random" => build!(RandomPartitioner { seed: a.seed }),
+        "biased" => build!(BiasedRandomPartitioner { seed: a.seed, slack: 0.05 }),
+        "metis" => build!(MultilevelPartitioner { seed: a.seed, ..Default::default() }),
+        "chunked" => build!(ChunkedPartitioner),
+        other => {
+            eprintln!("unknown partitioner {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if wants_csc {
+        dist.build_cscs();
+    }
+
+    let specs = match build_query_specs(&graph, &dist, &owner, profile, a.shift, config, &descs) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bad query mix: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let policy = ServicePolicy {
+        seed: a.sched_seed.unwrap_or(a.seed),
+        workers: a.workers,
+        lanes: a.lanes,
+        mem_cap: a.mem_cap,
+        residency_bytes: residency_bytes(&dist),
+        pressure: PressurePolicy::governed(),
+    };
+    let report = Service::new(policy).run(&specs);
+
+    if a.json {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "serving {} queries on {} GPUs over {} (|V|={} |E|={}, shift {})\n",
+            specs.len(),
+            a.gpus,
+            a.dataset.as_deref().unwrap_or("mtx"),
+            graph.n_vertices(),
+            graph.n_edges(),
+            a.shift
+        );
+        println!("{:<3} {:<22} {:>4} {:>10} {:>6}  status", "q", "name", "wave", "sim ms", "iters");
+        for o in &report.outcomes {
+            match &o.result {
+                Ok(r) => println!(
+                    "{:<3} {:<22} {:>4} {:>10.3} {:>6}  ok",
+                    o.query,
+                    o.name,
+                    o.wave,
+                    r.sim_time_us / 1e3,
+                    r.iterations
+                ),
+                Err(e) if o.wave == usize::MAX => {
+                    println!(
+                        "{:<3} {:<22} {:>4} {:>10} {:>6}  rejected: {e}",
+                        o.query, o.name, "-", "-", "-"
+                    )
+                }
+                Err(e) => println!(
+                    "{:<3} {:<22} {:>4} {:>10} {:>6}  error: {e}",
+                    o.query, o.name, o.wave, "-", "-"
+                ),
+            }
+        }
+        println!("\nadmission:");
+        for rec in &report.admission {
+            let disposition = if rec.rejected {
+                "rejected".to_string()
+            } else if rec.queued {
+                format!("queued -> wave {}", rec.wave.unwrap_or(0))
+            } else {
+                format!("admitted -> wave {}", rec.wave.unwrap_or(0))
+            };
+            let budget = if rec.budget_bytes == u64::MAX {
+                "unbounded".to_string()
+            } else {
+                format!("{} KiB", rec.budget_bytes / 1024)
+            };
+            println!(
+                "  q{:<2} {:<22} {:<20} (est {} KiB vs budget {})",
+                rec.query,
+                rec.name,
+                disposition,
+                rec.estimated_bytes / 1024,
+                budget
+            );
+        }
+        println!(
+            "\n{} wave(s) | serial {:.3} ms | concurrent {:.3} ms | throughput {:.2}x",
+            report.waves,
+            report.serial_sim_us / 1e3,
+            report.concurrent_sim_us / 1e3,
+            report.throughput_x()
+        );
+    }
+
+    if report.all_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

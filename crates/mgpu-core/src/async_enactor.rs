@@ -32,13 +32,14 @@ use parking_lot::Mutex;
 use vgpu::memory::Reservation;
 use vgpu::sync::harvest_device_thread;
 use vgpu::{
-    Device, Event, Interconnect, KernelKind, Mailbox, Result, SimSystem, VgpuError, COMM_STREAM,
+    Device, Interconnect, KernelKind, Mailbox, Result, SimSystem, VgpuError, COMM_STREAM,
     COMPUTE_STREAM,
 };
 
 use crate::alloc::FrontierBufs;
 use crate::comm::{split_and_package_with, Package, PackagePolicy, SuppressState, WireEncoding};
 use crate::enactor::EnactConfig;
+use crate::executor::{assemble_report, post_package, Executor, ExecutorKind};
 use crate::problem::MgpuProblem;
 use crate::report::{CommReduction, EnactReport};
 use crate::resilience::{guard, RecoveryCounters, RecoveryLog, RecoveryPolicy};
@@ -219,35 +220,25 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> AsyncRunner<'g, V, O, P> {
             max_rounds = max_rounds.max(rounds_done);
             comm_acc.merge(&comm_stats);
         }
-        Ok(EnactReport {
-            primitive: self.problem.name(),
-            n_devices: n,
-            iterations: max_rounds,
-            sim_time_us: self.system.makespan_us(),
+        let governor = {
+            let mut gov = crate::governor::GovernorLog::default();
+            for per in &self.per_gpu {
+                gov.absorb(per.bufs.governor());
+            }
+            gov
+        };
+        Ok(assemble_report(
+            &self.system,
+            self.problem.name(),
+            n,
+            max_rounds,
             wall_time_us,
-            totals: self.system.total_counters(),
-            per_device: self.system.devices.iter().map(|d| d.counters).collect(),
-            peak_memory_per_device: self.system.peak_memory_per_device(),
-            total_peak_memory: self.system.total_peak_memory(),
-            pool_reallocs: self.system.devices.iter().map(|d| d.pool().reallocs()).sum(),
-            mem_per_device: self
-                .system
-                .devices
-                .iter()
-                .map(|d| crate::report::DeviceMemStats::of(d.pool()))
-                .collect(),
-            history: Vec::new(), // async mode has no superstep structure
+            Vec::new(), // async mode has no superstep structure
             recovery,
-            governor: {
-                let mut gov = crate::governor::GovernorLog::default();
-                for per in &self.per_gpu {
-                    gov.absorb(per.bufs.governor());
-                }
-                gov
-            },
-            comm: comm_acc,
-            trace: self.tracing.then(|| crate::trace::Trace::collect(&self.system)),
-        })
+            governor,
+            comm_acc,
+            self.tracing,
+        ))
     }
 
     /// Access a device's primitive state after an enact.
@@ -258,6 +249,43 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> AsyncRunner<'g, V, O, P> {
     /// The underlying system.
     pub fn system(&self) -> &SimSystem {
         &self.system
+    }
+
+    /// Read the primitive's per-vertex result words in global vertex order
+    /// (see [`MgpuProblem::result_word`]).
+    pub fn harvest(&self) -> Vec<u64> {
+        (0..self.dist.n_global)
+            .map(|g| {
+                let (gpu, local) = self.dist.locate(V::from_usize(g));
+                self.problem.result_word(&self.per_gpu[gpu].state, local)
+            })
+            .collect()
+    }
+}
+
+impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> Executor<V> for AsyncRunner<'g, V, O, P> {
+    fn kind(&self) -> ExecutorKind {
+        ExecutorKind::Async
+    }
+
+    fn primitive(&self) -> &'static str {
+        self.problem.name()
+    }
+
+    fn n_devices(&self) -> usize {
+        self.dist.n_parts
+    }
+
+    fn recovery_policy(&self) -> RecoveryPolicy {
+        self.recovery
+    }
+
+    fn enact(&mut self, src: Option<V>) -> Result<EnactReport> {
+        AsyncRunner::enact(self, src)
+    }
+
+    fn harvest(&self) -> Vec<u64> {
+        AsyncRunner::harvest(self)
     }
 }
 
@@ -412,41 +440,9 @@ fn run_async_gpu<V: Id, O: Id, P: MgpuProblem<V, O>>(
             for (peer, pkg) in pkgs.into_iter().enumerate() {
                 let Some(pkg) = pkg else { continue };
                 stats_ref.count_package(pkg.encoding());
-                let pkg = Arc::new(pkg);
-                let bytes = pkg.wire_bytes();
-                let charged = interconnect.charged_bytes(bytes);
-                let occupancy = interconnect.occupancy_us(gpu, peer, bytes);
-                let meta = vgpu::SpanMeta::new(vgpu::TraceKind::Send, "send")
-                    .items(pkg.len() as u64)
-                    .bytes(charged)
-                    .h_us(occupancy)
-                    .peer(peer);
-                // Transient-retry loop mirroring the BSP `post_package`:
-                // every attempt occupies the link and counts toward H (one
-                // Send span per attempt, a failed one followed by its Retry
-                // span); the injector fires *before* the post, so a failed
-                // send delivered nothing and retrying cannot duplicate.
-                let mut attempts = 0u32;
-                loop {
-                    let sent_at = dev.charge_as(COMM_STREAM, occupancy, 0.0, meta)?;
-                    dev.counters.h_time_us += occupancy;
-                    let arrival = sent_at + interconnect.latency_us(gpu, peer);
-                    match mailbox.send(gpu, peer, Event::at(arrival), Arc::clone(&pkg)) {
-                        Ok(()) => break,
-                        Err(e) if attempts < policy.max_retries && policy.is_transient(&e) => {
-                            attempts += 1;
-                            rec.note_transfer_retry();
-                            let meta =
-                                vgpu::SpanMeta::new(vgpu::TraceKind::Retry, "transfer-retry")
-                                    .peer(peer);
-                            dev.charge_as(COMM_STREAM, policy.retry_backoff_us, 0.0, meta)?;
-                        }
-                        Err(e) => return Err(e),
-                    }
-                }
-                dev.counters.h_bytes_sent += charged;
-                dev.counters.h_vertices += pkg.len() as u64;
-                dev.counters.h_messages += 1;
+                // The shared BSP `post_package` body: transient-retry loop
+                // where every attempt occupies the link and counts toward H.
+                post_package(dev, interconnect, mailbox, peer, Arc::new(pkg), policy, rec)?;
                 // Count the message in flight only once it is actually
                 // posted; a faulted send must not wedge termination.
                 in_flight.fetch_add(1, SeqCst);

@@ -34,8 +34,8 @@ use mgpu_partition::{DistGraph, SubGraph};
 use vgpu::memory::Reservation;
 use vgpu::sync::{Contribution, Delivery};
 use vgpu::{
-    harvest_device_thread, Device, Event, Interconnect, KernelKind, Mailbox, Result, SimSystem,
-    SpanMeta, SyncPoint, TraceEvent, TraceKind, VgpuError, COMM_STREAM, COMPUTE_STREAM,
+    harvest_device_thread, Device, Interconnect, KernelKind, Mailbox, Result, SimSystem, SyncPoint,
+    TraceEvent, TraceKind, VgpuError, COMM_STREAM, COMPUTE_STREAM,
 };
 
 use crate::alloc::{AllocScheme, FrontierBufs};
@@ -43,9 +43,10 @@ use crate::comm::{
     broadcast_package_with, canonicalize_ordered, split_and_package_with, CommStrategy,
     CommTopology, Package, PackagePolicy, SuppressState, WireEncoding,
 };
+use crate::executor::{assemble_report, post_package, Executor, ExecutorKind};
 use crate::governor::{self, Downgrade, GovernorLog, PressurePolicy};
 use crate::problem::{MgpuProblem, Wire};
-use crate::report::{CommReduction, DeviceMemStats, EnactReport, SuperstepTrace};
+use crate::report::{CommReduction, EnactReport, SuperstepTrace};
 use crate::resilience::{
     guard, CheckpointSink, GlobalCheckpoint, RecoveryCounters, RecoveryLog, RecoveryPolicy,
 };
@@ -413,35 +414,25 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> Runner<'g, V, O, P> {
             return (Err(e), log);
         }
 
-        let report = EnactReport {
-            primitive: self.problem.name(),
-            n_devices: n,
-            iterations: iters,
-            sim_time_us: self.system.makespan_us(),
-            wall_time_us,
-            totals: self.system.total_counters(),
-            per_device: self.system.devices.iter().map(|d| d.counters).collect(),
-            peak_memory_per_device: self.system.peak_memory_per_device(),
-            total_peak_memory: self.system.total_peak_memory(),
-            pool_reallocs: self.system.devices.iter().map(|d| d.pool().reallocs()).sum(),
-            mem_per_device: self
-                .system
-                .devices
-                .iter()
-                .map(|d| DeviceMemStats::of(d.pool()))
-                .collect(),
-            history,
-            recovery: log.clone(),
-            governor: {
-                let mut gov = self.admission.clone();
-                for per in &self.per_gpu {
-                    gov.absorb(per.bufs.governor());
-                }
-                gov
-            },
-            comm: comm_acc,
-            trace: self.config.tracing.then(|| crate::trace::Trace::collect(&self.system)),
+        let governor = {
+            let mut gov = self.admission.clone();
+            for per in &self.per_gpu {
+                gov.absorb(per.bufs.governor());
+            }
+            gov
         };
+        let report = assemble_report(
+            &self.system,
+            self.problem.name(),
+            n,
+            iters,
+            wall_time_us,
+            history,
+            log.clone(),
+            governor,
+            comm_acc,
+            self.config.tracing,
+        );
         (Ok(report), log)
     }
 
@@ -449,6 +440,43 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> Runner<'g, V, O, P> {
     /// ranks after an enact).
     pub fn state(&self, gpu: usize) -> &P::State {
         &self.per_gpu[gpu].state
+    }
+
+    /// Read the primitive's per-vertex result words in global vertex order
+    /// (see [`MgpuProblem::result_word`]).
+    pub fn harvest(&self) -> Vec<u64> {
+        (0..self.dist.n_global)
+            .map(|g| {
+                let (gpu, local) = self.dist.locate(V::from_usize(g));
+                self.problem.result_word(&self.per_gpu[gpu].state, local)
+            })
+            .collect()
+    }
+}
+
+impl<'g, V: Id, O: Id, P: MgpuProblem<V, O>> Executor<V> for Runner<'g, V, O, P> {
+    fn kind(&self) -> ExecutorKind {
+        ExecutorKind::Bsp
+    }
+
+    fn primitive(&self) -> &'static str {
+        self.problem.name()
+    }
+
+    fn n_devices(&self) -> usize {
+        self.dist.n_parts
+    }
+
+    fn recovery_policy(&self) -> RecoveryPolicy {
+        self.config.recovery
+    }
+
+    fn enact(&mut self, src: Option<V>) -> Result<EnactReport> {
+        Runner::enact(self, src)
+    }
+
+    fn harvest(&self) -> Vec<u64> {
+        Runner::harvest(self)
     }
 }
 
@@ -779,59 +807,6 @@ fn restore_checkpoint<V: Id, O: Id, P: MgpuProblem<V, O>>(
         .filter_map(|&g| sub.from_global(g))
         .filter(|&l| sub.is_owned(l))
         .collect())
-}
-
-/// Push one package to `dst` on the communication stream with the
-/// transient-retry loop, charging occupancy, wire bytes and the H counters.
-/// Shared by the direct fan-out and the butterfly stages.
-///
-/// The sender's copy engine is occupied for the bandwidth component; the
-/// wire latency only delays arrival at the peer. A transiently failed push
-/// re-occupies the link for the full retransmission plus the policy
-/// backoff; the injector checks the fault site *before* posting, so a
-/// failed send delivered nothing and re-sending cannot duplicate a package.
-#[allow(clippy::too_many_arguments)]
-fn post_package<V: Id, M: Wire>(
-    dev: &mut Device,
-    interconnect: &Interconnect,
-    mailbox: &Mailbox<Arc<Package<V, M>>>,
-    dst: usize,
-    pkg: Arc<Package<V, M>>,
-    policy: &RecoveryPolicy,
-    rec: &RecoveryCounters,
-) -> Result<()> {
-    let gpu = dev.id();
-    let bytes = pkg.wire_bytes();
-    let charged = interconnect.charged_bytes(bytes);
-    let occupancy = interconnect.occupancy_us(gpu, dst, bytes);
-    let send_meta = SpanMeta::new(TraceKind::Send, "send")
-        .items(pkg.len() as u64)
-        .bytes(charged)
-        .h_us(occupancy)
-        .peer(dst);
-    let mut attempts = 0u32;
-    loop {
-        // every attempt (including ones whose post fails) occupies the link
-        // and counts toward H — the trace mirrors that with one Send span
-        // per attempt, a failed one immediately followed by its Retry span
-        let sent_at = dev.charge_as(COMM_STREAM, occupancy, 0.0, send_meta)?;
-        dev.counters.h_time_us += occupancy;
-        let arrived_at = sent_at + interconnect.latency_us(gpu, dst);
-        match mailbox.send(gpu, dst, Event::at(arrived_at), Arc::clone(&pkg)) {
-            Ok(()) => break,
-            Err(e) if attempts < policy.max_retries && policy.is_transient(&e) => {
-                attempts += 1;
-                rec.note_transfer_retry();
-                let meta = SpanMeta::new(TraceKind::Retry, "transfer-retry").peer(dst);
-                dev.charge_as(COMM_STREAM, policy.retry_backoff_us, 0.0, meta)?;
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    dev.counters.h_bytes_sent += charged;
-    dev.counters.h_vertices += pkg.len() as u64;
-    dev.counters.h_messages += 1;
-    Ok(())
 }
 
 /// Record a package arrival as an instant span on the communication stream

@@ -1,0 +1,215 @@
+//! The unified executor abstraction over the three enactment engines.
+//!
+//! Three drivers know how to run an [`crate::MgpuProblem`] on a partitioned
+//! graph: the BSP [`crate::enactor::Runner`], the asynchronous
+//! (Groute-style) [`crate::async_enactor::AsyncRunner`], and the
+//! self-healing [`crate::resilience::ResilientRunner`]. They share the
+//! superstep-drive / comm-dispatch / recovery semantics but historically
+//! triplicated two hot pieces of machinery — the transient-retry package
+//! push and the report assembly — and exposed three unrelated call
+//! surfaces, so anything that wanted to drive "a query" (the
+//! [`crate::service`] scheduler, the bench harness, a future multi-node
+//! driver) had to special-case all three.
+//!
+//! This module fixes both:
+//!
+//! * [`Executor`] is the single interface every engine implements: enact a
+//!   traversal, harvest the per-vertex result words in global vertex order,
+//!   and describe yourself (engine kind, primitive name, device count,
+//!   recovery policy). The scheduler targets `Box<dyn Executor<V>>` and
+//!   never learns which engine is underneath.
+//! * [`post_package`] and [`assemble_report`] are the shared comm-dispatch
+//!   and report-assembly bodies. Both enactors call them; the replaced code
+//!   paths are bit-identical (same charge order, same counter updates, same
+//!   trace spans), which the golden-trace and determinism suites enforce.
+
+use std::sync::Arc;
+
+use mgpu_graph::Id;
+use vgpu::{Device, Event, Interconnect, Mailbox, Result, SimSystem, SpanMeta, TraceKind, COMM_STREAM};
+
+use crate::comm::Package;
+use crate::governor::GovernorLog;
+use crate::problem::Wire;
+use crate::report::{CommReduction, DeviceMemStats, EnactReport, SuperstepTrace};
+use crate::resilience::{RecoveryCounters, RecoveryLog, RecoveryPolicy};
+
+/// Which enactment engine an [`Executor`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecutorKind {
+    /// Bulk-synchronous supersteps with deterministic simulated clocks
+    /// ([`crate::enactor::Runner`]).
+    Bsp,
+    /// Asynchronous label-correcting relaxation with distributed
+    /// termination detection ([`crate::async_enactor::AsyncRunner`]).
+    /// Results converge to the same fixpoint, but simulated time is
+    /// scheduling-dependent.
+    Async,
+    /// BSP with checkpoint/re-home/failover recovery wrapped around it
+    /// ([`crate::resilience::ResilientRunner`]).
+    Resilient,
+}
+
+impl ExecutorKind {
+    /// Short label for reports and traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecutorKind::Bsp => "bsp",
+            ExecutorKind::Async => "async",
+            ExecutorKind::Resilient => "resilient",
+        }
+    }
+
+    /// Is this engine's *simulated time* a deterministic function of
+    /// (graph, config, fault plan) — i.e. may a scheduler assert
+    /// [`EnactReport::same_simulation`] against a serial re-run? Async
+    /// executors converge to the same result values but not the same
+    /// clocks.
+    pub fn deterministic_timing(&self) -> bool {
+        !matches!(self, ExecutorKind::Async)
+    }
+}
+
+/// One enactment engine bound to a problem and a partitioned graph: the
+/// single interface the [`crate::service`] scheduler (and any other driver)
+/// targets.
+///
+/// The contract every implementation upholds:
+///
+/// * `enact` runs one traversal to completion and reports it; engines with
+///   deterministic timing ([`ExecutorKind::deterministic_timing`]) produce
+///   reports that are a pure function of (graph, config, fault plan) —
+///   independent of host scheduling, worker threads, and wall clock.
+/// * `harvest` returns one result word per *global* vertex, in global
+///   vertex order, encoded per [`crate::MgpuProblem::result_word`]. Valid
+///   after a successful `enact`.
+/// * Recovery, governor, and tracing semantics are those of the underlying
+///   engine — the trait adds no behaviour, only a uniform surface.
+pub trait Executor<V: Id> {
+    /// Which engine this is.
+    fn kind(&self) -> ExecutorKind;
+
+    /// The bound primitive's name (as reported in [`EnactReport`]).
+    fn primitive(&self) -> &'static str;
+
+    /// Devices this executor drives.
+    fn n_devices(&self) -> usize;
+
+    /// The recovery policy in force.
+    fn recovery_policy(&self) -> RecoveryPolicy;
+
+    /// Run one traversal from `src` (global vertex id; `None` for
+    /// source-less primitives).
+    fn enact(&mut self, src: Option<V>) -> Result<EnactReport>;
+
+    /// The per-vertex result words in global vertex order (see
+    /// [`crate::MgpuProblem::result_word`]).
+    fn harvest(&self) -> Vec<u64>;
+}
+
+/// Push one package to `dst` on the communication stream with the
+/// transient-retry loop, charging occupancy, wire bytes and the H counters.
+/// Shared by the BSP direct fan-out, the butterfly stages, and the async
+/// relaxation loop.
+///
+/// The sender's copy engine is occupied for the bandwidth component; the
+/// wire latency only delays arrival at the peer. A transiently failed push
+/// re-occupies the link for the full retransmission plus the policy
+/// backoff; the injector checks the fault site *before* posting, so a
+/// failed send delivered nothing and re-sending cannot duplicate a package.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn post_package<V: Id, M: Wire>(
+    dev: &mut Device,
+    interconnect: &Interconnect,
+    mailbox: &Mailbox<Arc<Package<V, M>>>,
+    dst: usize,
+    pkg: Arc<Package<V, M>>,
+    policy: &RecoveryPolicy,
+    rec: &RecoveryCounters,
+) -> Result<()> {
+    let gpu = dev.id();
+    let bytes = pkg.wire_bytes();
+    let charged = interconnect.charged_bytes(bytes);
+    let occupancy = interconnect.occupancy_us(gpu, dst, bytes);
+    let send_meta = SpanMeta::new(TraceKind::Send, "send")
+        .items(pkg.len() as u64)
+        .bytes(charged)
+        .h_us(occupancy)
+        .peer(dst);
+    let mut attempts = 0u32;
+    loop {
+        // every attempt (including ones whose post fails) occupies the link
+        // and counts toward H — the trace mirrors that with one Send span
+        // per attempt, a failed one immediately followed by its Retry span
+        let sent_at = dev.charge_as(COMM_STREAM, occupancy, 0.0, send_meta)?;
+        dev.counters.h_time_us += occupancy;
+        let arrived_at = sent_at + interconnect.latency_us(gpu, dst);
+        match mailbox.send(gpu, dst, Event::at(arrived_at), Arc::clone(&pkg)) {
+            Ok(()) => break,
+            Err(e) if attempts < policy.max_retries && policy.is_transient(&e) => {
+                attempts += 1;
+                rec.note_transfer_retry();
+                let meta = SpanMeta::new(TraceKind::Retry, "transfer-retry").peer(dst);
+                dev.charge_as(COMM_STREAM, policy.retry_backoff_us, 0.0, meta)?;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    dev.counters.h_bytes_sent += charged;
+    dev.counters.h_vertices += pkg.len() as u64;
+    dev.counters.h_messages += 1;
+    Ok(())
+}
+
+/// Assemble an [`EnactReport`] from a finished system plus the run-shaped
+/// pieces only the engine knows (iterations, history, recovery, governor,
+/// comm). Both enactors build their reports through this, so the
+/// system-derived fields (`sim_time_us`, counters, memory statistics,
+/// trace collection) can never drift apart between engines.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble_report(
+    system: &SimSystem,
+    primitive: &'static str,
+    n_devices: usize,
+    iterations: usize,
+    wall_time_us: f64,
+    history: Vec<SuperstepTrace>,
+    recovery: RecoveryLog,
+    governor: GovernorLog,
+    comm: CommReduction,
+    tracing: bool,
+) -> EnactReport {
+    EnactReport {
+        primitive,
+        n_devices,
+        iterations,
+        sim_time_us: system.makespan_us(),
+        wall_time_us,
+        totals: system.total_counters(),
+        per_device: system.devices.iter().map(|d| d.counters).collect(),
+        peak_memory_per_device: system.peak_memory_per_device(),
+        total_peak_memory: system.total_peak_memory(),
+        pool_reallocs: system.devices.iter().map(|d| d.pool().reallocs()).sum(),
+        mem_per_device: system.devices.iter().map(|d| DeviceMemStats::of(d.pool())).collect(),
+        history,
+        recovery,
+        governor,
+        comm,
+        trace: tracing.then(|| crate::trace::Trace::collect(system)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_labels_and_timing() {
+        assert_eq!(ExecutorKind::Bsp.label(), "bsp");
+        assert_eq!(ExecutorKind::Async.label(), "async");
+        assert_eq!(ExecutorKind::Resilient.label(), "resilient");
+        assert!(ExecutorKind::Bsp.deterministic_timing());
+        assert!(ExecutorKind::Resilient.deterministic_timing());
+        assert!(!ExecutorKind::Async.deterministic_timing());
+    }
+}

@@ -35,12 +35,14 @@ pub mod async_enactor;
 pub mod comm;
 pub mod direction;
 pub mod enactor;
+pub mod executor;
 pub mod frontier;
 pub mod governor;
 pub mod ops;
 pub mod problem;
 pub mod report;
 pub mod resilience;
+pub mod service;
 pub mod trace;
 
 pub use alloc::{AllocScheme, FrontierBufs};
@@ -51,9 +53,14 @@ pub use comm::{
 pub use direction::{Direction, DirectionConfig, DirectionState};
 pub use async_enactor::AsyncRunner;
 pub use enactor::{EnactConfig, Runner};
+pub use executor::{Executor, ExecutorKind};
 pub use frontier::{Frontier, FrontierMode};
 pub use governor::{Downgrade, GovernorLog, PressurePolicy};
 pub use problem::{MgpuProblem, Wire};
 pub use report::{CommReduction, DeviceMemStats, EnactReport};
 pub use resilience::{CheckpointSink, GlobalCheckpoint, RecoveryLog, RecoveryPolicy, ResilientRunner};
+pub use service::{
+    AdmissionRecord, BuildExecutor, QueryOutcome, QuerySpec, SchedulePlan, Service, ServicePolicy,
+    ServiceReport,
+};
 pub use trace::{BspRow, Profile, Trace};

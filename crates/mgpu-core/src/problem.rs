@@ -285,6 +285,18 @@ pub trait MgpuProblem<V: Id, O: Id>: Sync {
     /// of [`Self::checkpoint_word`], applied after a fresh
     /// [`Self::reset`]). Called for owned vertices *and* proxies.
     fn restore_word(&self, _state: &mut Self::State, _v: V, _word: u64) {}
+
+    /// Encode local vertex `v`'s *result* as one 64-bit word — the uniform
+    /// harvest hook [`crate::executor::Executor::harvest`] reads per-vertex
+    /// answers through, in whatever bit layout the primitive documents
+    /// (labels/distances/components as integers; ranks and centrality
+    /// scores as `f32::to_bits`). The default reuses the checkpoint
+    /// encoding, which *is* the result for the monotone label primitives
+    /// (BFS, SSSP, CC); primitives without checkpoint support override
+    /// this directly.
+    fn result_word(&self, state: &Self::State, v: V) -> u64 {
+        self.checkpoint_word(state, v)
+    }
 }
 
 #[cfg(test)]

@@ -40,6 +40,7 @@ use parking_lot::Mutex;
 use vgpu::{FaultPlan, HardwareProfile, Interconnect, Result, SimSystem, VgpuError};
 
 use crate::enactor::{EnactConfig, Runner};
+use crate::executor::{Executor, ExecutorKind};
 use crate::problem::MgpuProblem;
 use crate::report::EnactReport;
 
@@ -316,6 +317,10 @@ pub struct ResilientRunner<'g, V: Id, O: Id, P: MgpuProblem<V, O> + Clone> {
     config: EnactConfig,
     plan: FaultPlan,
     build_csc: bool,
+    /// Result words harvested from the final (possibly degraded) attempt of
+    /// the last [`Executor::enact`] drive — the inner [`Runner`] is torn
+    /// down per attempt, so the trait's `harvest` reads this cache.
+    last_values: Vec<u64>,
 }
 
 impl<'g, V: Id, O: Id, P: MgpuProblem<V, O> + Clone> ResilientRunner<'g, V, O, P> {
@@ -337,6 +342,7 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O> + Clone> ResilientRunner<'g, V, O, P
             config,
             plan: FaultPlan::new(),
             build_csc: false,
+            last_values: Vec::new(),
         }
     }
 
@@ -453,6 +459,34 @@ impl<'g, V: Id, O: Id, P: MgpuProblem<V, O> + Clone> ResilientRunner<'g, V, O, P
                 }
             }
         }
+    }
+}
+
+impl<'g, V: Id, O: Id, P: MgpuProblem<V, O> + Clone> Executor<V> for ResilientRunner<'g, V, O, P> {
+    fn kind(&self) -> ExecutorKind {
+        ExecutorKind::Resilient
+    }
+
+    fn primitive(&self) -> &'static str {
+        self.problem.name()
+    }
+
+    fn n_devices(&self) -> usize {
+        self.profiles.len()
+    }
+
+    fn recovery_policy(&self) -> RecoveryPolicy {
+        self.config.recovery
+    }
+
+    fn enact(&mut self, src: Option<V>) -> Result<EnactReport> {
+        let (report, values) = self.enact_with(src, |runner, _| runner.harvest())?;
+        self.last_values = values;
+        Ok(report)
+    }
+
+    fn harvest(&self) -> Vec<u64> {
+        self.last_values.clone()
     }
 }
 

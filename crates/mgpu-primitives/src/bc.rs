@@ -326,6 +326,12 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Bc {
             BcPhase::Done => {}
         }
     }
+
+    /// BC has no checkpoint encoding (its sigma/delta state spans phases);
+    /// the harvest word is the centrality score's bit pattern.
+    fn result_word(&self, state: &Self::State, v: V) -> u64 {
+        state.bc[v.idx()].to_bits() as u64
+    }
 }
 
 /// Gather centrality scores into global vertex order.

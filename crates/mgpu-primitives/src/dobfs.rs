@@ -248,6 +248,12 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Dobfs {
     fn uniform_broadcast_msgs(&self) -> Option<bool> {
         Some(true)
     }
+
+    /// DOBFS does not checkpoint (direction state is not captured); the
+    /// harvest word is the depth label.
+    fn result_word(&self, state: &Self::State, v: V) -> u64 {
+        u64::from(state.labels[v.idx()])
+    }
 }
 
 /// Gather final labels from a finished runner into global vertex order.

@@ -233,6 +233,12 @@ impl<V: Id, O: Id> MgpuProblem<V, O> for Pagerank {
         // iteration 0 spreads, iterations 1..=max_iters apply+spread
         self.max_iters + 1
     }
+
+    /// PR has no checkpoint encoding (cross-superstep scalar state); the
+    /// harvest word is the rank's bit pattern.
+    fn result_word(&self, state: &Self::State, v: V) -> u64 {
+        state.ranks[v.idx()].to_bits() as u64
+    }
 }
 
 /// Gather final ranks from a finished runner into global vertex order.

@@ -273,3 +273,122 @@ fn post_failover_transfer_faults_land_on_the_remapped_links() {
     );
     assert!(report.recovery.faults_injected >= 2, "loss plus at least one transfer fault");
 }
+
+// ---------------------------------------------------------------------------
+// faults mid-service: only the targeted query aborts or recovers
+// ---------------------------------------------------------------------------
+
+mod service_faults {
+    use super::*;
+    use mgpu_bench::service::{build_query_specs, parse_query_list, ExecMode};
+    use mgpu_core::{PressurePolicy, Service, ServicePolicy};
+    use mgpu_graph_analytics::partition::Partitioner;
+
+    const GPUS: usize = 4;
+
+    fn policy() -> ServicePolicy {
+        ServicePolicy {
+            seed: 5,
+            workers: 1,
+            lanes: 0, // one wave: every query co-scheduled with the faulted ones
+            mem_cap: None,
+            residency_bytes: 0,
+            pressure: PressurePolicy::governed(),
+        }
+    }
+
+    /// Five co-scheduled queries; q1 recovers a device loss through the
+    /// resilient engine, q3 dies on a device loss in the plain BSP engine,
+    /// q4 absorbs a transient transfer fault via in-place retries — and
+    /// q0/q2 never notice any of it.
+    #[test]
+    fn faults_mid_service_touch_only_the_queries_they_target() {
+        let g = weighted_graph();
+        let part = RandomPartitioner { seed: 3 };
+        let dist = DistGraph::partition(&g, &part, GPUS, Duplication::All);
+        let owner = part.assign(&g, GPUS);
+        let mut descs = parse_query_list("bfs:0,sssp:1@resilient,cc,bfs:2,sssp:0").unwrap();
+        descs[1].plan = Some(FaultPlan::parse("lose:1@2").unwrap());
+        descs[3].plan = Some(FaultPlan::parse("lose:0@1").unwrap());
+        descs[4].plan = Some(FaultPlan::parse("tfail:0>1@1").unwrap());
+        assert_eq!(descs[1].mode, ExecMode::Resilient);
+
+        let config = resilient_config();
+        let faulted =
+            build_query_specs(&g, &dist, &owner, HardwareProfile::k40(), 0, config, &descs)
+                .unwrap();
+        let clean_descs = parse_query_list("bfs:0,sssp:1@resilient,cc,bfs:2,sssp:0").unwrap();
+        let clean =
+            build_query_specs(&g, &dist, &owner, HardwareProfile::k40(), 0, config, &clean_descs)
+                .unwrap();
+
+        let frep = Service::new(policy()).run(&faulted);
+        let crep = Service::new(policy()).run(&clean);
+        assert!(crep.all_ok(), "fault-free mix must succeed");
+        assert_eq!(frep.waves, 1, "unbounded lanes co-schedule the whole mix");
+
+        // q1: the resilient engine rode out the device loss, visibly.
+        let q1 = frep.outcomes[1].result.as_ref().expect("resilient query recovers");
+        assert!(q1.recovery.failovers > 0, "failover must be logged");
+        assert_eq!(q1.recovery.lost_devices, vec![1], "the planned device loss is on record");
+        assert_eq!(
+            frep.outcomes[1].values, crep.outcomes[1].values,
+            "recovery must not change the answer"
+        );
+
+        // q3: the plain BSP engine turns the same class of fault into a
+        // typed error — no hang, no poisoned neighbours.
+        let q3 = frep.outcomes[3].result.as_ref().expect_err("BSP query dies on device loss");
+        assert!(matches!(q3, VgpuError::DeviceLost { .. }), "want a typed DeviceLost, got {q3:?}");
+        assert!(frep.outcomes[3].values.is_empty(), "a dead query harvests nothing");
+
+        // q4: a transient transfer fault is absorbed by in-place retries —
+        // same answer, and the retry is on the per-query record.
+        let q4 = frep.outcomes[4].result.as_ref().expect("transient is absorbed");
+        assert!(q4.recovery.transfer_retries > 0, "the retry must be logged per query");
+        assert_eq!(frep.outcomes[4].values, crep.outcomes[4].values);
+
+        // q0/q2 (clean BSP queries in the same wave): bit-equal to their
+        // fault-free counterparts, reports and results.
+        for q in [0usize, 2] {
+            let f = frep.outcomes[q].result.as_ref().expect("unaffected query succeeds");
+            let c = crep.outcomes[q].result.as_ref().unwrap();
+            assert!(
+                f.same_simulation(c),
+                "query {q} shares a wave with faulted queries but must not feel them"
+            );
+            assert_eq!(frep.outcomes[q].values, crep.outcomes[q].values);
+        }
+
+        // Admission saw all five queries regardless of their fate.
+        assert_eq!(frep.admission.len(), 5);
+        assert!(frep.admission.iter().all(|a| !a.rejected));
+    }
+
+    /// The faulted service run is itself deterministic: same seed, same
+    /// specs, same typed failure and same recovery counters.
+    #[test]
+    fn a_faulted_service_run_replays_bit_identically() {
+        let g = weighted_graph();
+        let part = RandomPartitioner { seed: 3 };
+        let dist = DistGraph::partition(&g, &part, GPUS, Duplication::All);
+        let owner = part.assign(&g, GPUS);
+        let mut descs = parse_query_list("bfs:0,sssp:1@resilient,cc").unwrap();
+        descs[1].plan = Some(FaultPlan::parse("lose:2@2").unwrap());
+        let config = resilient_config();
+        let specs = build_query_specs(&g, &dist, &owner, HardwareProfile::k40(), 0, config, &descs)
+            .unwrap();
+        let a = Service::new(policy()).run(&specs);
+        let b = Service::new(policy()).run(&specs);
+        for (x, y) in a.outcomes.iter().zip(b.outcomes.iter()) {
+            match (&x.result, &y.result) {
+                (Ok(rx), Ok(ry)) => assert!(rx.same_simulation(ry)),
+                (Err(ex), Err(ey)) => assert_eq!(format!("{ex:?}"), format!("{ey:?}")),
+                _ => panic!("query '{}' changed fate between replays", x.name),
+            }
+            assert_eq!(x.values, y.values);
+        }
+        assert_eq!(a.waves, b.waves);
+        assert_eq!(format!("{:?}", a.admission), format!("{:?}", b.admission));
+    }
+}

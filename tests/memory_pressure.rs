@@ -299,3 +299,144 @@ fn traced_pressure_run_charges_spills_and_chunks_in_the_trace() {
     assert!(off.trace.is_none());
     assert!(off.same_simulation(&report), "tracing must not perturb a governed run");
 }
+
+// ---------------------------------------------------------------------------
+// concurrent admission: the service ledger queues, and rejects only at the
+// hard floor
+// ---------------------------------------------------------------------------
+
+mod service_admission {
+    use super::*;
+    use mgpu_bench::service::{build_query_specs, parse_query_list, residency_bytes};
+    use mgpu_core::{Service, ServicePolicy};
+    use mgpu_graph_analytics::partition::Partitioner;
+
+    const MIX: &str = "bfs:0,sssp:1,cc,bc:2";
+
+    struct Fixture {
+        rb: u64,
+        fps: Vec<u64>,
+    }
+
+    fn with_service<R>(
+        mem_cap: Option<u64>,
+        f: impl FnOnce(&Fixture, mgpu_core::ServiceReport) -> R,
+    ) -> R {
+        let g = weighted_graph();
+        let part = RandomPartitioner { seed: 3 };
+        let dist = DistGraph::partition(&g, &part, 2, Duplication::All);
+        let owner = part.assign(&g, 2);
+        let descs = parse_query_list(MIX).unwrap();
+        let specs = build_query_specs(
+            &g,
+            &dist,
+            &owner,
+            HardwareProfile::k40(),
+            0,
+            EnactConfig::default(),
+            &descs,
+        )
+        .unwrap();
+        let rb = residency_bytes(&dist);
+        let fx = Fixture { rb, fps: specs.iter().map(|s| s.footprint_bytes).collect() };
+        let pol = ServicePolicy {
+            seed: 11,
+            workers: 1,
+            lanes: 0, // admission budget, not lane count, shapes the waves
+            mem_cap,
+            residency_bytes: rb,
+            pressure: PressurePolicy::governed(),
+        };
+        f(&fx, Service::new(pol).run(&specs))
+    }
+
+    /// A cap that holds any one query comfortably but not the whole mix:
+    /// the ledger splits the mix across waves — every query queued past
+    /// wave 0 still runs and still answers exactly.
+    #[test]
+    fn a_tight_cap_queues_queries_instead_of_failing_them() {
+        // Uncapped baseline for the exact results.
+        let baseline = with_service(None, |_, rep| {
+            assert!(rep.all_ok());
+            assert_eq!(rep.waves, 1, "no cap, unbounded lanes: one wave");
+            rep.outcomes.iter().map(|o| o.values.clone()).collect::<Vec<_>>()
+        });
+        let (cap, max_fp) = with_service(None, |fx, _| {
+            let sum: u64 = fx.fps.iter().sum();
+            let max = *fx.fps.iter().max().unwrap();
+            // Watermarked budget admits any lone query, but the full mix
+            // overflows it: 0.85 * cap >= rb + max_fp and cap < rb + sum.
+            (((fx.rb + max) * 100 / 85 + 1).max(fx.rb + sum * 2 / 3), max)
+        });
+        with_service(Some(cap), |fx, rep| {
+            assert!(rep.all_ok(), "a queueing cap must not fail any query");
+            assert!(rep.waves > 1, "the ledger must split the mix across waves");
+            let queued = rep.admission.iter().filter(|a| a.queued).count();
+            assert!(queued > 0, "someone must wait");
+            assert_eq!(rep.admission.len(), 4, "one admission record per query");
+            for a in &rep.admission {
+                assert!(!a.rejected);
+                assert!(a.estimated_bytes >= fx.rb + fx.fps.iter().min().unwrap());
+                assert!(a.budget_bytes >= fx.rb + max_fp, "budget admits any lone query");
+            }
+            for (o, base) in rep.outcomes.iter().zip(&baseline) {
+                assert_eq!(&o.values, base, "queued query '{}' still answers exactly", o.name);
+            }
+        });
+    }
+
+    /// Below the floor — a cap no lone query fits under — admission rejects
+    /// with the governor's typed `OutOfMemory`, never a panic, and the
+    /// record says which budget was missed.
+    #[test]
+    fn below_the_floor_admission_rejects_with_a_typed_oom() {
+        let floor = with_service(None, |fx, _| fx.rb + fx.fps.iter().min().unwrap());
+        with_service(Some(floor - 1), |fx, rep| {
+            assert!(!rep.all_ok());
+            for (o, a) in rep.outcomes.iter().zip(rep.admission.iter()) {
+                assert!(a.rejected, "query '{}' cannot fit alone", o.name);
+                assert!(a.queued || a.wave.is_none(), "rejected queries hold no wave");
+                let err = o.result.as_ref().expect_err("rejected queries carry the typed OOM");
+                match err {
+                    VgpuError::OutOfMemory { requested, capacity, .. } => {
+                        assert_eq!(*requested, a.estimated_bytes);
+                        assert_eq!(*capacity, floor - 1);
+                        assert!(*requested >= fx.rb);
+                    }
+                    other => panic!("want OutOfMemory, got {other:?}"),
+                }
+                assert!(o.values.is_empty());
+            }
+        });
+    }
+
+    /// A cap between the floor and the biggest query rejects exactly the
+    /// queries over it and queues the rest — per-query decisions, not a
+    /// global verdict.
+    #[test]
+    fn a_mid_cap_rejects_only_the_queries_over_it() {
+        let (cap, n_over) = with_service(None, |fx, _| {
+            let max = *fx.fps.iter().max().unwrap();
+            let cap = fx.rb + max - 1; // the biggest query misses by one byte
+            (cap, fx.fps.iter().filter(|&&fp| fx.rb + fp > cap).count())
+        });
+        assert!(n_over >= 1);
+        with_service(Some(cap), |fx, rep| {
+            let rejected: Vec<usize> =
+                rep.admission.iter().filter(|a| a.rejected).map(|a| a.query).collect();
+            assert_eq!(rejected.len(), n_over, "exactly the over-cap queries are refused");
+            for a in &rep.admission {
+                let over = fx.rb + fx.fps[a.query] > cap;
+                assert_eq!(a.rejected, over, "query {} decision must be per-query", a.query);
+            }
+            for o in &rep.outcomes {
+                if rejected.contains(&o.query) {
+                    assert!(o.result.is_err());
+                } else {
+                    assert!(o.result.is_ok(), "under-cap query '{}' must still run", o.name);
+                    assert!(!o.values.is_empty());
+                }
+            }
+        });
+    }
+}
